@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure benchmark regenerates its artifact end to end (sweep +
+derivation) on the ``smoke`` grid, so ``pytest benchmarks/
+--benchmark-only`` completes in minutes on one core.  To regenerate at
+higher fidelity, use the CLI (``python -m repro all --preset small``) —
+the artifacts shipped in EXPERIMENTS.md come from that path.
+
+The sweep used by Tables 2/3 and Figure 4 is shared through a
+session-scoped fixture so it runs once; each benchmark still times a full
+regeneration of its own artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import PAPER_ALGORITHMS, smoke_grid
+from repro.experiments.runner import run_sweep
+
+
+@pytest.fixture(scope="session")
+def bench_grid():
+    """The benchmark grid: Table-1-shaped, seconds-scale."""
+    return smoke_grid()
+
+
+@pytest.fixture(scope="session")
+def main_sweep(bench_grid):
+    """The seven-algorithm sweep behind Tables 2-3 and Figure 4."""
+    return run_sweep(bench_grid, algorithms=PAPER_ALGORITHMS)

@@ -1,0 +1,184 @@
+"""Ablation benchmarks for design choices beyond the paper's figures.
+
+DESIGN.md §5 lists five ablation targets; Figures 6 and 7 cover the first
+two, these benches cover the rest:
+
+3. the phase-2 chunk floor (§4.2 question (iii)) — with the floor removed,
+   factoring's tail degenerates into many vanishing chunks whose per-chunk
+   latency is pure overhead;
+4. the threshold-rule reading (per-worker §4.2 vs total §5.1) — the two
+   variants differ exactly in the error range where they disagree about
+   running a phase 2;
+5. the error-distribution family (§4.1: uniform "essentially similar",
+   and the mode="divide" verbatim reading) plus the non-stationary
+   drifting model the paper defers to future work.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import RUMR, UMR, Factoring
+from repro.core.rumr import phase2_workload
+from repro.errors import (
+    DriftingErrorModel,
+    NormalErrorModel,
+    UniformErrorModel,
+)
+from repro.platform import homogeneous_platform
+from repro.sim import simulate_fast
+
+W = 1000.0
+SEEDS = range(15)
+
+
+def platform(n=20, cLat=0.3, nLat=0.1):
+    return homogeneous_platform(n, S=1.0, bandwidth_factor=1.8, cLat=cLat, nLat=nLat)
+
+
+def mean_makespan(p, scheduler, model_factory, seeds=SEEDS):
+    return statistics.mean(
+        simulate_fast(p, W, scheduler, model_factory(), seed=s).makespan for s in seeds
+    )
+
+
+class TestChunkFloorAblation:
+    def test_bench_chunk_floor(self, benchmark):
+        # Factoring with and without the minimum chunk bound, on a
+        # latency-heavy platform where tiny chunks are pure overhead.
+        p = platform(cLat=0.5, nLat=0.3)
+        error = 0.3
+
+        def run():
+            with_floor = mean_makespan(
+                p, Factoring(min_chunk=1.0), lambda: NormalErrorModel(error)
+            )
+            without_floor = mean_makespan(
+                p, Factoring(min_chunk=1e-6), lambda: NormalErrorModel(error)
+            )
+            return with_floor, without_floor
+
+        with_floor, without_floor = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\nfactoring makespan with floor:    {with_floor:8.2f} s")
+        print(f"factoring makespan without floor: {without_floor:8.2f} s")
+        assert with_floor < without_floor, "the chunk floor must pay for itself"
+
+
+class TestThresholdRuleAblation:
+    def test_bench_threshold_rules(self, benchmark):
+        # The per-worker rule (§4.2) needs error >= N(cLat + N nLat)/W to
+        # enable phase 2; the total rule (§5.1) needs only
+        # error >= (cLat + N nLat)/W.  Between the two thresholds they
+        # disagree; measure both in that window.
+        p = platform(n=20, cLat=0.3, nLat=0.5)  # overhead = 10.3
+        error = 0.12  # total: 120 >= 10.3 (on) ; per-worker: 6 < 10.3 (off)
+        assert phase2_workload(p, W, error, "per_worker") == 0.0
+        assert phase2_workload(p, W, error, "total") > 0.0
+
+        def run():
+            per_worker = mean_makespan(
+                p,
+                RUMR(known_error=error, threshold_rule="per_worker"),
+                lambda: NormalErrorModel(error),
+            )
+            total_rule = mean_makespan(
+                p,
+                RUMR(known_error=error, threshold_rule="total"),
+                lambda: NormalErrorModel(error),
+            )
+            return per_worker, total_rule
+
+        per_worker, total_rule = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\nper-worker rule (phase 2 off): {per_worker:8.2f} s")
+        print(f"total rule (phase 2 on):       {total_rule:8.2f} s")
+        # Both readings must stay within a sane band of each other; which
+        # wins is platform-dependent, the point is to quantify the gap.
+        assert abs(per_worker - total_rule) / per_worker < 0.25
+
+
+class TestErrorFamilyAblation:
+    def test_bench_error_families(self, benchmark):
+        # §4.1: "We also ran all the experiments under a uniformly
+        # distributed error model, but our results were essentially
+        # similar."  Check RUMR's relative advantage over UMR under
+        # normal, uniform, and the verbatim divide-mode model.
+        p = platform()
+        error = 0.3
+        families = {
+            "normal": lambda: NormalErrorModel(error),
+            "uniform": lambda: UniformErrorModel(error),
+            "normal-divide": lambda: NormalErrorModel(error, mode="divide"),
+        }
+
+        def run():
+            out = {}
+            for name, factory in families.items():
+                rumr = mean_makespan(p, RUMR(known_error=error), factory)
+                umr = mean_makespan(p, UMR(), factory)
+                out[name] = umr / rumr
+            return out
+
+        ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+        print()
+        for name, ratio in ratios.items():
+            print(f"UMR/RUMR under {name:>14}: {ratio:6.3f}")
+        # RUMR must keep its advantage under every family.
+        assert all(r > 1.0 for r in ratios.values()), ratios
+        # Normal and uniform are "essentially similar".
+        assert abs(ratios["normal"] - ratios["uniform"]) < 0.15
+
+
+class TestFSCClaim:
+    def test_bench_fsc_worse_than_factoring(self, benchmark):
+        # §5.1: "We also investigated the Fixed-Size Chunking (FSC)
+        # strategy ... performs worse than Factoring in most of our
+        # experiments.  Consequently we do not show results for FSC."
+        from repro.core import FixedSizeChunking
+
+        configs = [
+            (10, 0.1, 0.1), (10, 0.5, 0.2), (20, 0.3, 0.1),
+            (20, 0.0, 0.5), (40, 0.2, 0.2),
+        ]
+        error = 0.3
+
+        def run():
+            fsc_wins = 0
+            total = 0
+            for n, cl, nl in configs:
+                p = platform(n=n, cLat=cl, nLat=nl)
+                for s in range(8):
+                    fsc = simulate_fast(
+                        p, W, FixedSizeChunking(known_error=error),
+                        NormalErrorModel(error), seed=s,
+                    ).makespan
+                    fact = simulate_fast(
+                        p, W, Factoring(), NormalErrorModel(error), seed=s
+                    ).makespan
+                    fsc_wins += fsc < fact
+                    total += 1
+            return fsc_wins / total
+
+        fsc_win_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\nFSC beats Factoring in {fsc_win_rate:.0%} of experiments")
+        assert fsc_win_rate < 0.5, "paper: FSC worse than Factoring in most experiments"
+
+
+class TestNonStationaryAblation:
+    def test_bench_drifting_errors(self, benchmark):
+        # Future-work scenario: background load drifts during the run.
+        # Phase 2 never consults predictions, so RUMR should degrade more
+        # gracefully than UMR.
+        p = platform()
+        error = 0.2
+
+        def model():
+            return DriftingErrorModel(magnitude=error, drift_per_step=-0.002)
+
+        def run():
+            rumr = mean_makespan(p, RUMR(known_error=error), model)
+            umr = mean_makespan(p, UMR(), model)
+            return umr / rumr
+
+        ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\nUMR/RUMR under drifting load: {ratio:6.3f}")
+        assert ratio > 1.0, "RUMR must retain its advantage under drift"

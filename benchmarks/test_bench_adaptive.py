@@ -1,0 +1,71 @@
+"""Extension benchmark: online error estimation (the paper's future work).
+
+§6 of the paper: the APST integration "will make it possible to determine
+empirical performance prediction error distributions … as the application
+runs.  Such information will be used on-the-fly by RUMR."  AdaptiveRUMR
+implements that loop; this bench compares, across the error axis:
+
+* UMR            — no robustness mechanism;
+* RUMR(oracle)   — RUMR given the *true* error magnitude;
+* AdaptiveRUMR   — no a-priori knowledge, estimates from completion
+                   intervals during phase 1 and switches on its own;
+* RUMR_80        — the paper's recommended fixed split when the error is
+                   unknown (the static alternative to estimating online).
+
+Expected shape (asserted): AdaptiveRUMR recovers at least half of the
+oracle's advantage over UMR at moderate-to-large error, and at zero error
+it stays exactly at UMR's makespan (never switching on a phantom signal
+costs nothing).
+"""
+
+import statistics
+
+from repro.core import RUMR, UMR, AdaptiveRUMR
+from repro.errors import NoError, NormalErrorModel
+from repro.platform import homogeneous_platform
+from repro.sim import simulate_fast
+
+ERRORS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+SEEDS = range(15)
+
+
+def regenerate():
+    platform = homogeneous_platform(20, S=1.0, bandwidth_factor=1.8, cLat=0.3, nLat=0.1)
+    w = 1000.0
+    rows = {}
+    for error in ERRORS:
+        def model():
+            return NormalErrorModel(error) if error else NoError()
+
+        def mean(sched):
+            return statistics.mean(
+                simulate_fast(platform, w, sched, model(), seed=s).makespan
+                for s in SEEDS
+            )
+
+        rows[error] = {
+            "UMR": mean(UMR()),
+            "RUMR(oracle)": mean(RUMR(known_error=error)),
+            "AdaptiveRUMR": mean(AdaptiveRUMR()),
+            "RUMR_80": mean(RUMR(known_error=error, phase1_fraction=0.8)),
+        }
+    return rows
+
+
+def test_bench_adaptive(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    header = list(next(iter(rows.values())))
+    print(f"{'error':>6} " + " ".join(f"{h:>13}" for h in header))
+    for error, row in rows.items():
+        print(f"{error:>6.2f} " + " ".join(f"{row[h]:>13.2f}" for h in header))
+
+    # Zero error: the adaptive scheduler must not pay for a phantom signal.
+    assert rows[0.0]["AdaptiveRUMR"] <= rows[0.0]["UMR"] * 1.001
+    # Moderate-to-large error: recover at least half the oracle gap.
+    for error in (0.3, 0.4, 0.5):
+        umr = rows[error]["UMR"]
+        oracle = rows[error]["RUMR(oracle)"]
+        adaptive = rows[error]["AdaptiveRUMR"]
+        assert oracle < umr
+        assert adaptive < umr - 0.5 * (umr - oracle), (error, umr, oracle, adaptive)

@@ -1,0 +1,68 @@
+"""Micro-benchmarks: simulation-engine throughput.
+
+The fast engine carries the full experiment harness (hundreds of
+thousands of runs per sweep); the DES engine is the cross-validated
+reference.  These benchmarks document their per-run costs and the ratio
+between them.
+"""
+
+import pytest
+
+from repro.core import RUMR, Factoring, UMR
+from repro.errors import NormalErrorModel
+from repro.platform import homogeneous_platform
+from repro.sim import simulate_des, simulate_fast
+
+W = 1000.0
+
+
+@pytest.fixture
+def platform():
+    return homogeneous_platform(20, S=1.0, bandwidth_factor=1.8, cLat=0.3, nLat=0.1)
+
+
+@pytest.fixture
+def model():
+    return NormalErrorModel(0.3)
+
+
+def test_bench_fast_engine_umr(benchmark, platform, model):
+    result = benchmark(simulate_fast, platform, W, UMR(), model, 1)
+    assert result.makespan > 0
+
+
+def test_bench_fast_engine_rumr(benchmark, platform, model):
+    result = benchmark(simulate_fast, platform, W, RUMR(known_error=0.3), model, 1)
+    assert result.makespan > 0
+
+
+def test_bench_fast_engine_factoring(benchmark, platform, model):
+    result = benchmark(simulate_fast, platform, W, Factoring(), model, 1)
+    assert result.makespan > 0
+
+
+def test_bench_batch_engine_umr_per_run(benchmark, platform, model):
+    # Amortized per-run cost of the vectorized batch simulator: simulate
+    # 500 repetitions per call; compare Mean/500 against the scalar rows.
+    from repro.core.umr import solve_umr
+    from repro.sim.batch import simulate_static_batch
+
+    plan = solve_umr(platform, W).to_chunk_plan()
+    seeds = list(range(500))
+
+    def run():
+        return simulate_static_batch(platform, plan, error=0.3, seeds=seeds)
+
+    spans = benchmark(run)
+    assert spans.shape == (500,)
+    assert (spans > 0).all()
+
+
+def test_bench_des_engine_umr(benchmark, platform, model):
+    result = benchmark(simulate_des, platform, W, UMR(), model, 1)
+    assert result.makespan > 0
+
+
+def test_bench_des_engine_rumr(benchmark, platform, model):
+    result = benchmark(simulate_des, platform, W, RUMR(known_error=0.3), model, 1)
+    assert result.makespan > 0

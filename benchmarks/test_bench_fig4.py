@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figures 4(a) and 4(b) (relative makespan vs error).
+
+Paper reference: in Fig 4(a) UMR is the only algorithm ever below 1.0
+(slightly, at small error) and rises steadily; Factoring starts highest
+and descends toward (but stays above) RUMR; MI-x stay well above 1.0
+throughout.  Fig 4(b) restricts to cLat < 0.3, nLat < 0.3 where RUMR uses
+many phase-1 rounds and the MI-x curves turn upward with error.
+"""
+
+from repro.experiments.config import PAPER_ALGORITHMS, smoke_grid
+from repro.experiments.figures import fig4a, fig4b
+from repro.experiments.report import ascii_chart, figure_csv
+from repro.experiments.runner import run_sweep
+
+
+def regenerate_fig4(grid):
+    results = run_sweep(grid, algorithms=PAPER_ALGORITHMS)
+    return fig4a(results), fig4b(results)
+
+
+def test_bench_fig4(benchmark):
+    grid = smoke_grid()
+    fa, fb = benchmark.pedantic(regenerate_fig4, args=(grid,), rounds=1, iterations=1)
+    print()
+    for fig in (fa, fb):
+        print(ascii_chart(fig))
+        print(figure_csv(fig))
+
+    for fig in (fa, fb):
+        umr = fig.series["UMR"]
+        fact = fig.series["Factoring"]
+        # UMR starts at parity (RUMR == UMR at error 0) and ends worse.
+        assert abs(umr[0] - 1.0) < 1e-9
+        assert umr[-1] > 1.02
+        # Factoring approaches RUMR from above as error grows.
+        assert fact[0] > 1.05
+        assert fact[-1] < fact[0]
+        # MI-x never close to RUMR on average at zero error cost regimes.
+        assert min(fig.series["MI-1"]) > 1.0

@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Figure 6 (fixed phase-1 share ablation).
+
+Paper reference: versions of RUMR that fix the phase-1 share at 50-90%
+(ignoring the error estimate) lose to the original heuristic at small
+error (the original uses *no* phase 2 there), and the small-share versions
+lose most; at large error they converge toward the original.  Averaged
+over the error axis, RUMR_80 is the best fixed choice ("80% in phase #1
+seems like a good practical choice").
+"""
+
+from repro.experiments.config import smoke_grid
+from repro.experiments.figures import fig6
+from repro.experiments.report import ascii_chart, figure_csv
+
+
+def regenerate_fig6(grid):
+    return fig6(grid)
+
+
+def test_bench_fig6(benchmark):
+    grid = smoke_grid().restrict(repetitions=5)
+    fig = benchmark.pedantic(regenerate_fig6, args=(grid,), rounds=1, iterations=1)
+    print()
+    print(ascii_chart(fig))
+    print(figure_csv(fig))
+
+    # At error 0 the fixed-share variants run a pointless phase 2; they are
+    # at best around parity with the original (the paper notes the curves
+    # "don't necessarily intersect the x-axis" because the original's
+    # threshold sometimes withholds a phase 2 the fixed variants run —
+    # occasionally to the fixed variants' benefit, so allow ~1% slack).
+    for label, series in fig.series.items():
+        assert series[0] >= 0.99, f"{label} cannot materially beat original at error 0"
+    # Smaller phase-1 share hurts more at small error.
+    assert fig.series["RUMR_50"][0] > fig.series["RUMR_90"][0]
+    # The penalty of fixed shares shrinks as error grows (phase 2 becomes
+    # the right call anyway).
+    assert fig.series["RUMR_50"][-1] < fig.series["RUMR_50"][0]
+    # Averaged over the error axis, 80% is among the best fixed choices
+    # (paper: "the version that schedules 80% ... achieves the best
+    # relative performance").
+    means = {k: sum(v) / len(v) for k, v in fig.series.items()}
+    best = min(means, key=means.get)
+    assert best in ("RUMR_80", "RUMR_90"), f"best fixed share was {best}"

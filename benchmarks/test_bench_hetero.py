@@ -1,0 +1,60 @@
+"""Extension benchmark: heterogeneity study (beyond the paper's §5).
+
+The paper evaluates homogeneous platforms only.  This bench sweeps a
+controlled heterogeneity level (speed/bandwidth spread at constant
+aggregate capacity) and reports mean makespans for UMR, Factoring, RUMR,
+and RUMR with a Weighted-Factoring phase 2.
+
+Expected shapes (asserted):
+
+* UMR is nearly flat — its per-worker chunk sizing absorbs heterogeneity;
+* Factoring degrades sharply — equal self-scheduled chunks turn slow
+  workers into per-batch stragglers;
+* plain RUMR inherits factoring's weakness at high heterogeneity (its
+  phase 2 chunks are equal-sized) and loses to UMR there;
+* RUMR with the weighted phase 2 dominates at every level.
+"""
+
+from repro.core import RUMR, UMR, Factoring
+from repro.experiments.hetero import run_hetero_study
+
+LEVELS = (0.0, 0.5, 1.0, 2.0, 4.0)
+ERROR = 0.3
+
+
+def regenerate():
+    return run_hetero_study(
+        {
+            "UMR": lambda: UMR(),
+            "Factoring": lambda: Factoring(),
+            "RUMR": lambda: RUMR(known_error=ERROR),
+            "RUMR-weighted": lambda: RUMR(known_error=ERROR, phase2_weighted=True),
+        },
+        levels=LEVELS,
+        n=16,
+        error=ERROR,
+        repetitions=10,
+    )
+
+
+def test_bench_hetero(benchmark):
+    study = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(f"{'level':>6} " + " ".join(f"{k:>14}" for k in study.means))
+    for i, level in enumerate(study.levels):
+        print(
+            f"{level:>6.1f} "
+            + " ".join(f"{study.means[k][i]:>14.2f}" for k in study.means)
+        )
+
+    umr = study.means["UMR"]
+    fact = study.means["Factoring"]
+    weighted = study.means["RUMR-weighted"]
+    # UMR nearly flat (within 15% of its homogeneous value everywhere).
+    assert max(umr) < 1.15 * umr[0]
+    # Factoring collapses at the high end.
+    assert fact[-1] > 1.5 * fact[0]
+    # Weighted-phase-2 RUMR dominates UMR at every level.
+    assert all(w < u * 1.02 for w, u in zip(weighted, umr))
+    # And dominates plain RUMR at the heterogeneous end.
+    assert weighted[-1] < study.means["RUMR"][-1]

@@ -1,0 +1,44 @@
+"""Micro-benchmarks: scheduler plan construction.
+
+Paper reference (§3.2): solving the UMR Lagrange system by bisection took
+"about 0.07 seconds on a 400 MHz PIII".  Both our solvers are measured
+here on the Table-1-sized problem (N=50); the search solver is typically
+well under a millisecond.
+"""
+
+import pytest
+
+from repro.core.multi_installment import solve_multi_installment
+from repro.core.rumr import RUMR
+from repro.core.umr import solve_umr_lagrange, solve_umr_search
+from repro.platform import homogeneous_platform
+
+W = 1000.0
+
+
+@pytest.fixture
+def platform():
+    return homogeneous_platform(50, S=1.0, bandwidth_factor=1.8, cLat=0.3, nLat=0.1)
+
+
+def test_bench_umr_lagrange(benchmark, platform):
+    plan = benchmark(solve_umr_lagrange, platform, W)
+    assert plan.total_work == pytest.approx(W)
+
+
+def test_bench_umr_search(benchmark, platform):
+    plan = benchmark(solve_umr_search, platform, W)
+    assert plan.total_work == pytest.approx(W)
+
+
+def test_bench_mi4_linear_system(benchmark, platform):
+    # 200 unknowns (N=50 x 4 rounds); bypass the memo cache to measure.
+    solve = solve_multi_installment.__wrapped__
+    schedule = benchmark(solve, platform, W, 4)
+    assert schedule.total_work == pytest.approx(W)
+
+
+def test_bench_rumr_source_construction(benchmark, platform):
+    scheduler = RUMR(known_error=0.3)
+    source = benchmark(scheduler.create_source, platform, W)
+    assert source is not None

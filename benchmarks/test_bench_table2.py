@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table 2 (RUMR outperformance percentages).
+
+Paper reference (Table 2, full Table-1 grid): RUMR beats UMR in 55-86% of
+experiments (rising with error), MI-2..4 in ~94-100%, Factoring in 85-98%
+(falling with error).  The shape assertions below check those trends on
+the smoke grid; absolute percentages differ because the grid is decimated.
+"""
+
+from repro.experiments.config import PAPER_ALGORITHMS, smoke_grid
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_sweep
+from repro.experiments.tables import table2
+
+
+def regenerate_table2(grid):
+    results = run_sweep(grid, algorithms=PAPER_ALGORITHMS)
+    return table2(results)
+
+
+def test_bench_table2(benchmark):
+    grid = smoke_grid()
+    table = benchmark.pedantic(regenerate_table2, args=(grid,), rounds=1, iterations=1)
+    print()
+    print(render_table(table))
+
+    # Shape assertions against the paper's Table 2.
+    umr = table.row("UMR")
+    assert umr[-1] > umr[0], "RUMR's win rate over UMR must grow with error"
+    for mi in ("MI-2", "MI-3", "MI-4"):
+        assert min(table.row(mi)) > 50.0, f"RUMR must beat {mi} in most experiments"
+    fact = table.row("Factoring")
+    assert fact[0] > 80.0, "RUMR must dominate Factoring at small error"
+    assert fact[-1] < fact[0] + 1e-9, "Factoring must close the gap as error grows"

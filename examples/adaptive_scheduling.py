@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Online error estimation — the paper's future-work loop, running.
+
+The paper closes (§6) by planning an APST integration that would
+"determine empirical performance prediction error distributions … as the
+application runs" and use them "on-the-fly".  AdaptiveRUMR implements
+that: it starts from a plain UMR plan, watches completion announcements,
+estimates the error magnitude from completion *intervals*, and switches
+to a factoring tail when the remaining work matches the estimate.
+
+This example shows the estimator converging during a run and compares
+three levels of knowledge across the error axis:
+
+* UMR            — assumes perfect predictions;
+* RUMR(oracle)   — told the true error;
+* RUMR_80        — the paper's fixed fallback when the error is unknown;
+* AdaptiveRUMR   — estimates it online.
+
+Run:  python examples/adaptive_scheduling.py
+"""
+
+import statistics
+
+from repro import (
+    RUMR,
+    UMR,
+    AdaptiveRUMR,
+    NormalErrorModel,
+    homogeneous_platform,
+    simulate,
+)
+
+
+class ProbedAdaptive(AdaptiveRUMR):
+    """AdaptiveRUMR that keeps its last source for inspection."""
+
+    def create_source(self, platform, total_work):
+        self.last_source = super().create_source(platform, total_work)
+        return self.last_source
+
+
+def main() -> None:
+    platform = homogeneous_platform(
+        20, S=1.0, bandwidth_factor=1.8, cLat=0.3, nLat=0.1
+    )
+    total = 1000.0
+
+    # One run, dissected: what did the estimator see and decide?
+    true_error = 0.35
+    probe = ProbedAdaptive()
+    result = simulate(platform, total, probe, NormalErrorModel(true_error), seed=3)
+    src = probe.last_source
+    print("single run dissection")
+    print(f"  true error magnitude        : {true_error:.2f}")
+    print(f"  online estimate at decision : {src.final_estimate:.3f}")
+    print(f"  switched to phase 2 at      : t = {src.switched_at:.1f} s "
+          f"(makespan {result.makespan:.1f} s)")
+    tail = result.phase_work().get("adaptive-p2", 0.0)
+    print(f"  workload given to the tail  : {tail:.0f} / {total:.0f} units\n")
+
+    # The comparison table.
+    print(f"{'error':>6} {'UMR':>9} {'RUMR(oracle)':>13} {'RUMR_80':>9} {'Adaptive':>9}")
+    for error in (0.0, 0.1, 0.2, 0.3, 0.4, 0.5):
+        def mean(sched_factory):
+            return statistics.mean(
+                simulate(
+                    platform, total, sched_factory(), NormalErrorModel(error), seed=s
+                ).makespan
+                for s in range(15)
+            )
+        print(
+            f"{error:>6.2f} {mean(UMR):>9.2f} "
+            f"{mean(lambda: RUMR(known_error=error)):>13.2f} "
+            f"{mean(lambda: RUMR(known_error=error, phase1_fraction=0.8)):>9.2f} "
+            f"{mean(AdaptiveRUMR):>9.2f}"
+        )
+    print(
+        "\nReading: the adaptive scheduler pays nothing at error 0 (it never\n"
+        "switches on a phantom signal) and tracks the oracle elsewhere —\n"
+        "the measurement the paper's future-work section asked for."
+    )
+
+
+if __name__ == "__main__":
+    main()

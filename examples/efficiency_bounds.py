@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""How close to optimal are these schedules, in absolute terms?
+
+Relative comparisons (algorithm A vs algorithm B) are the paper's
+currency, but a production user wants an absolute yardstick.  The
+bandwidth-centric steady-state bound (`repro.analysis`) provides one: no
+schedule can beat `W / ρ*`, where ρ* is the platform's optimal sustained
+throughput.  This example:
+
+1. shows the bound and the bandwidth-centric principle on a heterogeneous
+   cluster (slow-but-well-connected beats fast-but-starved);
+2. measures every scheduler's *efficiency* (bound / makespan) on one
+   platform, with and without prediction errors;
+3. demonstrates UMR's asymptotic optimality: efficiency → 1 as W grows.
+
+Run:  python examples/efficiency_bounds.py
+"""
+
+from repro import (
+    RUMR,
+    UMR,
+    EqualSplit,
+    Factoring,
+    MultiInstallment,
+    NormalErrorModel,
+    NoError,
+    PlatformSpec,
+    WorkerSpec,
+    homogeneous_platform,
+    simulate,
+)
+from repro.analysis import efficiency, makespan_lower_bound, steady_state_throughput
+
+
+def main() -> None:
+    # 1. The bandwidth-centric principle.
+    cluster = PlatformSpec(
+        [
+            WorkerSpec(S=10.0, B=2.0),   # fast compute, starved link
+            WorkerSpec(S=1.0, B=100.0),  # slow compute, fat link
+            WorkerSpec(S=2.0, B=20.0),
+        ]
+    )
+    alloc = steady_state_throughput(cluster)
+    print("steady-state allocation (units/s):")
+    for i, (w, x) in enumerate(zip(cluster, alloc.rates)):
+        tag = "saturated" if i in alloc.saturated else "link-limited"
+        print(f"  worker {i}: S={w.S:5.1f} B={w.B:6.1f} -> x={x:6.2f}  ({tag})")
+    print(f"  total throughput ρ* = {alloc.throughput:.2f} units/s, "
+          f"link utilization {alloc.link_utilization:.0%}")
+    print("  note: the slow worker with the fat link is saturated first —")
+    print("  feeding it costs the master almost nothing.\n")
+
+    # 2. Efficiency table on a Table-1 platform.
+    p = homogeneous_platform(16, S=1.0, bandwidth_factor=1.5, cLat=0.3, nLat=0.1)
+    W = 1000.0
+    bound = makespan_lower_bound(p, W)
+    print(f"platform N=16, W={W:g}: lower bound = {bound:.2f} s")
+    print(f"{'scheduler':<12} {'no error':>10} {'error=0.3':>10}   (efficiency)")
+    for sched_factory in (
+        UMR, lambda: RUMR(known_error=0.3), lambda: MultiInstallment(3),
+        Factoring, EqualSplit,
+    ):
+        clean = simulate(p, W, sched_factory(), NoError())
+        noisy_eff = sum(
+            efficiency(simulate(p, W, sched_factory(), NormalErrorModel(0.3), seed=s))
+            for s in range(10)
+        ) / 10
+        print(f"{sched_factory().name:<12} {efficiency(clean):>9.1%} {noisy_eff:>10.1%}")
+
+    # 3. UMR's asymptotic optimality.
+    print("\nUMR efficiency vs workload size (no error):")
+    for w in (100, 1000, 10000, 100000):
+        result = simulate(p, float(w), UMR(), NoError())
+        print(f"  W={w:>6}: {efficiency(result):6.1%}")
+    print("\nPer-round overheads amortize: UMR approaches the steady-state")
+    print("bound, which is exactly why multi-round beats one-round scheduling.")
+
+
+if __name__ == "__main__":
+    main()

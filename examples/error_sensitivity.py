@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""A miniature Figure 4(a): relative makespan vs prediction error.
+
+Runs the paper's seven algorithms over a pocket-sized parameter grid and
+prints the mean makespan of each competitor normalized to RUMR, plus an
+ASCII rendering of the curves — the same pipeline the full benchmark
+harness uses, at interactive scale.
+
+Run:  python examples/error_sensitivity.py
+"""
+
+from repro.experiments import fig4a, run_sweep, smoke_grid
+from repro.experiments.report import ascii_chart, figure_csv
+from repro.experiments.runner import eta_progress
+
+
+def main() -> None:
+    grid = smoke_grid().restrict(repetitions=5)
+    total = grid.num_simulations(7)
+    print(f"Sweeping {grid.num_platforms} platforms × {len(grid.errors)} error "
+          f"levels × {grid.repetitions} repetitions × 7 algorithms "
+          f"= {total} simulations…\n")
+
+    results = run_sweep(grid, progress=eta_progress())
+    figure = fig4a(results)
+
+    print(ascii_chart(figure))
+    print(figure_csv(figure))
+    print("Values above 1.0: RUMR is faster.  Compare with the paper's "
+          "Figure 4(a):\n"
+          "  - UMR starts at parity (slightly better at small error) and "
+          "degrades as error grows;\n"
+          "  - Factoring starts far above and approaches RUMR from above;\n"
+          "  - MI-x stays well above RUMR throughout.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Scheduling on a heterogeneous cluster with resource selection.
+
+The paper evaluates the homogeneous case but UMR/RUMR are defined for
+heterogeneous platforms.  This example builds a mixed cluster (fast/slow
+workers, uneven links), shows the full-utilization check and the greedy
+worker selection, and compares schedules on the selected subset.  It also
+demonstrates per-worker chunk scaling: within a UMR round every worker
+computes for the same time, so faster workers receive bigger chunks.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from repro import (
+    RUMR,
+    UMR,
+    Factoring,
+    NormalErrorModel,
+    PlatformSpec,
+    WorkerSpec,
+    select_workers,
+    simulate,
+    solve_umr,
+)
+from repro.platform import full_utilization_fraction
+
+
+def main() -> None:
+    # A mixed bag: some fast well-connected nodes, some slow stragglers,
+    # and one node so poorly connected it is not worth feeding.
+    cluster = PlatformSpec(
+        [
+            WorkerSpec(S=2.0, B=16.0, cLat=0.1, nLat=0.05),   # fast node
+            WorkerSpec(S=2.0, B=16.0, cLat=0.1, nLat=0.05),
+            WorkerSpec(S=1.0, B=10.0, cLat=0.2, nLat=0.10),   # mid node
+            WorkerSpec(S=1.0, B=10.0, cLat=0.2, nLat=0.10),
+            WorkerSpec(S=0.5, B=6.0, cLat=0.3, nLat=0.15),    # slow node
+            WorkerSpec(S=4.0, B=1.5, cLat=0.2, nLat=0.30),    # starved link!
+        ]
+    )
+    total = 1500.0
+
+    frac = full_utilization_fraction(cluster)
+    print(f"Full cluster: N={cluster.N}, sum(S_i/B_i) = {frac:.3f} "
+          f"({'feasible' if frac < 1 else 'INFEASIBLE for multi-round'})")
+
+    chosen = select_workers(cluster)
+    selected = cluster.subset(chosen)
+    print(f"Selected workers: {chosen} "
+          f"(sum(S_i/B_i) = {full_utilization_fraction(selected):.3f})\n")
+
+    # Within a round, chunk_i = S_i * (T_j - cLat_i): equal compute time.
+    plan = solve_umr(selected, total)
+    print(f"UMR plan on the selected subset: {plan.num_rounds} rounds")
+    print(f"{'worker':>6} {'S':>5} {'round-0 chunk':>14} {'round-0 time':>13}")
+    for i, (w, chunk) in enumerate(zip(selected, plan.chunk_sizes[0])):
+        t = w.cLat + chunk / w.S
+        print(f"{i:>6} {w.S:>5.1f} {chunk:>14.2f} {t:>13.3f}")
+
+    error = 0.25
+    print(f"\nmakespans under {error:.0%} prediction error (mean of 15 runs):")
+    for scheduler in (RUMR(known_error=error), UMR(), Factoring()):
+        selected_ms = sum(
+            simulate(selected, total, scheduler, NormalErrorModel(error), seed=s).makespan
+            for s in range(15)
+        ) / 15
+        full_ms = sum(
+            simulate(cluster, total, scheduler, NormalErrorModel(error), seed=s).makespan
+            for s in range(15)
+        ) / 15
+        print(f"  {scheduler.name:<12} selected subset: {selected_ms:7.1f} s   "
+              f"full cluster: {full_ms:7.1f} s")
+    print("\nDropping the starved-link node helps the multi-round schedulers:")
+    print("their no-idle pipelines cannot afford a transfer that monopolizes")
+    print("the master's link for little computation in return.  Self-scheduled")
+    print("Factoring, by contrast, only feeds that node when it is idle anyway,")
+    print("so it can still profit from the extra (fast) processor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""BLAST-style sequence matching — heavy-tailed, hard-to-predict costs.
+
+One query is compared against a 100k-sequence dictionary.  Sequence
+lengths are Pareto-distributed, so a chunk's compute time is genuinely
+data-dependent: this is the regime the Factoring idea (and RUMR's phase 2)
+exists for.  The example sweeps the tail index from "mild" to "nasty" and
+shows the crossover: UMR wins when costs are predictable, RUMR holds on as
+they become heavy-tailed, and pure Factoring only catches up at the
+extreme end.
+
+Run:  python examples/sequence_matching.py
+"""
+
+from repro import (
+    RUMR,
+    UMR,
+    Factoring,
+    NormalErrorModel,
+    homogeneous_platform,
+    simulate,
+)
+from repro.workloads import SequenceMatching
+
+
+def mean_makespan(platform, total, scheduler, error, seeds=12):
+    return sum(
+        simulate(platform, total, scheduler, NormalErrorModel(error), seed=s).makespan
+        for s in range(seeds)
+    ) / seeds
+
+
+def main() -> None:
+    hardware = homogeneous_platform(
+        24, S=1.0, bandwidth_factor=1.4, cLat=0.25, nLat=0.05
+    )
+
+    print("Sweep over dictionary tail heaviness (Pareto index; lower = heavier):\n")
+    print(f"{'tail':>5} {'error':>7} | {'RUMR':>9} {'UMR':>9} {'Factoring':>10} | winner")
+    print("-" * 60)
+    for tail in (8.0, 4.0, 3.0, 2.5, 2.2):
+        workload = SequenceMatching(
+            num_sequences=20000, mean_length=350.0, tail_index=tail
+        )
+        platform = workload.calibrated_platform(hardware)
+        total = workload.total_units
+        # Profile-style error estimate at a typical self-scheduling chunk.
+        error = workload.estimate_error(
+            chunk_units=total / (4 * platform.N), samples=120, seed=11
+        )
+        rows = {
+            "RUMR": mean_makespan(platform, total, RUMR(known_error=error), error),
+            "UMR": mean_makespan(platform, total, UMR(), error),
+            "Factoring": mean_makespan(platform, total, Factoring(), error),
+        }
+        winner = min(rows, key=rows.get)
+        print(
+            f"{tail:>5.1f} {error:>7.3f} | {rows['RUMR']:>9.1f} {rows['UMR']:>9.1f} "
+            f"{rows['Factoring']:>10.1f} | {winner}"
+        )
+
+    print(
+        "\nReading: with a light tail (predictable chunks) UMR and RUMR tie;"
+        "\nas the tail gets heavy, UMR's precomputed schedule degrades while"
+        "\nRUMR's factoring tail absorbs the stragglers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Generate the paper-sample fidelity artifacts (EXPERIMENTS.md).
+
+Runs a uniform random sample of the *full* Table-1 cross product at the
+paper's exact error axis (0 … 0.5 step 0.02) and renders Table 2, Table 3
+and the Figure 4(a) series from it.  Usage::
+
+    python scripts/run_paper_sample.py [--platforms 100] [--repetitions 10]
+                                       [--results results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from repro.experiments.cache import cached_sweep
+from repro.experiments.config import PAPER_ALGORITHMS, paper_sample_grid
+from repro.experiments.figures import fig4a
+from repro.experiments.report import render_figure, render_table
+from repro.experiments.runner import eta_progress
+from repro.experiments.tables import table2, table3
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--platforms", type=int, default=100)
+    parser.add_argument("--repetitions", type=int, default=10)
+    parser.add_argument("--results", default="results")
+    args = parser.parse_args()
+
+    grid = paper_sample_grid(platforms=args.platforms, repetitions=args.repetitions)
+    total = grid.num_simulations(len(PAPER_ALGORITHMS))
+    print(f"paper-sample sweep: {grid.num_platforms} platforms x "
+          f"{len(grid.errors)} errors x {grid.repetitions} reps x "
+          f"{len(PAPER_ALGORITHMS)} algorithms = {total} simulations")
+    results = cached_sweep(grid, PAPER_ALGORITHMS, args.results, progress=eta_progress())
+
+    out = pathlib.Path(args.results)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "table2-paper-sample.txt").write_text(render_table(table2(results)))
+    (out / "table3-paper-sample.txt").write_text(render_table(table3(results)))
+    (out / "fig4a-paper-sample.txt").write_text(render_figure(fig4a(results)))
+    for name in ("table2", "table3", "fig4a"):
+        print(f"wrote {out}/{name}-paper-sample.txt")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""repro — reproduction of *RUMR: Robust Scheduling for Divisible Workloads*.
+
+Yang Yang and Henri Casanova, HPDC 2003.
+
+The package provides:
+
+* :mod:`repro.core` — the RUMR scheduler and every baseline it is compared
+  against (UMR, Multi-Installment, Factoring, FSC, one-round DLT);
+* :mod:`repro.sim` — two cross-validated master-worker simulators of the
+  paper's platform model (a fast specialized engine and a reference engine
+  on the generic DES kernel in :mod:`repro.des`);
+* :mod:`repro.platform` / :mod:`repro.errors` — the platform and
+  prediction-error models of §3.1 and §4.1;
+* :mod:`repro.workloads` — the divisible applications the paper motivates
+  (image feature extraction, signal scan, sequence matching);
+* :mod:`repro.experiments` — the full evaluation harness regenerating
+  Tables 2–3 and Figures 4–7 (also via ``python -m repro``).
+
+Quickstart::
+
+    from repro import RUMR, UMR, Factoring, NormalErrorModel
+    from repro import homogeneous_platform, simulate
+
+    platform = homogeneous_platform(20, S=1.0, bandwidth_factor=1.8,
+                                    cLat=0.3, nLat=0.1)
+    result = simulate(platform, 1000.0, RUMR(known_error=0.3),
+                      NormalErrorModel(0.3), seed=0)
+    print(result.makespan)
+"""
+
+from repro.core import (
+    RUMR,
+    UMR,
+    AdaptiveRUMR,
+    EqualSplit,
+    Factoring,
+    FixedSizeChunking,
+    MultiInstallment,
+    OneRound,
+    Scheduler,
+    WeightedFactoring,
+    available_schedulers,
+    make_scheduler,
+    select_workers,
+    solve_umr,
+)
+from repro.errors import (
+    DriftingErrorModel,
+    ErrorModel,
+    NoError,
+    NormalErrorModel,
+    UniformErrorModel,
+    make_error_model,
+)
+from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
+from repro.sim import (
+    SimResult,
+    analytic_makespan,
+    render_gantt,
+    simulate,
+    utilization_profile,
+    validate_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveRUMR",
+    "DriftingErrorModel",
+    "EqualSplit",
+    "ErrorModel",
+    "Factoring",
+    "FixedSizeChunking",
+    "MultiInstallment",
+    "NoError",
+    "NormalErrorModel",
+    "OneRound",
+    "PlatformSpec",
+    "RUMR",
+    "Scheduler",
+    "SimResult",
+    "UMR",
+    "UniformErrorModel",
+    "WeightedFactoring",
+    "WorkerSpec",
+    "__version__",
+    "analytic_makespan",
+    "available_schedulers",
+    "homogeneous_platform",
+    "make_error_model",
+    "make_scheduler",
+    "render_gantt",
+    "select_workers",
+    "simulate",
+    "solve_umr",
+    "utilization_profile",
+    "validate_schedule",
+]

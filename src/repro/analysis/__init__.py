@@ -1,0 +1,23 @@
+"""Analytical companions to the simulators.
+
+* :mod:`repro.analysis.steady_state` — the bandwidth-centric steady-state
+  throughput bound for master-worker platforms (the §2 related-work line
+  of Beaumont/Legrand/Robert): an algorithm-independent lower bound on
+  makespan that every scheduler in :mod:`repro.core` can be measured
+  against.
+* :mod:`repro.analysis.bounds` — per-run lower bounds (work bound,
+  pipeline-fill bound, link-capacity bound) and efficiency metrics.
+"""
+
+from repro.analysis.bounds import efficiency, makespan_lower_bound
+from repro.analysis.steady_state import (
+    SteadyStateAllocation,
+    steady_state_throughput,
+)
+
+__all__ = [
+    "SteadyStateAllocation",
+    "efficiency",
+    "makespan_lower_bound",
+    "steady_state_throughput",
+]

@@ -1,0 +1,47 @@
+"""Per-run makespan lower bounds and efficiency metrics.
+
+Three algorithm-independent lower bounds on the makespan of ``W`` units
+on a platform:
+
+* **work bound** — even with a perfectly shared load and zero latencies,
+  ``W / Σ S_i`` seconds of computing must happen somewhere;
+* **link bound** — every unit crosses the master's serialized link once:
+  at least ``W / max_i B_i`` seconds — and since *all* units must cross,
+  actually ``W · min_i(1/B_i over the units' routes)``; the safe
+  algorithm-independent form uses the best link, plus one ``nLat``;
+* **pipeline bound** — some worker must compute last; before it can
+  finish, at least one chunk must be sent to it and computed:
+  ``nLat + cLat`` of latency is unavoidable.
+
+``makespan_lower_bound`` combines them with the steady-state bound, and
+``efficiency`` reports a run's makespan against it — a number in (0, 1]
+usable across platforms, used by the integration tests and examples.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.steady_state import steady_state_throughput
+from repro.platform.spec import PlatformSpec
+from repro.sim.result import SimResult
+
+__all__ = ["makespan_lower_bound", "efficiency"]
+
+
+def makespan_lower_bound(platform: PlatformSpec, total_work: float) -> float:
+    """Best known algorithm-independent lower bound (see module docstring)."""
+    if not total_work > 0:
+        raise ValueError(f"total_work must be > 0, got {total_work}")
+    work_bound = total_work / platform.total_compute_rate()
+    best_b = max(w.B for w in platform)
+    link_bound = total_work / best_b
+    latency_bound = min(w.nLat + w.cLat for w in platform)
+    steady = steady_state_throughput(platform).makespan_bound(total_work)
+    return max(work_bound, link_bound, latency_bound, steady)
+
+
+def efficiency(result: SimResult) -> float:
+    """``lower_bound / makespan`` — 1.0 means provably optimal."""
+    bound = makespan_lower_bound(result.platform, result.total_work)
+    if result.makespan <= 0:
+        return 0.0
+    return min(1.0, bound / result.makespan)

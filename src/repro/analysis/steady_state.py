@@ -1,0 +1,134 @@
+"""Bandwidth-centric steady-state throughput (Beaumont, Legrand & Robert).
+
+For very long-running divisible applications the makespan objective gives
+way to *throughput*: how many workload units per second can the platform
+sustain?  The classic result for the one-port master model is that the
+optimal steady state allocates the master's link **by bandwidth, not by
+speed**: feeding worker ``i`` one unit costs the link ``1/B_i`` seconds,
+so high-``B`` workers are cheap to keep busy regardless of how fast they
+compute.
+
+Formally, maximize ``ρ = Σ x_i`` subject to
+
+    0 ≤ x_i ≤ S_i            (worker compute rate)
+    Σ x_i / B_i ≤ 1          (one-port link capacity)
+
+whose greedy optimum saturates workers in decreasing ``B_i`` order and
+gives the last (marginal) worker the remaining link fraction.
+
+``W / ρ*`` is then an algorithm-independent asymptotic lower bound on the
+makespan of *any* schedule, and the test suite verifies that UMR's
+makespan approaches it as ``W → ∞`` (its per-round overheads amortize) —
+connecting the paper's makespan world to the steady-state literature it
+cites.
+
+Latencies enter only through chunk granularity: with chunks of ``c``
+units the effective per-unit costs become ``(cLat + c/S)/c`` and
+``(nLat + c/B)/c``; :func:`steady_state_throughput` accepts an optional
+``chunk_size`` to evaluate the degraded bound at finite granularity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["SteadyStateAllocation", "steady_state_throughput"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SteadyStateAllocation:
+    """The optimal steady-state operating point of a platform.
+
+    Attributes
+    ----------
+    throughput:
+        ``ρ*`` in workload units per second.
+    rates:
+        Per-worker consumption rates ``x_i`` (units/s), platform order.
+    link_utilization:
+        ``Σ x_i/B_i`` at the optimum (1.0 when the link binds).
+    saturated:
+        Indices of workers running at full compute speed.
+    chunk_size:
+        The granularity the bound was evaluated at (None = fluid limit).
+    """
+
+    throughput: float
+    rates: tuple[float, ...]
+    link_utilization: float
+    saturated: tuple[int, ...]
+    chunk_size: float | None = None
+
+    def makespan_bound(self, total_work: float) -> float:
+        """Asymptotic lower bound ``W / ρ*`` on any schedule's makespan."""
+        if total_work < 0:
+            raise ValueError(f"total_work must be >= 0, got {total_work}")
+        if self.throughput == 0:
+            return math.inf
+        return total_work / self.throughput
+
+
+def _effective_rates(
+    platform: PlatformSpec, chunk_size: float | None
+) -> list[tuple[float, float]]:
+    """Per-worker (compute rate, link rate) in units/s at a granularity."""
+    out = []
+    for w in platform:
+        if chunk_size is None:
+            s_eff = w.S
+            b_eff = w.B
+        else:
+            c = chunk_size
+            s_eff = c / w.compute_time(c)
+            link = w.link_time(c)
+            b_eff = math.inf if link == 0 else c / link
+        out.append((s_eff, b_eff))
+    return out
+
+
+def steady_state_throughput(
+    platform: PlatformSpec, chunk_size: float | None = None
+) -> SteadyStateAllocation:
+    """Solve the steady-state LP greedily (see module docstring).
+
+    Parameters
+    ----------
+    platform:
+        The master-worker platform.
+    chunk_size:
+        Optional chunk granularity; when given, per-chunk latencies are
+        amortized into the rates (smaller chunks → lower bound).
+    """
+    if chunk_size is not None and chunk_size <= 0:
+        raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+    rates = _effective_rates(platform, chunk_size)
+    # Greedy by descending link rate (bandwidth-centric priority).
+    order = sorted(range(platform.N), key=lambda i: (-rates[i][1], i))
+    x = [0.0] * platform.N
+    link_left = 1.0
+    saturated = []
+    for i in order:
+        s_eff, b_eff = rates[i]
+        if link_left <= 0:
+            break
+        cost_full = 0.0 if math.isinf(b_eff) else s_eff / b_eff
+        if cost_full <= link_left:
+            x[i] = s_eff
+            link_left -= cost_full
+            saturated.append(i)
+        else:
+            x[i] = link_left * b_eff
+            link_left = 0.0
+    used = sum(
+        0.0 if math.isinf(rates[i][1]) else x[i] / rates[i][1] for i in range(platform.N)
+    )
+    return SteadyStateAllocation(
+        throughput=sum(x),
+        rates=tuple(x),
+        link_utilization=used,
+        saturated=tuple(sorted(saturated)),
+        chunk_size=chunk_size,
+    )

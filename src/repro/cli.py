@@ -1,0 +1,323 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples
+--------
+::
+
+    python -m repro table2 --preset smoke
+    python -m repro fig4a --preset small --results results/
+    python -m repro all --preset small --results results/ --out results/
+    python -m repro sweep --preset smoke --results results/
+    python -m repro gantt --scheduler RUMR --error 0.3
+    python -m repro hetero
+    python -m repro adaptive
+    python -m repro list
+
+Sweep tensors are cached under ``--results`` and reused across commands;
+rendered artifacts (``.txt`` with an ASCII chart + CSV) go to ``--out``
+when given, otherwise to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core.registry import available_schedulers
+from repro.experiments.cache import cached_sweep
+from repro.experiments.config import PAPER_ALGORITHMS, preset_grid
+from repro.experiments.figures import (
+    fig4a,
+    fig4b,
+    fig5,
+    fig5_grid,
+    fig6,
+    fig6_algorithms,
+    fig7,
+    fig7_algorithms,
+)
+from repro.experiments.report import render_figure, render_table, table_csv
+from repro.experiments.runner import eta_progress
+from repro.experiments.tables import table2, table3
+
+__all__ = ["main"]
+
+FIGURE_COMMANDS = ("fig4a", "fig4b", "fig5", "fig6", "fig7")
+TABLE_COMMANDS = ("table2", "table3")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rumr",
+        description="Reproduce the evaluation of 'RUMR: Robust Scheduling for "
+        "Divisible Workloads' (HPDC 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--preset",
+            default="smoke",
+            choices=("smoke", "small", "paper", "paper-sample"),
+            help="experiment grid preset (default: smoke)",
+        )
+        p.add_argument(
+            "--results",
+            default="results",
+            help="directory for cached sweep tensors (default: results/)",
+        )
+        p.add_argument("--out", default=None, help="write artifacts to this directory")
+        p.add_argument("--jobs", type=int, default=1, help="process-pool width")
+        p.add_argument("--seed", type=int, default=None, help="override the grid seed")
+        p.add_argument(
+            "--error-mode",
+            default=None,
+            choices=("multiply", "divide"),
+            help="perturbation direction (see repro.errors.models)",
+        )
+        p.add_argument("--quiet", action="store_true", help="suppress progress output")
+
+    for name in TABLE_COMMANDS + FIGURE_COMMANDS + ("all", "sweep"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        add_common(p)
+
+    sub.add_parser("list", help="list registered scheduling algorithms")
+
+    g = sub.add_parser("gantt", help="simulate one scenario and print its Gantt chart")
+    g.add_argument("--scheduler", default="RUMR", help="registered algorithm name")
+    g.add_argument("--n", type=int, default=10, help="number of workers")
+    g.add_argument("--bandwidth-factor", type=float, default=1.8)
+    g.add_argument("--clat", type=float, default=0.3)
+    g.add_argument("--nlat", type=float, default=0.1)
+    g.add_argument("--work", type=float, default=1000.0)
+    g.add_argument("--error", type=float, default=0.0)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--width", type=int, default=96)
+
+    h = sub.add_parser("hetero", help="run the heterogeneity extension study")
+    h.add_argument("--error", type=float, default=0.3)
+    h.add_argument("--n", type=int, default=16)
+    h.add_argument("--repetitions", type=int, default=10)
+
+    a = sub.add_parser("adaptive", help="compare AdaptiveRUMR against the oracle")
+    a.add_argument("--n", type=int, default=20)
+    a.add_argument("--repetitions", type=int, default=15)
+
+    e = sub.add_parser(
+        "extfigs",
+        help="render the extension-study figures (hetero, adaptive, output, multiport)",
+    )
+    e.add_argument("--out", default=None, help="write artifacts to this directory")
+    e.add_argument("--repetitions", type=int, default=8)
+    return parser
+
+
+def _grid(args: argparse.Namespace):
+    grid = preset_grid(args.preset)
+    updates = {}
+    if args.seed is not None:
+        updates["seed"] = args.seed
+    if args.error_mode is not None:
+        updates["error_mode"] = args.error_mode
+    if updates:
+        grid = grid.restrict(**updates)
+    return grid
+
+
+def _emit(args: argparse.Namespace, name: str, content: str) -> None:
+    if args.out:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"{name}-{args.preset}.txt"
+        path.write_text(content)
+        print(f"wrote {path}")
+    else:
+        print(content)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro`` / ``repro-rumr``).
+
+    Returns a process exit code; see the module docstring for commands.
+    """
+    args = _parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in available_schedulers():
+            print(name)
+        return 0
+
+    if args.command == "gantt":
+        return _cmd_gantt(args)
+    if args.command == "hetero":
+        return _cmd_hetero(args)
+    if args.command == "adaptive":
+        return _cmd_adaptive(args)
+    if args.command == "extfigs":
+        return _cmd_extfigs(args)
+
+    grid = _grid(args)
+    progress = None if args.quiet else eta_progress()
+
+    def main_sweep():
+        return cached_sweep(
+            grid, PAPER_ALGORITHMS, args.results, n_jobs=args.jobs, progress=progress
+        )
+
+    if args.command == "sweep":
+        results = main_sweep()
+        total = grid.num_simulations(len(results.algorithms))
+        print(f"sweep complete: {total} simulations cached in {args.results}")
+        return 0
+
+    if args.command in ("table2", "all"):
+        _emit(args, "table2", render_table(table2(main_sweep())))
+        _emit(args, "table2-csv", table_csv(table2(main_sweep())))
+    if args.command in ("table3", "all"):
+        _emit(args, "table3", render_table(table3(main_sweep())))
+        _emit(args, "table3-csv", table_csv(table3(main_sweep())))
+    if args.command in ("fig4a", "all"):
+        _emit(args, "fig4a", render_figure(fig4a(main_sweep())))
+    if args.command in ("fig4b", "all"):
+        _emit(args, "fig4b", render_figure(fig4b(main_sweep())))
+    if args.command in ("fig5", "all"):
+        # Fig 5 is a single configuration: bump repetitions to the paper's 40
+        # and reuse the cache machinery.
+        base = grid.restrict(repetitions=max(grid.repetitions, 40))
+        results = cached_sweep(
+            fig5_grid(base), PAPER_ALGORITHMS, args.results, n_jobs=args.jobs,
+            progress=progress,
+        )
+        from repro.experiments.figures import _normalized_figure
+
+        fig = _normalized_figure(
+            results,
+            "Figure 5: relative makespan vs error (cLat=0.3, nLat=0.9, N=20, B=36)",
+        )
+        _emit(args, "fig5", render_figure(fig))
+    if args.command in ("fig6", "all"):
+        results = cached_sweep(
+            grid, fig6_algorithms, args.results, n_jobs=args.jobs, progress=progress
+        )
+        from repro.experiments.figures import _normalized_figure
+
+        fig = _normalized_figure(
+            results,
+            "Figure 6: RUMR with fixed phase-1 percentage, normalized to original RUMR",
+        )
+        _emit(args, "fig6", render_figure(fig))
+    if args.command in ("fig7", "all"):
+        results = cached_sweep(
+            grid, fig7_algorithms, args.results, n_jobs=args.jobs, progress=progress
+        )
+        from repro.experiments.figures import _normalized_figure
+
+        fig = _normalized_figure(
+            results,
+            "Figure 7: RUMR with plain UMR phase 1, normalized to original RUMR",
+        )
+        _emit(args, "fig7", render_figure(fig))
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.core.registry import make_scheduler
+    from repro.errors.models import make_error_model
+    from repro.platform.spec import homogeneous_platform
+    from repro.sim import simulate
+    from repro.sim.gantt import render_gantt
+
+    platform = homogeneous_platform(
+        args.n, S=1.0, bandwidth_factor=args.bandwidth_factor,
+        cLat=args.clat, nLat=args.nlat,
+    )
+    scheduler = make_scheduler(args.scheduler, args.error)
+    model = make_error_model("normal", args.error)
+    result = simulate(platform, args.work, scheduler, model, seed=args.seed)
+    print(render_gantt(result, width=args.width))
+    return 0
+
+
+def _cmd_hetero(args: argparse.Namespace) -> int:
+    from repro.core import RUMR, UMR, Factoring
+    from repro.experiments.hetero import run_hetero_study
+
+    error = args.error
+    study = run_hetero_study(
+        {
+            "UMR": lambda: UMR(),
+            "Factoring": lambda: Factoring(),
+            "RUMR": lambda: RUMR(known_error=error),
+            "RUMR-weighted": lambda: RUMR(known_error=error, phase2_weighted=True),
+        },
+        n=args.n,
+        error=error,
+        repetitions=args.repetitions,
+    )
+    print(f"{'level':>6} " + " ".join(f"{k:>14}" for k in study.means))
+    for i, level in enumerate(study.levels):
+        print(
+            f"{level:>6.1f} "
+            + " ".join(f"{study.means[k][i]:>14.2f}" for k in study.means)
+        )
+    return 0
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    import statistics
+
+    from repro.core import RUMR, UMR, AdaptiveRUMR
+    from repro.errors.models import make_error_model
+    from repro.platform.spec import homogeneous_platform
+    from repro.sim.fastsim import simulate_fast
+
+    platform = homogeneous_platform(
+        args.n, S=1.0, bandwidth_factor=1.8, cLat=0.3, nLat=0.1
+    )
+    w = 1000.0
+    print(f"{'error':>6} {'UMR':>10} {'RUMR(oracle)':>13} {'AdaptiveRUMR':>13}")
+    for error in (0.0, 0.1, 0.2, 0.3, 0.4, 0.5):
+        def mean(sched):
+            return statistics.mean(
+                simulate_fast(
+                    platform, w, sched, make_error_model("normal", error), seed=s
+                ).makespan
+                for s in range(args.repetitions)
+            )
+        print(
+            f"{error:>6.2f} {mean(UMR()):>10.2f} "
+            f"{mean(RUMR(known_error=error)):>13.2f} {mean(AdaptiveRUMR()):>13.2f}"
+        )
+    return 0
+
+
+def _cmd_extfigs(args: argparse.Namespace) -> int:
+    from repro.experiments.extension_figures import (
+        fig_adaptive,
+        fig_hetero,
+        fig_multiport,
+        fig_output_ratio,
+    )
+
+    figures = {
+        "ext-hetero": fig_hetero(repetitions=args.repetitions),
+        "ext-adaptive": fig_adaptive(repetitions=args.repetitions),
+        "ext-output": fig_output_ratio(repetitions=args.repetitions),
+        "ext-multiport": fig_multiport(repetitions=args.repetitions),
+    }
+    for name, figure in figures.items():
+        content = render_figure(figure)
+        if args.out:
+            out_dir = pathlib.Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"{name}.txt"
+            path.write_text(content)
+            print(f"wrote {path}")
+        else:
+            print(content)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

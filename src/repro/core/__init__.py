@@ -1,0 +1,69 @@
+"""Divisible-load scheduling algorithms.
+
+This package contains the paper's contribution (:class:`~repro.core.rumr.RUMR`)
+and every algorithm it is evaluated against:
+
+* :class:`~repro.core.umr.UMR` — Uniform Multi-Round (Yang & Casanova,
+  IPDPS'03): increasing chunk sizes, optimal round count, latency-aware.
+* :class:`~repro.core.multi_installment.MultiInstallment` — MI-x
+  (Bharadwaj et al.): increasing chunks, fixed round count, latency-blind.
+* :class:`~repro.core.factoring.Factoring` — (Hummel): decreasing chunks,
+  self-scheduled, prediction-free.
+* :class:`~repro.core.fsc.FixedSizeChunking` — FSC (Hagerup / Kruskal &
+  Weiss): optimal fixed chunk size, self-scheduled.
+* :class:`~repro.core.one_round.OneRound` — classic single-installment
+  divisible-load schedules (Rosenberg-style baseline; equals MI-1).
+
+All schedulers share one runtime contract (:mod:`repro.core.base`): they are
+*dispatch sources* that the simulation engines query whenever the master's
+link is free.  Static algorithms replay a precomputed plan; dynamic ones
+decide from the observable master state (and may wait for completions).
+"""
+
+from repro.core.adaptive import AdaptiveRUMR, OnlineErrorEstimator
+from repro.core.base import (
+    WAIT,
+    DeadlockError,
+    Dispatch,
+    DispatchSource,
+    MasterView,
+    Scheduler,
+    StaticPlanSource,
+)
+from repro.core.chunks import ChunkPlan, DispatchRecord
+from repro.core.factoring import Factoring
+from repro.core.fsc import FixedSizeChunking
+from repro.core.multi_installment import MultiInstallment
+from repro.core.one_round import EqualSplit, OneRound
+from repro.core.registry import available_schedulers, make_scheduler
+from repro.core.rumr import RUMR
+from repro.core.selection import select_workers
+from repro.core.umr import UMR, UMRPlan, solve_umr
+from repro.core.weighted_factoring import WeightedFactoring
+
+__all__ = [
+    "WAIT",
+    "AdaptiveRUMR",
+    "OnlineErrorEstimator",
+    "ChunkPlan",
+    "DeadlockError",
+    "Dispatch",
+    "DispatchRecord",
+    "DispatchSource",
+    "EqualSplit",
+    "Factoring",
+    "FixedSizeChunking",
+    "MasterView",
+    "MultiInstallment",
+    "OneRound",
+    "RUMR",
+    "Scheduler",
+    "StaticPlanSource",
+    "UMR",
+    "UMRPlan",
+    "WeightedFactoring",
+    "available_schedulers",
+    "make_scheduler",
+    "select_workers",
+    "solve_umr",
+]

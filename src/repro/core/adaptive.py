@@ -1,0 +1,234 @@
+"""Adaptive RUMR: online error estimation (the paper's future work, §6).
+
+The paper's closing plan for the APST integration: *"This implementation
+will make it possible to determine empirical performance prediction error
+distributions … as the application runs.  Such information will be used
+on-the-fly by RUMR to make relevant scheduling decisions."*  This module
+implements that loop inside the simulator:
+
+1. start dispatching the UMR plan for the **whole** workload (as if
+   ``error = 0``), out-of-order like RUMR's phase 1;
+2. after every observed completion, update an *online error estimate*:
+   for a worker that received chunks back to back (never idled — which
+   UMR's no-idle construction guarantees under small error), the interval
+   between consecutive completion announcements equals the later chunk's
+   effective compute duration.  The ratio of that interval to the
+   predicted duration ``cLat + size/S`` is a sample of the perturbation
+   factor; the estimate is the running standard deviation of the samples;
+3. before dispatching each chunk, re-apply RUMR's phase-split heuristic
+   with the current estimate: if the not-yet-dispatched plan work has
+   shrunk to ``ê · W_total`` (and the threshold admits a phase 2), abandon
+   the remaining plan and switch to a factoring tail over exactly the
+   remaining workload, with the usual chunk floor evaluated at ``ê``.
+
+The estimator is deliberately simple (no distribution fitting); the
+adaptive benchmark compares it against RUMR given the true error and
+against UMR, showing it recovers most of the oracle gap without being told
+anything.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import Dispatch, DispatchSource, MasterView, Scheduler, Wait
+from repro.core.factoring import FactoringSource
+from repro.core.rumr import phase2_min_chunk, round_overhead
+from repro.core.umr import MAX_ROUNDS, solve_umr
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["AdaptiveRUMR", "AdaptiveRUMRSource", "OnlineErrorEstimator"]
+
+
+class OnlineErrorEstimator:
+    """Running estimate of the error magnitude from completion intervals.
+
+    Consumes :class:`~repro.core.base.CompletionNote` streams; per worker,
+    the interval between consecutive notes is the effective compute
+    duration of the later chunk *provided the worker never idled in
+    between* — guaranteed while the UMR plan holds, and detected (and the
+    sample skipped) otherwise by comparing against the known dispatch
+    history isn't possible from timing alone, so intervals longer than
+    ``outlier_factor`` times the prediction are discarded as idle-gapped.
+    """
+
+    def __init__(self, platform: PlatformSpec, outlier_factor: float = 3.0):
+        self._platform = platform
+        self._outlier_factor = outlier_factor
+        self._last_time: dict[int, float] = {}
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._seen = 0  # notes consumed so far
+
+    @property
+    def samples(self) -> int:
+        """Number of ratio samples accumulated."""
+        return self._count
+
+    def estimate(self) -> float | None:
+        """Current error-magnitude estimate (None before 2 samples)."""
+        if self._count < 2:
+            return None
+        return math.sqrt(self._m2 / (self._count - 1))
+
+    def _add_sample(self, ratio: float) -> None:
+        # Welford's online variance around the *model* mean of 1.
+        self._count += 1
+        delta = ratio - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (ratio - self._mean)
+
+    def consume(self, view: MasterView, chunk_sizes: dict[int, float]) -> None:
+        """Fold all newly observed completions into the estimate.
+
+        ``chunk_sizes`` maps chunk index → size (the source's dispatch
+        history; the timing stream itself does not carry sizes for chunks
+        the estimator has not seen).
+        """
+        notes = view.observed_completions()
+        for note in notes[self._seen:]:
+            size = chunk_sizes.get(note.chunk_index, note.size)
+            spec = self._platform[note.worker]
+            predicted = spec.compute_time(size)
+            last = self._last_time.get(note.worker)
+            self._last_time[note.worker] = note.time
+            if last is None or predicted <= 0:
+                continue
+            interval = note.time - last
+            ratio = interval / predicted
+            if 0 < ratio <= self._outlier_factor:
+                self._add_sample(ratio)
+        self._seen = len(notes)
+
+
+class AdaptiveRUMRSource(DispatchSource):
+    """Per-run state of the adaptive scheduler (see module docstring)."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        total_work: float,
+        plan_rounds: list[dict[int, float]],
+        factor: float,
+        min_samples: int,
+    ):
+        self._platform = platform
+        self._total_work = total_work
+        self._rounds = plan_rounds
+        self._round_cursor = 0
+        self._factor = factor
+        self._min_samples = min_samples
+        self._dispatched = 0.0
+        self._chunk_sizes: dict[int, float] = {}
+        self._next_index = 0
+        self._estimator = OnlineErrorEstimator(platform)
+        self._phase2: FactoringSource | None = None
+        self.switched_at: float | None = None  # diagnostics
+        self.final_estimate: float | None = None
+
+    def _remaining_plan_work(self) -> float:
+        return self._total_work - self._dispatched
+
+    def _should_switch(self, estimate: float) -> bool:
+        remaining = self._remaining_plan_work()
+        if remaining <= 0:
+            return False
+        if estimate <= 0:
+            return False
+        target_tail = min(estimate, 1.0) * self._total_work
+        if remaining > target_tail:
+            return False
+        # RUMR's threshold, evaluated with the estimate.
+        overhead = round_overhead(self._platform)
+        return remaining / self._platform.N >= overhead or overhead == 0.0
+
+    def _switch_to_phase2(self, view: MasterView, estimate: float) -> None:
+        remaining = self._remaining_plan_work()
+        self._rounds = []
+        self._round_cursor = 0
+        self._phase2 = FactoringSource(
+            n=self._platform.N,
+            total_work=remaining,
+            factor=self._factor,
+            min_chunk=phase2_min_chunk(self._platform, estimate, phase2_work=remaining),
+            phase="adaptive-p2",
+        )
+        self.switched_at = view.now
+        self.final_estimate = estimate
+
+    def next_dispatch(self, view: MasterView) -> "Dispatch | Wait | None":
+        if self._phase2 is not None:
+            return self._phase2.next_dispatch(view)
+        self._estimator.consume(view, self._chunk_sizes)
+        estimate = self._estimator.estimate()
+        if (
+            estimate is not None
+            and self._estimator.samples >= self._min_samples
+            and self._should_switch(estimate)
+        ):
+            self._switch_to_phase2(view, estimate)
+            return self._phase2.next_dispatch(view)
+
+        while self._round_cursor < len(self._rounds):
+            pending = self._rounds[self._round_cursor]
+            if not pending:
+                self._round_cursor += 1
+                continue
+            ordered = sorted(pending)
+            idle = [i for i in ordered if view.is_idle(i)]
+            worker = idle[0] if idle else ordered[0]
+            size = pending.pop(worker)
+            self._chunk_sizes[self._next_index] = size
+            self._next_index += 1
+            self._dispatched += size
+            return Dispatch(
+                worker=worker, size=size, phase=f"adaptive-p1-round{self._round_cursor}"
+            )
+        self.final_estimate = estimate
+        return None
+
+
+class AdaptiveRUMR(Scheduler):
+    """RUMR without a priori error knowledge: estimate online, switch late.
+
+    Parameters
+    ----------
+    factor:
+        Factoring denominator for the tail.
+    min_samples:
+        Completion-interval samples required before the estimate is
+        trusted (default 8).
+    umr_method / max_rounds:
+        Passed to the UMR solver for the initial plan.
+    """
+
+    def __init__(
+        self,
+        factor: float = 2.0,
+        min_samples: int = 8,
+        umr_method: str = "search",
+        max_rounds: int = MAX_ROUNDS,
+    ):
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples}")
+        self.factor = factor
+        self.min_samples = min_samples
+        self.umr_method = umr_method
+        self.max_rounds = max_rounds
+        self.name = "AdaptiveRUMR"
+
+    def create_source(self, platform: PlatformSpec, total_work: float) -> AdaptiveRUMRSource:
+        plan = solve_umr(platform, total_work, self.max_rounds, self.umr_method)
+        rounds = [
+            {i: size for i, size in enumerate(row) if size > 0.0}
+            for row in plan.chunk_sizes
+        ]
+        rounds = [r for r in rounds if r]
+        return AdaptiveRUMRSource(
+            platform=platform,
+            total_work=total_work,
+            plan_rounds=rounds,
+            factor=self.factor,
+            min_samples=self.min_samples,
+        )

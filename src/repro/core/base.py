@@ -1,0 +1,189 @@
+"""The scheduler / engine contract.
+
+Both simulation engines (:mod:`repro.sim.fastsim` and the DES-based
+:mod:`repro.sim.engine`) drive schedulers through the same interface:
+
+1. A :class:`Scheduler` is a configured, reusable algorithm object.  Calling
+   :meth:`Scheduler.create_source` binds it to one run (platform + total
+   workload) and returns a fresh stateful :class:`DispatchSource`.
+2. Whenever the master's serialized link is free, the engine calls
+   :meth:`DispatchSource.next_dispatch` with a :class:`MasterView` of the
+   *observable* state (current time, what has been sent, which completions
+   have been announced).  The source answers with
+
+   * a :class:`Dispatch` — send ``size`` units to ``worker`` now;
+   * :data:`WAIT` — do nothing until the next completion is announced
+     (self-scheduled algorithms block here when no worker is requesting);
+   * ``None`` — the whole workload has been dispatched.
+
+The view deliberately exposes only information a real master would have:
+its own dispatch history and completion notifications with timestamps in
+the past.  It never exposes in-flight durations, so dynamic schedulers
+cannot peek at future randomness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.platform.spec import PlatformSpec
+
+__all__ = [
+    "CompletionNote",
+    "Dispatch",
+    "WAIT",
+    "Wait",
+    "MasterView",
+    "DispatchSource",
+    "StaticPlanSource",
+    "Scheduler",
+    "DeadlockError",
+]
+
+
+class DeadlockError(RuntimeError):
+    """A source WAITed while nothing was pending — the run cannot progress."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True, order=True)
+class CompletionNote:
+    """One observed completion: when which chunk finished on which worker."""
+
+    time: float
+    chunk_index: int
+    worker: int
+    size: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Dispatch:
+    """An instruction to send ``size`` workload units to ``worker`` now."""
+
+    worker: int
+    size: float
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"dispatch size must be > 0, got {self.size}")
+
+
+class Wait:
+    """Singleton sentinel: 'ask me again after the next completion'."""
+
+    _instance: "Wait | None" = None
+
+    def __new__(cls) -> "Wait":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "WAIT"
+
+
+#: The sentinel instance sources return to block on the next completion.
+WAIT = Wait()
+
+
+class MasterView:
+    """Observable master state handed to dispatch sources.
+
+    Engines implement the two abstract accessors; everything else is
+    derived.  All quantities are as *observed at* :attr:`now`: a chunk
+    counts as pending from the moment it is dispatched until its completion
+    notification timestamp is ``<= now``.
+    """
+
+    @property
+    def now(self) -> float:
+        """Current decision time."""
+        raise NotImplementedError
+
+    @property
+    def num_workers(self) -> int:
+        """Number of workers on the platform."""
+        raise NotImplementedError
+
+    def pending_chunks(self, worker: int) -> int:
+        """Chunks dispatched to ``worker`` and not yet observed complete."""
+        raise NotImplementedError
+
+    def pending_work(self, worker: int) -> float:
+        """Total size of those pending chunks."""
+        raise NotImplementedError
+
+    def observed_completions(self) -> "tuple[CompletionNote, ...]":
+        """All completion announcements observed so far.
+
+        Sorted by ``(time, chunk_index)`` — identical in both engines
+        regardless of internal announcement mechanics.  This is the raw
+        material for *online* error estimation (the paper's future-work
+        APST integration): consecutive completions of a never-idle worker
+        bound the effective compute duration of each chunk.
+        """
+        raise NotImplementedError
+
+    # -- derived helpers ----------------------------------------------------
+    def is_idle(self, worker: int) -> bool:
+        """True when the worker has nothing dispatched-and-unfinished."""
+        return self.pending_chunks(worker) == 0
+
+    def idle_workers(self) -> list[int]:
+        """Indices of idle workers, ascending."""
+        return [i for i in range(self.num_workers) if self.is_idle(i)]
+
+    def least_loaded_worker(self) -> int:
+        """Worker with the least pending work (ties: fewest chunks, lowest index)."""
+        return min(
+            range(self.num_workers),
+            key=lambda i: (self.pending_work(i), self.pending_chunks(i), i),
+        )
+
+
+class DispatchSource:
+    """Stateful per-run decision maker (see module docstring)."""
+
+    def next_dispatch(self, view: MasterView) -> "Dispatch | Wait | None":
+        raise NotImplementedError
+
+
+class StaticPlanSource(DispatchSource):
+    """Replays a precomputed ordered plan as fast as the link allows."""
+
+    def __init__(self, plan: typing.Iterable[Dispatch]):
+        self._plan = list(plan)
+        self._cursor = 0
+
+    @property
+    def remaining_dispatches(self) -> int:
+        """Number of plan entries not yet handed to the engine."""
+        return len(self._plan) - self._cursor
+
+    def next_dispatch(self, view: MasterView) -> "Dispatch | None":
+        if self._cursor >= len(self._plan):
+            return None
+        dispatch = self._plan[self._cursor]
+        self._cursor += 1
+        return dispatch
+
+
+class Scheduler:
+    """A configured scheduling algorithm.
+
+    Subclasses must implement :meth:`create_source` and set :attr:`name`.
+    Scheduler objects hold only configuration — all per-run state lives in
+    the source — so one scheduler instance can be reused across thousands
+    of simulations.
+    """
+
+    #: Human-readable algorithm name (used in reports and plots).
+    name: str = "scheduler"
+
+    def create_source(self, platform: PlatformSpec, total_work: float) -> DispatchSource:
+        """Bind to one run and return a fresh dispatch source."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

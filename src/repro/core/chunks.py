@@ -1,0 +1,119 @@
+"""Chunk plans and dispatch records.
+
+A :class:`ChunkPlan` is the static part of a schedule: an ordered list of
+``(worker, size)`` assignments, optionally grouped into rounds.  A
+:class:`DispatchRecord` is what a simulation produces for every chunk that
+was actually sent: the full timeline of its transfer and computation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+__all__ = ["PlannedChunk", "ChunkPlan", "DispatchRecord"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PlannedChunk:
+    """One planned assignment: ``size`` workload units for ``worker``.
+
+    ``round_index`` groups chunks into dispatch rounds (-1 when the notion
+    of a round does not apply, e.g. for self-scheduled chunks).
+    """
+
+    worker: int
+    size: float
+    round_index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError(f"worker index must be >= 0, got {self.worker}")
+        if self.size < 0 or math.isnan(self.size):
+            raise ValueError(f"chunk size must be >= 0, got {self.size}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkPlan:
+    """An ordered sequence of planned chunks (master dispatch order)."""
+
+    chunks: tuple[PlannedChunk, ...]
+
+    def __init__(self, chunks: typing.Iterable[PlannedChunk]):
+        object.__setattr__(self, "chunks", tuple(chunks))
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    def __iter__(self) -> typing.Iterator[PlannedChunk]:
+        return iter(self.chunks)
+
+    def __getitem__(self, index: int) -> PlannedChunk:
+        return self.chunks[index]
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all planned chunk sizes."""
+        return sum(c.size for c in self.chunks)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of distinct round indices (0 when unrounded)."""
+        rounds = {c.round_index for c in self.chunks if c.round_index >= 0}
+        return len(rounds)
+
+    def round_sizes(self) -> list[list[float]]:
+        """Chunk sizes grouped by round, rounds in ascending order."""
+        by_round: dict[int, list[float]] = {}
+        for c in self.chunks:
+            by_round.setdefault(c.round_index, []).append(c.size)
+        return [by_round[r] for r in sorted(by_round)]
+
+    def for_worker(self, worker: int) -> list[PlannedChunk]:
+        """All chunks planned for one worker, in dispatch order."""
+        return [c for c in self.chunks if c.worker == worker]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DispatchRecord:
+    """The realized timeline of one dispatched chunk.
+
+    Attributes
+    ----------
+    index:
+        Dispatch sequence number (0-based).
+    worker:
+        Receiving worker.
+    size:
+        Chunk size in workload units.
+    send_start / send_end:
+        Interval during which the chunk occupied the master's link.
+    arrival:
+        When the worker held the complete chunk (``send_end + tLat``).
+    comp_start / comp_end:
+        The worker's computation interval for the chunk.
+    phase:
+        Free-form label set by the scheduler (e.g. ``"umr"``,
+        ``"factoring"``, ``"rumr-phase1"``).
+    """
+
+    index: int
+    worker: int
+    size: float
+    send_start: float
+    send_end: float
+    arrival: float
+    comp_start: float
+    comp_end: float
+    phase: str = ""
+
+    @property
+    def link_time(self) -> float:
+        """Exclusive master-link occupancy."""
+        return self.send_end - self.send_start
+
+    @property
+    def comp_time(self) -> float:
+        """Computation duration (including start-up latency)."""
+        return self.comp_end - self.comp_start

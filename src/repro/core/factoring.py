@@ -1,0 +1,125 @@
+"""Factoring self-scheduling (Flynn Hummel, CACM 1992).
+
+Factoring allocates work in *batches*: each batch hands every worker one
+chunk of ``remaining / (factor · N)`` units (the canonical factor is 2, so
+half the remaining work is scheduled per batch), then the next batch is
+computed from what is left.  Chunks therefore *decrease* geometrically,
+which bounds the absolute uncertainty of the final chunks — the property
+that makes the strategy robust to prediction errors.
+
+In the paper's master-worker setting the algorithm is *self-scheduled*:
+a worker receives its next chunk only when the master has observed it go
+idle, so the dispatch order adapts to effective speeds.  That greedy
+behaviour is also why Factoring overlaps communication and computation
+poorly at start-up (motivating RUMR's phase 1).
+
+Chunk sizes are bounded below by ``min_chunk`` (default: one workload
+unit — the indivisible task of the original, integral formulation) so the
+tail does not degenerate into infinitely many vanishing transfers.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import WAIT, Dispatch, DispatchSource, MasterView, Scheduler, Wait
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["Factoring", "FactoringSource"]
+
+
+class FactoringSource(DispatchSource):
+    """Per-run state of the factoring self-scheduler.
+
+    The batch rule: while work remains, produce ``N`` chunks of size
+    ``max(min_chunk, remaining_at_batch_start / (factor · N))`` (capped by
+    what is actually left).
+
+    ``lookahead`` controls how far the master may run ahead of worker
+    demand: with the classic self-scheduling value 1, a chunk is only sent
+    to an *idle* worker — faithful to Hummel's model, but on a platform
+    with transfer costs the worker then idles for the whole ``nLat + c/B``
+    transfer (exactly the overlap weakness the paper attributes to
+    factoring).  With ``lookahead = 2`` the master keeps one chunk
+    buffered per worker (double-buffering), restoring overlap while the
+    chunk-size rule stays adaptive; RUMR's phase 2 uses this setting.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        total_work: float,
+        factor: float,
+        min_chunk: float,
+        phase: str,
+        lookahead: int = 1,
+    ):
+        if factor <= 1.0:
+            raise ValueError(f"factoring factor must be > 1, got {factor}")
+        if min_chunk < 0:
+            raise ValueError(f"min_chunk must be >= 0, got {min_chunk}")
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        self._n = n
+        self._remaining = total_work
+        self._epsilon = 1e-12 * max(total_work, 1.0)
+        self._factor = factor
+        self._min_chunk = min_chunk
+        self._phase = phase
+        self._lookahead = lookahead
+        self._batch_left = 0  # chunks still to issue in the current batch
+        self._batch_size = 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Workload not yet dispatched."""
+        return self._remaining
+
+    def _next_size(self) -> float:
+        if self._batch_left == 0:
+            self._batch_size = max(self._remaining / (self._factor * self._n), self._min_chunk)
+            self._batch_left = self._n
+        self._batch_left -= 1
+        return min(self._batch_size, self._remaining)
+
+    def next_dispatch(self, view: MasterView) -> "Dispatch | Wait | None":
+        if self._remaining <= self._epsilon:
+            return None
+        # Serve the most starved worker (fewest buffered chunks, then least
+        # pending work, then lowest index for determinism) — but only while
+        # it has fewer than `lookahead` chunks outstanding.
+        candidates = [
+            (view.pending_chunks(i), view.pending_work(i), i) for i in range(self._n)
+        ]
+        pending, _, worker = min(candidates)
+        if pending >= self._lookahead:
+            return WAIT
+        size = self._next_size()
+        self._remaining = max(0.0, self._remaining - size)
+        return Dispatch(worker=worker, size=size, phase=self._phase)
+
+
+class Factoring(Scheduler):
+    """Factoring scheduler (see module docstring).
+
+    Parameters
+    ----------
+    factor:
+        Fraction denominator per batch (2 = schedule half the remainder).
+    min_chunk:
+        Smallest chunk the master will send (default 1 workload unit).
+    """
+
+    def __init__(self, factor: float = 2.0, min_chunk: float = 1.0):
+        if factor <= 1.0:
+            raise ValueError(f"factoring factor must be > 1, got {factor}")
+        self.factor = factor
+        self.min_chunk = min_chunk
+        self.name = "Factoring"
+
+    def create_source(self, platform: PlatformSpec, total_work: float) -> FactoringSource:
+        return FactoringSource(
+            n=platform.N,
+            total_work=total_work,
+            factor=self.factor,
+            min_chunk=self.min_chunk,
+            phase="factoring",
+        )

@@ -1,0 +1,60 @@
+"""Single-installment (one-round) divisible-load schedules.
+
+Two baselines:
+
+* :class:`OneRound` — the classic optimal single-installment schedule
+  under the latency-free linear model (the setting of Rosenberg, Cluster
+  2001, and Bharadwaj et al. ch. 3): the master sends each worker exactly
+  one chunk, sized so that every worker finishes at the same instant given
+  sequential distribution.  Identical to MI-1 and implemented as such.
+* :class:`EqualSplit` — the naive ``W/N`` equal partition, one chunk per
+  worker; a useful lower bar in examples and tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Dispatch, Scheduler, StaticPlanSource
+from repro.core.chunks import ChunkPlan, PlannedChunk
+from repro.core.multi_installment import solve_multi_installment
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["OneRound", "EqualSplit"]
+
+
+class OneRound(Scheduler):
+    """Optimal single-installment schedule (simultaneous finish). ≡ MI-1."""
+
+    def __init__(self) -> None:
+        self.name = "OneRound"
+
+    def chunk_sizes(self, platform: PlatformSpec, total_work: float) -> tuple[float, ...]:
+        """Per-worker loads, in dispatch order (decreasing on homogeneous)."""
+        return solve_multi_installment(platform, total_work, 1).sizes[0]
+
+    def create_source(self, platform: PlatformSpec, total_work: float) -> StaticPlanSource:
+        sizes = self.chunk_sizes(platform, total_work)
+        return StaticPlanSource(
+            Dispatch(worker=i, size=s, phase="one-round")
+            for i, s in enumerate(sizes)
+            if s > 0.0
+        )
+
+
+class EqualSplit(Scheduler):
+    """Naive baseline: every worker gets ``W / N`` in a single round."""
+
+    def __init__(self) -> None:
+        self.name = "EqualSplit"
+
+    def plan(self, platform: PlatformSpec, total_work: float) -> ChunkPlan:
+        """The (trivial) plan, exposed for inspection."""
+        share = total_work / platform.N
+        return ChunkPlan(
+            PlannedChunk(worker=i, size=share, round_index=0) for i in range(platform.N)
+        )
+
+    def create_source(self, platform: PlatformSpec, total_work: float) -> StaticPlanSource:
+        return StaticPlanSource(
+            Dispatch(worker=c.worker, size=c.size, phase="equal-split")
+            for c in self.plan(platform, total_work)
+        )

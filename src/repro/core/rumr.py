@@ -1,0 +1,276 @@
+"""RUMR — Robust Uniform Multi-Round scheduling (the paper's contribution).
+
+RUMR splits the workload into two consecutive phases:
+
+* **Phase 1** (performance): a UMR schedule over ``W_total − W_phase2`` —
+  small chunks first, growing geometrically, precomputed.  Chunks are
+  dispatched eagerly (the serialized link paces them onto the no-idle
+  timeline), and — unless ``out_of_order=False`` — the master may deviate
+  from the planned worker order *within a round*, preferring a worker it
+  has observed to be idle (§4.2 question (ii): "send a new chunk of data to
+  a worker if it finishes prematurely", a greedy component that preserves
+  the increasing-chunk-size property).
+* **Phase 2** (robustness): Factoring over ``W_phase2``, self-scheduled,
+  with decreasing chunks so late prediction errors have small absolute
+  impact.
+
+Design choices (§4.2), all reproduced here:
+
+(i) **Phase split.**  With a known error magnitude ``e``:
+    ``e ≤ 0`` → pure UMR; ``e ≥ 1`` → pure Factoring; otherwise
+    ``W_phase2 = e·W_total`` *unless* the phase-2 share per worker would
+    not cover one round of dispatch overhead:
+    ``e·W/N < cLat + nLat·N  ⇒  no phase 2``  (homogeneous form; the
+    heterogeneous generalization uses the mean ``cLat`` and ``Σ nLat_i``).
+    The paper restates this threshold in §5.1 without the ``/N`` — both
+    variants are implemented (``threshold_rule="per_worker"`` (default) /
+    ``"total"``).  When ``e`` is unknown, a fixed phase-1 fraction is used
+    instead (the paper finds 80 % a good practical choice).
+(ii) **Out-of-order dispatch** in phase 1 (ablated by Fig 7).
+(iii) **Phase-2 chunk floor**: ``(cLat + nLat·N)/e`` when ``e`` is known,
+    ``cLat + nLat·N`` otherwise (the Hagerup rule), never below one
+    workload unit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import Dispatch, DispatchSource, MasterView, Scheduler, Wait
+from repro.core.factoring import FactoringSource
+from repro.core.umr import MAX_ROUNDS, UMRPlan, solve_umr
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["RUMR", "RUMRSource", "round_overhead", "phase2_workload", "phase2_min_chunk"]
+
+
+def round_overhead(platform: PlatformSpec) -> float:
+    """Overhead of one round of (empty) chunks: ``cLat + nLat·N`` homog.
+
+    The non-hidden latencies to send N messages plus the computation
+    start-up of the last processor.  Heterogeneous platforms use the mean
+    ``cLat`` and the sum of per-worker ``nLat``.
+    """
+    mean_clat = sum(w.cLat for w in platform) / platform.N
+    return mean_clat + sum(w.nLat for w in platform)
+
+
+def phase2_workload(
+    platform: PlatformSpec,
+    total_work: float,
+    error: float,
+    threshold_rule: str = "per_worker",
+) -> float:
+    """Workload reserved for phase 2 under the §4.2 heuristic."""
+    if error <= 0.0:
+        return 0.0
+    if error >= 1.0:
+        return total_work
+    w2 = error * total_work
+    overhead = round_overhead(platform)
+    if threshold_rule == "per_worker":
+        if w2 / platform.N < overhead:
+            return 0.0
+    elif threshold_rule == "total":
+        if w2 < overhead:
+            return 0.0
+    else:
+        raise ValueError(f"unknown threshold_rule {threshold_rule!r}")
+    return w2
+
+
+def phase2_min_chunk(
+    platform: PlatformSpec,
+    error: float | None,
+    absolute_floor: float = 1.0,
+    phase2_work: float | None = None,
+) -> float:
+    """Phase-2 chunk floor (§4.2 question (iii)).
+
+    ``(cLat + nLat·N)/error`` when ``error`` is known, ``cLat + nLat·N``
+    otherwise, but never below one workload unit.
+
+    When ``phase2_work`` is given the floor is additionally capped at the
+    per-worker phase-2 share ``phase2_work / N``.  This cap is an
+    implementation-necessary clarification of the paper: at small error the
+    uncapped floor ``overhead/error`` can exceed the whole phase-2 pool,
+    collapsing phase 2 into one giant tail chunk on a single worker — the
+    exact imbalance phase 2 exists to avoid, and contradicting Fig 4(a)'s
+    RUMR ≈ UMR behaviour at small error.  See DESIGN.md.
+    """
+    overhead = round_overhead(platform)
+    if error is not None and error > 0:
+        floor = overhead / error
+    else:
+        floor = overhead
+    if phase2_work is not None and phase2_work > 0:
+        floor = min(floor, phase2_work / platform.N)
+    return max(floor, absolute_floor)
+
+
+class RUMRSource(DispatchSource):
+    """Per-run state: an eager phase-1 plan chained into a factoring tail."""
+
+    def __init__(
+        self,
+        plan: UMRPlan | None,
+        phase2: DispatchSource | None,
+        out_of_order: bool,
+    ):
+        self._out_of_order = out_of_order
+        self._phase2 = phase2
+        # Phase-1 rounds as mutable [round][worker -> size] maps, so the
+        # greedy variant can reorder sends within the current round.
+        self._rounds: list[dict[int, float]] = []
+        if plan is not None:
+            for j, row in enumerate(plan.chunk_sizes):
+                entries = {i: size for i, size in enumerate(row) if size > 0.0}
+                if entries:
+                    self._rounds.append(entries)
+        self._round_cursor = 0
+        self.plan = plan
+
+    @property
+    def in_phase1(self) -> bool:
+        """True while phase-1 chunks remain to dispatch."""
+        return self._round_cursor < len(self._rounds)
+
+    def _pick_phase1_worker(self, view: MasterView, pending: dict[int, float]) -> int:
+        ordered = sorted(pending)
+        if not self._out_of_order:
+            return ordered[0]
+        idle = [i for i in ordered if view.is_idle(i)]
+        if idle:
+            # Prefer the idle worker with the least outstanding work (all
+            # zero by definition of idle) — lowest index for determinism.
+            return idle[0]
+        return ordered[0]
+
+    def next_dispatch(self, view: MasterView) -> "Dispatch | Wait | None":
+        while self._round_cursor < len(self._rounds):
+            pending = self._rounds[self._round_cursor]
+            if not pending:
+                self._round_cursor += 1
+                continue
+            worker = self._pick_phase1_worker(view, pending)
+            size = pending.pop(worker)
+            return Dispatch(
+                worker=worker, size=size, phase=f"rumr-p1-round{self._round_cursor}"
+            )
+        if self._phase2 is not None:
+            return self._phase2.next_dispatch(view)
+        return None
+
+
+class RUMR(Scheduler):
+    """The RUMR scheduler (see module docstring).
+
+    Parameters
+    ----------
+    known_error:
+        The error magnitude RUMR assumes (§4.1: estimated from history or
+        monitoring services).  ``None`` means unknown: the phase split
+        falls back to ``unknown_phase1_fraction`` and the chunk floor to
+        the Hagerup rule.
+    phase1_fraction:
+        Force a fixed phase-1 share (0–1), bypassing the error heuristic
+        *and* its threshold — the RUMR_50 … RUMR_90 variants of Fig 6.
+    out_of_order:
+        Allow greedy within-round reordering in phase 1 (Fig 7 ablates
+        this with ``False``).
+    threshold_rule:
+        ``"per_worker"`` (§4.2, default) or ``"total"`` (§5.1 restatement).
+    factor:
+        Factoring denominator for phase 2 (2 = halve remaining per batch).
+    umr_method / max_rounds:
+        Passed through to the UMR solver for phase 1.
+    unknown_phase1_fraction:
+        Phase-1 share when ``known_error`` is ``None`` (default 0.8, the
+        paper's recommended practical choice).
+    """
+
+    def __init__(
+        self,
+        known_error: float | None = None,
+        phase1_fraction: float | None = None,
+        out_of_order: bool = True,
+        threshold_rule: str = "per_worker",
+        factor: float = 2.0,
+        umr_method: str = "search",
+        max_rounds: int = MAX_ROUNDS,
+        unknown_phase1_fraction: float = 0.8,
+        phase2_weighted: bool = False,
+    ):
+        if known_error is not None and (known_error < 0 or math.isnan(known_error)):
+            raise ValueError(f"known_error must be >= 0, got {known_error}")
+        if phase1_fraction is not None and not 0.0 <= phase1_fraction <= 1.0:
+            raise ValueError(f"phase1_fraction must be in [0,1], got {phase1_fraction}")
+        if not 0.0 <= unknown_phase1_fraction <= 1.0:
+            raise ValueError(
+                f"unknown_phase1_fraction must be in [0,1], got {unknown_phase1_fraction}"
+            )
+        if threshold_rule not in ("per_worker", "total"):
+            raise ValueError(f"unknown threshold_rule {threshold_rule!r}")
+        self.known_error = known_error
+        self.phase1_fraction = phase1_fraction
+        self.out_of_order = out_of_order
+        self.threshold_rule = threshold_rule
+        self.factor = factor
+        self.umr_method = umr_method
+        self.max_rounds = max_rounds
+        self.unknown_phase1_fraction = unknown_phase1_fraction
+        self.phase2_weighted = phase2_weighted
+        if phase1_fraction is not None:
+            self.name = f"RUMR_{int(round(phase1_fraction * 100))}"
+        elif not out_of_order:
+            self.name = "RUMR-plain"
+        else:
+            self.name = "RUMR"
+
+    def split(self, platform: PlatformSpec, total_work: float) -> tuple[float, float]:
+        """Return ``(W_phase1, W_phase2)`` for a run."""
+        if self.phase1_fraction is not None:
+            w1 = self.phase1_fraction * total_work
+            return w1, total_work - w1
+        if self.known_error is None:
+            w1 = self.unknown_phase1_fraction * total_work
+            return w1, total_work - w1
+        w2 = phase2_workload(platform, total_work, self.known_error, self.threshold_rule)
+        return total_work - w2, w2
+
+    def min_chunk(self, platform: PlatformSpec, phase2_work: float | None = None) -> float:
+        """The phase-2 chunk floor for a platform (optionally pool-capped)."""
+        return phase2_min_chunk(platform, self.known_error, phase2_work=phase2_work)
+
+    def create_source(self, platform: PlatformSpec, total_work: float) -> RUMRSource:
+        w1, w2 = self.split(platform, total_work)
+        plan = None
+        if w1 > 0:
+            plan = solve_umr(platform, w1, self.max_rounds, self.umr_method)
+        phase2 = None
+        if w2 > 0:
+            # Classic self-scheduling lookahead of 1: committing chunks to
+            # workers early (double-buffering) was measured to cost more in
+            # lost adaptivity than it recovers in overlap — see the
+            # lookahead ablation benchmark.
+            if self.phase2_weighted:
+                from repro.core.weighted_factoring import WeightedFactoringSource
+
+                phase2 = WeightedFactoringSource(
+                    platform=platform,
+                    total_work=w2,
+                    factor=self.factor,
+                    min_chunk=self.min_chunk(platform, phase2_work=w2),
+                    phase="rumr-p2",
+                    lookahead=1,
+                )
+            else:
+                phase2 = FactoringSource(
+                    n=platform.N,
+                    total_work=w2,
+                    factor=self.factor,
+                    min_chunk=self.min_chunk(platform, phase2_work=w2),
+                    phase="rumr-p2",
+                    lookahead=1,
+                )
+        return RUMRSource(plan=plan, phase2=phase2, out_of_order=self.out_of_order)

@@ -1,0 +1,77 @@
+"""Resource selection for multi-round divisible-load scheduling.
+
+Multi-round schedules with increasing chunks require the master's link to
+outpace the aggregate consumption of the selected workers:
+``Σ S_i/B_i < 1``.  When a platform violates this, the UMR papers
+prescribe using only a subset of workers — the extra processors could not
+be kept busy anyway.
+
+:func:`select_workers` implements the greedy selection the paper alludes
+to ("an effective resource selection technique"): consider workers in
+decreasing order of a desirability score and keep adding them while the
+utilization condition (with a configurable safety margin) still holds.
+The default score is the worker's bandwidth (the dispatch bottleneck),
+with compute rate as a tie-breaker.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["select_workers"]
+
+
+def select_workers(
+    platform: PlatformSpec,
+    margin: float = 1.0,
+    score: "typing.Callable[[int, PlatformSpec], float] | None" = None,
+) -> list[int]:
+    """Pick a worker subset satisfying ``Σ S_i/B_i < margin``.
+
+    Parameters
+    ----------
+    platform:
+        The candidate platform.
+    margin:
+        Right-hand side of the utilization condition (1.0 = the exact
+        full-utilization bound; smaller values leave headroom).
+    score:
+        Desirability function ``(index, platform) -> float`` (higher is
+        better).  Defaults to ``B_i`` with ``S_i`` as tie-breaker.
+
+    Returns
+    -------
+    list[int]
+        Selected worker indices in *original platform order* (so the
+        calling scheduler's dispatch order is preserved).  At least one
+        worker is always selected — the single best one even if it alone
+        violates the condition (some work must happen somewhere).
+    """
+    if margin <= 0:
+        raise ValueError(f"margin must be > 0, got {margin}")
+    n = platform.N
+
+    def default_score(i: int, p: PlatformSpec) -> float:
+        w = p[i]
+        b = w.B if not math.isinf(w.B) else float("1e300")
+        return b + 1e-9 * w.S
+
+    scorer = score or default_score
+    order = sorted(range(n), key=lambda i: (-scorer(i, platform), i))
+
+    chosen: list[int] = []
+    used = 0.0
+    for i in order:
+        w = platform[i]
+        cost = 0.0 if math.isinf(w.B) else w.S / w.B
+        if not chosen:
+            chosen.append(i)
+            used += cost
+            continue
+        if used + cost < margin:
+            chosen.append(i)
+            used += cost
+    return sorted(chosen)

@@ -1,0 +1,74 @@
+"""Trace recording for simulations.
+
+A :class:`Monitor` is an append-only log of :class:`TraceRecord` entries.
+The master-worker simulator emits records for every dispatch, arrival,
+compute start and compute end, which the test suite uses to check causality
+invariants and which examples use to print Gantt-style timelines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+__all__ = ["Monitor", "TraceRecord"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One event in a simulation trace.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the event.
+    kind:
+        Event category, e.g. ``"send_start"``, ``"send_end"``,
+        ``"arrival"``, ``"compute_start"``, ``"compute_end"``.
+    actor:
+        Which entity the event concerns (e.g. worker index, or -1 for the
+        master).
+    detail:
+        Free-form mapping with event specifics (chunk id, size, durations).
+    """
+
+    time: float
+    kind: str
+    actor: int
+    detail: typing.Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+
+class Monitor:
+    """Append-only trace with small query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+
+    def record(self, time: float, kind: str, actor: int, **detail: object) -> None:
+        """Append a record (no-op when disabled)."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, kind, actor, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> typing.Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> tuple[TraceRecord, ...]:
+        """All records in chronological (insertion) order."""
+        return tuple(self._records)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All records of one category, in order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def for_actor(self, actor: int) -> list[TraceRecord]:
+        """All records concerning one actor, in order."""
+        return [r for r in self._records if r.actor == actor]
+
+    def last_time(self) -> float:
+        """Time of the latest record (0.0 when empty)."""
+        return max((r.time for r in self._records), default=0.0)

@@ -1,0 +1,33 @@
+"""Performance-prediction error models (paper §4.1).
+
+The paper models uncertainty as a multiplicative perturbation: the ratio of
+*predicted* to *effective* duration is drawn from ``Normal(1, error)``
+truncated to positive values, independently for every data transfer and
+every chunk computation.  A uniform-ratio variant is mentioned as giving
+"essentially similar" results, and non-stationary behaviour is left as
+future work; both are implemented here as well.
+"""
+
+from repro.errors.models import (
+    DriftingErrorModel,
+    ErrorModel,
+    NoError,
+    NormalErrorModel,
+    UniformErrorModel,
+    make_error_model,
+)
+from repro.errors.rng import spawn_rngs, stream_for
+from repro.errors.trace import TraceErrorModel, trace_from_workload
+
+__all__ = [
+    "DriftingErrorModel",
+    "ErrorModel",
+    "NoError",
+    "NormalErrorModel",
+    "TraceErrorModel",
+    "UniformErrorModel",
+    "make_error_model",
+    "spawn_rngs",
+    "stream_for",
+    "trace_from_workload",
+]

@@ -1,0 +1,101 @@
+"""Trace-driven prediction errors (paper §6: "use traces from real
+applications").
+
+Instead of a parametric distribution, a :class:`TraceErrorModel` replays a
+recorded sequence of perturbation factors — e.g. measured slowdowns from a
+production cluster, or factors *derived from a workload model's own
+data-dependent costs* via :func:`trace_from_workload`.  The trace's
+empirical standard deviation is exposed as ``magnitude`` so RUMR's phase
+split consumes it exactly like a parametric error level.
+
+Replay semantics: each simulated run draws factors by walking the trace
+from a per-run random offset (so repetitions differ while preserving the
+trace's marginal distribution and local autocorrelation — which parametric
+iid models destroy, and which matters for chunk-level error, see
+:mod:`repro.workloads.raytracing`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors.models import MIN_RATIO, ErrorModel
+from repro.workloads.base import DivisibleWorkload
+
+__all__ = ["TraceErrorModel", "trace_from_workload"]
+
+
+@dataclasses.dataclass
+class TraceErrorModel(ErrorModel):
+    """Replay a recorded sequence of perturbation factors.
+
+    Parameters
+    ----------
+    trace:
+        The recorded factors (mean should be ≈1; values are clipped below
+        at ``MIN_RATIO``).
+    mode:
+        ``"multiply"`` (default) or ``"divide"``, as for the parametric
+        models.
+    """
+
+    trace: tuple[float, ...] = ()
+    mode: str = "multiply"
+    _offset: int | None = dataclasses.field(default=None, init=False)
+    _cursor: int = dataclasses.field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.trace) < 2:
+            raise ValueError("a trace needs at least 2 entries")
+        clipped = tuple(max(float(v), MIN_RATIO) for v in self.trace)
+        object.__setattr__(self, "trace", clipped)
+        arr = np.asarray(clipped)
+        self.magnitude = float(arr.std())
+
+    def ratio(self, rng: np.random.Generator) -> float:
+        if self._offset is None:
+            # First draw of a run: pick the replay offset from the run's
+            # own stream so repetitions see different trace windows.
+            self._offset = int(rng.integers(0, len(self.trace)))
+            self._cursor = 0
+        value = self.trace[(self._offset + self._cursor) % len(self.trace)]
+        self._cursor += 1
+        return value
+
+    def reset(self) -> None:
+        """Forget the replay offset (models are bound per run)."""
+        self._offset = None
+        self._cursor = 0
+
+
+def trace_from_workload(
+    workload: DivisibleWorkload,
+    chunk_units: float,
+    length: int = 512,
+    seed: int | None = None,
+) -> TraceErrorModel:
+    """Derive a perturbation trace from a workload's data-dependent costs.
+
+    Simulates ``length`` consecutive chunks of ``chunk_units`` units each
+    and records the ratio of each chunk's realized cost to the mean chunk
+    cost — exactly the multiplicative factor the §4.1 model abstracts.
+    The resulting model preserves the workload's autocorrelation structure
+    (adjacent chunks of a ray-traced scene are similar; iid models are
+    not), making it the bridge between :mod:`repro.workloads` and the
+    schedulers' error interface.
+    """
+    if chunk_units < 1:
+        raise ValueError(f"chunk_units must be >= 1, got {chunk_units}")
+    if length < 2:
+        raise ValueError(f"length must be >= 2, got {length}")
+    rng = np.random.default_rng(seed)
+    n_units = max(1, int(round(chunk_units)))
+    costs = np.empty(length)
+    for k in range(length):
+        costs[k] = sum(workload.unit_cost(rng) for _ in range(n_units))
+    mean = costs.mean()
+    if mean <= 0:
+        raise ValueError("workload produced non-positive chunk costs")
+    return TraceErrorModel(trace=tuple(costs / mean))

@@ -1,0 +1,58 @@
+"""Experiment harness reproducing the paper's evaluation (§5).
+
+The pipeline: an :class:`~repro.experiments.config.ExperimentGrid` (Table 1
+parameter space × error axis × repetitions) is swept by
+:func:`~repro.experiments.runner.run_sweep` into a
+:class:`~repro.experiments.runner.SweepResults` tensor of makespans, from
+which :mod:`~repro.experiments.tables` and
+:mod:`~repro.experiments.figures` derive the paper's Tables 2–3 and
+Figures 4(a), 4(b), 5, 6 and 7.  :mod:`~repro.experiments.report` renders
+them as text/CSV; :mod:`~repro.experiments.cache` persists sweep tensors.
+
+Three grid presets trade fidelity for runtime: ``paper`` (the full Table 1
+cross product — hours), ``small`` (a decimated grid spanning the same
+ranges — minutes, used for the shipped EXPERIMENTS.md), and ``smoke``
+(seconds, used by tests and the benchmark harness).
+"""
+
+from repro.experiments.config import (
+    ExperimentGrid,
+    PlatformPoint,
+    paper_grid,
+    preset_grid,
+    small_grid,
+    smoke_grid,
+)
+from repro.experiments.figures import fig4a, fig4b, fig5, fig6, fig7
+from repro.experiments.metrics import (
+    error_buckets,
+    mean_normalized_makespan,
+    outperform_fraction,
+)
+from repro.experiments.runner import SweepResults, run_sweep
+from repro.experiments.stats import bootstrap_ci, sign_test_pvalue, win_rate_ci
+from repro.experiments.tables import table2, table3
+
+__all__ = [
+    "ExperimentGrid",
+    "PlatformPoint",
+    "SweepResults",
+    "error_buckets",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "fig7",
+    "mean_normalized_makespan",
+    "outperform_fraction",
+    "paper_grid",
+    "preset_grid",
+    "run_sweep",
+    "small_grid",
+    "smoke_grid",
+    "bootstrap_ci",
+    "sign_test_pvalue",
+    "table2",
+    "table3",
+    "win_rate_ci",
+]

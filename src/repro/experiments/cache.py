@@ -1,0 +1,85 @@
+"""On-disk persistence for sweep tensors.
+
+A sweep over the ``small`` grid takes minutes and feeds four different
+tables/figures, so results are cached: tensors in a ``.npz``, grid and
+algorithm metadata in a sidecar ``.json``.  The cache key is a content
+hash of the grid specification plus the algorithm list — any change to
+either invalidates the entry automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+import typing
+
+import numpy as np
+
+from repro.experiments.config import ExperimentGrid, PlatformPoint
+from repro.experiments.runner import SweepResults, run_sweep
+
+__all__ = ["sweep_key", "save_sweep", "load_sweep", "cached_sweep"]
+
+
+def sweep_key(grid: ExperimentGrid, algorithms: typing.Sequence[str]) -> str:
+    """Deterministic content hash identifying a sweep."""
+    payload = json.dumps(
+        {"grid": dataclasses.asdict(grid), "algorithms": list(algorithms)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def save_sweep(results: SweepResults, directory: str | pathlib.Path) -> pathlib.Path:
+    """Persist a sweep; returns the ``.npz`` path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    key = sweep_key(results.grid, results.algorithms)
+    npz_path = directory / f"sweep-{results.grid.name}-{key}.npz"
+    meta_path = npz_path.with_suffix(".json")
+    np.savez_compressed(npz_path, **results.makespans)
+    meta = {
+        "grid": dataclasses.asdict(results.grid),
+        "algorithms": list(results.algorithms),
+        "platforms": [p.as_dict() for p in results.platforms],
+    }
+    meta_path.write_text(json.dumps(meta, indent=2))
+    return npz_path
+
+
+def load_sweep(npz_path: str | pathlib.Path) -> SweepResults:
+    """Load a persisted sweep."""
+    npz_path = pathlib.Path(npz_path)
+    meta = json.loads(npz_path.with_suffix(".json").read_text())
+    grid = ExperimentGrid(**{**meta["grid"], **{
+        k: tuple(v) for k, v in meta["grid"].items() if isinstance(v, list)
+    }})
+    with np.load(npz_path) as data:
+        makespans = {a: data[a] for a in meta["algorithms"]}
+    platforms = tuple(PlatformPoint(**p) for p in meta["platforms"])
+    return SweepResults(
+        grid=grid,
+        algorithms=tuple(meta["algorithms"]),
+        platforms=platforms,
+        makespans=makespans,
+    )
+
+
+def cached_sweep(
+    grid: ExperimentGrid,
+    algorithms: typing.Sequence[str],
+    directory: str | pathlib.Path,
+    n_jobs: int = 1,
+    progress: typing.Callable[[int, int], None] | None = None,
+) -> SweepResults:
+    """Run a sweep, or load it if an identical one is already on disk."""
+    directory = pathlib.Path(directory)
+    key = sweep_key(grid, algorithms)
+    npz_path = directory / f"sweep-{grid.name}-{key}.npz"
+    if npz_path.exists() and npz_path.with_suffix(".json").exists():
+        return load_sweep(npz_path)
+    results = run_sweep(grid, algorithms=algorithms, n_jobs=n_jobs, progress=progress)
+    save_sweep(results, directory)
+    return results

@@ -1,0 +1,130 @@
+"""Figure generators: the paper's Figures 4(a), 4(b), 5, 6 and 7.
+
+Each generator returns a :class:`FigureResult` — one labelled series per
+algorithm over the error axis — that :mod:`repro.experiments.report`
+renders as an ASCII chart or CSV.  Values are mean makespans normalized to
+the original RUMR (values above 1.0: RUMR wins).
+
+Figures 4(a)/4(b) reuse the main sweep; Figure 5 runs its own sweep on the
+paper's single high-``nLat`` configuration; Figures 6 and 7 sweep the RUMR
+variants (fixed phase-1 shares; plain in-order phase 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.config import ExperimentGrid
+from repro.experiments.metrics import mean_normalized_makespan
+from repro.experiments.runner import SweepResults, run_sweep
+
+__all__ = [
+    "FigureResult",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig5_grid",
+    "fig6",
+    "fig6_algorithms",
+    "fig7",
+    "fig7_algorithms",
+]
+
+#: RUMR variants for the Fig 6 phase-split ablation.
+fig6_algorithms = ("RUMR", "RUMR_50", "RUMR_60", "RUMR_70", "RUMR_80", "RUMR_90")
+
+#: RUMR variants for the Fig 7 out-of-order ablation.
+fig7_algorithms = ("RUMR", "RUMR-plain")
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureResult:
+    """One figure: labelled series over the error axis."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    errors: tuple[float, ...]
+    series: dict[str, tuple[float, ...]]
+
+    def __post_init__(self) -> None:
+        for label, values in self.series.items():
+            if len(values) != len(self.errors):
+                raise ValueError(f"series {label!r} length mismatch")
+
+
+def _normalized_figure(results: SweepResults, title: str) -> FigureResult:
+    reference = results.reference
+    series = {}
+    for algo in results.algorithms:
+        if algo == reference:
+            continue
+        values = mean_normalized_makespan(results, algo)
+        series[algo] = tuple(float(v) for v in values)
+    return FigureResult(
+        title=title,
+        xlabel="error",
+        ylabel=f"makespan normalized to {reference}",
+        errors=results.grid.errors,
+        series=series,
+    )
+
+
+def fig4a(results: SweepResults) -> FigureResult:
+    """Fig 4(a): normalized makespan vs error, full parameter space."""
+    return _normalized_figure(
+        results, "Figure 4(a): relative makespan vs error (all parameters)"
+    )
+
+
+def fig4b(results: SweepResults) -> FigureResult:
+    """Fig 4(b): same, restricted to ``cLat < 0.3 and nLat < 0.3``."""
+    subset = results.select(lambda p: p.cLat < 0.3 and p.nLat < 0.3)
+    return _normalized_figure(
+        subset, "Figure 4(b): relative makespan vs error (cLat < 0.3, nLat < 0.3)"
+    )
+
+
+def fig5_grid(base: ExperimentGrid) -> ExperimentGrid:
+    """The paper's single Fig-5 configuration: N=20, B=36, cLat=0.3, nLat=0.9."""
+    return base.restrict(
+        Ns=(20,),
+        bandwidth_factors=(1.8,),
+        cLats=(0.3,),
+        nLats=(0.9,),
+        name=f"{base.name}-fig5",
+    )
+
+
+def fig5(base: ExperimentGrid, n_jobs: int = 1) -> FigureResult:
+    """Fig 5: the high-nLat single configuration (runs its own sweep).
+
+    The interesting feature is the sharp jump in every competitor's
+    relative makespan at the error value where RUMR's threshold first
+    admits a phase 2.
+    """
+    grid = fig5_grid(base)
+    results = run_sweep(grid, n_jobs=n_jobs)
+    return _normalized_figure(
+        results,
+        "Figure 5: relative makespan vs error (cLat=0.3, nLat=0.9, N=20, B=36)",
+    )
+
+
+def fig6(base: ExperimentGrid, n_jobs: int = 1) -> FigureResult:
+    """Fig 6: fixed phase-1 shares (50–90%) vs the original RUMR heuristic."""
+    results = run_sweep(base, algorithms=fig6_algorithms, n_jobs=n_jobs)
+    fig = _normalized_figure(
+        results,
+        "Figure 6: RUMR with fixed phase-1 percentage, normalized to original RUMR",
+    )
+    return fig
+
+
+def fig7(base: ExperimentGrid, n_jobs: int = 1) -> FigureResult:
+    """Fig 7: plain (in-order) UMR phase 1 vs the out-of-order original."""
+    results = run_sweep(base, algorithms=fig7_algorithms, n_jobs=n_jobs)
+    return _normalized_figure(
+        results,
+        "Figure 7: RUMR with plain UMR phase 1, normalized to original RUMR",
+    )

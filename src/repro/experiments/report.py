@@ -1,0 +1,147 @@
+"""Text and CSV rendering for tables and figures.
+
+Everything renders to plain text (the reproduction is headless): tables as
+aligned columns, figures as CSV series plus a compact ASCII line chart so
+curve shapes are visible directly in a terminal or in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+import typing
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.tables import TableResult
+
+__all__ = ["render_table", "render_figure", "figure_csv", "table_csv", "ascii_chart"]
+
+
+def render_table(table: TableResult) -> str:
+    """Aligned-column text rendering of a Table 2/3 result."""
+    out = io.StringIO()
+    out.write(table.title + "\n")
+    header = ["Algorithm"] + list(table.bucket_labels) + ["overall"]
+    widths = [max(10, len(h) + 2) for h in header]
+    out.write("".join(h.ljust(w) for h, w in zip(header, widths)) + "\n")
+    out.write("-" * sum(widths) + "\n")
+    for algo, values in table.rows.items():
+        cells = [algo] + [
+            "  n/a" if math.isnan(v) else f"{v:6.2f}" for v in values
+        ] + [f"{table.overall[algo]:6.2f}"]
+        out.write("".join(str(c).ljust(w) for c, w in zip(cells, widths)) + "\n")
+    return out.getvalue()
+
+
+def table_csv(table: TableResult) -> str:
+    """CSV rendering of a Table 2/3 result."""
+    out = io.StringIO()
+    out.write("algorithm," + ",".join(table.bucket_labels) + ",overall\n")
+    for algo, values in table.rows.items():
+        row = [algo] + [f"{v:.4f}" for v in values] + [f"{table.overall[algo]:.4f}"]
+        out.write(",".join(row) + "\n")
+    return out.getvalue()
+
+
+def figure_csv(figure: FigureResult) -> str:
+    """CSV rendering: one column per series over the error axis."""
+    out = io.StringIO()
+    labels = list(figure.series)
+    out.write("error," + ",".join(labels) + "\n")
+    for i, err in enumerate(figure.errors):
+        row = [f"{err:g}"] + [f"{figure.series[lab][i]:.6f}" for lab in labels]
+        out.write(",".join(row) + "\n")
+    return out.getvalue()
+
+
+_MARKS = "ox+*#@%&sd"
+
+
+def ascii_chart(
+    figure: FigureResult, width: int = 72, height: int = 20
+) -> str:
+    """A compact ASCII line chart of all series.
+
+    Each series gets a one-character mark; a horizontal rule marks the
+    y = 1.0 reference (parity with RUMR).
+    """
+    all_values = [v for vs in figure.series.values() for v in vs if not math.isnan(v)]
+    if not all_values:
+        return "(no data)\n"
+    lo = min(min(all_values), 1.0)
+    hi = max(max(all_values), 1.0)
+    if hi - lo < 1e-9:
+        hi = lo + 1e-9
+    pad = 0.05 * (hi - lo)
+    lo -= pad
+    hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_row(v: float) -> int:
+        frac = (v - lo) / (hi - lo)
+        return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+    def to_col(i: int) -> int:
+        if len(figure.errors) == 1:
+            return 0
+        return int(round(i * (width - 1) / (len(figure.errors) - 1)))
+
+    parity = to_row(1.0)
+    for c in range(width):
+        grid[parity][c] = "·"
+
+    legend = []
+    for k, (label, values) in enumerate(figure.series.items()):
+        mark = _MARKS[k % len(_MARKS)]
+        legend.append(f"{mark}={label}")
+        for i, v in enumerate(values):
+            if math.isnan(v):
+                continue
+            grid[to_row(v)][to_col(i)] = mark
+
+    out = io.StringIO()
+    out.write(figure.title + "\n")
+    for r, row in enumerate(grid):
+        y_lo = hi - (r + 0.5) * (hi - lo) / height
+        label = f"{y_lo:7.3f} |" if r % 4 == 0 else "        |"
+        out.write(label + "".join(row) + "\n")
+    out.write("        +" + "-" * width + "\n")
+    x_line = f"        {figure.errors[0]:<8g}" + " " * max(0, width - 18)
+    out.write(x_line + f"{figure.errors[-1]:>8g}\n")
+    out.write(f"        x: {figure.xlabel}   y: {figure.ylabel}\n")
+    out.write("        " + "  ".join(legend) + "\n")
+    return out.getvalue()
+
+
+def render_figure(figure: FigureResult, chart: bool = True) -> str:
+    """Chart plus CSV — the default human-readable figure rendering."""
+    parts = []
+    if chart:
+        parts.append(ascii_chart(figure))
+    parts.append(figure_csv(figure))
+    return "\n".join(parts)
+
+
+def write_text(path: str, content: str) -> None:
+    """Write a report artifact (tiny helper for the CLI)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+
+
+def series_summary(figure: FigureResult) -> dict[str, dict[str, float]]:
+    """Min / max / endpoint statistics per series (used by EXPERIMENTS.md)."""
+    summary: dict[str, dict[str, float]] = {}
+    for label, values in figure.series.items():
+        clean = [v for v in values if not math.isnan(v)]
+        summary[label] = {
+            "first": clean[0],
+            "last": clean[-1],
+            "min": min(clean),
+            "max": max(clean),
+        }
+    return summary
+
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    _: typing.Any

@@ -1,0 +1,174 @@
+"""Sweep runner: grids × algorithms → makespan tensors.
+
+Seeding discipline: every (platform, error, repetition) cell gets its own
+stream key derived from the grid seed, *shared across algorithms* (common
+random numbers) — the same trick the paper needs for its paired
+"percentage of experiments where RUMR outperforms X" statistics.
+
+The runner is serial by default (the reproduction box has one core) but
+can fan platforms out over a process pool with ``n_jobs > 1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing
+
+import numpy as np
+
+from repro.core.registry import make_scheduler
+from repro.errors.models import make_error_model
+from repro.errors.rng import stream_for
+from repro.experiments.config import PAPER_ALGORITHMS, ExperimentGrid, PlatformPoint
+from repro.sim.fastsim import simulate_fast
+
+__all__ = ["SweepResults", "run_sweep"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResults:
+    """Makespans for every algorithm over a grid.
+
+    ``makespans[algo]`` has shape ``(num_platforms, num_errors,
+    repetitions)``; ``platforms`` matches axis 0 and ``grid.errors``
+    axis 1.
+    """
+
+    grid: ExperimentGrid
+    algorithms: tuple[str, ...]
+    platforms: tuple[PlatformPoint, ...]
+    makespans: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        expected = (len(self.platforms), len(self.grid.errors), self.grid.repetitions)
+        for algo, tensor in self.makespans.items():
+            if tensor.shape != expected:
+                raise ValueError(
+                    f"{algo}: tensor shape {tensor.shape} != expected {expected}"
+                )
+
+    def platform_mask(
+        self, predicate: typing.Callable[[PlatformPoint], bool]
+    ) -> np.ndarray:
+        """Boolean mask over the platform axis."""
+        return np.array([predicate(p) for p in self.platforms], dtype=bool)
+
+    def select(self, predicate: typing.Callable[[PlatformPoint], bool]) -> "SweepResults":
+        """Restrict to platforms satisfying ``predicate`` (Fig 4(b) style)."""
+        mask = self.platform_mask(predicate)
+        if not mask.any():
+            raise ValueError("predicate selects no platforms")
+        return SweepResults(
+            grid=self.grid,
+            algorithms=self.algorithms,
+            platforms=tuple(p for p, keep in zip(self.platforms, mask) if keep),
+            makespans={a: t[mask] for a, t in self.makespans.items()},
+        )
+
+    @property
+    def reference(self) -> str:
+        """The normalization baseline — RUMR when present, else algo 0."""
+        return "RUMR" if "RUMR" in self.algorithms else self.algorithms[0]
+
+
+def _run_platform(
+    args: tuple[ExperimentGrid, PlatformPoint, int, tuple[str, ...]],
+) -> np.ndarray:
+    """Worker: all (error, rep, algo) simulations for one platform.
+
+    Returns an array of shape (num_errors, repetitions, num_algorithms).
+    """
+    grid, point, p_idx, algorithms = args
+    platform = point.build()
+    out = np.empty((len(grid.errors), grid.repetitions, len(algorithms)))
+    for e_idx, error in enumerate(grid.errors):
+        schedulers = [make_scheduler(name, error) for name in algorithms]
+        for rep in range(grid.repetitions):
+            # One stream key per cell, shared by all algorithms (paired
+            # comparisons).  simulate_fast spawns independent comm/comp
+            # streams from it.
+            seed = int(
+                stream_for(grid.seed, p_idx, e_idx, rep).integers(0, 2**63 - 1)
+            )
+            for a_idx, scheduler in enumerate(schedulers):
+                model = make_error_model(grid.error_kind, error, mode=grid.error_mode)
+                result = simulate_fast(
+                    platform, grid.total_work, scheduler, model, seed=seed
+                )
+                out[e_idx, rep, a_idx] = result.makespan
+    return out
+
+
+def run_sweep(
+    grid: ExperimentGrid,
+    algorithms: typing.Sequence[str] = PAPER_ALGORITHMS,
+    n_jobs: int = 1,
+    progress: typing.Callable[[int, int], None] | None = None,
+) -> SweepResults:
+    """Run the full sweep and return the makespan tensors.
+
+    Parameters
+    ----------
+    grid:
+        The experiment specification.
+    algorithms:
+        Registry names to run (default: the paper's seven).
+    n_jobs:
+        Process-pool width; 1 (default) runs in-process.
+    progress:
+        Optional callback ``(platforms_done, platforms_total)``.
+    """
+    algorithms = tuple(algorithms)
+    if len(set(algorithms)) != len(algorithms):
+        raise ValueError("duplicate algorithm names")
+    platforms = tuple(grid.platforms())
+    shape = (len(platforms), len(grid.errors), grid.repetitions)
+    tensors = {a: np.empty(shape) for a in algorithms}
+
+    tasks = [(grid, point, p_idx, algorithms) for p_idx, point in enumerate(platforms)]
+    if n_jobs > 1:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            for done, (p_idx, block) in enumerate(
+                zip(range(len(tasks)), pool.map(_run_platform, tasks, chunksize=4))
+            ):
+                for a_idx, algo in enumerate(algorithms):
+                    tensors[algo][p_idx] = block[:, :, a_idx]
+                if progress is not None:
+                    progress(done + 1, len(tasks))
+    else:
+        for done, task in enumerate(tasks):
+            block = _run_platform(task)
+            p_idx = task[2]
+            for a_idx, algo in enumerate(algorithms):
+                tensors[algo][p_idx] = block[:, :, a_idx]
+            if progress is not None:
+                progress(done + 1, len(tasks))
+
+    return SweepResults(
+        grid=grid, algorithms=algorithms, platforms=platforms, makespans=tensors
+    )
+
+
+def eta_progress(stream=None) -> typing.Callable[[int, int], None]:
+    """A ready-made progress callback printing rate and ETA lines."""
+    import sys
+
+    stream = stream or sys.stderr
+    start = time.monotonic()
+
+    def callback(done: int, total: int) -> None:
+        elapsed = time.monotonic() - start
+        rate = done / elapsed if elapsed > 0 else 0.0
+        remaining = (total - done) / rate if rate > 0 else float("inf")
+        stream.write(
+            f"\r[{done}/{total} platforms] {elapsed:6.1f}s elapsed, "
+            f"~{remaining:6.1f}s left "
+        )
+        stream.flush()
+        if done == total:
+            stream.write("\n")
+
+    return callback

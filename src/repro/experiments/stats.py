@@ -1,0 +1,131 @@
+"""Statistical utilities for sweep results.
+
+The paper reports bare means over 40 repetitions.  For a reproduction it
+is worth knowing *how solid* each comparison is, so this module adds:
+
+* :func:`bootstrap_ci` — percentile-bootstrap confidence intervals for the
+  per-error mean normalized makespan of Figure-4-style series (resampling
+  experiments, i.e. (platform, repetition) cells, with replacement);
+* :func:`win_rate_ci` — a normal-approximation interval for the
+  outperformance percentages of Tables 2–3;
+* :func:`sign_test_pvalue` — a paired sign test that "RUMR beats X" at a
+  given error level, usable because the harness shares seeds across
+  algorithms (common random numbers make runs paired by construction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.experiments.runner import SweepResults
+
+__all__ = ["ConfidenceInterval", "bootstrap_ci", "win_rate_ci", "sign_test_pvalue"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a two-sided interval."""
+
+    estimate: float
+    low: float
+    high: float
+    level: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        """Interval width (high - low)."""
+        return self.high - self.low
+
+
+def bootstrap_ci(
+    results: SweepResults,
+    competitor: str,
+    error_index: int,
+    level: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI for the mean normalized makespan at one error level.
+
+    Resamples the (platform, repetition) experiment cells with
+    replacement; the statistic is the mean of per-cell
+    ``makespan(competitor)/makespan(reference)`` ratios.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0,1), got {level}")
+    ref = results.makespans[results.reference][:, error_index, :].ravel()
+    comp = results.makespans[competitor][:, error_index, :].ravel()
+    ratios = comp / ref
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, ratios.size, size=(resamples, ratios.size))
+    means = ratios[idx].mean(axis=1)
+    alpha = (1.0 - level) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        estimate=float(ratios.mean()), low=float(low), high=float(high), level=level
+    )
+
+
+def win_rate_ci(
+    results: SweepResults,
+    competitor: str,
+    error_index: int | None = None,
+    margin: float = 0.0,
+    level: float = 0.95,
+) -> ConfidenceInterval:
+    """Normal-approximation CI for a Table-2/3 outperformance fraction.
+
+    ``error_index=None`` pools all error levels (the "overall" column).
+    """
+    ref = results.makespans[results.reference]
+    comp = results.makespans[competitor]
+    if error_index is not None:
+        ref = ref[:, error_index, :]
+        comp = comp[:, error_index, :]
+    wins = (comp > (1.0 + margin) * ref).ravel()
+    n = wins.size
+    p = float(wins.mean())
+    z = _z_for(level)
+    half = z * math.sqrt(max(p * (1 - p), 1e-12) / n)
+    return ConfidenceInterval(
+        estimate=p, low=max(0.0, p - half), high=min(1.0, p + half), level=level
+    )
+
+
+def sign_test_pvalue(
+    results: SweepResults, competitor: str, error_index: int
+) -> float:
+    """One-sided paired sign test: H1 = "reference beats competitor".
+
+    Uses the paired cells (shared seeds).  Ties (exact equality, e.g. at
+    error 0 against UMR) are dropped, per the standard sign test.
+    Returns the p-value from the exact binomial tail.
+    """
+    ref = results.makespans[results.reference][:, error_index, :].ravel()
+    comp = results.makespans[competitor][:, error_index, :].ravel()
+    wins = int((comp > ref).sum())
+    losses = int((comp < ref).sum())
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    # P(X >= wins) for X ~ Binomial(n, 1/2).
+    from math import comb
+
+    tail = sum(comb(n, k) for k in range(wins, n + 1))
+    return tail / 2.0**n
+
+
+def _z_for(level: float) -> float:
+    """Two-sided normal quantile for common confidence levels."""
+    table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    if level in table:
+        return table[level]
+    from scipy.stats import norm
+
+    return float(norm.ppf(0.5 + level / 2.0))

@@ -1,0 +1,86 @@
+"""Table 2 and Table 3 generators.
+
+Both tables bucket the error axis into the paper's five ranges and report,
+for each competitor, the percentage of experiments in which RUMR achieves
+a strictly smaller makespan (Table 2) or a makespan at least 10% smaller
+(Table 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.experiments.metrics import (
+    PAPER_BUCKETS,
+    error_buckets,
+    outperform_fraction,
+    overall_outperform_fraction,
+)
+from repro.experiments.runner import SweepResults
+
+__all__ = ["TableResult", "table2", "table3"]
+
+#: Competitor row order used by the paper.
+ROW_ORDER = ("UMR", "MI-1", "MI-2", "MI-3", "MI-4", "Factoring")
+
+
+@dataclasses.dataclass(frozen=True)
+class TableResult:
+    """A rendered-agnostic table: rows × error buckets of percentages."""
+
+    title: str
+    bucket_labels: tuple[str, ...]
+    rows: dict[str, tuple[float, ...]]
+    overall: dict[str, float]
+    margin: float
+
+    def row(self, algorithm: str) -> tuple[float, ...]:
+        """Percentages for one competitor across the buckets."""
+        return self.rows[algorithm]
+
+
+def _bucketize(per_error: np.ndarray, errors: tuple[float, ...]) -> tuple[float, ...]:
+    values = []
+    for idx in error_buckets(errors):
+        values.append(float(per_error[idx].mean() * 100.0) if idx.size else float("nan"))
+    return tuple(values)
+
+
+def _build(results: SweepResults, margin: float, title: str) -> TableResult:
+    competitors = [a for a in ROW_ORDER if a in results.algorithms]
+    competitors += [
+        a for a in results.algorithms if a not in competitors and a != results.reference
+    ]
+    rows = {}
+    overall = {}
+    for algo in competitors:
+        per_error = outperform_fraction(results, algo, margin=margin)
+        rows[algo] = _bucketize(per_error, results.grid.errors)
+        overall[algo] = overall_outperform_fraction(results, algo, margin=margin) * 100.0
+    labels = tuple(f"{lo:g}-{hi:g}" for lo, hi in PAPER_BUCKETS)
+    return TableResult(
+        title=title, bucket_labels=labels, rows=rows, overall=overall, margin=margin
+    )
+
+
+def table2(results: SweepResults) -> TableResult:
+    """Percentage of experiments for which RUMR outperforms each algorithm."""
+    return _build(
+        results,
+        margin=0.0,
+        title="Table 2: % of experiments where RUMR outperforms the row algorithm",
+    )
+
+
+def table3(results: SweepResults, margin: float = 0.1) -> TableResult:
+    """Same, requiring a ≥10% makespan advantage."""
+    return _build(
+        results,
+        margin=margin,
+        title=(
+            "Table 3: % of experiments where RUMR outperforms the row "
+            f"algorithm by at least {margin:.0%}"
+        ),
+    )

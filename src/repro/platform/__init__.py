@@ -1,0 +1,26 @@
+"""Platform model for master-worker divisible-load computing.
+
+Implements the paper's §3.1 model: ``N`` workers, each described by a
+compute rate ``S`` (workload units per second), a transfer rate ``B``
+(workload units per second on the master's serialized link), a computation
+start-up latency ``cLat`` (seconds), a transfer start-up latency ``nLat``
+(seconds), and an overlappable network pipeline tail ``tLat`` (seconds).
+"""
+
+from repro.platform.spec import PlatformSpec, WorkerSpec, homogeneous_platform
+from repro.platform.validation import (
+    PlatformError,
+    full_utilization_fraction,
+    satisfies_full_utilization,
+    validate_platform,
+)
+
+__all__ = [
+    "PlatformError",
+    "PlatformSpec",
+    "WorkerSpec",
+    "full_utilization_fraction",
+    "homogeneous_platform",
+    "satisfies_full_utilization",
+    "validate_platform",
+]

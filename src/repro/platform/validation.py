@@ -1,0 +1,60 @@
+"""Feasibility checks for multi-round divisible-load scheduling.
+
+The central condition (from the UMR paper, referenced as the "full platform
+utilization conditions" in §5 of the RUMR paper) is bandwidth sufficiency:
+the master must be able to feed all workers faster than they consume work,
+
+    Σ_i  S_i / B_i  <  1 .
+
+For a homogeneous platform this reads ``N·S < B``; Table 1 enforces it by
+construction with ``B = (1.2 … 2.0)·N·S``.  When the condition fails, chunk
+sizes in a no-idle multi-round schedule would have to *shrink* geometrically
+(θ < 1) and the platform cannot be fully utilized — the paper prescribes
+dropping workers until the condition holds (see
+:func:`repro.core.selection.select_workers`).
+"""
+
+from __future__ import annotations
+
+from repro.platform.spec import PlatformSpec
+
+__all__ = [
+    "PlatformError",
+    "full_utilization_fraction",
+    "satisfies_full_utilization",
+    "validate_platform",
+]
+
+
+class PlatformError(ValueError):
+    """Raised when a platform cannot support a requested schedule."""
+
+
+def full_utilization_fraction(platform: PlatformSpec) -> float:
+    """Return ``Σ S_i/B_i``; values below 1 allow increasing-chunk rounds."""
+    return platform.utilization_sum()
+
+
+def satisfies_full_utilization(platform: PlatformSpec) -> bool:
+    """True when the master link can keep every worker busy (θ > 1)."""
+    return full_utilization_fraction(platform) < 1.0
+
+
+def validate_platform(platform: PlatformSpec, require_full_utilization: bool = False) -> None:
+    """Sanity-check a platform, optionally enforcing bandwidth sufficiency.
+
+    Raises
+    ------
+    PlatformError
+        If the platform has no workers with positive rates (impossible by
+        construction of :class:`~repro.platform.spec.WorkerSpec`) or, when
+        ``require_full_utilization`` is set, if ``Σ S_i/B_i >= 1``.
+    """
+    if platform.N < 1:
+        raise PlatformError("platform has no workers")
+    if require_full_utilization and not satisfies_full_utilization(platform):
+        raise PlatformError(
+            "platform violates the full-utilization condition: "
+            f"sum(S_i/B_i) = {full_utilization_fraction(platform):.4f} >= 1; "
+            "reduce the worker set (see repro.core.selection.select_workers)"
+        )

@@ -1,0 +1,46 @@
+"""Closed-form (deterministic) makespan evaluation for static plans.
+
+Under perfect predictions the platform's timeline is a simple recurrence:
+transfer ``k`` starts when transfer ``k-1`` releases the link, and each
+worker's computation is the usual ``max(arrival, previous end)`` chain.
+This module evaluates that recurrence directly from a
+:class:`~repro.core.chunks.ChunkPlan`, independently of the simulation
+engines — the test suite uses it as an oracle for both.
+"""
+
+from __future__ import annotations
+
+from repro.core.chunks import ChunkPlan
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["analytic_makespan", "analytic_timeline"]
+
+
+def analytic_timeline(
+    platform: PlatformSpec, plan: ChunkPlan
+) -> list[tuple[int, float, float, float, float, float]]:
+    """Evaluate a plan's exact timeline with zero prediction error.
+
+    Returns one tuple per chunk, in dispatch order:
+    ``(worker, send_start, send_end, arrival, comp_start, comp_end)``.
+    """
+    link_free = 0.0
+    busy = [0.0] * platform.N
+    out = []
+    for chunk in plan:
+        spec = platform[chunk.worker]
+        send_start = link_free
+        send_end = send_start + spec.link_time(chunk.size)
+        arrival = send_end + spec.tLat
+        comp_start = max(arrival, busy[chunk.worker])
+        comp_end = comp_start + spec.compute_time(chunk.size)
+        busy[chunk.worker] = comp_end
+        link_free = send_end
+        out.append((chunk.worker, send_start, send_end, arrival, comp_start, comp_end))
+    return out
+
+
+def analytic_makespan(platform: PlatformSpec, plan: ChunkPlan) -> float:
+    """Makespan of a static plan under perfect predictions."""
+    timeline = analytic_timeline(platform, plan)
+    return max((row[5] for row in timeline), default=0.0)

@@ -1,0 +1,251 @@
+"""Reference master-worker simulator on the generic DES kernel.
+
+This engine expresses the paper's platform as interacting processes:
+
+* one *master* process that queries the scheduler's dispatch source,
+  occupies the serialized link for each transfer, and hands chunks to
+  per-worker delivery processes (which model the overlappable ``tLat``
+  pipeline tail);
+* one *worker* process per processor, consuming its FIFO inbox and
+  announcing completions to the master's completion inbox;
+* the scheduler only observes completion announcements, like a real master.
+
+The engine is trajectory-identical to :mod:`repro.sim.fastsim`: the same
+floating-point operations in the same order, and error-model draws in
+dispatch order from the same two streams.  A zero-delay flush before every
+dispatch decision guarantees that completions occurring *exactly* at the
+decision time are observed — these ties are systematic under zero error
+because UMR aligns round boundaries by construction.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+from repro.core.base import (
+    WAIT,
+    CompletionNote,
+    DeadlockError,
+    Dispatch,
+    MasterView,
+    Scheduler,
+)
+from repro.core.chunks import DispatchRecord
+from repro.des import Environment, Monitor, Store
+from repro.errors.models import ErrorModel
+from repro.errors.rng import spawn_rngs
+from repro.platform.spec import PlatformSpec
+from repro.sim.result import SimResult
+
+__all__ = ["simulate_des"]
+
+#: Inbox sentinel telling a worker process to terminate.
+_POISON = object()
+
+
+@dataclasses.dataclass(slots=True)
+class _ChunkMsg:
+    """A delivered chunk: its size and the (pre-drawn) compute duration."""
+
+    index: int
+    size: float
+    comp_time: float
+    phase: str
+
+
+class _DesView(MasterView):
+    """Master-observable state, maintained by explicit message counting.
+
+    Pending work is represented as a per-worker prefix-sum list over the
+    dispatch order plus a completed count — the *same arithmetic* as the
+    fast engine's view, so both views return bit-identical floats and
+    tie-breaks in dynamic schedulers resolve identically (a naive
+    incremental add/subtract accumulator leaves ±1-ulp residues that can
+    flip least-loaded orderings between engines).
+    """
+
+    __slots__ = ("env", "_n", "_sent", "_done", "_prefix", "_all_notes")
+
+    def __init__(self, env: Environment, n: int):
+        self.env = env
+        self._n = n
+        self._sent = [0] * n
+        self._done = [0] * n
+        self._prefix: list[list[float]] = [[0.0] for _ in range(n)]
+        # Sorted by (time, chunk_index): identical to the fast view even
+        # when announcements drain in a different internal order.
+        self._all_notes: list[CompletionNote] = []
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    @property
+    def num_workers(self) -> int:
+        return self._n
+
+    def pending_chunks(self, worker: int) -> int:
+        return self._sent[worker] - self._done[worker]
+
+    def pending_work(self, worker: int) -> float:
+        prefix = self._prefix[worker]
+        return prefix[self._sent[worker]] - prefix[self._done[worker]]
+
+    def observed_completions(self) -> tuple[CompletionNote, ...]:
+        return tuple(self._all_notes)
+
+    # -- engine-side mutation ----------------------------------------------
+    def note_dispatch(self, worker: int, size: float) -> None:
+        self._sent[worker] += 1
+        self._prefix[worker].append(self._prefix[worker][-1] + size)
+
+    def note_completion(self, worker: int, chunk_index: int, size: float, when: float) -> None:
+        self._done[worker] += 1
+        bisect.insort(
+            self._all_notes,
+            CompletionNote(time=when, chunk_index=chunk_index, worker=worker, size=size),
+        )
+
+
+def simulate_des(
+    platform: PlatformSpec,
+    total_work: float,
+    scheduler: Scheduler,
+    error_model: ErrorModel,
+    seed: int | None = None,
+    trace: Monitor | None = None,
+) -> SimResult:
+    """Simulate one run with the DES engine (see module docstring)."""
+    rng_comm, rng_comp = spawn_rngs(seed, 2)
+    source = scheduler.create_source(platform, total_work)
+    env = Environment()
+    monitor = trace if trace is not None else Monitor(enabled=False)
+    n = platform.N
+
+    inboxes = [Store(env) for _ in range(n)]
+    completions = Store(env)
+    view = _DesView(env, n)
+    records: list[DispatchRecord | None] = []
+    deliveries: list = []  # delivery processes, joined before shutdown
+    # Chunks dispatched but not yet announced complete (deadlock detection).
+    outstanding = [0]
+
+    def worker_proc(index: int):
+        while True:
+            msg = yield inboxes[index].get()
+            if msg is _POISON:
+                return
+            comp_start = env.now
+            monitor.record(comp_start, "compute_start", index, chunk=msg.index, size=msg.size)
+            yield env.timeout(msg.comp_time)
+            comp_end = env.now
+            monitor.record(comp_end, "compute_end", index, chunk=msg.index, size=msg.size)
+            rec = records[msg.index]
+            assert rec is not None
+            records[msg.index] = dataclasses.replace(
+                rec, comp_start=comp_start, comp_end=comp_end
+            )
+            completions.put((index, msg.index, msg.size, comp_end))
+
+    def delivery_proc(worker: int, msg: _ChunkMsg, t_lat: float):
+        if t_lat > 0:
+            yield env.timeout(t_lat)
+        monitor.record(env.now, "arrival", worker, chunk=msg.index, size=msg.size)
+        rec = records[msg.index]
+        assert rec is not None
+        records[msg.index] = dataclasses.replace(rec, arrival=env.now)
+        inboxes[worker].put(msg)
+
+    def drain_completions() -> None:
+        while len(completions) > 0:
+            event = completions.get()
+            worker, idx, size, when = event.value
+            view.note_completion(worker, idx, size, when)
+            outstanding[0] -= 1
+
+    def master_proc():
+        while True:
+            # Flush same-time events so completions at exactly `now` are
+            # visible, then fold announcements into the view.
+            yield env.timeout(0)
+            drain_completions()
+            action = source.next_dispatch(view)
+            if action is None:
+                break
+            if action is WAIT:
+                if outstanding[0] <= 0:
+                    raise DeadlockError(
+                        f"{scheduler.name}: WAIT with no outstanding chunk at t={env.now}"
+                    )
+                msg = yield completions.get()
+                worker, idx, size, when = msg
+                view.note_completion(worker, idx, size, when)
+                outstanding[0] -= 1
+                continue
+            if not isinstance(action, Dispatch):
+                raise TypeError(
+                    f"{scheduler.name}: next_dispatch returned {action!r}; "
+                    "expected Dispatch, WAIT or None"
+                )
+            if not 0 <= action.worker < n:
+                raise ValueError(
+                    f"{scheduler.name}: dispatch to worker {action.worker} "
+                    f"outside the platform (N={n})"
+                )
+            spec = platform[action.worker]
+            size = action.size
+            link_time = error_model.perturb(spec.link_time(size), rng_comm)
+            comp_time = error_model.perturb(spec.compute_time(size), rng_comp)
+            error_model.advance()
+            index = len(records)
+            send_start = env.now
+            monitor.record(send_start, "send_start", action.worker, chunk=index, size=size)
+            records.append(
+                DispatchRecord(
+                    index=index,
+                    worker=action.worker,
+                    size=size,
+                    send_start=send_start,
+                    send_end=send_start,  # patched below
+                    arrival=send_start,
+                    comp_start=send_start,
+                    comp_end=send_start,
+                    phase=action.phase,
+                )
+            )
+            view.note_dispatch(action.worker, size)
+            outstanding[0] += 1
+            yield env.timeout(link_time)
+            send_end = env.now
+            monitor.record(send_end, "send_end", action.worker, chunk=index, size=size)
+            rec = records[index]
+            assert rec is not None
+            records[index] = dataclasses.replace(rec, send_end=send_end)
+            msg = _ChunkMsg(index=index, size=size, comp_time=comp_time, phase=action.phase)
+            deliveries.append(env.process(delivery_proc(action.worker, msg, spec.tLat)))
+        # All work dispatched.  Deliveries may still be riding their tLat
+        # pipeline tails — poisoning the inboxes now would overtake them, so
+        # join every delivery first, then let the workers drain and stop.
+        for delivery in deliveries:
+            if not delivery.processed:
+                yield delivery
+        for inbox in inboxes:
+            inbox.put(_POISON)
+
+    worker_procs = [env.process(worker_proc(i)) for i in range(n)]
+    env.process(master_proc())
+    env.run()
+    for proc in worker_procs:
+        assert proc.processed, "worker process did not terminate"
+
+    final = [r for r in records if r is not None]
+    makespan = max((r.comp_end for r in final), default=0.0)
+    return SimResult(
+        makespan=makespan,
+        records=tuple(final),
+        platform=platform,
+        total_work=total_work,
+        scheduler_name=scheduler.name,
+        seed=seed,
+    )

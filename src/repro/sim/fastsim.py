@@ -1,0 +1,184 @@
+"""Specialized fast simulator for the master-worker platform.
+
+Because the platform has exactly one serialized resource (the master's
+link) and per-worker FIFO computation, the whole simulation collapses to a
+single loop over dispatch decisions — no event calendar needed.  The only
+subtlety is *observability*: dynamic schedulers must see a completion only
+once the decision time has passed it, which the :class:`_FastView` enforces
+with timestamp comparisons against the realized completion times.
+
+The loop draws error perturbations in dispatch order from two independent
+streams (communication, computation), exactly like the DES engine, so both
+engines are trajectory-identical for a given seed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+
+from repro.core.base import (
+    WAIT,
+    CompletionNote,
+    DeadlockError,
+    Dispatch,
+    MasterView,
+    Scheduler,
+)
+from repro.core.chunks import DispatchRecord
+from repro.errors.models import ErrorModel
+from repro.errors.rng import spawn_rngs
+from repro.platform.spec import PlatformSpec
+from repro.sim.result import SimResult
+
+__all__ = ["simulate_fast"]
+
+
+class _FastView(MasterView):
+    """Master-observable state backed by the fast engine's arrays."""
+
+    __slots__ = (
+        "_now",
+        "_n",
+        "_sent_count",
+        "_sent_work",
+        "_ends",
+        "_end_work_prefix",
+        "_all_notes",
+    )
+
+    def __init__(self, n: int):
+        self._now = 0.0
+        self._n = n
+        self._sent_count = [0] * n
+        self._sent_work = [0.0] * n
+        # Per-worker realized completion times (nondecreasing: FIFO) and the
+        # matching prefix sums of completed work, for O(log) pending queries.
+        self._ends: list[list[float]] = [[] for _ in range(n)]
+        self._end_work_prefix: list[list[float]] = [[0.0] for _ in range(n)]
+        # Global completion notes kept sorted by (time, chunk_index) for
+        # observed_completions() queries.
+        self._all_notes: list[CompletionNote] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def num_workers(self) -> int:
+        return self._n
+
+    def pending_chunks(self, worker: int) -> int:
+        done = bisect.bisect_right(self._ends[worker], self._now)
+        return self._sent_count[worker] - done
+
+    def pending_work(self, worker: int) -> float:
+        # Prefix-difference form, bit-identical to the DES view (see
+        # _DesView in repro.sim.engine) so dynamic-scheduler tie-breaks
+        # resolve the same way in both engines.
+        done = bisect.bisect_right(self._ends[worker], self._now)
+        prefix = self._end_work_prefix[worker]
+        return prefix[self._sent_count[worker]] - prefix[done]
+
+    def observed_completions(self) -> tuple[CompletionNote, ...]:
+        cutoff = bisect.bisect_right(self._all_notes, (self._now, float("inf")), key=lambda n: (n.time, n.chunk_index))
+        return tuple(self._all_notes[:cutoff])
+
+    # -- engine-side mutation ------------------------------------------------
+    def _note_dispatch(
+        self, worker: int, size: float, comp_end: float, index: int
+    ) -> None:
+        self._sent_count[worker] += 1
+        self._sent_work[worker] += size
+        self._ends[worker].append(comp_end)
+        self._end_work_prefix[worker].append(self._end_work_prefix[worker][-1] + size)
+        note = CompletionNote(time=comp_end, chunk_index=index, worker=worker, size=size)
+        bisect.insort(self._all_notes, note)
+
+
+def simulate_fast(
+    platform: PlatformSpec,
+    total_work: float,
+    scheduler: Scheduler,
+    error_model: ErrorModel,
+    seed: int | None = None,
+) -> SimResult:
+    """Simulate one run with the specialized engine (see module docstring)."""
+    rng_comm, rng_comp = spawn_rngs(seed, 2)
+    source = scheduler.create_source(platform, total_work)
+    workers = platform.workers
+    n = platform.N
+
+    view = _FastView(n)
+    link_free = 0.0
+    worker_busy_until = [0.0] * n
+    # Min-heap of future completion times, for WAIT wake-ups.
+    future_ends: list[float] = []
+    records: list[DispatchRecord] = []
+    now = 0.0
+
+    while True:
+        view._now = now
+        action = source.next_dispatch(view)
+        if action is None:
+            break
+        if action is WAIT:
+            while future_ends and future_ends[0] <= now:
+                heapq.heappop(future_ends)
+            if not future_ends:
+                raise DeadlockError(
+                    f"{scheduler.name}: WAIT with no outstanding chunk at t={now}"
+                )
+            now = heapq.heappop(future_ends)
+            continue
+        if not isinstance(action, Dispatch):
+            raise TypeError(
+                f"{scheduler.name}: next_dispatch returned {action!r}; "
+                "expected Dispatch, WAIT or None"
+            )
+        if not 0 <= action.worker < n:
+            raise ValueError(
+                f"{scheduler.name}: dispatch to worker {action.worker} "
+                f"outside the platform (N={n})"
+            )
+        spec = workers[action.worker]
+        size = action.size
+
+        send_start = now
+        link_time = error_model.perturb(spec.link_time(size), rng_comm)
+        send_end = send_start + link_time
+        arrival = send_end + spec.tLat
+
+        comp_start = max(arrival, worker_busy_until[action.worker])
+        comp_time = error_model.perturb(spec.compute_time(size), rng_comp)
+        comp_end = comp_start + comp_time
+        worker_busy_until[action.worker] = comp_end
+        error_model.advance()
+
+        view._note_dispatch(action.worker, size, comp_end, len(records))
+        heapq.heappush(future_ends, comp_end)
+        records.append(
+            DispatchRecord(
+                index=len(records),
+                worker=action.worker,
+                size=size,
+                send_start=send_start,
+                send_end=send_end,
+                arrival=arrival,
+                comp_start=comp_start,
+                comp_end=comp_end,
+                phase=action.phase,
+            )
+        )
+        link_free = send_end
+        now = link_free
+
+    makespan = max((r.comp_end for r in records), default=0.0)
+    return SimResult(
+        makespan=makespan,
+        records=tuple(records),
+        platform=platform,
+        total_work=total_work,
+        scheduler_name=scheduler.name,
+        seed=seed,
+    )

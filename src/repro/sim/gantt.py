@@ -1,0 +1,85 @@
+"""Text Gantt rendering of simulation results.
+
+Turns a :class:`~repro.sim.result.SimResult` into a per-worker timeline
+(one row per worker plus one for the master's link) so schedules can be
+inspected in a terminal.  Compute intervals render as ``#`` runs keyed to
+the scheduler phase; link occupancy renders as ``=``; idle time as spaces
+— the comm/comp overlap the algorithms fight for is directly visible.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.sim.result import SimResult
+
+__all__ = ["render_gantt", "utilization_profile"]
+
+
+def _phase_mark(phase: str) -> str:
+    """Stable one-character mark per phase label family."""
+    if "p2" in phase or "factoring" in phase or "fsc" in phase:
+        return "+"
+    return "#"
+
+
+def render_gantt(result: SimResult, width: int = 96) -> str:
+    """Render a result as an ASCII Gantt chart.
+
+    One row per worker (computation) plus a ``link`` row (master transfer
+    occupancy).  The horizontal axis spans ``[0, makespan]``.
+    """
+    if result.makespan <= 0 or not result.records:
+        return "(empty schedule)\n"
+    scale = (width - 1) / result.makespan
+
+    def span(a: float, b: float) -> tuple[int, int]:
+        lo = int(a * scale)
+        hi = max(lo + 1, int(b * scale))
+        return lo, min(hi, width)
+
+    out = io.StringIO()
+    out.write(
+        f"Gantt: {result.scheduler_name}, N={result.platform.N}, "
+        f"W={result.total_work:g}, makespan={result.makespan:.3f}s, "
+        f"utilization={result.utilization():.0%}\n"
+    )
+    link_row = [" "] * width
+    for r in result.records:
+        lo, hi = span(r.send_start, r.send_end)
+        for c in range(lo, hi):
+            link_row[c] = "="
+    out.write(f"{'link':>7} |{''.join(link_row)}|\n")
+
+    for w in range(result.platform.N):
+        row = [" "] * width
+        for r in result.worker_records(w):
+            lo, hi = span(r.comp_start, r.comp_end)
+            mark = _phase_mark(r.phase)
+            for c in range(lo, hi):
+                row[c] = mark
+        out.write(f"{f'w{w}':>7} |{''.join(row)}|\n")
+    out.write(f"{'':>8} 0{'':>{width - 10}}{result.makespan:8.2f}s\n")
+    out.write("         '=' link busy   '#' compute (phase 1/static)   '+' compute (factoring tail)\n")
+    return out.getvalue()
+
+
+def utilization_profile(result: SimResult, buckets: int = 20) -> list[float]:
+    """Fraction of workers computing in each of ``buckets`` makespan slices.
+
+    Useful in tests and examples to quantify ramp-up (pipeline fill) and
+    tail (straggler) inefficiency without eyeballing the Gantt.
+    """
+    if result.makespan <= 0:
+        return [0.0] * buckets
+    edges = [result.makespan * k / buckets for k in range(buckets + 1)]
+    totals = [0.0] * buckets
+    for r in result.records:
+        for b in range(buckets):
+            lo, hi = edges[b], edges[b + 1]
+            overlap = min(r.comp_end, hi) - max(r.comp_start, lo)
+            if overlap > 0:
+                totals[b] += overlap
+    slice_len = result.makespan / buckets
+    n = result.platform.N
+    return [t / (slice_len * n) for t in totals]

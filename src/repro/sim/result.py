@@ -1,0 +1,152 @@
+"""Simulation results, the engine-selection front door, and validation."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.core.base import Scheduler
+from repro.core.chunks import DispatchRecord
+from repro.errors.models import ErrorModel, NoError
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["SimResult", "simulate", "validate_schedule"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated application run.
+
+    Attributes
+    ----------
+    makespan:
+        Completion time of the last chunk (the paper's objective).
+    records:
+        One :class:`~repro.core.chunks.DispatchRecord` per chunk, in
+        dispatch order.
+    platform / total_work / scheduler_name / seed:
+        Provenance of the run.
+    """
+
+    makespan: float
+    records: tuple[DispatchRecord, ...]
+    platform: PlatformSpec
+    total_work: float
+    scheduler_name: str
+    seed: int | None = None
+
+    @property
+    def num_chunks(self) -> int:
+        """How many chunks were dispatched."""
+        return len(self.records)
+
+    @property
+    def dispatched_work(self) -> float:
+        """Total workload actually sent (should equal ``total_work``)."""
+        return sum(r.size for r in self.records)
+
+    def worker_records(self, worker: int) -> list[DispatchRecord]:
+        """Records for one worker, in dispatch order."""
+        return [r for r in self.records if r.worker == worker]
+
+    def worker_busy_time(self, worker: int) -> float:
+        """Total computation time of one worker."""
+        return sum(r.comp_time for r in self.worker_records(worker))
+
+    def utilization(self) -> float:
+        """Mean fraction of the makespan workers spent computing."""
+        if self.makespan == 0:
+            return 0.0
+        busy = sum(r.comp_time for r in self.records)
+        return busy / (self.platform.N * self.makespan)
+
+    def phase_work(self) -> dict[str, float]:
+        """Workload dispatched per scheduler phase label."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.phase] = out.get(r.phase, 0.0) + r.size
+        return out
+
+
+def simulate(
+    platform: PlatformSpec,
+    total_work: float,
+    scheduler: Scheduler,
+    error_model: ErrorModel | None = None,
+    seed: int | None = None,
+    engine: str = "fast",
+    trace: "typing.Any | None" = None,
+) -> SimResult:
+    """Run one application under ``scheduler`` and return the result.
+
+    Parameters
+    ----------
+    platform:
+        The master-worker platform.
+    total_work:
+        ``W_total`` in workload units; must be positive.
+    scheduler:
+        Any :class:`~repro.core.base.Scheduler`.
+    error_model:
+        Prediction-error model (default: perfect predictions).
+    seed:
+        Seed for the error streams; irrelevant (but allowed) with
+        :class:`~repro.errors.NoError`.
+    engine:
+        ``"fast"`` (default) or ``"des"`` — identical results, different
+        machinery; the DES engine additionally fills ``trace`` if given.
+    trace:
+        Optional :class:`repro.des.Monitor` (DES engine only).
+    """
+    from repro.sim.engine import simulate_des
+    from repro.sim.fastsim import simulate_fast
+
+    if not total_work > 0:
+        raise ValueError(f"total_work must be > 0, got {total_work}")
+    if error_model is None:
+        error_model = NoError()
+    if engine == "fast":
+        if trace is not None:
+            raise ValueError("trace monitors require engine='des'")
+        return simulate_fast(platform, total_work, scheduler, error_model, seed)
+    if engine == "des":
+        return simulate_des(platform, total_work, scheduler, error_model, seed, trace)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def validate_schedule(result: SimResult, rel_tol: float = 1e-9) -> None:
+    """Assert the physical invariants of a simulated schedule.
+
+    Checks (raises ``AssertionError`` on violation):
+
+    * the dispatched work equals the requested total workload;
+    * master-link transfers never overlap and are ordered;
+    * each arrival happens at/after its transfer's link release;
+    * computation starts at/after arrival and respects per-worker FIFO;
+    * the makespan is the max computation end.
+    """
+    records = result.records
+    total = result.total_work
+    assert math.isclose(result.dispatched_work, total, rel_tol=rel_tol, abs_tol=1e-9), (
+        f"dispatched {result.dispatched_work} != total {total}"
+    )
+    tol = rel_tol * max(1.0, result.makespan)
+    prev_send_end = -math.inf
+    for r in records:
+        assert r.send_start >= prev_send_end - tol, f"link overlap at chunk {r.index}"
+        assert r.send_end >= r.send_start - tol, f"negative transfer at chunk {r.index}"
+        assert r.arrival >= r.send_end - tol, f"arrival precedes send end at {r.index}"
+        assert r.comp_start >= r.arrival - tol, f"compute before arrival at {r.index}"
+        assert r.comp_end >= r.comp_start - tol, f"negative compute at {r.index}"
+        prev_send_end = r.send_end
+    for w in range(result.platform.N):
+        prev_end = -math.inf
+        for r in result.worker_records(w):
+            assert r.comp_start >= prev_end - tol, f"worker {w} FIFO violated"
+            prev_end = r.comp_end
+    if records:
+        last = max(r.comp_end for r in records)
+        assert math.isclose(result.makespan, last, rel_tol=1e-12, abs_tol=1e-12), (
+            f"makespan {result.makespan} != last completion {last}"
+        )

@@ -1,0 +1,32 @@
+"""Divisible-workload application models.
+
+The paper motivates divisible-load scheduling with three application
+families (§1): image feature extraction (a large image cut into segments),
+signal processing (scanning a long recording), and sequence matching (one
+query against a large dictionary, BLAST-style).  This package models them
+as concrete :class:`~repro.workloads.base.DivisibleWorkload` objects that
+
+* define the total workload in the scheduler's abstract *units* and how
+  units map to application quantities (pixels, samples, letters);
+* characterize the *inherent* prediction error of the application — e.g.
+  data-dependent compute costs (§4: "in a ray-tracing application the time
+  taken to trace through one pixel depends greatly on the complexity of
+  the scene") — as an empirical error magnitude usable by RUMR.
+
+The examples drive the schedulers through these models.
+"""
+
+from repro.workloads.base import DivisibleWorkload, UnitCostSample
+from repro.workloads.image import ImageFeatureExtraction
+from repro.workloads.raytracing import RayTracing
+from repro.workloads.sequence import SequenceMatching
+from repro.workloads.signal import SignalScan
+
+__all__ = [
+    "DivisibleWorkload",
+    "ImageFeatureExtraction",
+    "RayTracing",
+    "SequenceMatching",
+    "SignalScan",
+    "UnitCostSample",
+]

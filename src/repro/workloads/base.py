@@ -1,0 +1,110 @@
+"""Base class for divisible-workload application models.
+
+A workload model answers three questions the schedulers care about:
+
+1. *How big is it?* — ``total_units`` in the scheduler's abstract units
+   (one unit = the "minimal unit of computation", §5: a sequence in a
+   dictionary file, a block of pixels, …).
+2. *How expensive is a unit?* — the per-unit compute cost distribution on
+   a reference worker, possibly data-dependent.  ``unit_cost`` draws from
+   it; ``mean_unit_cost`` is its expectation.
+3. *How predictable is it?* — the application's inherent prediction-error
+   magnitude: the coefficient of variation of a chunk's total cost around
+   the linear model the schedulers assume.  :meth:`estimate_error` measures
+   it empirically (the "past experience with the application" estimator of
+   §4.1), and :meth:`calibrated_platform` folds the mean cost into worker
+   compute rates so the scheduler's ``S`` is expressed in units/second.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.platform.spec import PlatformSpec, WorkerSpec
+
+__all__ = ["DivisibleWorkload", "UnitCostSample"]
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitCostSample:
+    """Empirical per-unit cost statistics from a calibration run."""
+
+    mean: float
+    std: float
+    samples: int
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """std / mean — the natural error-magnitude estimate."""
+        return self.std / self.mean if self.mean > 0 else 0.0
+
+
+class DivisibleWorkload:
+    """Abstract divisible application (see module docstring).
+
+    Subclasses implement :meth:`unit_cost` (seconds of compute one unit
+    costs on a 1-unit/s reference worker) and set :attr:`total_units`.
+    """
+
+    #: Human-readable name for reports.
+    name: str = "workload"
+    #: Total workload, in units.
+    total_units: float = 0.0
+
+    def unit_cost(self, rng: np.random.Generator) -> float:
+        """Draw the (data-dependent) cost of processing one unit."""
+        raise NotImplementedError
+
+    def mean_unit_cost(self) -> float:
+        """Expected per-unit cost (analytic where possible)."""
+        raise NotImplementedError
+
+    # -- derived -------------------------------------------------------------
+    def estimate_error(
+        self, chunk_units: float, samples: int = 200, seed: int | None = None
+    ) -> float:
+        """Empirical prediction-error magnitude for chunks of a given size.
+
+        Simulates ``samples`` chunks of ``chunk_units`` units, sums their
+        per-unit costs, and returns the coefficient of variation of the
+        chunk cost — exactly the *error* quantity RUMR consumes.  By the
+        CLT this shrinks as ``1/sqrt(chunk_units)`` for iid unit costs;
+        heavy-tailed applications (ray tracing, sequence matching) retain
+        much larger values.
+        """
+        if chunk_units < 1:
+            raise ValueError(f"chunk_units must be >= 1, got {chunk_units}")
+        rng = np.random.default_rng(seed)
+        n_units = max(1, int(round(chunk_units)))
+        totals = np.empty(samples)
+        for k in range(samples):
+            totals[k] = sum(self.unit_cost(rng) for _ in range(n_units))
+        mean = float(totals.mean())
+        if mean == 0:
+            return 0.0
+        return float(totals.std() / mean)
+
+    def sample_unit_costs(self, samples: int = 1000, seed: int | None = None) -> UnitCostSample:
+        """Per-unit cost statistics from a calibration run."""
+        rng = np.random.default_rng(seed)
+        costs = np.array([self.unit_cost(rng) for _ in range(samples)])
+        return UnitCostSample(mean=float(costs.mean()), std=float(costs.std()), samples=samples)
+
+    def calibrated_platform(self, platform: PlatformSpec) -> PlatformSpec:
+        """Re-express worker compute rates in workload units per second.
+
+        A worker whose hardware rate is ``S`` reference-units/second
+        processes ``S / mean_unit_cost`` workload units per second.
+        """
+        mean_cost = self.mean_unit_cost()
+        if not mean_cost > 0 or math.isnan(mean_cost):
+            raise ValueError(f"mean unit cost must be > 0, got {mean_cost}")
+        return PlatformSpec(
+            WorkerSpec(
+                S=w.S / mean_cost, B=w.B, cLat=w.cLat, nLat=w.nLat, tLat=w.tLat
+            )
+            for w in platform
+        )

@@ -1,0 +1,76 @@
+"""Image feature extraction: a big image cut into pixel-block units.
+
+The paper's first motivating application (§1): "a big image is segmented,
+and each segment is transferred to a worker and processed locally."  The
+unit of workload is one block of pixels; the per-block cost depends on the
+local scene complexity, modelled here as a lognormal multiplier around the
+nominal cost — flat background blocks are cheap, feature-dense blocks
+(edges, texture) are expensive.  This is the same data-dependence argument
+the paper makes for ray tracing in §4.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.workloads.base import DivisibleWorkload
+
+__all__ = ["ImageFeatureExtraction"]
+
+
+class ImageFeatureExtraction(DivisibleWorkload):
+    """Feature extraction over a ``width × height`` image.
+
+    Parameters
+    ----------
+    width, height:
+        Image dimensions in pixels.
+    block:
+        Side of the square pixel block that forms one workload unit.
+    complexity_sigma:
+        σ of the lognormal per-block complexity multiplier (0 = perfectly
+        uniform image).  The multiplier is normalized to mean 1 so
+        ``mean_unit_cost`` is independent of the complexity level.
+    base_cost:
+        Seconds to process an average block on a 1-unit/s reference worker.
+    """
+
+    def __init__(
+        self,
+        width: int = 8192,
+        height: int = 8192,
+        block: int = 64,
+        complexity_sigma: float = 0.6,
+        base_cost: float = 1.0,
+    ):
+        if width < 1 or height < 1 or block < 1:
+            raise ValueError("image dimensions and block size must be positive")
+        if complexity_sigma < 0:
+            raise ValueError(f"complexity_sigma must be >= 0, got {complexity_sigma}")
+        if base_cost <= 0:
+            raise ValueError(f"base_cost must be > 0, got {base_cost}")
+        self.width = width
+        self.height = height
+        self.block = block
+        self.complexity_sigma = complexity_sigma
+        self.base_cost = base_cost
+        blocks_x = math.ceil(width / block)
+        blocks_y = math.ceil(height / block)
+        self.total_units = float(blocks_x * blocks_y)
+        self.name = f"feature-extraction-{width}x{height}"
+
+    def unit_cost(self, rng: np.random.Generator) -> float:
+        if self.complexity_sigma == 0:
+            return self.base_cost
+        # Lognormal with mean exactly base_cost: mu = -sigma^2/2.
+        sigma = self.complexity_sigma
+        return self.base_cost * rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma)
+
+    def mean_unit_cost(self) -> float:
+        return self.base_cost
+
+    def bytes_per_unit(self, bytes_per_pixel: int = 3) -> int:
+        """Input bytes one block carries (useful to size real bandwidths)."""
+        return self.block * self.block * bytes_per_pixel

@@ -1,0 +1,123 @@
+"""Ray tracing: spatially correlated, data-dependent pixel costs.
+
+§4 of the paper motivates prediction errors with exactly this
+application: *"in a ray-tracing application the time taken to trace
+through one pixel depends greatly on the complexity of the scene."*
+
+Unlike the iid models in the sibling modules, scene complexity is
+*spatially correlated*: adjacent pixel tiles look into the same geometry,
+so expensive tiles cluster.  The model generates a 1-D complexity field
+along the tile scan order as a mean-reverting AR(1) process in
+log-space, with per-tile lognormal jitter on top.  Correlation matters
+for scheduling because a chunk of adjacent tiles does **not** average its
+costs down like iid tiles would — the effective chunk-level error decays
+much more slowly with chunk size, which is precisely the regime where
+RUMR's decreasing tail earns its keep (and what
+:meth:`~repro.workloads.base.DivisibleWorkload.estimate_error` measures).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.workloads.base import DivisibleWorkload
+
+__all__ = ["RayTracing"]
+
+
+class RayTracing(DivisibleWorkload):
+    """Tile-based ray tracing of a ``width × height`` frame.
+
+    Parameters
+    ----------
+    width, height:
+        Frame dimensions in pixels.
+    tile:
+        Square tile side (one workload unit = one tile).
+    sigma:
+        Stationary standard deviation of the log-complexity field.
+    correlation:
+        AR(1) coefficient between consecutive tiles in scan order
+        (0 = iid, → 1 = a single complexity level for the whole frame).
+    jitter_sigma:
+        Per-tile lognormal jitter independent of the field.
+    base_cost:
+        Seconds per average tile on a 1-unit/s reference worker.
+    seed:
+        Seed of the complexity field (the field is part of the scene, so
+        it is fixed per workload instance, not per simulation run).
+    """
+
+    def __init__(
+        self,
+        width: int = 1920,
+        height: int = 1080,
+        tile: int = 32,
+        sigma: float = 0.7,
+        correlation: float = 0.95,
+        jitter_sigma: float = 0.2,
+        base_cost: float = 1.0,
+        seed: int = 0,
+    ):
+        if width < 1 or height < 1 or tile < 1:
+            raise ValueError("frame dimensions and tile size must be positive")
+        if sigma < 0 or jitter_sigma < 0:
+            raise ValueError("sigma values must be >= 0")
+        if not 0.0 <= correlation < 1.0:
+            raise ValueError(f"correlation must be in [0, 1), got {correlation}")
+        if base_cost <= 0:
+            raise ValueError(f"base_cost must be > 0, got {base_cost}")
+        self.tile = tile
+        self.sigma = sigma
+        self.correlation = correlation
+        self.jitter_sigma = jitter_sigma
+        self.base_cost = base_cost
+        tiles_x = math.ceil(width / tile)
+        tiles_y = math.ceil(height / tile)
+        self.total_units = float(tiles_x * tiles_y)
+        self.name = f"raytracing-{width}x{height}"
+
+        # Materialize the scene's complexity field once (scan order).
+        n = int(self.total_units)
+        rng = np.random.default_rng(seed)
+        innovations = rng.normal(0.0, 1.0, n)
+        field = np.empty(n)
+        rho = correlation
+        scale = sigma * math.sqrt(1.0 - rho * rho)
+        field[0] = sigma * innovations[0]
+        for k in range(1, n):
+            field[k] = rho * field[k - 1] + scale * innovations[k]
+        # Normalize to mean multiplier 1 (lognormal mean correction).
+        self._field = np.exp(field - 0.5 * sigma * sigma)
+        self._cursor = 0
+
+    @property
+    def complexity_field(self) -> np.ndarray:
+        """The per-tile complexity multipliers, scan order (read-only)."""
+        return self._field.copy()
+
+    def tile_cost(self, index: int, rng: np.random.Generator) -> float:
+        """Cost of a specific tile (field multiplier × jitter)."""
+        base = self.base_cost * float(self._field[index % len(self._field)])
+        if self.jitter_sigma == 0:
+            return base
+        js = self.jitter_sigma
+        return base * rng.lognormal(mean=-0.5 * js * js, sigma=js)
+
+    def unit_cost(self, rng: np.random.Generator) -> float:
+        # Sequential scan through the field — consecutive draws are
+        # correlated, matching how a chunk of adjacent tiles behaves.
+        cost = self.tile_cost(self._cursor, rng)
+        self._cursor = (self._cursor + 1) % len(self._field)
+        return cost
+
+    def mean_unit_cost(self) -> float:
+        # The field is normalized to mean 1 in expectation; use the
+        # realized field mean for exactness on this scene.
+        return self.base_cost * float(self._field.mean())
+
+    def reset_scan(self) -> None:
+        """Restart the scan cursor (e.g. between estimate_error calls)."""
+        self._cursor = 0

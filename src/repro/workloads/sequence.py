@@ -1,0 +1,74 @@
+"""Sequence matching: one query against a large dictionary (BLAST-style).
+
+The paper's third motivating application (§1): "a single sequence is
+compared to a big dictionary file, and the running time is proportional to
+the letters in that dictionary."  The unit of workload is one dictionary
+sequence; the cost of comparing the query against it is proportional to
+its length, and dictionary sequence lengths are famously heavy-tailed —
+modelled here as a (shifted) Pareto distribution, which gives this
+workload the largest inherent prediction error of the three models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import DivisibleWorkload
+
+__all__ = ["SequenceMatching"]
+
+
+class SequenceMatching(DivisibleWorkload):
+    """Query-vs-dictionary sequence comparison.
+
+    Parameters
+    ----------
+    num_sequences:
+        Dictionary size — one sequence is one workload unit.
+    mean_length:
+        Mean sequence length in letters.
+    tail_index:
+        Pareto tail index of the length distribution (must be > 2 so the
+        variance exists; smaller = heavier tail = larger inherent error).
+    cost_per_letter:
+        Seconds per letter on a 1-unit/s reference worker.
+    """
+
+    def __init__(
+        self,
+        num_sequences: int = 100000,
+        mean_length: float = 350.0,
+        tail_index: float = 2.5,
+        cost_per_letter: float = 1.0 / 350.0,
+    ):
+        if num_sequences < 1:
+            raise ValueError(f"num_sequences must be >= 1, got {num_sequences}")
+        if mean_length <= 0:
+            raise ValueError(f"mean_length must be > 0, got {mean_length}")
+        if tail_index <= 2.0:
+            raise ValueError(
+                f"tail_index must be > 2 for a finite variance, got {tail_index}"
+            )
+        if cost_per_letter <= 0:
+            raise ValueError(f"cost_per_letter must be > 0, got {cost_per_letter}")
+        self.num_sequences = num_sequences
+        self.mean_length = mean_length
+        self.tail_index = tail_index
+        self.cost_per_letter = cost_per_letter
+        self.total_units = float(num_sequences)
+        self.name = f"sequence-matching-{num_sequences}"
+        # Pareto(a) with scale x_m has mean a*x_m/(a-1); pick x_m for the
+        # requested mean length.
+        self._x_m = mean_length * (tail_index - 1.0) / tail_index
+
+    def sequence_length(self, rng: np.random.Generator) -> float:
+        """Draw one dictionary sequence length (letters)."""
+        # numpy's pareto is the Lomax form; (1 + pareto(a)) * x_m is the
+        # classic Pareto with scale x_m.
+        return float((1.0 + rng.pareto(self.tail_index)) * self._x_m)
+
+    def unit_cost(self, rng: np.random.Generator) -> float:
+        return self.sequence_length(rng) * self.cost_per_letter
+
+    def mean_unit_cost(self) -> float:
+        return self.mean_length * self.cost_per_letter

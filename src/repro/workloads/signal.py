@@ -1,0 +1,74 @@
+"""Signal processing: recovering a signal buried in a long recording.
+
+The paper's second motivating application (§1): "tries to recover a signal
+buried in a large file recording measurements."  The unit of workload is
+one window of samples; the scan cost per window is nearly constant (the
+FFT/correlation work depends only on the window size), with a small jitter
+from early-exit thresholding when a window is obviously empty.  This is
+the most *predictable* of the three models — with it, UMR alone is close
+to optimal, which the examples use to show where RUMR's phase 2 is and
+is not worth its overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import DivisibleWorkload
+
+__all__ = ["SignalScan"]
+
+
+class SignalScan(DivisibleWorkload):
+    """Matched-filter scan over a long recording.
+
+    Parameters
+    ----------
+    duration_s:
+        Recording length in seconds.
+    sample_rate:
+        Samples per second.
+    window:
+        Samples per analysis window (one workload unit).
+    early_exit_fraction:
+        Fraction of windows that exit early (obviously signal-free),
+        costing ``early_exit_cost_ratio`` of the full scan.
+    base_cost:
+        Seconds to fully scan one window on a 1-unit/s reference worker.
+    """
+
+    def __init__(
+        self,
+        duration_s: float = 3600.0,
+        sample_rate: float = 44100.0,
+        window: int = 65536,
+        early_exit_fraction: float = 0.1,
+        early_exit_cost_ratio: float = 0.4,
+        base_cost: float = 1.0,
+    ):
+        if duration_s <= 0 or sample_rate <= 0 or window < 1:
+            raise ValueError("recording parameters must be positive")
+        if not 0.0 <= early_exit_fraction < 1.0:
+            raise ValueError(
+                f"early_exit_fraction must be in [0,1), got {early_exit_fraction}"
+            )
+        if not 0.0 < early_exit_cost_ratio <= 1.0:
+            raise ValueError(
+                f"early_exit_cost_ratio must be in (0,1], got {early_exit_cost_ratio}"
+            )
+        self.window = window
+        self.early_exit_fraction = early_exit_fraction
+        self.early_exit_cost_ratio = early_exit_cost_ratio
+        self.base_cost = base_cost
+        total_samples = duration_s * sample_rate
+        self.total_units = float(max(1, int(total_samples // window)))
+        self.name = f"signal-scan-{int(duration_s)}s"
+
+    def unit_cost(self, rng: np.random.Generator) -> float:
+        if self.early_exit_fraction > 0 and rng.random() < self.early_exit_fraction:
+            return self.base_cost * self.early_exit_cost_ratio
+        return self.base_cost
+
+    def mean_unit_cost(self) -> float:
+        f, r = self.early_exit_fraction, self.early_exit_cost_ratio
+        return self.base_cost * (f * r + (1.0 - f))

@@ -1,0 +1,106 @@
+"""Tests for the steady-state throughput bound and per-run bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    efficiency,
+    makespan_lower_bound,
+    steady_state_throughput,
+)
+from repro.core import UMR, EqualSplit, Factoring
+from repro.errors import NoError
+from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
+from repro.sim import simulate
+
+
+class TestSteadyStateLP:
+    def test_homogeneous_feasible_platform_saturates_all(self):
+        # B = 1.5*N*S: the link can feed everyone; throughput = N*S.
+        p = homogeneous_platform(10, S=1.0, bandwidth_factor=1.5)
+        alloc = steady_state_throughput(p)
+        assert alloc.throughput == pytest.approx(10.0)
+        assert alloc.saturated == tuple(range(10))
+        assert alloc.link_utilization == pytest.approx(1 / 1.5)
+
+    def test_link_bound_platform(self):
+        # B = 0.5*N*S: only half the aggregate speed can be fed.
+        p = homogeneous_platform(10, S=1.0, B=5.0)
+        alloc = steady_state_throughput(p)
+        assert alloc.throughput == pytest.approx(5.0)
+        assert alloc.link_utilization == pytest.approx(1.0)
+
+    def test_bandwidth_priority_over_speed(self):
+        # A slow worker with a huge link must be saturated before a fast
+        # worker with a tiny link — the bandwidth-centric principle.
+        p = PlatformSpec(
+            [
+                WorkerSpec(S=10.0, B=2.0),   # fast, starved link
+                WorkerSpec(S=1.0, B=100.0),  # slow, cheap to feed
+            ]
+        )
+        alloc = steady_state_throughput(p)
+        assert 1 in alloc.saturated
+        assert alloc.rates[1] == pytest.approx(1.0)
+        # Worker 0 gets the remaining link fraction: (1 - 0.01) * 2.
+        assert alloc.rates[0] == pytest.approx(1.98)
+        assert alloc.throughput == pytest.approx(2.98)
+
+    def test_infinite_bandwidth_costs_no_link(self):
+        p = PlatformSpec([WorkerSpec(S=3.0, B=math.inf), WorkerSpec(S=1.0, B=2.0)])
+        alloc = steady_state_throughput(p)
+        assert alloc.throughput == pytest.approx(4.0)
+        assert alloc.link_utilization == pytest.approx(0.5)
+
+    def test_finite_chunks_degrade_throughput(self):
+        p = homogeneous_platform(10, S=1.0, bandwidth_factor=1.2, cLat=0.5, nLat=0.2)
+        fluid = steady_state_throughput(p).throughput
+        coarse = steady_state_throughput(p, chunk_size=50.0).throughput
+        fine = steady_state_throughput(p, chunk_size=1.0).throughput
+        assert fine < coarse <= fluid + 1e-12
+
+    def test_bad_chunk_size_rejected(self):
+        p = homogeneous_platform(2, S=1.0, B=4.0)
+        with pytest.raises(ValueError):
+            steady_state_throughput(p, chunk_size=0.0)
+
+    def test_makespan_bound(self):
+        p = homogeneous_platform(10, S=1.0, bandwidth_factor=1.5)
+        alloc = steady_state_throughput(p)
+        assert alloc.makespan_bound(1000.0) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            alloc.makespan_bound(-1.0)
+
+
+class TestBounds:
+    def test_lower_bound_at_least_work_bound(self):
+        p = homogeneous_platform(8, S=1.0, bandwidth_factor=1.4, cLat=0.2, nLat=0.1)
+        assert makespan_lower_bound(p, 1000.0) >= 1000.0 / 8
+
+    def test_no_schedule_beats_the_bound(self):
+        p = homogeneous_platform(8, S=1.0, bandwidth_factor=1.4, cLat=0.2, nLat=0.1)
+        bound = makespan_lower_bound(p, 1000.0)
+        for sched in (UMR(), Factoring(), EqualSplit()):
+            result = simulate(p, 1000.0, sched, NoError())
+            assert result.makespan >= bound - 1e-9
+
+    def test_umr_approaches_bound_for_large_workloads(self):
+        # Per-round overheads amortize: efficiency → 1 as W grows.
+        p = homogeneous_platform(8, S=1.0, bandwidth_factor=1.4, cLat=0.2, nLat=0.1)
+        effs = []
+        for w in (100.0, 1000.0, 100000.0):
+            result = simulate(p, w, UMR(), NoError())
+            effs.append(efficiency(result))
+        assert effs == sorted(effs)
+        assert effs[-1] > 0.98
+
+    def test_efficiency_in_unit_interval(self):
+        p = homogeneous_platform(4, S=1.0, bandwidth_factor=1.5, cLat=0.3, nLat=0.2)
+        result = simulate(p, 200.0, Factoring(), NoError())
+        assert 0.0 < efficiency(result) <= 1.0
+
+    def test_bad_work_rejected(self):
+        p = homogeneous_platform(2, S=1.0, B=4.0)
+        with pytest.raises(ValueError):
+            makespan_lower_bound(p, 0.0)

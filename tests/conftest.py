@@ -1,0 +1,43 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import hypothesis
+import pytest
+
+from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
+
+# Keep hypothesis deterministic and CI-friendly.
+hypothesis.settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[hypothesis.HealthCheck.too_slow],
+)
+hypothesis.settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_platform() -> PlatformSpec:
+    """A 5-worker homogeneous platform with moderate latencies."""
+    return homogeneous_platform(5, S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.1)
+
+
+@pytest.fixture
+def paper_platform() -> PlatformSpec:
+    """A mid-grid Table-1 platform (N=20, B=1.8N, cLat=0.3, nLat=0.1)."""
+    return homogeneous_platform(20, S=1.0, bandwidth_factor=1.8, cLat=0.3, nLat=0.1)
+
+
+@pytest.fixture
+def hetero_platform() -> PlatformSpec:
+    """A small heterogeneous platform satisfying full utilization."""
+    return PlatformSpec(
+        [
+            WorkerSpec(S=1.0, B=12.0, cLat=0.2, nLat=0.1),
+            WorkerSpec(S=2.0, B=18.0, cLat=0.1, nLat=0.05),
+            WorkerSpec(S=0.5, B=9.0, cLat=0.3, nLat=0.2),
+            WorkerSpec(S=1.5, B=15.0, cLat=0.0, nLat=0.0),
+        ]
+    )

@@ -1,0 +1,84 @@
+"""Tests for the scheduler/engine contract primitives."""
+
+import pytest
+
+from repro.core.base import WAIT, Dispatch, StaticPlanSource, Wait
+from repro.core.chunks import ChunkPlan, DispatchRecord, PlannedChunk
+
+
+class TestDispatch:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Dispatch(worker=0, size=0.0)
+
+    def test_wait_is_singleton(self):
+        assert Wait() is WAIT
+
+
+class TestStaticPlanSource:
+    def test_replays_in_order_and_terminates(self):
+        plan = [Dispatch(worker=i, size=float(i + 1)) for i in range(3)]
+        src = StaticPlanSource(plan)
+        assert src.remaining_dispatches == 3
+        out = [src.next_dispatch(None) for _ in range(4)]
+        assert out[:3] == plan
+        assert out[3] is None
+        assert src.remaining_dispatches == 0
+
+
+class TestPlannedChunk:
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            PlannedChunk(worker=0, size=-1.0)
+
+    def test_rejects_negative_worker(self):
+        with pytest.raises(ValueError):
+            PlannedChunk(worker=-1, size=1.0)
+
+
+class TestChunkPlan:
+    def make(self):
+        return ChunkPlan(
+            [
+                PlannedChunk(worker=0, size=1.0, round_index=0),
+                PlannedChunk(worker=1, size=2.0, round_index=0),
+                PlannedChunk(worker=0, size=3.0, round_index=1),
+                PlannedChunk(worker=1, size=4.0, round_index=1),
+            ]
+        )
+
+    def test_total_work(self):
+        assert self.make().total_work == 10.0
+
+    def test_num_rounds(self):
+        assert self.make().num_rounds == 2
+
+    def test_round_sizes(self):
+        assert self.make().round_sizes() == [[1.0, 2.0], [3.0, 4.0]]
+
+    def test_for_worker(self):
+        chunks = self.make().for_worker(1)
+        assert [c.size for c in chunks] == [2.0, 4.0]
+
+    def test_sequence_protocol(self):
+        plan = self.make()
+        assert len(plan) == 4
+        assert plan[0].size == 1.0
+        assert [c.worker for c in plan] == [0, 1, 0, 1]
+
+
+class TestDispatchRecord:
+    def test_derived_durations(self):
+        r = DispatchRecord(
+            index=0,
+            worker=2,
+            size=5.0,
+            send_start=1.0,
+            send_end=1.5,
+            arrival=1.6,
+            comp_start=2.0,
+            comp_end=4.0,
+            phase="x",
+        )
+        assert r.link_time == pytest.approx(0.5)
+        assert r.comp_time == pytest.approx(2.0)

@@ -1,0 +1,132 @@
+"""Tests for the Multi-Installment (MI-x) linear-system solver."""
+
+import pytest
+
+from repro.core.multi_installment import (
+    MIInfeasibleError,
+    MISchedule,
+    MultiInstallment,
+    solve_multi_installment,
+)
+from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
+
+W = 1000.0
+
+
+def platform(n=10, factor=1.5):
+    return homogeneous_platform(n, S=1.0, bandwidth_factor=factor)
+
+
+def recv_and_comp_ends(p, sizes):
+    """Replay the latency-free MI model and return per-(round, worker) ends."""
+    n = p.N
+    recv_end = {}
+    comp_end = {}
+    t = 0.0
+    for j, row in enumerate(sizes):
+        for i, a in enumerate(row):
+            t += a / p[i].B
+            recv_end[(j, i)] = t
+    for j, row in enumerate(sizes):
+        for i, a in enumerate(row):
+            if j == 0:
+                start = recv_end[(0, i)]
+            else:
+                start = max(recv_end[(j, i)], comp_end[(j - 1, i)])
+            comp_end[(j, i)] = start + a / p[i].S
+    return recv_end, comp_end
+
+
+class TestSolution:
+    @pytest.mark.parametrize("rounds", [1, 2, 3, 4])
+    def test_conservation(self, rounds):
+        sched = solve_multi_installment(platform(), W, rounds)
+        assert sched.total_work == pytest.approx(W, rel=1e-9)
+
+    @pytest.mark.parametrize("rounds", [1, 2, 3, 4])
+    def test_all_sizes_nonnegative(self, rounds):
+        sched = solve_multi_installment(platform(), W, rounds)
+        assert min(min(row) for row in sched.sizes) >= 0.0
+
+    @pytest.mark.parametrize("rounds", [2, 3, 4])
+    def test_no_idle_condition(self, rounds):
+        p = platform()
+        sched = solve_multi_installment(p, W, rounds)
+        recv_end, comp_end = recv_and_comp_ends(p, sched.sizes)
+        for j in range(1, sched.rounds_used):
+            for i in range(p.N):
+                assert recv_end[(j, i)] == pytest.approx(comp_end[(j - 1, i)], rel=1e-7)
+
+    @pytest.mark.parametrize("rounds", [1, 2, 3, 4])
+    def test_simultaneous_completion(self, rounds):
+        p = platform()
+        sched = solve_multi_installment(p, W, rounds)
+        _, comp_end = recv_and_comp_ends(p, sched.sizes)
+        last = sched.rounds_used - 1
+        finishes = [comp_end[(last, i)] for i in range(p.N)]
+        assert max(finishes) - min(finishes) < 1e-6 * max(finishes)
+
+    def test_single_round_decreasing_geometric(self):
+        # Classic one-installment result: alpha_{i+1} = alpha_i * B/(B+S).
+        p = platform(n=6, factor=1.5)
+        sched = solve_multi_installment(p, W, 1)
+        sizes = sched.sizes[0]
+        b, s = p[0].B, p[0].S
+        ratio = b / (b + s)
+        for a, bb in zip(sizes, sizes[1:]):
+            assert bb / a == pytest.approx(ratio, rel=1e-7)
+
+    def test_more_installments_finish_sooner_in_mi_model(self):
+        # Within MI's own (latency-free) model, more rounds means better
+        # overlap and a strictly earlier simultaneous finish.
+        p = platform()
+        finishes = []
+        for x in (1, 2, 3, 4):
+            sched = solve_multi_installment(p, W, x)
+            _, comp_end = recv_and_comp_ends(p, sched.sizes)
+            finishes.append(comp_end[(sched.rounds_used - 1, 0)])
+        assert finishes == sorted(finishes, reverse=True)
+
+    def test_heterogeneous_platform(self, hetero_platform):
+        sched = solve_multi_installment(hetero_platform, W, 3)
+        assert sched.total_work == pytest.approx(W, rel=1e-9)
+        recv_end, comp_end = recv_and_comp_ends(hetero_platform, sched.sizes)
+        last = sched.rounds_used - 1
+        finishes = [comp_end[(last, i)] for i in range(hetero_platform.N)]
+        assert max(finishes) - min(finishes) < 1e-6 * max(finishes)
+
+
+class TestInterface:
+    def test_rounds_used_reported(self):
+        sched = solve_multi_installment(platform(), W, 3)
+        assert isinstance(sched, MISchedule)
+        assert sched.rounds_requested == 3
+        assert 1 <= sched.rounds_used <= 3
+
+    def test_bad_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            solve_multi_installment(platform(), W, 0)
+
+    def test_bad_work_rejected(self):
+        with pytest.raises(ValueError):
+            solve_multi_installment(platform(), -5.0, 2)
+
+    def test_scheduler_name(self):
+        assert MultiInstallment(3).name == "MI-3"
+
+    def test_scheduler_bad_rounds(self):
+        with pytest.raises(ValueError):
+            MultiInstallment(0)
+
+    def test_chunk_plan_round_major(self):
+        plan = solve_multi_installment(platform(n=3), W, 2).to_chunk_plan()
+        rounds = [c.round_index for c in plan]
+        assert rounds == sorted(rounds)
+
+    def test_single_worker(self):
+        p = homogeneous_platform(1, S=1.0, B=3.0)
+        sched = solve_multi_installment(p, W, 2)
+        assert sched.total_work == pytest.approx(W)
+
+    def test_infeasible_error_type_exists(self):
+        assert issubclass(MIInfeasibleError, ValueError)

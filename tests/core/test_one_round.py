@@ -1,0 +1,53 @@
+"""Tests for single-installment baselines."""
+
+import pytest
+
+from repro.core.one_round import EqualSplit, OneRound
+from repro.platform import homogeneous_platform
+from repro.sim import simulate, validate_schedule
+
+W = 1000.0
+
+
+def platform(n=8):
+    return homogeneous_platform(n, S=1.0, bandwidth_factor=1.5, cLat=0.1, nLat=0.05)
+
+
+class TestOneRound:
+    def test_one_chunk_per_worker(self):
+        result = simulate(platform(), W, OneRound())
+        assert result.num_chunks == 8
+        assert sorted(r.worker for r in result.records) == list(range(8))
+
+    def test_sizes_decrease_with_dispatch_order(self):
+        sizes = OneRound().chunk_sizes(platform(), W)
+        assert all(b < a for a, b in zip(sizes, sizes[1:]))
+
+    def test_work_conserved(self):
+        result = simulate(platform(), W, OneRound())
+        assert result.dispatched_work == pytest.approx(W, rel=1e-9)
+        validate_schedule(result)
+
+    def test_beats_equal_split_under_ideal_model(self):
+        # The simultaneous-finish sizing compensates for sequential
+        # distribution; equal split leaves late workers waiting.
+        p = platform()
+        one = simulate(p, W, OneRound()).makespan
+        eq = simulate(p, W, EqualSplit()).makespan
+        assert one < eq
+
+
+class TestEqualSplit:
+    def test_equal_chunks(self):
+        result = simulate(platform(), W, EqualSplit())
+        assert all(r.size == pytest.approx(W / 8) for r in result.records)
+
+    def test_work_conserved(self):
+        result = simulate(platform(), W, EqualSplit())
+        assert result.dispatched_work == pytest.approx(W, rel=1e-9)
+        validate_schedule(result)
+
+    def test_plan_inspectable(self):
+        plan = EqualSplit().plan(platform(n=4), W)
+        assert len(plan) == 4
+        assert plan.total_work == pytest.approx(W)

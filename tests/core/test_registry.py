@@ -1,0 +1,50 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.core import RUMR, UMR, available_schedulers, make_scheduler
+from repro.core.factoring import Factoring
+from repro.core.multi_installment import MultiInstallment
+
+
+def test_paper_algorithms_all_registered():
+    names = available_schedulers()
+    for required in ("RUMR", "UMR", "MI-1", "MI-2", "MI-3", "MI-4", "Factoring", "FSC"):
+        assert required in names
+
+
+def test_fig6_variants_registered():
+    names = available_schedulers()
+    for pct in (50, 60, 70, 80, 90):
+        assert f"RUMR_{pct}" in names
+
+
+def test_fig7_variant_registered():
+    assert "RUMR-plain" in available_schedulers()
+
+
+def test_make_scheduler_types():
+    assert isinstance(make_scheduler("UMR"), UMR)
+    assert isinstance(make_scheduler("Factoring"), Factoring)
+    assert isinstance(make_scheduler("MI-3"), MultiInstallment)
+    assert make_scheduler("MI-3").rounds == 3
+
+
+def test_rumr_receives_error_estimate():
+    sched = make_scheduler("RUMR", error=0.25)
+    assert isinstance(sched, RUMR)
+    assert sched.known_error == 0.25
+
+
+def test_umr_ignores_error_estimate():
+    assert isinstance(make_scheduler("UMR", error=0.4), UMR)
+
+
+def test_unknown_name_rejected_with_listing():
+    with pytest.raises(ValueError, match="available"):
+        make_scheduler("SuperScheduler")
+
+
+def test_names_match_instances():
+    for name in available_schedulers():
+        assert make_scheduler(name, 0.2).name == name

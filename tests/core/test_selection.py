@@ -1,0 +1,75 @@
+"""Tests for resource selection under the full-utilization condition."""
+
+import pytest
+
+from repro.core.selection import select_workers
+from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
+
+
+def test_feasible_platform_keeps_all_workers():
+    p = homogeneous_platform(10, S=1.0, bandwidth_factor=1.5)
+    assert select_workers(p) == list(range(10))
+
+
+def test_infeasible_platform_drops_workers():
+    # B = 0.5*N*S: only about half the workers can be fed.
+    p = homogeneous_platform(10, S=1.0, B=5.0)
+    chosen = select_workers(p)
+    assert 0 < len(chosen) < 10
+    sub = p.subset(chosen)
+    assert sub.utilization_sum() < 1.0
+
+
+def test_selection_prefers_high_bandwidth():
+    p = PlatformSpec(
+        [
+            WorkerSpec(S=1.0, B=1.1),   # barely feasible alone
+            WorkerSpec(S=1.0, B=50.0),  # cheap to feed
+            WorkerSpec(S=1.0, B=40.0),
+        ]
+    )
+    chosen = select_workers(p)
+    assert 1 in chosen and 2 in chosen
+
+
+def test_at_least_one_worker_always_selected():
+    # A single worker that alone violates the condition is still selected.
+    p = PlatformSpec([WorkerSpec(S=10.0, B=1.0)])
+    assert select_workers(p) == [0]
+
+
+def test_result_in_original_order():
+    p = PlatformSpec(
+        [WorkerSpec(S=1.0, B=10.0), WorkerSpec(S=1.0, B=30.0), WorkerSpec(S=1.0, B=20.0)]
+    )
+    chosen = select_workers(p)
+    assert chosen == sorted(chosen)
+
+
+def test_margin_tightens_selection():
+    p = homogeneous_platform(10, S=1.0, B=20.0)  # sum = 0.5 at full set
+    assert len(select_workers(p, margin=1.0)) == 10
+    assert len(select_workers(p, margin=0.3)) < 10
+
+
+def test_bad_margin_rejected():
+    p = homogeneous_platform(2, S=1.0, B=5.0)
+    with pytest.raises(ValueError):
+        select_workers(p, margin=0.0)
+
+
+def test_custom_score_function():
+    p = PlatformSpec([WorkerSpec(S=i + 1.0, B=100.0) for i in range(3)])
+    # Prefer slow workers: with a generous link all still fit.
+    chosen = select_workers(p, score=lambda i, plat: -plat[i].S)
+    assert chosen == [0, 1, 2]
+
+
+def test_selected_subset_feasible_for_umr():
+    from repro.core.umr import solve_umr
+
+    p = homogeneous_platform(12, S=1.0, B=6.0)  # infeasible as a whole
+    sub = p.subset(select_workers(p))
+    plan = solve_umr(sub, 500.0)
+    assert plan.total_work == pytest.approx(500.0)
+    assert plan.theta > 1.0

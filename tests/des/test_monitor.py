@@ -1,0 +1,49 @@
+"""Tests for the trace Monitor."""
+
+from repro.des import Monitor
+
+
+def test_record_and_query_by_kind():
+    mon = Monitor()
+    mon.record(1.0, "send_start", 0, size=5)
+    mon.record(2.0, "send_end", 0, size=5)
+    mon.record(2.0, "send_start", 1, size=3)
+    assert len(mon) == 3
+    assert [r.time for r in mon.of_kind("send_start")] == [1.0, 2.0]
+
+
+def test_query_by_actor():
+    mon = Monitor()
+    mon.record(1.0, "a", 0)
+    mon.record(2.0, "b", 1)
+    mon.record(3.0, "c", 0)
+    assert [r.kind for r in mon.for_actor(0)] == ["a", "c"]
+
+
+def test_disabled_monitor_records_nothing():
+    mon = Monitor(enabled=False)
+    mon.record(1.0, "x", 0)
+    assert len(mon) == 0
+
+
+def test_last_time():
+    mon = Monitor()
+    assert mon.last_time() == 0.0
+    mon.record(4.2, "x", 0)
+    mon.record(1.0, "y", 1)
+    assert mon.last_time() == 4.2
+
+
+def test_detail_is_preserved():
+    mon = Monitor()
+    mon.record(1.0, "send", 3, chunk=7, size=2.5)
+    (rec,) = mon.records
+    assert rec.detail == {"chunk": 7, "size": 2.5}
+    assert rec.actor == 3
+
+
+def test_iteration_order_is_insertion_order():
+    mon = Monitor()
+    mon.record(5.0, "later", 0)
+    mon.record(1.0, "earlier", 0)
+    assert [r.kind for r in mon] == ["later", "earlier"]

@@ -1,0 +1,152 @@
+"""Tests for the prediction-error models (paper §4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DriftingErrorModel,
+    NoError,
+    NormalErrorModel,
+    UniformErrorModel,
+    make_error_model,
+)
+from repro.errors.models import MIN_RATIO
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+class TestNoError:
+    def test_identity(self, rng):
+        m = NoError()
+        assert m.perturb(3.7, rng) == 3.7
+
+    def test_zero_stays_zero(self, rng):
+        assert NoError().perturb(0.0, rng) == 0.0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            NoError().perturb(-1.0, rng)
+
+
+class TestNormalErrorModel:
+    def test_zero_magnitude_is_exact(self, rng):
+        m = NormalErrorModel(0.0)
+        assert m.perturb(5.0, rng) == 5.0
+
+    def test_ratio_statistics_match_paper_model(self, rng):
+        # predicted/effective ~ Normal(1, error): check mean and std of the
+        # drawn ratio over many samples.
+        m = NormalErrorModel(0.3)
+        ratios = np.array([m.ratio(rng) for _ in range(20000)])
+        assert ratios.mean() == pytest.approx(1.0, abs=0.01)
+        assert ratios.std() == pytest.approx(0.3, abs=0.01)
+
+    def test_truncation_no_nonpositive_ratio(self, rng):
+        m = NormalErrorModel(0.5)
+        ratios = [m.ratio(rng) for _ in range(5000)]
+        assert min(ratios) >= MIN_RATIO
+
+    def test_effective_time_positive(self, rng):
+        m = NormalErrorModel(0.5)
+        for _ in range(1000):
+            assert m.perturb(1.0, rng) > 0
+
+    def test_perturb_multiply_mode(self):
+        # With a fixed generator state the perturbed value is pred * X.
+        m = NormalErrorModel(0.2)
+        r1 = np.random.default_rng(7)
+        r2 = np.random.default_rng(7)
+        x = m.ratio(r1)
+        assert m.perturb(10.0, r2) == pytest.approx(10.0 * x)
+
+    def test_perturb_divide_mode(self):
+        # The verbatim paper reading: pred / X, unbounded right tail.
+        m = NormalErrorModel(0.2, mode="divide")
+        r1 = np.random.default_rng(7)
+        r2 = np.random.default_rng(7)
+        x = m.ratio(r1)
+        assert m.perturb(10.0, r2) == pytest.approx(10.0 / x)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            NormalErrorModel(0.2, mode="sideways")
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ValueError):
+            NormalErrorModel(-0.1)
+
+    def test_bad_min_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            NormalErrorModel(0.1, min_ratio=0.0)
+
+    def test_zero_predicted_stays_zero(self, rng):
+        assert NormalErrorModel(0.4).perturb(0.0, rng) == 0.0
+
+
+class TestUniformErrorModel:
+    def test_matches_mean_and_std(self, rng):
+        m = UniformErrorModel(0.2)
+        ratios = np.array([m.ratio(rng) for _ in range(20000)])
+        assert ratios.mean() == pytest.approx(1.0, abs=0.01)
+        assert ratios.std() == pytest.approx(0.2, abs=0.01)
+
+    def test_support_is_bounded(self, rng):
+        m = UniformErrorModel(0.2)
+        half = math.sqrt(3.0) * 0.2
+        ratios = [m.ratio(rng) for _ in range(2000)]
+        assert min(ratios) >= 1 - half - 1e-12
+        assert max(ratios) <= 1 + half + 1e-12
+
+    def test_large_magnitude_clipped_at_min_ratio(self, rng):
+        m = UniformErrorModel(0.6)  # lower endpoint would be negative
+        ratios = [m.ratio(rng) for _ in range(2000)]
+        assert min(ratios) >= MIN_RATIO
+
+
+class TestDriftingErrorModel:
+    def test_mean_drifts_with_advance(self, rng):
+        m = DriftingErrorModel(magnitude=0.0, drift_per_step=0.1)
+        assert m.ratio(rng) == 1.0
+        m.advance()
+        m.advance()
+        assert m.ratio(rng) == pytest.approx(1.2)
+
+    def test_reset_restores_initial_mean(self, rng):
+        m = DriftingErrorModel(magnitude=0.0, drift_per_step=0.5)
+        m.advance()
+        m.reset()
+        assert m.ratio(rng) == 1.0
+
+    def test_drift_cannot_push_mean_nonpositive(self, rng):
+        m = DriftingErrorModel(magnitude=0.0, drift_per_step=-10.0)
+        m.advance()
+        assert m.ratio(rng) >= MIN_RATIO
+
+
+class TestFactory:
+    def test_zero_magnitude_gives_noerror(self):
+        assert isinstance(make_error_model("normal", 0.0), NoError)
+        assert isinstance(make_error_model("uniform", 0.0), NoError)
+
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            ("none", NoError),
+            ("normal", NormalErrorModel),
+            ("uniform", UniformErrorModel),
+            ("drifting", DriftingErrorModel),
+        ],
+    )
+    def test_kinds(self, kind, cls):
+        magnitude = 0.3
+        model = make_error_model(kind, magnitude)
+        assert isinstance(model, cls)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_error_model("weibull", 0.1)

@@ -1,0 +1,52 @@
+"""Tests for random-stream management."""
+
+import numpy as np
+import pytest
+
+from repro.errors import spawn_rngs, stream_for
+
+
+def test_spawn_produces_requested_count():
+    assert len(spawn_rngs(0, 3)) == 3
+
+
+def test_spawned_streams_are_reproducible():
+    a1, b1 = spawn_rngs(42, 2)
+    a2, b2 = spawn_rngs(42, 2)
+    assert a1.random(5).tolist() == a2.random(5).tolist()
+    assert b1.random(5).tolist() == b2.random(5).tolist()
+
+
+def test_spawned_streams_are_independent():
+    a, b = spawn_rngs(42, 2)
+    assert a.random(5).tolist() != b.random(5).tolist()
+
+
+def test_different_seeds_differ():
+    (a,) = spawn_rngs(1, 1)
+    (b,) = spawn_rngs(2, 1)
+    assert a.random(5).tolist() != b.random(5).tolist()
+
+
+def test_spawn_accepts_seedsequence():
+    ss = np.random.SeedSequence(7)
+    (a,) = spawn_rngs(ss, 1)
+    (b,) = spawn_rngs(np.random.SeedSequence(7), 1)
+    assert a.random(3).tolist() == b.random(3).tolist()
+
+
+def test_stream_for_is_keyed():
+    x = stream_for(5, 1, 2).random(4).tolist()
+    y = stream_for(5, 1, 3).random(4).tolist()
+    z = stream_for(5, 1, 2).random(4).tolist()
+    assert x == z
+    assert x != y
+
+
+def test_stream_for_none_seed_defaults_to_zero():
+    assert stream_for(None, 1).random(3).tolist() == stream_for(0, 1).random(3).tolist()
+
+
+def test_stream_for_rejects_negative_keys():
+    with pytest.raises(ValueError):
+        stream_for(0, -1)

@@ -1,0 +1,111 @@
+"""Tests for trace-driven error models."""
+
+import numpy as np
+import pytest
+
+from repro.errors.models import MIN_RATIO
+from repro.errors.trace import TraceErrorModel, trace_from_workload
+from repro.workloads import RayTracing, SignalScan
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestTraceErrorModel:
+    def test_magnitude_is_trace_std(self):
+        model = TraceErrorModel(trace=(0.8, 1.2, 0.8, 1.2))
+        assert model.magnitude == pytest.approx(0.2)
+
+    def test_replay_preserves_values(self, rng):
+        trace = (0.9, 1.0, 1.1, 1.0)
+        model = TraceErrorModel(trace=trace)
+        draws = [model.ratio(rng) for _ in range(8)]
+        assert set(draws) <= set(trace)
+
+    def test_replay_is_cyclic_and_ordered(self, rng):
+        trace = (0.5, 1.0, 1.5)
+        model = TraceErrorModel(trace=trace)
+        draws = [model.ratio(rng) for _ in range(6)]
+        # Consecutive draws follow the trace order from the random offset.
+        start = trace.index(draws[0])
+        expected = [trace[(start + k) % 3] for k in range(6)]
+        assert draws == expected
+
+    def test_offset_varies_with_stream(self):
+        trace = tuple(0.5 + 0.01 * k for k in range(100))
+        firsts = set()
+        for seed in range(20):
+            model = TraceErrorModel(trace=trace)
+            firsts.add(model.ratio(np.random.default_rng(seed)))
+        assert len(firsts) > 5
+
+    def test_reset_allows_reuse(self, rng):
+        model = TraceErrorModel(trace=(0.9, 1.1))
+        model.ratio(rng)
+        model.reset()
+        model.ratio(np.random.default_rng(0))  # no error
+
+    def test_values_clipped_at_floor(self, rng):
+        model = TraceErrorModel(trace=(1e-9, 1.0, 2.0))
+        draws = {model.ratio(rng) for _ in range(9)}
+        assert min(draws) >= MIN_RATIO
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceErrorModel(trace=(1.0,))
+
+    def test_perturb_uses_trace(self, rng):
+        model = TraceErrorModel(trace=(2.0, 2.0, 2.0))
+        assert model.perturb(5.0, rng) == pytest.approx(10.0)
+
+    def test_divide_mode(self, rng):
+        model = TraceErrorModel(trace=(2.0, 2.0), mode="divide")
+        assert model.perturb(5.0, rng) == pytest.approx(2.5)
+
+
+class TestTraceFromWorkload:
+    def test_mean_near_one(self):
+        model = trace_from_workload(SignalScan(), chunk_units=10, length=64, seed=1)
+        assert np.mean(model.trace) == pytest.approx(1.0, abs=0.05)
+
+    def test_magnitude_tracks_workload_variability(self):
+        calm = trace_from_workload(
+            SignalScan(early_exit_fraction=0.0), chunk_units=10, length=64, seed=1
+        )
+        wild = trace_from_workload(
+            RayTracing(sigma=0.8, correlation=0.9), chunk_units=10, length=64, seed=1
+        )
+        assert wild.magnitude > calm.magnitude
+
+    def test_correlated_workload_gives_correlated_trace(self):
+        model = trace_from_workload(
+            RayTracing(sigma=0.8, correlation=0.97, jitter_sigma=0.05),
+            chunk_units=4,
+            length=128,
+            seed=2,
+        )
+        arr = np.asarray(model.trace)
+        r = np.corrcoef(arr[:-1], arr[1:])[0, 1]
+        assert r > 0.3
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_workload(SignalScan(), chunk_units=0)
+        with pytest.raises(ValueError):
+            trace_from_workload(SignalScan(), chunk_units=5, length=1)
+
+    def test_end_to_end_in_simulation(self):
+        from repro.core import RUMR
+        from repro.platform import homogeneous_platform
+        from repro.sim import simulate, validate_schedule
+
+        workload = RayTracing(width=960, height=540, tile=32)
+        platform = workload.calibrated_platform(
+            homogeneous_platform(6, S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.05)
+        )
+        model = trace_from_workload(workload, chunk_units=8, length=128, seed=3)
+        scheduler = RUMR(known_error=min(model.magnitude, 0.99))
+        result = simulate(platform, workload.total_units, scheduler, model, seed=4)
+        validate_schedule(result)

@@ -1,0 +1,58 @@
+"""Tests for the gantt / hetero / adaptive CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGanttCommand:
+    def test_renders_chart(self, capsys):
+        rc = main([
+            "gantt", "--scheduler", "RUMR", "--n", "4", "--work", "200",
+            "--error", "0.3", "--width", "60",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Gantt: RUMR" in out
+        assert "link" in out and "w3" in out
+
+    def test_unknown_scheduler_fails_cleanly(self, capsys):
+        with pytest.raises(ValueError, match="available"):
+            main(["gantt", "--scheduler", "MagicScheduler", "--work", "10"])
+
+    def test_zero_error_deterministic_output(self, capsys):
+        main(["gantt", "--n", "3", "--work", "100"])
+        first = capsys.readouterr().out
+        main(["gantt", "--n", "3", "--work", "100"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestHeteroCommand:
+    def test_prints_table(self, capsys):
+        rc = main(["hetero", "--n", "6", "--repetitions", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RUMR-weighted" in out
+        assert "level" in out
+        # Five heterogeneity levels by default.
+        assert sum(1 for line in out.splitlines() if line.strip() and line.lstrip()[0].isdigit()) == 5
+
+
+class TestAdaptiveCommand:
+    def test_prints_comparison(self, capsys):
+        rc = main(["adaptive", "--n", "6", "--repetitions", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "AdaptiveRUMR" in out and "oracle" in out
+        assert "0.50" in out  # the error axis reaches 0.5
+
+
+class TestExtfigsCommand:
+    def test_writes_all_four_artifacts(self, tmp_path, capsys):
+        rc = main(["extfigs", "--repetitions", "2", "--out", str(tmp_path)])
+        assert rc == 0
+        for name in ("ext-hetero", "ext-adaptive", "ext-output", "ext-multiport"):
+            path = tmp_path / f"{name}.txt"
+            assert path.exists(), name
+            assert "error," in path.read_text()

@@ -1,0 +1,48 @@
+"""Tests for the figure-producing CLI paths (smoke preset)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def results_dir(tmp_path_factory):
+    # One shared cache dir: the first command sweeps, the rest reuse it.
+    return str(tmp_path_factory.mktemp("res"))
+
+
+class TestFigureCommands:
+    def test_fig4a_stdout(self, results_dir, capsys):
+        rc = main(["fig4a", "--preset", "smoke", "--results", results_dir, "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(a)" in out
+        assert "error,UMR" in out
+
+    def test_fig4b_reuses_cache(self, results_dir, capsys):
+        rc = main(["fig4b", "--preset", "smoke", "--results", results_dir, "--quiet"])
+        assert rc == 0
+        assert "cLat < 0.3" in capsys.readouterr().out
+
+    def test_fig6_writes_artifact(self, results_dir, tmp_path, capsys):
+        rc = main([
+            "fig6", "--preset", "smoke", "--results", results_dir,
+            "--out", str(tmp_path), "--quiet",
+        ])
+        assert rc == 0
+        content = (tmp_path / "fig6-smoke.txt").read_text()
+        assert "RUMR_80" in content
+
+    def test_table3_stdout(self, results_dir, capsys):
+        rc = main(["table3", "--preset", "smoke", "--results", results_dir, "--quiet"])
+        assert rc == 0
+        assert "at least 10%" in capsys.readouterr().out
+
+    def test_seed_override_changes_artifacts(self, tmp_path, capsys):
+        base = str(tmp_path / "a")
+        other = str(tmp_path / "b")
+        main(["fig7", "--preset", "smoke", "--results", base, "--quiet"])
+        first = capsys.readouterr().out
+        main(["fig7", "--preset", "smoke", "--results", other, "--seed", "99", "--quiet"])
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,66 @@
+"""Tests for the extension-study figure adapters."""
+
+import pytest
+
+from repro.experiments.extension_figures import (
+    fig_adaptive,
+    fig_hetero,
+    fig_multiport,
+    fig_output_ratio,
+    hetero_to_figure,
+)
+from repro.experiments.report import ascii_chart, figure_csv
+
+
+class TestHeteroFigure:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return fig_hetero(n=8, repetitions=3, levels=(0.0, 2.0))
+
+    def test_series_and_axis(self, fig):
+        assert set(fig.series) == {"Factoring", "RUMR", "RUMR-weighted"}
+        assert fig.errors == (0.0, 2.0)
+
+    def test_renders(self, fig):
+        assert "heterogeneity" in ascii_chart(fig)
+        assert figure_csv(fig).startswith("error,")
+
+    def test_normalization_reference_excluded(self, fig):
+        assert "UMR" not in fig.series
+
+
+class TestAdaptiveFigure:
+    def test_oracle_normalization(self):
+        fig = fig_adaptive(n=8, repetitions=3, errors=(0.0, 0.3))
+        # At error 0 the oracle is plain UMR: ratio exactly 1.
+        assert fig.series["UMR"][0] == pytest.approx(1.0)
+        # Adaptive tracks the oracle within 10% everywhere on this slice.
+        assert all(abs(v - 1.0) < 0.10 for v in fig.series["AdaptiveRUMR"])
+
+
+class TestOutputFigure:
+    def test_axis_is_ratio(self):
+        fig = fig_output_ratio(n=8, repetitions=2, ratios=(0.0, 0.5))
+        assert fig.errors == (0.0, 0.5)
+        assert set(fig.series) == {"UMR", "Factoring"}
+
+
+class TestMultiportFigure:
+    def test_one_port_is_parity(self):
+        fig = fig_multiport(n=8, repetitions=2, ports=(1, 4))
+        for series in fig.series.values():
+            assert series[0] == pytest.approx(1.0)
+            assert series[1] <= 1.0 + 1e-9  # extra ports never hurt
+
+
+class TestAdapter:
+    def test_hetero_to_figure_reference_choice(self):
+        from repro.core import RUMR, UMR
+        from repro.experiments.hetero import run_hetero_study
+
+        study = run_hetero_study(
+            {"UMR": lambda: UMR(), "RUMR": lambda: RUMR(known_error=0.3)},
+            levels=(0.0,), n=6, repetitions=2,
+        )
+        fig = hetero_to_figure(study, reference="RUMR")
+        assert set(fig.series) == {"UMR"}

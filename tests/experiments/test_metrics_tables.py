@@ -1,0 +1,133 @@
+"""Tests for metrics, Table 2/3 generation, and figure generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import smoke_grid
+from repro.experiments.figures import fig4a, fig4b, fig5_grid, fig6, fig7
+from repro.experiments.metrics import (
+    PAPER_BUCKETS,
+    error_buckets,
+    mean_normalized_makespan,
+    outperform_fraction,
+    overall_outperform_fraction,
+)
+from repro.experiments.runner import run_sweep
+from repro.experiments.tables import table2, table3
+
+ALGOS = ("RUMR", "UMR", "MI-1", "Factoring")
+
+
+@pytest.fixture(scope="module")
+def results():
+    grid = smoke_grid().restrict(repetitions=2)
+    return run_sweep(grid, algorithms=ALGOS)
+
+
+class TestBuckets:
+    def test_paper_buckets_are_five(self):
+        assert len(PAPER_BUCKETS) == 5
+
+    def test_bucket_membership(self):
+        idx = error_buckets((0.0, 0.05, 0.1, 0.25, 0.48))
+        assert idx[0].tolist() == [0, 1]
+        assert idx[1].tolist() == [2]
+        assert idx[2].tolist() == [3]
+        assert idx[3].tolist() == []
+        assert idx[4].tolist() == [4]
+
+    def test_gap_values_dropped(self):
+        # 0.09 falls between the paper's buckets.
+        idx = error_buckets((0.09,))
+        assert all(a.size == 0 for a in idx)
+
+
+class TestOutperform:
+    def test_fraction_bounds(self, results):
+        for algo in ("UMR", "MI-1", "Factoring"):
+            frac = outperform_fraction(results, algo)
+            assert np.all(frac >= 0.0) and np.all(frac <= 1.0)
+
+    def test_zero_error_ties_count_as_losses(self, results):
+        # RUMR == UMR exactly at error 0: strict outperformance is 0.
+        frac = outperform_fraction(results, "UMR")
+        assert frac[0] == 0.0
+
+    def test_margin_reduces_fraction(self, results):
+        loose = outperform_fraction(results, "MI-1", margin=0.0)
+        tight = outperform_fraction(results, "MI-1", margin=0.1)
+        assert np.all(tight <= loose + 1e-12)
+
+    def test_overall_matches_mean(self, results):
+        per_error = outperform_fraction(results, "MI-1")
+        overall = overall_outperform_fraction(results, "MI-1")
+        assert overall == pytest.approx(float(per_error.mean()))
+
+
+class TestNormalizedMakespan:
+    def test_reference_ratio_is_one(self, results):
+        ratios = mean_normalized_makespan(results, "RUMR")
+        assert np.allclose(ratios, 1.0)
+
+    def test_mi1_well_above_one(self, results):
+        ratios = mean_normalized_makespan(results, "MI-1")
+        assert np.all(ratios > 1.0)
+
+
+class TestTables:
+    def test_table2_rows_ordered_like_paper(self, results):
+        table = table2(results)
+        assert list(table.rows) == ["UMR", "MI-1", "Factoring"]
+
+    def test_table_values_are_percentages(self, results):
+        table = table2(results)
+        for values in table.rows.values():
+            for v in values:
+                assert math.isnan(v) or 0.0 <= v <= 100.0
+
+    def test_table3_is_no_larger_than_table2(self, results):
+        t2, t3 = table2(results), table3(results)
+        for algo in t2.rows:
+            for a, b in zip(t3.rows[algo], t2.rows[algo]):
+                if not (math.isnan(a) or math.isnan(b)):
+                    assert a <= b + 1e-9
+
+    def test_overall_column(self, results):
+        table = table2(results)
+        assert set(table.overall) == set(table.rows)
+
+
+class TestFigures:
+    def test_fig4a_has_all_competitors(self, results):
+        fig = fig4a(results)
+        assert set(fig.series) == {"UMR", "MI-1", "Factoring"}
+        assert fig.errors == results.grid.errors
+
+    def test_fig4b_is_low_latency_subset(self, results):
+        fig = fig4b(results)
+        assert set(fig.series) == {"UMR", "MI-1", "Factoring"}
+
+    def test_fig5_grid_is_the_paper_point(self):
+        grid = fig5_grid(smoke_grid())
+        assert grid.Ns == (20,)
+        assert grid.bandwidth_factors == (1.8,)
+        assert grid.cLats == (0.3,)
+        assert grid.nLats == (0.9,)
+
+    def test_fig6_series_labels(self):
+        grid = smoke_grid().restrict(
+            Ns=(10,), bandwidth_factors=(1.5,), cLats=(0.1,), nLats=(0.1,),
+            errors=(0.0, 0.3), repetitions=2,
+        )
+        fig = fig6(grid)
+        assert set(fig.series) == {"RUMR_50", "RUMR_60", "RUMR_70", "RUMR_80", "RUMR_90"}
+
+    def test_fig7_series_labels(self):
+        grid = smoke_grid().restrict(
+            Ns=(10,), bandwidth_factors=(1.5,), cLats=(0.1,), nLats=(0.1,),
+            errors=(0.0, 0.3), repetitions=2,
+        )
+        fig = fig7(grid)
+        assert set(fig.series) == {"RUMR-plain"}

@@ -1,0 +1,35 @@
+"""Tests for the process-pool sweep path (n_jobs > 1)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import smoke_grid
+from repro.experiments.runner import run_sweep
+
+ALGOS = ("RUMR", "UMR")
+
+
+@pytest.fixture(scope="module")
+def tiny_grid():
+    return smoke_grid().restrict(
+        Ns=(10,), bandwidth_factors=(1.5,), cLats=(0.0, 0.2), nLats=(0.1, 0.2),
+        errors=(0.0, 0.2), repetitions=2,
+    )
+
+
+def test_parallel_matches_serial(tiny_grid):
+    serial = run_sweep(tiny_grid, algorithms=ALGOS, n_jobs=1)
+    parallel = run_sweep(tiny_grid, algorithms=ALGOS, n_jobs=2)
+    for algo in ALGOS:
+        assert np.array_equal(serial.makespans[algo], parallel.makespans[algo])
+
+
+def test_parallel_progress_callback(tiny_grid):
+    calls = []
+    run_sweep(
+        tiny_grid,
+        algorithms=("UMR",),
+        n_jobs=2,
+        progress=lambda done, total: calls.append((done, total)),
+    )
+    assert calls[-1][0] == calls[-1][1] == tiny_grid.num_platforms

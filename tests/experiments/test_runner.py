@@ -1,0 +1,95 @@
+"""Tests for the sweep runner and its seeding discipline."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import smoke_grid
+from repro.experiments.runner import SweepResults, run_sweep
+
+ALGOS = ("RUMR", "UMR", "Factoring")
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    grid = smoke_grid().restrict(
+        Ns=(10,), bandwidth_factors=(1.5,), cLats=(0.0, 0.2), nLats=(0.1,),
+        errors=(0.0, 0.2), repetitions=3,
+    )
+    return run_sweep(grid, algorithms=ALGOS)
+
+
+class TestRunSweep:
+    def test_tensor_shapes(self, tiny_results):
+        for algo in ALGOS:
+            assert tiny_results.makespans[algo].shape == (2, 2, 3)
+
+    def test_all_makespans_positive_finite(self, tiny_results):
+        for tensor in tiny_results.makespans.values():
+            assert np.all(np.isfinite(tensor))
+            assert np.all(tensor > 0)
+
+    def test_zero_error_column_deterministic(self, tiny_results):
+        # With error = 0 every repetition is identical.
+        for tensor in tiny_results.makespans.values():
+            zero_col = tensor[:, 0, :]
+            assert np.all(zero_col == zero_col[:, :1])
+
+    def test_rumr_equals_umr_at_zero_error(self, tiny_results):
+        assert np.allclose(
+            tiny_results.makespans["RUMR"][:, 0, :],
+            tiny_results.makespans["UMR"][:, 0, :],
+        )
+
+    def test_sweep_reproducible(self, tiny_results):
+        again = run_sweep(tiny_results.grid, algorithms=ALGOS)
+        for algo in ALGOS:
+            assert np.array_equal(
+                tiny_results.makespans[algo], again.makespans[algo]
+            )
+
+    def test_seed_changes_results(self, tiny_results):
+        other = run_sweep(
+            tiny_results.grid.restrict(seed=777), algorithms=ALGOS
+        )
+        # Error columns beyond zero must differ.
+        assert not np.array_equal(
+            tiny_results.makespans["Factoring"][:, 1, :],
+            other.makespans["Factoring"][:, 1, :],
+        )
+
+    def test_duplicate_algorithms_rejected(self, tiny_results):
+        with pytest.raises(ValueError):
+            run_sweep(tiny_results.grid, algorithms=("UMR", "UMR"))
+
+    def test_progress_callback_called(self, tiny_results):
+        calls = []
+        run_sweep(
+            tiny_results.grid,
+            algorithms=("UMR",),
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls[-1] == (tiny_results.grid.num_platforms,) * 1 + (calls[-1][1],)
+        assert calls[-1][0] == calls[-1][1]
+
+
+class TestSweepResults:
+    def test_select_filters_platforms(self, tiny_results):
+        subset = tiny_results.select(lambda p: p.cLat == 0.0)
+        assert len(subset.platforms) == 1
+        assert subset.makespans["UMR"].shape[0] == 1
+
+    def test_select_empty_rejected(self, tiny_results):
+        with pytest.raises(ValueError):
+            tiny_results.select(lambda p: p.N == 999)
+
+    def test_reference_is_rumr(self, tiny_results):
+        assert tiny_results.reference == "RUMR"
+
+    def test_shape_validation(self, tiny_results):
+        with pytest.raises(ValueError):
+            SweepResults(
+                grid=tiny_results.grid,
+                algorithms=("UMR",),
+                platforms=tiny_results.platforms,
+                makespans={"UMR": np.zeros((1, 1, 1))},
+            )

@@ -1,0 +1,53 @@
+"""Tests for platform sampling and the paper-sample preset."""
+
+import pytest
+
+from repro.experiments.config import paper_grid, paper_sample_grid, preset_grid
+
+
+class TestPlatformSampling:
+    def test_sample_size_respected(self):
+        grid = paper_sample_grid(platforms=50)
+        assert grid.num_platforms == 50
+        assert len(grid.platforms()) == 50
+
+    def test_sample_is_subset_of_full_grid(self):
+        full = set(paper_grid().platforms())
+        sample = paper_sample_grid(platforms=80).platforms()
+        assert all(p in full for p in sample)
+        assert len(set(sample)) == 80  # no duplicates
+
+    def test_sample_deterministic_in_seed(self):
+        a = paper_sample_grid(platforms=40).platforms()
+        b = paper_sample_grid(platforms=40).platforms()
+        c = paper_sample_grid(platforms=40).restrict(seed=7).platforms()
+        assert a == b
+        assert a != c
+
+    def test_sample_spans_the_axes(self):
+        # 150 uniform draws should touch every N and most latency values.
+        sample = paper_sample_grid(platforms=150).platforms()
+        assert {p.N for p in sample} == set(range(10, 51, 5))
+        assert len({p.cLat for p in sample}) >= 9
+        assert len({p.nLat for p in sample}) >= 9
+
+    def test_oversized_sample_degenerates_to_full_grid(self):
+        grid = paper_grid().restrict(platform_sample=10**9)
+        assert grid.num_platforms == paper_grid().num_platforms
+
+    def test_zero_means_no_sampling(self):
+        assert paper_grid().platform_sample == 0
+        assert paper_grid().num_platforms == 9 * 9 * 11 * 11
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            paper_grid().restrict(platform_sample=-1)
+
+    def test_preset_registered(self):
+        grid = preset_grid("paper-sample")
+        assert grid.name == "paper-sample"
+        assert grid.errors == paper_grid().errors  # the full 0.02-step axis
+
+    def test_num_simulations_uses_sample(self):
+        grid = paper_sample_grid(platforms=10, repetitions=2)
+        assert grid.num_simulations(7) == 10 * 26 * 2 * 7

@@ -1,0 +1,92 @@
+"""Tests for the statistical utilities."""
+
+import pytest
+
+from repro.experiments.config import smoke_grid
+from repro.experiments.runner import run_sweep
+from repro.experiments.stats import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    sign_test_pvalue,
+    win_rate_ci,
+)
+
+ALGOS = ("RUMR", "UMR", "MI-1")
+
+
+@pytest.fixture(scope="module")
+def results():
+    grid = smoke_grid().restrict(
+        Ns=(10,), bandwidth_factors=(1.5,), cLats=(0.1, 0.3), nLats=(0.1,),
+        errors=(0.0, 0.3), repetitions=8,
+    )
+    return run_sweep(grid, algorithms=ALGOS)
+
+
+class TestConfidenceInterval:
+    def test_contains_and_width(self):
+        ci = ConfidenceInterval(estimate=1.1, low=1.0, high=1.2, level=0.95)
+        assert 1.05 in ci
+        assert 0.9 not in ci
+        assert ci.width == pytest.approx(0.2)
+
+
+class TestBootstrap:
+    def test_estimate_inside_interval(self, results):
+        ci = bootstrap_ci(results, "MI-1", error_index=1)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_reference_interval_degenerate_at_one(self, results):
+        ci = bootstrap_ci(results, "RUMR", error_index=0)
+        assert ci.estimate == pytest.approx(1.0)
+        assert ci.width == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_given_seed(self, results):
+        a = bootstrap_ci(results, "MI-1", error_index=1, seed=3)
+        b = bootstrap_ci(results, "MI-1", error_index=1, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_higher_level_widens(self, results):
+        narrow = bootstrap_ci(results, "MI-1", error_index=1, level=0.80)
+        wide = bootstrap_ci(results, "MI-1", error_index=1, level=0.99)
+        assert wide.width >= narrow.width
+
+    def test_bad_level_rejected(self, results):
+        with pytest.raises(ValueError):
+            bootstrap_ci(results, "MI-1", error_index=0, level=1.5)
+
+    def test_mi1_interval_excludes_parity(self, results):
+        # MI-1 is far worse than RUMR on this grid: parity outside the CI.
+        ci = bootstrap_ci(results, "MI-1", error_index=1)
+        assert ci.low > 1.0
+
+
+class TestWinRate:
+    def test_bounds(self, results):
+        ci = win_rate_ci(results, "MI-1")
+        assert 0.0 <= ci.low <= ci.estimate <= ci.high <= 1.0
+
+    def test_pooled_vs_single_error(self, results):
+        pooled = win_rate_ci(results, "MI-1")
+        single = win_rate_ci(results, "MI-1", error_index=1)
+        assert pooled.width <= single.width + 1e-9  # more data, tighter
+
+    def test_margin_reduces_rate(self, results):
+        loose = win_rate_ci(results, "MI-1", margin=0.0)
+        tight = win_rate_ci(results, "MI-1", margin=0.2)
+        assert tight.estimate <= loose.estimate + 1e-12
+
+
+class TestSignTest:
+    def test_all_ties_gives_one(self, results):
+        # Error 0: RUMR == UMR exactly, all pairs tie.
+        assert sign_test_pvalue(results, "UMR", error_index=0) == 1.0
+
+    def test_dominated_competitor_significant(self, results):
+        p = sign_test_pvalue(results, "MI-1", error_index=1)
+        assert p < 0.01
+
+    def test_pvalue_in_unit_interval(self, results):
+        for algo in ("UMR", "MI-1"):
+            for e in (0, 1):
+                assert 0.0 <= sign_test_pvalue(results, algo, e) <= 1.0

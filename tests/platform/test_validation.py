@@ -1,0 +1,57 @@
+"""Tests for the full-utilization condition and platform validation."""
+
+import pytest
+
+from repro.platform import (
+    PlatformSpec,
+    WorkerSpec,
+    full_utilization_fraction,
+    homogeneous_platform,
+    satisfies_full_utilization,
+    validate_platform,
+)
+from repro.platform.validation import PlatformError
+
+
+def test_table1_platforms_satisfy_condition():
+    for n in (10, 25, 50):
+        for factor in (1.2, 1.5, 2.0):
+            p = homogeneous_platform(n, S=1.0, bandwidth_factor=factor)
+            assert satisfies_full_utilization(p)
+
+
+def test_slow_link_violates_condition():
+    # B = 0.5 * N * S: the master cannot keep everyone busy.
+    p = homogeneous_platform(10, S=1.0, B=5.0)
+    assert not satisfies_full_utilization(p)
+
+
+def test_boundary_is_excluded():
+    # Exactly B = N*S gives sum == 1, which is not strictly feasible.
+    # (N a power of two so S/B is exact in binary floating point.)
+    p = homogeneous_platform(8, S=1.0, B=8.0)
+    assert full_utilization_fraction(p) == 1.0
+    assert not satisfies_full_utilization(p)
+
+
+def test_validate_platform_passes_feasible():
+    p = homogeneous_platform(10, S=1.0, bandwidth_factor=1.5)
+    validate_platform(p, require_full_utilization=True)
+
+
+def test_validate_platform_raises_on_infeasible():
+    p = homogeneous_platform(10, S=1.0, B=5.0)
+    with pytest.raises(PlatformError):
+        validate_platform(p, require_full_utilization=True)
+
+
+def test_validate_platform_lenient_by_default():
+    p = homogeneous_platform(10, S=1.0, B=5.0)
+    validate_platform(p)  # no exception
+
+
+def test_heterogeneous_fraction_sums_per_worker():
+    p = PlatformSpec(
+        [WorkerSpec(S=1.0, B=4.0), WorkerSpec(S=1.0, B=2.0), WorkerSpec(S=2.0, B=8.0)]
+    )
+    assert full_utilization_fraction(p) == pytest.approx(0.25 + 0.5 + 0.25)

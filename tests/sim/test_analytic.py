@@ -1,0 +1,50 @@
+"""Tests for the analytic (zero-error) plan evaluator."""
+
+import pytest
+
+from repro.core import UMR, MultiInstallment, OneRound
+from repro.core.chunks import ChunkPlan, PlannedChunk
+from repro.core.umr import solve_umr
+from repro.errors import NoError
+from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
+from repro.sim import simulate
+from repro.sim.analytic import analytic_makespan, analytic_timeline
+
+W = 1000.0
+
+
+def test_empty_plan_makespan_zero():
+    p = homogeneous_platform(2, S=1.0, B=4.0)
+    assert analytic_makespan(p, ChunkPlan([])) == 0.0
+
+
+def test_timeline_matches_hand_computation():
+    p = PlatformSpec([WorkerSpec(S=2.0, B=4.0, cLat=0.5, nLat=0.25, tLat=0.1)])
+    plan = ChunkPlan([PlannedChunk(worker=0, size=8.0)])
+    ((w, ss, se, ar, cs, ce),) = analytic_timeline(p, plan)
+    assert (w, ss) == (0, 0.0)
+    assert se == pytest.approx(2.25)
+    assert ar == pytest.approx(2.35)
+    assert cs == pytest.approx(2.35)
+    assert ce == pytest.approx(2.35 + 0.5 + 4.0)
+
+
+@pytest.mark.parametrize("scheduler", [UMR(), MultiInstallment(3), OneRound()])
+def test_analytic_equals_simulated_for_static_plans(scheduler, paper_platform):
+    simulated = simulate(paper_platform, W, scheduler, NoError()).makespan
+    if isinstance(scheduler, UMR):
+        plan = solve_umr(paper_platform, W).to_chunk_plan()
+    elif isinstance(scheduler, MultiInstallment):
+        plan = scheduler.schedule(paper_platform, W).to_chunk_plan()
+    else:
+        sizes = scheduler.chunk_sizes(paper_platform, W)
+        plan = ChunkPlan(
+            PlannedChunk(worker=i, size=s, round_index=0) for i, s in enumerate(sizes)
+        )
+    assert analytic_makespan(paper_platform, plan) == pytest.approx(simulated, rel=1e-12)
+
+
+def test_analytic_heterogeneous(hetero_platform):
+    plan = solve_umr(hetero_platform, W).to_chunk_plan()
+    simulated = simulate(hetero_platform, W, UMR(), NoError()).makespan
+    assert analytic_makespan(hetero_platform, plan) == pytest.approx(simulated, rel=1e-12)

@@ -1,0 +1,72 @@
+"""Tests for the trace exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import RUMR
+from repro.errors import NormalErrorModel
+from repro.platform import homogeneous_platform
+from repro.sim import simulate
+from repro.sim.export import chrome_trace, records_csv, result_json
+
+
+@pytest.fixture(scope="module")
+def result():
+    p = homogeneous_platform(4, S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.1)
+    return simulate(p, 300.0, RUMR(known_error=0.3), NormalErrorModel(0.3), seed=2)
+
+
+class TestCsv:
+    def test_parses_and_counts(self, result):
+        rows = list(csv.DictReader(io.StringIO(records_csv(result))))
+        assert len(rows) == result.num_chunks
+        assert set(rows[0]) == {
+            "index", "worker", "size", "send_start", "send_end",
+            "arrival", "comp_start", "comp_end", "phase",
+        }
+
+    def test_values_roundtrip(self, result):
+        rows = list(csv.DictReader(io.StringIO(records_csv(result))))
+        first = rows[0]
+        assert int(first["index"]) == 0
+        assert float(first["size"]) == pytest.approx(result.records[0].size, rel=1e-6)
+
+
+class TestJson:
+    def test_valid_and_self_describing(self, result):
+        doc = json.loads(result_json(result))
+        assert doc["scheduler"] == "RUMR"
+        assert doc["num_chunks"] == result.num_chunks
+        assert len(doc["records"]) == result.num_chunks
+        assert len(doc["platform"]) == 4
+        assert doc["makespan"] == pytest.approx(result.makespan)
+
+    def test_indent_option(self, result):
+        assert "\n" in result_json(result, indent=2)
+
+
+class TestChromeTrace:
+    def test_valid_trace_events(self, result):
+        doc = json.loads(chrome_trace(result))
+        events = doc["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        # One send + one compute span per chunk.
+        assert len(spans) == 2 * result.num_chunks
+        # One name per worker plus the link row.
+        assert len(metas) == result.platform.N + 1
+
+    def test_durations_nonnegative_microseconds(self, result):
+        doc = json.loads(chrome_trace(result))
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0
+                assert e["ts"] >= 0
+
+    def test_link_spans_on_tid_zero(self, result):
+        doc = json.loads(chrome_trace(result))
+        sends = [e for e in doc["traceEvents"] if e["ph"] == "X" and e["name"].startswith("send")]
+        assert all(e["tid"] == 0 for e in sends)

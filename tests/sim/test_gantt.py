@@ -1,0 +1,72 @@
+"""Tests for the Gantt renderer and utilization profile."""
+
+import pytest
+
+from repro.core import RUMR, UMR
+from repro.errors import NoError, NormalErrorModel
+from repro.platform import homogeneous_platform
+from repro.sim import simulate
+from repro.sim.gantt import render_gantt, utilization_profile
+
+W = 500.0
+
+
+@pytest.fixture
+def result():
+    p = homogeneous_platform(4, S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.1)
+    return simulate(p, W, RUMR(known_error=0.3), NormalErrorModel(0.3), seed=1)
+
+
+def test_gantt_has_one_row_per_worker_plus_link(result):
+    text = render_gantt(result)
+    lines = text.splitlines()
+    assert sum(1 for line in lines if "|" in line) == result.platform.N + 1
+    assert "link" in text
+
+
+def test_gantt_shows_both_phase_marks(result):
+    text = render_gantt(result)
+    assert "#" in text  # phase 1
+    assert "+" in text  # factoring tail
+
+
+def test_gantt_empty_schedule():
+    p = homogeneous_platform(2, S=1.0, B=4.0)
+
+    class Null(UMR):
+        def create_source(self, platform, total_work):
+            from repro.core.base import StaticPlanSource
+
+            return StaticPlanSource([])
+
+    result = simulate(p, 1.0, Null())
+    assert "empty" in render_gantt(result)
+
+
+def test_gantt_width_respected(result):
+    text = render_gantt(result, width=40)
+    rows = [line for line in text.splitlines() if line.strip().startswith(("w", "link"))]
+    assert all(len(line) <= 40 + 12 for line in rows)
+
+
+def test_utilization_profile_bounds(result):
+    profile = utilization_profile(result, buckets=10)
+    assert len(profile) == 10
+    assert all(0.0 <= v <= 1.0 + 1e-9 for v in profile)
+
+
+def test_utilization_ramps_up_from_pipeline_fill(paper_platform):
+    # The first slice includes the serial distribution of round 0: it must
+    # be less utilized than the middle of the run.
+    result = simulate(paper_platform, 1000.0, UMR(), NoError())
+    profile = utilization_profile(result, buckets=10)
+    assert profile[0] < max(profile[3:7])
+
+
+def test_profile_integral_matches_busy_time(result):
+    profile = utilization_profile(result, buckets=50)
+    n = result.platform.N
+    slice_len = result.makespan / 50
+    integral = sum(v * slice_len * n for v in profile)
+    busy = sum(r.comp_time for r in result.records)
+    assert integral == pytest.approx(busy, rel=1e-9)

@@ -1,0 +1,99 @@
+"""Tests for the ray-tracing workload (spatially correlated costs)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import RayTracing
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestScene:
+    def test_tile_count(self):
+        wl = RayTracing(width=640, height=320, tile=32)
+        assert wl.total_units == (640 / 32) * (320 / 32)
+
+    def test_field_is_deterministic_per_seed(self):
+        a = RayTracing(seed=4).complexity_field
+        b = RayTracing(seed=4).complexity_field
+        c = RayTracing(seed=5).complexity_field
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_field_mean_near_one(self):
+        wl = RayTracing(width=4096, height=4096, tile=32, sigma=0.7)
+        assert wl.complexity_field.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_adjacent_tiles_correlated(self):
+        wl = RayTracing(sigma=0.7, correlation=0.95)
+        field = np.log(wl.complexity_field)
+        r = np.corrcoef(field[:-1], field[1:])[0, 1]
+        assert r > 0.8
+
+    def test_zero_correlation_uncorrelated(self):
+        wl = RayTracing(width=4096, height=4096, tile=32, correlation=0.0)
+        field = np.log(wl.complexity_field)
+        r = np.corrcoef(field[:-1], field[1:])[0, 1]
+        assert abs(r) < 0.1
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            RayTracing(correlation=1.0)
+        with pytest.raises(ValueError):
+            RayTracing(sigma=-1)
+        with pytest.raises(ValueError):
+            RayTracing(width=0)
+        with pytest.raises(ValueError):
+            RayTracing(base_cost=0.0)
+
+
+class TestCosts:
+    def test_unit_cost_scans_the_field(self, rng):
+        wl = RayTracing(jitter_sigma=0.0)
+        costs = [wl.unit_cost(rng) for _ in range(5)]
+        assert costs == pytest.approx(list(wl.complexity_field[:5] * wl.base_cost))
+
+    def test_scan_wraps_around(self, rng):
+        wl = RayTracing(width=64, height=64, tile=32, jitter_sigma=0.0)  # 4 tiles
+        first = [wl.unit_cost(rng) for _ in range(4)]
+        second = [wl.unit_cost(rng) for _ in range(4)]
+        assert first == second
+
+    def test_reset_scan(self, rng):
+        wl = RayTracing(jitter_sigma=0.0)
+        a = wl.unit_cost(rng)
+        wl.reset_scan()
+        assert wl.unit_cost(rng) == a
+
+    def test_mean_unit_cost_matches_field(self):
+        wl = RayTracing(base_cost=2.0)
+        assert wl.mean_unit_cost() == pytest.approx(2.0 * wl.complexity_field.mean())
+
+
+class TestCorrelationMatters:
+    def test_chunk_error_decays_slowly_under_correlation(self):
+        correlated = RayTracing(sigma=0.7, correlation=0.95, seed=1)
+        iid = RayTracing(sigma=0.7, correlation=0.0, seed=1)
+        e_corr = correlated.estimate_error(50, samples=150, seed=2)
+        e_iid = iid.estimate_error(50, samples=150, seed=2)
+        # The correlated scene retains far more chunk-level uncertainty.
+        assert e_corr > 2.5 * e_iid
+
+    def test_end_to_end_with_rumr(self):
+        from repro.core import RUMR
+        from repro.errors import NormalErrorModel
+        from repro.platform import homogeneous_platform
+        from repro.sim import simulate, validate_schedule
+
+        wl = RayTracing(width=1920, height=1080, tile=64)
+        hardware = homogeneous_platform(8, S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.05)
+        platform = wl.calibrated_platform(hardware)
+        error = wl.estimate_error(chunk_units=wl.total_units / 32, samples=60, seed=3)
+        result = simulate(
+            platform, wl.total_units, RUMR(known_error=min(error, 0.99)),
+            NormalErrorModel(min(error, 0.99)), seed=0,
+        )
+        validate_schedule(result)

@@ -1,0 +1,139 @@
+"""Tests for the divisible-workload application models."""
+
+import numpy as np
+import pytest
+
+from repro.platform import homogeneous_platform
+from repro.workloads import ImageFeatureExtraction, SequenceMatching, SignalScan
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestImageFeatureExtraction:
+    def test_total_units_counts_blocks(self):
+        wl = ImageFeatureExtraction(width=1024, height=512, block=64)
+        assert wl.total_units == (1024 / 64) * (512 / 64)
+
+    def test_partial_blocks_rounded_up(self):
+        wl = ImageFeatureExtraction(width=100, height=100, block=64)
+        assert wl.total_units == 4  # 2x2 blocks
+
+    def test_mean_cost_independent_of_complexity(self, rng):
+        wl = ImageFeatureExtraction(complexity_sigma=0.8, base_cost=2.0)
+        costs = [wl.unit_cost(rng) for _ in range(20000)]
+        assert np.mean(costs) == pytest.approx(2.0, rel=0.05)
+
+    def test_zero_sigma_is_deterministic(self, rng):
+        wl = ImageFeatureExtraction(complexity_sigma=0.0, base_cost=1.5)
+        assert wl.unit_cost(rng) == 1.5
+        assert wl.estimate_error(chunk_units=10, samples=20, seed=0) == 0.0
+
+    def test_error_shrinks_with_chunk_size(self):
+        wl = ImageFeatureExtraction(complexity_sigma=0.8)
+        small = wl.estimate_error(chunk_units=1, samples=300, seed=1)
+        large = wl.estimate_error(chunk_units=100, samples=300, seed=1)
+        assert large < small
+
+    def test_bytes_per_unit(self):
+        wl = ImageFeatureExtraction(block=64)
+        assert wl.bytes_per_unit(bytes_per_pixel=3) == 64 * 64 * 3
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            ImageFeatureExtraction(width=0)
+        with pytest.raises(ValueError):
+            ImageFeatureExtraction(complexity_sigma=-1)
+        with pytest.raises(ValueError):
+            ImageFeatureExtraction(base_cost=0)
+
+
+class TestSequenceMatching:
+    def test_mean_length_calibration(self, rng):
+        wl = SequenceMatching(mean_length=350.0, tail_index=3.0)
+        lengths = [wl.sequence_length(rng) for _ in range(50000)]
+        assert np.mean(lengths) == pytest.approx(350.0, rel=0.05)
+
+    def test_heavier_tail_means_larger_error(self):
+        heavy = SequenceMatching(tail_index=2.2)
+        light = SequenceMatching(tail_index=8.0)
+        assert heavy.estimate_error(10, samples=400, seed=2) > light.estimate_error(
+            10, samples=400, seed=2
+        )
+
+    def test_mean_unit_cost(self):
+        wl = SequenceMatching(mean_length=400.0, cost_per_letter=0.005)
+        assert wl.mean_unit_cost() == pytest.approx(2.0)
+
+    def test_tail_index_must_give_finite_variance(self):
+        with pytest.raises(ValueError):
+            SequenceMatching(tail_index=2.0)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceMatching(num_sequences=0)
+        with pytest.raises(ValueError):
+            SequenceMatching(mean_length=-1)
+
+
+class TestSignalScan:
+    def test_total_units(self):
+        wl = SignalScan(duration_s=10.0, sample_rate=1000.0, window=100)
+        assert wl.total_units == 100
+
+    def test_mean_cost_accounts_for_early_exit(self):
+        wl = SignalScan(early_exit_fraction=0.5, early_exit_cost_ratio=0.5, base_cost=1.0)
+        assert wl.mean_unit_cost() == pytest.approx(0.75)
+
+    def test_low_inherent_error(self):
+        # The signal scan is the predictable workload of the trio.
+        signal = SignalScan(early_exit_fraction=0.1)
+        seq = SequenceMatching(tail_index=2.5)
+        assert signal.estimate_error(20, samples=300, seed=3) < seq.estimate_error(
+            20, samples=300, seed=3
+        )
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            SignalScan(duration_s=0)
+        with pytest.raises(ValueError):
+            SignalScan(early_exit_fraction=1.0)
+        with pytest.raises(ValueError):
+            SignalScan(early_exit_cost_ratio=0.0)
+
+
+class TestCalibration:
+    def test_calibrated_platform_rescales_compute_rate(self):
+        wl = SequenceMatching(mean_length=400.0, cost_per_letter=0.005)  # 2 s/unit
+        p = homogeneous_platform(4, S=3.0, B=100.0, cLat=0.1)
+        cal = wl.calibrated_platform(p)
+        assert cal[0].S == pytest.approx(1.5)  # 3 ref-units/s over 2 s/unit
+        assert cal[0].B == 100.0 and cal[0].cLat == 0.1
+
+    def test_estimate_error_requires_positive_chunk(self):
+        with pytest.raises(ValueError):
+            SignalScan().estimate_error(0)
+
+    def test_sample_unit_costs_stats(self):
+        wl = SignalScan(early_exit_fraction=0.0)
+        stats = wl.sample_unit_costs(samples=50, seed=1)
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.std == pytest.approx(0.0)
+        assert stats.coefficient_of_variation == 0.0
+
+    def test_schedulers_run_on_calibrated_workload(self):
+        from repro.core import RUMR
+        from repro.errors import NormalErrorModel
+        from repro.sim import simulate, validate_schedule
+
+        wl = ImageFeatureExtraction(width=2048, height=2048, block=64)
+        p = wl.calibrated_platform(
+            homogeneous_platform(8, S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.05)
+        )
+        err = wl.estimate_error(chunk_units=wl.total_units / 64, samples=100, seed=4)
+        result = simulate(
+            p, wl.total_units, RUMR(known_error=err), NormalErrorModel(err), seed=0
+        )
+        validate_schedule(result)
