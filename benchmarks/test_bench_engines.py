@@ -58,6 +58,71 @@ def test_bench_batch_engine_umr_per_run(benchmark, platform, model):
     assert (spans > 0).all()
 
 
+def test_bench_fast_engine_umr_makespan_only(benchmark, platform, model):
+    # The sweep harness's scalar mode: no DispatchRecord allocation.
+    result = benchmark(
+        simulate_fast, platform, W, UMR(), model, 1, collect_records=False
+    )
+    assert result.makespan > 0
+    assert result.records == ()
+
+
+def test_bench_fast_engine_rumr_makespan_only(benchmark, platform, model):
+    result = benchmark(
+        simulate_fast, platform, W, RUMR(known_error=0.3), model, 1,
+        collect_records=False,
+    )
+    assert result.makespan > 0
+    assert result.records == ()
+
+
+def test_bench_compiled_batch_umr_per_run(benchmark, platform):
+    # The sweep fast path proper: plan compiled once, then re-simulated —
+    # this is what each (platform, error) cell costs after compilation.
+    from repro.core.umr import solve_umr
+    from repro.sim.batch import compile_static_plan, simulate_static_batch
+
+    compiled = compile_static_plan(platform, solve_umr(platform, W).to_chunk_plan())
+    seeds = list(range(500))
+
+    def run():
+        return simulate_static_batch(platform, compiled, 0.3, seeds)
+
+    spans = benchmark(run)
+    assert spans.shape == (500,)
+    assert (spans > 0).all()
+
+
+@pytest.fixture
+def sweep_grid():
+    from repro.experiments.config import smoke_grid
+
+    return smoke_grid().restrict(
+        Ns=(10,), bandwidth_factors=(1.4, 1.8), cLats=(0.0, 0.2), nLats=(0.1,),
+        errors=(0.0, 0.2, 0.4), repetitions=3,
+    )
+
+
+def test_bench_sweep_static_scalar(benchmark, sweep_grid):
+    from repro.experiments.runner import run_sweep
+
+    results = benchmark(
+        run_sweep, sweep_grid, algorithms=("UMR", "MI-2", "MI-4"),
+        batch_static=False,
+    )
+    assert (results.makespans["UMR"] > 0).all()
+
+
+def test_bench_sweep_static_batched(benchmark, sweep_grid):
+    from repro.experiments.runner import run_sweep
+
+    results = benchmark(
+        run_sweep, sweep_grid, algorithms=("UMR", "MI-2", "MI-4"),
+        batch_static=True,
+    )
+    assert (results.makespans["UMR"] > 0).all()
+
+
 def test_bench_des_engine_umr(benchmark, platform, model):
     result = benchmark(simulate_des, platform, W, UMR(), model, 1)
     assert result.makespan > 0

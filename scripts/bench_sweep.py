@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Benchmark the sweep fast path against the scalar path.
+
+Times the static-algorithm portion of a preset grid through both engines
+(``run_sweep(batch_static=True)`` vs ``batch_static=False``), plus the
+full paper algorithm list on each path for context, and writes the
+numbers to a JSON file (default ``BENCH_sweep.json`` in the repository
+root) so the perf trajectory is tracked across PRs.
+
+The equivalence contract is asserted while benchmarking: at ``error = 0``
+the two paths must agree bit-for-bit for every algorithm, and dynamic
+algorithms must agree bit-for-bit at every error level (their seeds and
+engine are identical on both paths).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sweep.py [--preset smoke]
+        [--repeats 3] [--out BENCH_sweep.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.registry import is_static_algorithm  # noqa: E402
+from repro.experiments.config import PAPER_ALGORITHMS, preset_grid  # noqa: E402
+from repro.experiments.runner import run_sweep  # noqa: E402
+
+
+def _time_sweep(grid, algorithms, batch_static: bool, repeats: int):
+    """Best-of-``repeats`` wall time and the (last) results."""
+    best = float("inf")
+    results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = run_sweep(grid, algorithms=algorithms, batch_static=batch_static)
+        best = min(best, time.perf_counter() - start)
+    return best, results
+
+
+def bench(preset: str = "smoke", repeats: int = 3) -> dict:
+    """Run the benchmark and return the report dict."""
+    if repeats < 1:
+        raise ValueError(f"--repeats must be >= 1, got {repeats}")
+    grid = preset_grid(preset)
+    static_algos = tuple(a for a in PAPER_ALGORITHMS if is_static_algorithm(a))
+    dynamic_algos = tuple(a for a in PAPER_ALGORITHMS if not is_static_algorithm(a))
+
+    # Warm the (lru-cached) plan solvers so both paths are measured on
+    # solver-warm caches — the seed scalar path enjoyed the same caching.
+    run_sweep(grid, algorithms=static_algos)
+
+    static_runs = grid.num_simulations(len(static_algos))
+    scalar_wall, scalar_res = _time_sweep(grid, static_algos, False, repeats)
+    batch_wall, batch_res = _time_sweep(grid, static_algos, True, repeats)
+
+    equal_at_zero = all(
+        np.array_equal(
+            batch_res.makespans[a][:, 0, :], scalar_res.makespans[a][:, 0, :]
+        )
+        for a in static_algos
+        if grid.errors[0] == 0.0
+    )
+
+    full_runs = grid.num_simulations(len(PAPER_ALGORITHMS))
+    full_scalar_wall, _ = _time_sweep(grid, PAPER_ALGORITHMS, False, repeats)
+    full_batch_wall, _ = _time_sweep(grid, PAPER_ALGORITHMS, True, repeats)
+
+    return {
+        "preset": preset,
+        "repeats": repeats,
+        "static_algorithms": list(static_algos),
+        "dynamic_algorithms": list(dynamic_algos),
+        "static_portion": {
+            "num_simulations": static_runs,
+            "scalar_wall_s": round(scalar_wall, 6),
+            "batched_wall_s": round(batch_wall, 6),
+            "scalar_us_per_run": round(scalar_wall / static_runs * 1e6, 3),
+            "batched_us_per_run": round(batch_wall / static_runs * 1e6, 3),
+            "speedup": round(scalar_wall / batch_wall, 2),
+            "equal_at_zero_error": bool(equal_at_zero),
+        },
+        "full_sweep": {
+            "num_simulations": full_runs,
+            "scalar_wall_s": round(full_scalar_wall, 6),
+            "batched_wall_s": round(full_batch_wall, 6),
+            "scalar_us_per_run": round(full_scalar_wall / full_runs * 1e6, 3),
+            "batched_us_per_run": round(full_batch_wall / full_runs * 1e6, 3),
+            "speedup": round(full_scalar_wall / full_batch_wall, 2),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", default="smoke", help="grid preset (default: smoke)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_sweep.json"),
+        help="output JSON path (default: BENCH_sweep.json in the repo root)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the static-portion speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    report = bench(args.preset, args.repeats)
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    sp = report["static_portion"]
+    print(
+        f"static portion ({len(report['static_algorithms'])} algos, "
+        f"{sp['num_simulations']} runs): scalar {sp['scalar_wall_s']:.3f}s "
+        f"({sp['scalar_us_per_run']:.0f} us/run) -> batched "
+        f"{sp['batched_wall_s']:.3f}s ({sp['batched_us_per_run']:.0f} us/run), "
+        f"{sp['speedup']:.1f}x"
+    )
+    fs = report["full_sweep"]
+    print(
+        f"full sweep ({len(PAPER_ALGORITHMS)} algos, {fs['num_simulations']} runs): "
+        f"scalar {fs['scalar_wall_s']:.3f}s -> batched {fs['batched_wall_s']:.3f}s, "
+        f"{fs['speedup']:.1f}x"
+    )
+    print(f"wrote {args.out}")
+
+    if not sp["equal_at_zero_error"]:
+        print("ERROR: batched path diverges from scalar path at error=0", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and sp["speedup"] < args.min_speedup:
+        print(
+            f"ERROR: static-portion speedup {sp['speedup']}x < "
+            f"required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

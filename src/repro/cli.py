@@ -68,7 +68,10 @@ def _parser() -> argparse.ArgumentParser:
             help="directory for cached sweep tensors (default: results/)",
         )
         p.add_argument("--out", default=None, help="write artifacts to this directory")
-        p.add_argument("--jobs", type=int, default=1, help="process-pool width")
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="process-pool width (-1 = one worker per CPU)",
+        )
         p.add_argument("--seed", type=int, default=None, help="override the grid seed")
         p.add_argument(
             "--error-mode",
@@ -77,6 +80,12 @@ def _parser() -> argparse.ArgumentParser:
             help="perturbation direction (see repro.errors.models)",
         )
         p.add_argument("--quiet", action="store_true", help="suppress progress output")
+        p.add_argument(
+            "--no-batch",
+            action="store_true",
+            help="force the scalar engine for static algorithms too "
+            "(disables the vectorized sweep fast path)",
+        )
 
     for name in TABLE_COMMANDS + FIGURE_COMMANDS + ("all", "sweep"):
         p = sub.add_parser(name, help=f"regenerate {name}")
@@ -160,9 +169,12 @@ def main(argv: list[str] | None = None) -> int:
     grid = _grid(args)
     progress = None if args.quiet else eta_progress()
 
+    batch_static = not args.no_batch
+
     def main_sweep():
         return cached_sweep(
-            grid, PAPER_ALGORITHMS, args.results, n_jobs=args.jobs, progress=progress
+            grid, PAPER_ALGORITHMS, args.results, n_jobs=args.jobs,
+            progress=progress, batch_static=batch_static,
         )
 
     if args.command == "sweep":
@@ -187,7 +199,7 @@ def main(argv: list[str] | None = None) -> int:
         base = grid.restrict(repetitions=max(grid.repetitions, 40))
         results = cached_sweep(
             fig5_grid(base), PAPER_ALGORITHMS, args.results, n_jobs=args.jobs,
-            progress=progress,
+            progress=progress, batch_static=batch_static,
         )
         from repro.experiments.figures import _normalized_figure
 
@@ -198,7 +210,8 @@ def main(argv: list[str] | None = None) -> int:
         _emit(args, "fig5", render_figure(fig))
     if args.command in ("fig6", "all"):
         results = cached_sweep(
-            grid, fig6_algorithms, args.results, n_jobs=args.jobs, progress=progress
+            grid, fig6_algorithms, args.results, n_jobs=args.jobs,
+            progress=progress, batch_static=batch_static,
         )
         from repro.experiments.figures import _normalized_figure
 
@@ -209,7 +222,8 @@ def main(argv: list[str] | None = None) -> int:
         _emit(args, "fig6", render_figure(fig))
     if args.command in ("fig7", "all"):
         results = cached_sweep(
-            grid, fig7_algorithms, args.results, n_jobs=args.jobs, progress=progress
+            grid, fig7_algorithms, args.results, n_jobs=args.jobs,
+            progress=progress, batch_static=batch_static,
         )
         from repro.experiments.figures import _normalized_figure
 

@@ -35,7 +35,7 @@ from repro.core.factoring import Factoring
 from repro.core.fsc import FixedSizeChunking
 from repro.core.multi_installment import MultiInstallment
 from repro.core.one_round import EqualSplit, OneRound
-from repro.core.registry import available_schedulers, make_scheduler
+from repro.core.registry import available_schedulers, is_static_algorithm, make_scheduler
 from repro.core.rumr import RUMR
 from repro.core.selection import select_workers
 from repro.core.umr import UMR, UMRPlan, solve_umr
@@ -63,6 +63,7 @@ __all__ = [
     "UMRPlan",
     "WeightedFactoring",
     "available_schedulers",
+    "is_static_algorithm",
     "make_scheduler",
     "select_workers",
     "solve_umr",

@@ -29,6 +29,9 @@ import typing
 
 from repro.platform.spec import PlatformSpec
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.chunks import ChunkPlan
+
 __all__ = [
     "CompletionNote",
     "Dispatch",
@@ -181,9 +184,28 @@ class Scheduler:
     #: Human-readable algorithm name (used in reports and plots).
     name: str = "scheduler"
 
+    #: Whether the dispatch sequence is fixed before the run starts
+    #: (independent of observed completions *and* of the error magnitude).
+    #: Static schedulers additionally implement :meth:`static_plan` and are
+    #: eligible for the vectorized batch engine
+    #: (:func:`repro.sim.batch.simulate_static_batch`); dynamic schedulers
+    #: must go through a scalar engine, which replays their decisions
+    #: against the realized randomness.
+    is_static: bool = False
+
     def create_source(self, platform: PlatformSpec, total_work: float) -> DispatchSource:
         """Bind to one run and return a fresh dispatch source."""
         raise NotImplementedError
+
+    def static_plan(self, platform: PlatformSpec, total_work: float) -> "ChunkPlan":
+        """The fixed dispatch sequence of a static scheduler.
+
+        Only meaningful when :attr:`is_static` is true; the default raises.
+        The plan depends on nothing but ``(platform, total_work)``, so
+        callers may solve it once and reuse it across error levels and
+        repetitions (the sweep fast path does exactly that).
+        """
+        raise NotImplementedError(f"{self.name} is not a static scheduler")
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

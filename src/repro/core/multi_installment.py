@@ -183,9 +183,14 @@ class MultiInstallment(Scheduler):
         self.rounds = rounds
         self.name = f"MI-{rounds}"
 
+    is_static = True
+
     def schedule(self, platform: PlatformSpec, total_work: float) -> MISchedule:
         """Solve and return the full installment table."""
         return solve_multi_installment(platform, total_work, self.rounds)
+
+    def static_plan(self, platform: PlatformSpec, total_work: float) -> ChunkPlan:
+        return self.schedule(platform, total_work).to_chunk_plan()
 
     def create_source(self, platform: PlatformSpec, total_work: float) -> StaticPlanSource:
         schedule = self.schedule(platform, total_work)

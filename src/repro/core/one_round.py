@@ -27,9 +27,18 @@ class OneRound(Scheduler):
     def __init__(self) -> None:
         self.name = "OneRound"
 
+    is_static = True
+
     def chunk_sizes(self, platform: PlatformSpec, total_work: float) -> tuple[float, ...]:
         """Per-worker loads, in dispatch order (decreasing on homogeneous)."""
         return solve_multi_installment(platform, total_work, 1).sizes[0]
+
+    def static_plan(self, platform: PlatformSpec, total_work: float) -> ChunkPlan:
+        return ChunkPlan(
+            PlannedChunk(worker=i, size=s, round_index=0)
+            for i, s in enumerate(self.chunk_sizes(platform, total_work))
+            if s > 0.0
+        )
 
     def create_source(self, platform: PlatformSpec, total_work: float) -> StaticPlanSource:
         sizes = self.chunk_sizes(platform, total_work)
@@ -45,6 +54,11 @@ class EqualSplit(Scheduler):
 
     def __init__(self) -> None:
         self.name = "EqualSplit"
+
+    is_static = True
+
+    def static_plan(self, platform: PlatformSpec, total_work: float) -> ChunkPlan:
+        return self.plan(platform, total_work)
 
     def plan(self, platform: PlatformSpec, total_work: float) -> ChunkPlan:
         """The (trivial) plan, exposed for inspection."""

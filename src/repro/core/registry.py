@@ -19,7 +19,12 @@ from repro.core.rumr import RUMR
 from repro.core.umr import UMR
 from repro.core.weighted_factoring import WeightedFactoring
 
-__all__ = ["available_schedulers", "make_scheduler", "SchedulerFactory"]
+__all__ = [
+    "available_schedulers",
+    "is_static_algorithm",
+    "make_scheduler",
+    "SchedulerFactory",
+]
 
 #: A factory mapping the cell's error magnitude to a configured scheduler.
 SchedulerFactory = typing.Callable[[float], Scheduler]
@@ -49,6 +54,18 @@ _FACTORIES: dict[str, SchedulerFactory] = {
 def available_schedulers() -> list[str]:
     """All registered algorithm names."""
     return sorted(_FACTORIES)
+
+
+def is_static_algorithm(name: str) -> bool:
+    """Whether the named algorithm replays a fixed plan (is batchable).
+
+    A static algorithm's dispatch sequence depends only on the platform and
+    the workload — never on the error magnitude or on observed completions
+    — so the sweep fast path can run it through the vectorized batch
+    engine.  The answer is a property of the algorithm, not of any one
+    error level: the registry factory is probed at ``error = 0``.
+    """
+    return make_scheduler(name, 0.0).is_static
 
 
 def make_scheduler(name: str, error: float = 0.0) -> Scheduler:

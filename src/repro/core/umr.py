@@ -501,11 +501,16 @@ class UMR(Scheduler):
         self.allow_decreasing = allow_decreasing
         self.name = "UMR"
 
+    is_static = True
+
     def plan(self, platform: PlatformSpec, total_work: float) -> UMRPlan:
         """Solve and return the full :class:`UMRPlan`."""
         return solve_umr(
             platform, total_work, self.max_rounds, self.method, self.allow_decreasing
         )
+
+    def static_plan(self, platform: PlatformSpec, total_work: float) -> ChunkPlan:
+        return self.plan(platform, total_work).to_chunk_plan()
 
     def create_source(self, platform: PlatformSpec, total_work: float) -> StaticPlanSource:
         plan = self.plan(platform, total_work)

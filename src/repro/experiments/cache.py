@@ -73,13 +73,30 @@ def cached_sweep(
     directory: str | pathlib.Path,
     n_jobs: int = 1,
     progress: typing.Callable[[int, int], None] | None = None,
+    batch_static: bool = True,
 ) -> SweepResults:
-    """Run a sweep, or load it if an identical one is already on disk."""
+    """Run a sweep, or load it if an identical one is already on disk.
+
+    ``batch_static`` is forwarded to :func:`run_sweep` on a cache miss; it
+    is deliberately *not* part of the cache key, because both paths produce
+    the same distribution under the same seeds (and identical tensors at
+    zero error and for every dynamic algorithm).
+    """
     directory = pathlib.Path(directory)
     key = sweep_key(grid, algorithms)
     npz_path = directory / f"sweep-{grid.name}-{key}.npz"
     if npz_path.exists() and npz_path.with_suffix(".json").exists():
-        return load_sweep(npz_path)
-    results = run_sweep(grid, algorithms=algorithms, n_jobs=n_jobs, progress=progress)
+        loaded = load_sweep(npz_path)
+        # Guard against a stale or hand-edited sidecar: the entry is only
+        # trusted if it actually holds the requested algorithm list.
+        if loaded.algorithms == tuple(algorithms):
+            return loaded
+    results = run_sweep(
+        grid,
+        algorithms=algorithms,
+        n_jobs=n_jobs,
+        progress=progress,
+        batch_static=batch_static,
+    )
     save_sweep(results, directory)
     return results

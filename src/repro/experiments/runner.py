@@ -5,13 +5,29 @@ stream key derived from the grid seed, *shared across algorithms* (common
 random numbers) — the same trick the paper needs for its paired
 "percentage of experiments where RUMR outperforms X" statistics.
 
+Fast path: algorithms that declare :attr:`~repro.core.base.Scheduler.
+is_static` (UMR, MI-x, one-round) have a fixed dispatch sequence, so each
+(platform, error) cell's whole repetition axis collapses into one
+:func:`~repro.sim.batch.simulate_static_batch` call — NumPy array math
+instead of the per-run Python loop, two orders of magnitude faster.  The
+plan is solved once per platform and shared across every error level and
+repetition.  Dynamic algorithms (RUMR, Factoring, FSC, AdaptiveRUMR) keep
+the scalar engine in makespan-only mode, with *the same per-cell seeds*,
+so the cross-algorithm pairing is untouched.  At ``error = 0`` the two
+paths agree bit-for-bit; at ``error > 0`` the batch engine's makespans are
+distributionally identical but not bitwise (see ``repro.sim.batch``).
+``batch_static=False`` forces everything through the scalar engine.
+
 The runner is serial by default (the reproduction box has one core) but
-can fan platforms out over a process pool with ``n_jobs > 1``.
+can fan platforms out over a process pool with ``n_jobs > 1`` (or
+``n_jobs=-1`` for one worker per CPU).  The grid ships to pool workers
+once, through the pool initializer — not inside every task.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 import typing
 
@@ -21,6 +37,11 @@ from repro.core.registry import make_scheduler
 from repro.errors.models import make_error_model
 from repro.errors.rng import stream_for
 from repro.experiments.config import PAPER_ALGORITHMS, ExperimentGrid, PlatformPoint
+from repro.sim.batch import (
+    compile_static_plan,
+    draw_factor_matrices,
+    simulate_static_batch,
+)
 from repro.sim.fastsim import simulate_fast
 
 __all__ = ["SweepResults", "run_sweep"]
@@ -72,32 +93,112 @@ class SweepResults:
         return "RUMR" if "RUMR" in self.algorithms else self.algorithms[0]
 
 
+def _grid_supports_batch(grid: ExperimentGrid) -> bool:
+    """Whether the batch engine implements this grid's error model.
+
+    The batch engine draws truncated-normal multiplicative factors — the
+    ``normal`` kind (and trivially ``none``).  ``uniform`` and ``drifting``
+    grids fall back to the scalar path for every algorithm.
+    """
+    return grid.error_kind in ("normal", "none")
+
+
+def _cell_seeds(grid: ExperimentGrid, p_idx: int, e_idx: int) -> list[int]:
+    """The per-repetition stream keys of one (platform, error) cell.
+
+    One seed per repetition, shared by all algorithms (paired comparisons)
+    and by both engines; simulate_fast and simulate_static_batch spawn the
+    same independent comm/comp streams from it.
+    """
+    return [
+        int(stream_for(grid.seed, p_idx, e_idx, rep).integers(0, 2**63 - 1))
+        for rep in range(grid.repetitions)
+    ]
+
+
 def _run_platform(
-    args: tuple[ExperimentGrid, PlatformPoint, int, tuple[str, ...]],
+    grid: ExperimentGrid,
+    point: PlatformPoint,
+    p_idx: int,
+    algorithms: tuple[str, ...],
+    batch_static: bool = True,
 ) -> np.ndarray:
     """Worker: all (error, rep, algo) simulations for one platform.
 
     Returns an array of shape (num_errors, repetitions, num_algorithms).
     """
-    grid, point, p_idx, algorithms = args
     platform = point.build()
     out = np.empty((len(grid.errors), grid.repetitions, len(algorithms)))
+
+    # Per-platform plan cache: a static plan depends only on (platform,
+    # total_work), so it is solved and compiled exactly once here and
+    # reused across the whole (error × repetition) face instead of being
+    # re-derived inside create_source for every run.
+    static_plans: dict[int, typing.Any] = {}
+    if batch_static and _grid_supports_batch(grid):
+        for a_idx, name in enumerate(algorithms):
+            scheduler = make_scheduler(name, 0.0)
+            if scheduler.is_static:
+                static_plans[a_idx] = compile_static_plan(
+                    platform, scheduler.static_plan(platform, grid.total_work)
+                )
+
+    dynamic_indices = [i for i in range(len(algorithms)) if i not in static_plans]
+    max_chunks = max((p.num_chunks for p in static_plans.values()), default=0)
     for e_idx, error in enumerate(grid.errors):
-        schedulers = [make_scheduler(name, error) for name in algorithms]
-        for rep in range(grid.repetitions):
-            # One stream key per cell, shared by all algorithms (paired
-            # comparisons).  simulate_fast spawns independent comm/comp
-            # streams from it.
-            seed = int(
-                stream_for(grid.seed, p_idx, e_idx, rep).integers(0, 2**63 - 1)
+        seeds = _cell_seeds(grid, p_idx, e_idx)
+        magnitude = error if grid.error_kind != "none" else 0.0
+        # One factor draw per cell, column-sliced per algorithm: the same
+        # per-seed streams the scalar engines spawn, drawn once instead of
+        # once per static algorithm.
+        factors = (
+            draw_factor_matrices(seeds, max_chunks, magnitude)
+            if static_plans and magnitude > 0.0
+            else None
+        )
+        for a_idx, plan in static_plans.items():
+            out[e_idx, :, a_idx] = simulate_static_batch(
+                platform, plan, magnitude, seeds, mode=grid.error_mode,
+                factors=factors,
             )
-            for a_idx, scheduler in enumerate(schedulers):
+        if not dynamic_indices:
+            continue
+        schedulers = [(i, make_scheduler(algorithms[i], error)) for i in dynamic_indices]
+        for rep in range(grid.repetitions):
+            for a_idx, scheduler in schedulers:
                 model = make_error_model(grid.error_kind, error, mode=grid.error_mode)
                 result = simulate_fast(
-                    platform, grid.total_work, scheduler, model, seed=seed
+                    platform,
+                    grid.total_work,
+                    scheduler,
+                    model,
+                    seed=seeds[rep],
+                    collect_records=False,
                 )
                 out[e_idx, rep, a_idx] = result.makespan
     return out
+
+
+# Process-pool plumbing: the grid, platform list and algorithm tuple are
+# shipped to each worker exactly once via the initializer; tasks are then
+# bare platform indices instead of fat pickled tuples.
+_POOL_CTX: tuple[ExperimentGrid, tuple[PlatformPoint, ...], tuple[str, ...], bool] | None = None
+
+
+def _pool_init(
+    grid: ExperimentGrid,
+    platforms: tuple[PlatformPoint, ...],
+    algorithms: tuple[str, ...],
+    batch_static: bool,
+) -> None:
+    global _POOL_CTX
+    _POOL_CTX = (grid, platforms, algorithms, batch_static)
+
+
+def _pool_task(p_idx: int) -> np.ndarray:
+    assert _POOL_CTX is not None, "pool worker used without initializer"
+    grid, platforms, algorithms, batch_static = _POOL_CTX
+    return _run_platform(grid, platforms[p_idx], p_idx, algorithms, batch_static)
 
 
 def run_sweep(
@@ -105,6 +206,7 @@ def run_sweep(
     algorithms: typing.Sequence[str] = PAPER_ALGORITHMS,
     n_jobs: int = 1,
     progress: typing.Callable[[int, int], None] | None = None,
+    batch_static: bool = True,
 ) -> SweepResults:
     """Run the full sweep and return the makespan tensors.
 
@@ -115,37 +217,48 @@ def run_sweep(
     algorithms:
         Registry names to run (default: the paper's seven).
     n_jobs:
-        Process-pool width; 1 (default) runs in-process.
+        Process-pool width; 1 (default) runs in-process, ``-1`` uses one
+        worker per CPU.
     progress:
         Optional callback ``(platforms_done, platforms_total)``.
+    batch_static:
+        Route static algorithms through the vectorized batch engine (the
+        default; see the module docstring).  ``False`` forces the scalar
+        engine for everything — mainly for benchmarking and equivalence
+        tests.
     """
     algorithms = tuple(algorithms)
     if len(set(algorithms)) != len(algorithms):
         raise ValueError("duplicate algorithm names")
+    if n_jobs == -1:
+        n_jobs = os.cpu_count() or 1
+    elif n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
     platforms = tuple(grid.platforms())
     shape = (len(platforms), len(grid.errors), grid.repetitions)
     tensors = {a: np.empty(shape) for a in algorithms}
 
-    tasks = [(grid, point, p_idx, algorithms) for p_idx, point in enumerate(platforms)]
     if n_jobs > 1:
         import concurrent.futures
 
-        with concurrent.futures.ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            for done, (p_idx, block) in enumerate(
-                zip(range(len(tasks)), pool.map(_run_platform, tasks, chunksize=4))
-            ):
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_jobs,
+            initializer=_pool_init,
+            initargs=(grid, platforms, algorithms, batch_static),
+        ) as pool:
+            blocks = pool.map(_pool_task, range(len(platforms)), chunksize=4)
+            for p_idx, block in enumerate(blocks):
                 for a_idx, algo in enumerate(algorithms):
                     tensors[algo][p_idx] = block[:, :, a_idx]
                 if progress is not None:
-                    progress(done + 1, len(tasks))
+                    progress(p_idx + 1, len(platforms))
     else:
-        for done, task in enumerate(tasks):
-            block = _run_platform(task)
-            p_idx = task[2]
+        for p_idx, point in enumerate(platforms):
+            block = _run_platform(grid, point, p_idx, algorithms, batch_static)
             for a_idx, algo in enumerate(algorithms):
                 tensors[algo][p_idx] = block[:, :, a_idx]
             if progress is not None:
-                progress(done + 1, len(tasks))
+                progress(p_idx + 1, len(platforms))
 
     return SweepResults(
         grid=grid, algorithms=algorithms, platforms=platforms, makespans=tensors

@@ -35,13 +35,53 @@ what Tables 2–3 need.  Use this module for wide static-algorithm studies
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.core.chunks import ChunkPlan
-from repro.errors.rng import spawn_rngs
+from repro.errors.models import MIN_RATIO
 from repro.platform.spec import PlatformSpec
 
-__all__ = ["simulate_static_batch"]
+__all__ = [
+    "CompiledStaticPlan",
+    "compile_static_plan",
+    "draw_factor_matrices",
+    "simulate_static_batch",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledStaticPlan:
+    """A static plan lowered to per-chunk prediction arrays.
+
+    Everything :func:`simulate_static_batch` needs that depends only on
+    ``(platform, plan)`` — worker indices, predicted link/compute times,
+    pipeline latencies — extracted once so repeated calls (one per error
+    level in a sweep) skip the per-chunk Python loop over the platform.
+    """
+
+    num_workers: int
+    workers: np.ndarray       # (K,) int — receiving worker per chunk
+    link_pred: np.ndarray     # (K,) predicted link occupancy per chunk
+    comp_pred: np.ndarray     # (K,) predicted compute duration per chunk
+    tlat: np.ndarray          # (K,) pipeline latency per chunk
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.workers)
+
+
+def compile_static_plan(platform: PlatformSpec, plan: ChunkPlan) -> CompiledStaticPlan:
+    """Lower a :class:`ChunkPlan` for repeated batch simulation."""
+    chunks = list(plan)
+    return CompiledStaticPlan(
+        num_workers=platform.N,
+        workers=np.array([c.worker for c in chunks], dtype=np.intp),
+        link_pred=np.array([platform[c.worker].link_time(c.size) for c in chunks]),
+        comp_pred=np.array([platform[c.worker].compute_time(c.size) for c in chunks]),
+        tlat=np.array([platform[c.worker].tLat for c in chunks]),
+    )
 
 
 def _draw_factors(
@@ -58,13 +98,50 @@ def _draw_factors(
     return x
 
 
+def draw_factor_matrices(
+    seeds: "np.ndarray | list[int]",
+    k: int,
+    error: float,
+    min_ratio: float = MIN_RATIO,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(comm, comp) perturbation-factor matrices of shape (len(seeds), k).
+
+    Stream identity with the scalar engines is preserved: seed ``s`` feeds
+    ``SeedSequence(s).spawn(2)`` exactly like
+    :func:`repro.errors.rng.spawn_rngs`, and factors come out in chunk
+    order.  The spawning itself is batched — all ``2·R`` child sequences
+    and bit generators are built in one pass before any drawing — rather
+    than interleaving spawn/draw per seed.
+
+    Because every stream emits factors in chunk order, a matrix drawn for
+    the *largest* chunk count can be column-sliced and reused for any
+    smaller static plan under the same seeds — the sweep harness draws one
+    matrix pair per (platform, error) cell and shares it across all static
+    algorithms, exactly as the scalar engines share the per-cell streams.
+    """
+    children = [
+        child
+        for seed in seeds
+        for child in np.random.SeedSequence(int(seed)).spawn(2)
+    ]
+    generators = [np.random.Generator(np.random.PCG64(c)) for c in children]
+    r = len(seeds)
+    comm = np.empty((r, k))
+    comp = np.empty((r, k))
+    for i in range(r):
+        comm[i] = _draw_factors(generators[2 * i], k, error, min_ratio)
+        comp[i] = _draw_factors(generators[2 * i + 1], k, error, min_ratio)
+    return comm, comp
+
+
 def simulate_static_batch(
     platform: PlatformSpec,
-    plan: ChunkPlan,
+    plan: "ChunkPlan | CompiledStaticPlan",
     error: float,
     seeds: "np.ndarray | list[int]",
-    min_ratio: float = 0.01,
+    min_ratio: float = MIN_RATIO,
     mode: str = "multiply",
+    factors: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Makespans of one static plan under R independent error draws.
 
@@ -73,7 +150,9 @@ def simulate_static_batch(
     platform:
         The master-worker platform.
     plan:
-        A static dispatch sequence (e.g. ``solve_umr(...).to_chunk_plan()``).
+        A static dispatch sequence (e.g. ``solve_umr(...).to_chunk_plan()``),
+        or its :func:`compile_static_plan` lowering when the same plan is
+        simulated at many error levels.
     error:
         Truncated-normal error magnitude (0 = deterministic).
     seeds:
@@ -81,6 +160,12 @@ def simulate_static_batch(
         pair the scalar engines use.
     mode:
         ``"multiply"`` (default) or ``"divide"`` perturbation direction.
+    factors:
+        Optional precomputed ``(comm, comp)`` matrices from
+        :func:`draw_factor_matrices` with at least ``K`` columns (extra
+        columns are ignored); lets callers share one draw across several
+        plans under the same seeds.  The ``mode`` inversion is applied
+        here, so pass raw factors.
 
     Returns
     -------
@@ -89,31 +174,45 @@ def simulate_static_batch(
     """
     if mode not in ("multiply", "divide"):
         raise ValueError(f"unknown perturbation mode {mode!r}")
-    chunks = list(plan)
-    if not chunks:
+    if not isinstance(plan, CompiledStaticPlan):
+        plan = compile_static_plan(platform, plan)
+    k = plan.num_chunks
+    if k == 0:
         return np.zeros(len(seeds))
-    k = len(chunks)
-    r = len(seeds)
-    workers = np.array([c.worker for c in chunks])
-    link_pred = np.array([platform[c.worker].link_time(c.size) for c in chunks])
-    comp_pred = np.array([platform[c.worker].compute_time(c.size) for c in chunks])
-    tlat = np.array([platform[c.worker].tLat for c in chunks])
+    workers = plan.workers
+    link_pred = plan.link_pred
+    comp_pred = plan.comp_pred
+    tlat = plan.tlat
 
-    comm_factors = np.empty((r, k))
-    comp_factors = np.empty((r, k))
-    for i, seed in enumerate(seeds):
-        rng_comm, rng_comp = spawn_rngs(int(seed), 2)
-        comm_factors[i] = _draw_factors(rng_comm, k, error, min_ratio)
-        comp_factors[i] = _draw_factors(rng_comp, k, error, min_ratio)
-    if mode == "divide":
-        comm_factors = 1.0 / comm_factors
-        comp_factors = 1.0 / comp_factors
+    if error == 0.0:
+        # Deterministic: every repetition is the same run.  Simulate one
+        # row (no RNG is spawned at all) and broadcast.
+        comm_factors = np.ones((1, k))
+        comp_factors = comm_factors
+    else:
+        if factors is not None:
+            comm_factors, comp_factors = factors
+            if comm_factors.shape[1] < k:
+                raise ValueError(
+                    f"shared factor matrices have {comm_factors.shape[1]} "
+                    f"columns < plan's {k} chunks"
+                )
+            comm_factors = comm_factors[:, :k]
+            comp_factors = comp_factors[:, :k]
+        else:
+            comm_factors, comp_factors = draw_factor_matrices(
+                seeds, k, error, min_ratio
+            )
+        if mode == "divide":
+            comm_factors = 1.0 / comm_factors
+            comp_factors = 1.0 / comp_factors
+    r = comm_factors.shape[0]
 
     send_end = np.cumsum(link_pred[None, :] * comm_factors, axis=1)
     arrival = send_end + tlat[None, :]
     comp_dur = comp_pred[None, :] * comp_factors
 
-    busy = np.zeros((r, platform.N))
+    busy = np.zeros((r, plan.num_workers))
     makespan = np.zeros(r)
     for j in range(k):
         w = workers[j]
@@ -121,4 +220,6 @@ def simulate_static_batch(
         end = start + comp_dur[:, j]
         busy[:, w] = end
         np.maximum(makespan, end, out=makespan)
+    if r == 1 and len(seeds) != 1:
+        return np.full(len(seeds), makespan[0])
     return makespan

@@ -44,7 +44,10 @@ class _FastView(MasterView):
         "_sent_work",
         "_ends",
         "_end_work_prefix",
-        "_all_notes",
+        "_notes_sorted",
+        "_notes_pending",
+        "_obs_cache",
+        "_obs_cache_key",
     )
 
     def __init__(self, n: int):
@@ -56,9 +59,16 @@ class _FastView(MasterView):
         # matching prefix sums of completed work, for O(log) pending queries.
         self._ends: list[list[float]] = [[] for _ in range(n)]
         self._end_work_prefix: list[list[float]] = [[0.0] for _ in range(n)]
-        # Global completion notes kept sorted by (time, chunk_index) for
-        # observed_completions() queries.
-        self._all_notes: list[CompletionNote] = []
+        # Global completion notes.  Dispatch appends to the unsorted pending
+        # list in O(1); the (time, chunk_index)-sorted list is materialized
+        # lazily on the first observed_completions() after a dispatch.  A
+        # bisect.insort here would cost O(K) per dispatch — O(K²) over a
+        # run — and static schedulers, which never look at completions,
+        # would pay it for nothing.
+        self._notes_sorted: list[CompletionNote] = []
+        self._notes_pending: list[CompletionNote] = []
+        self._obs_cache: tuple[CompletionNote, ...] | None = None
+        self._obs_cache_key: tuple[float, int] = (-1.0, -1)
 
     @property
     def now(self) -> float:
@@ -81,8 +91,24 @@ class _FastView(MasterView):
         return prefix[self._sent_count[worker]] - prefix[done]
 
     def observed_completions(self) -> tuple[CompletionNote, ...]:
-        cutoff = bisect.bisect_right(self._all_notes, (self._now, float("inf")), key=lambda n: (n.time, n.chunk_index))
-        return tuple(self._all_notes[:cutoff])
+        if self._notes_pending:
+            # Pending notes arrive nearly sorted (comp_end is monotone per
+            # worker), so timsort merges them cheaply; amortized the whole
+            # run costs O(K log K) instead of insort's O(K²).
+            self._notes_sorted.extend(self._notes_pending)
+            self._notes_sorted.sort(key=lambda n: (n.time, n.chunk_index))
+            self._notes_pending.clear()
+        key = (self._now, len(self._notes_sorted))
+        if self._obs_cache is not None and key == self._obs_cache_key:
+            return self._obs_cache
+        cutoff = bisect.bisect_right(
+            self._notes_sorted,
+            (self._now, float("inf")),
+            key=lambda n: (n.time, n.chunk_index),
+        )
+        self._obs_cache = tuple(self._notes_sorted[:cutoff])
+        self._obs_cache_key = key
+        return self._obs_cache
 
     # -- engine-side mutation ------------------------------------------------
     def _note_dispatch(
@@ -92,8 +118,9 @@ class _FastView(MasterView):
         self._sent_work[worker] += size
         self._ends[worker].append(comp_end)
         self._end_work_prefix[worker].append(self._end_work_prefix[worker][-1] + size)
-        note = CompletionNote(time=comp_end, chunk_index=index, worker=worker, size=size)
-        bisect.insort(self._all_notes, note)
+        self._notes_pending.append(
+            CompletionNote(time=comp_end, chunk_index=index, worker=worker, size=size)
+        )
 
 
 def simulate_fast(
@@ -102,19 +129,28 @@ def simulate_fast(
     scheduler: Scheduler,
     error_model: ErrorModel,
     seed: int | None = None,
+    collect_records: bool = True,
 ) -> SimResult:
-    """Simulate one run with the specialized engine (see module docstring)."""
+    """Simulate one run with the specialized engine (see module docstring).
+
+    ``collect_records=False`` enables the makespan-only mode used by the
+    sweep harness: no :class:`DispatchRecord` objects are allocated and the
+    returned result carries an empty ``records`` tuple.  The trajectory —
+    and therefore the makespan and the random-stream consumption — is
+    identical in both modes.
+    """
     rng_comm, rng_comp = spawn_rngs(seed, 2)
     source = scheduler.create_source(platform, total_work)
     workers = platform.workers
     n = platform.N
 
     view = _FastView(n)
-    link_free = 0.0
     worker_busy_until = [0.0] * n
     # Min-heap of future completion times, for WAIT wake-ups.
     future_ends: list[float] = []
     records: list[DispatchRecord] = []
+    num_dispatched = 0
+    makespan = 0.0
     now = 0.0
 
     while True:
@@ -155,25 +191,27 @@ def simulate_fast(
         worker_busy_until[action.worker] = comp_end
         error_model.advance()
 
-        view._note_dispatch(action.worker, size, comp_end, len(records))
+        view._note_dispatch(action.worker, size, comp_end, num_dispatched)
+        num_dispatched += 1
         heapq.heappush(future_ends, comp_end)
-        records.append(
-            DispatchRecord(
-                index=len(records),
-                worker=action.worker,
-                size=size,
-                send_start=send_start,
-                send_end=send_end,
-                arrival=arrival,
-                comp_start=comp_start,
-                comp_end=comp_end,
-                phase=action.phase,
+        if comp_end > makespan:
+            makespan = comp_end
+        if collect_records:
+            records.append(
+                DispatchRecord(
+                    index=len(records),
+                    worker=action.worker,
+                    size=size,
+                    send_start=send_start,
+                    send_end=send_end,
+                    arrival=arrival,
+                    comp_start=comp_start,
+                    comp_end=comp_end,
+                    phase=action.phase,
+                )
             )
-        )
-        link_free = send_end
-        now = link_free
+        now = send_end
 
-    makespan = max((r.comp_end for r in records), default=0.0)
     return SimResult(
         makespan=makespan,
         records=tuple(records),

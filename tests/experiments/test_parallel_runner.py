@@ -24,6 +24,27 @@ def test_parallel_matches_serial(tiny_grid):
         assert np.array_equal(serial.makespans[algo], parallel.makespans[algo])
 
 
+def test_parallel_matches_serial_scalar_path(tiny_grid):
+    # batch_static must reach pool workers through the initializer too.
+    serial = run_sweep(tiny_grid, algorithms=ALGOS, n_jobs=1, batch_static=False)
+    parallel = run_sweep(tiny_grid, algorithms=ALGOS, n_jobs=2, batch_static=False)
+    for algo in ALGOS:
+        assert np.array_equal(serial.makespans[algo], parallel.makespans[algo])
+
+
+def test_n_jobs_minus_one_uses_cpu_count(tiny_grid):
+    serial = run_sweep(tiny_grid, algorithms=ALGOS, n_jobs=1)
+    auto = run_sweep(tiny_grid, algorithms=ALGOS, n_jobs=-1)
+    for algo in ALGOS:
+        assert np.array_equal(serial.makespans[algo], auto.makespans[algo])
+
+
+@pytest.mark.parametrize("n_jobs", [0, -2])
+def test_invalid_n_jobs_rejected(tiny_grid, n_jobs):
+    with pytest.raises(ValueError):
+        run_sweep(tiny_grid, algorithms=ALGOS, n_jobs=n_jobs)
+
+
 def test_parallel_progress_callback(tiny_grid):
     calls = []
     run_sweep(

@@ -88,6 +88,59 @@ class TestCache:
         for algo in ALGOS:
             assert np.array_equal(first.makespans[algo], second.makespans[algo])
 
+    def test_roundtrip_nontrivial_grid(self, tmp_path):
+        # Multiple platforms, error levels and repetitions — the loaded
+        # object must reconstruct every axis and tensor exactly.
+        grid = smoke_grid().restrict(
+            Ns=(8, 12), bandwidth_factors=(1.4, 1.8), cLats=(0.0, 0.2),
+            nLats=(0.1,), errors=(0.0, 0.1, 0.3), repetitions=3,
+        )
+        results = run_sweep(grid, algorithms=("UMR", "RUMR", "MI-2"))
+        loaded = load_sweep(save_sweep(results, tmp_path))
+        assert loaded.grid == results.grid
+        assert loaded.algorithms == results.algorithms
+        assert loaded.platforms == results.platforms
+        assert len(loaded.platforms) == 8
+        for algo in results.algorithms:
+            assert np.array_equal(loaded.makespans[algo], results.makespans[algo])
+
+    def test_cached_sweep_revalidates_algorithms(self, results, tmp_path):
+        import json
+
+        cached_sweep(results.grid, ALGOS, tmp_path)
+        # Tamper with the sidecar so the entry claims a different
+        # algorithm list than requested; cached_sweep must re-run instead
+        # of returning the stale entry.
+        key = sweep_key(results.grid, ALGOS)
+        meta_path = tmp_path / f"sweep-{results.grid.name}-{key}.json"
+        meta = json.loads(meta_path.read_text())
+        meta["algorithms"] = ["UMR", "RUMR", "Factoring"]  # reordered
+        meta_path.write_text(json.dumps(meta))
+        calls = []
+        again = cached_sweep(
+            results.grid, ALGOS, tmp_path,
+            progress=lambda d, t: calls.append(d),
+        )
+        assert calls  # re-ran rather than trusting the tampered entry
+        assert again.algorithms == ALGOS
+
+    def test_cached_sweep_batch_flag_consistent(self, results, tmp_path):
+        scalar = cached_sweep(
+            results.grid, ALGOS, tmp_path / "a", batch_static=False
+        )
+        batched = cached_sweep(
+            results.grid, ALGOS, tmp_path / "b", batch_static=True
+        )
+        # Zero-error column identical across paths; dynamic algos identical
+        # everywhere (same engine, same seeds).
+        for algo in ALGOS:
+            assert np.array_equal(
+                scalar.makespans[algo][:, 0, :], batched.makespans[algo][:, 0, :]
+            )
+        assert np.array_equal(
+            scalar.makespans["RUMR"], batched.makespans["RUMR"]
+        )
+
 
 class TestCLI:
     def test_list_command(self, capsys):
@@ -128,3 +181,11 @@ class TestCLI:
             "--quiet", "--error-mode", "divide",
         ])
         assert rc == 0
+
+    def test_no_batch_flag(self, tmp_path):
+        rc = main([
+            "sweep", "--preset", "smoke", "--results", str(tmp_path / "res"),
+            "--quiet", "--no-batch",
+        ])
+        assert rc == 0
+        assert list((tmp_path / "res").glob("sweep-*.npz"))

@@ -72,6 +72,64 @@ class TestRunSweep:
         assert calls[-1][0] == calls[-1][1]
 
 
+class TestFastPath:
+    """The batched static path against the all-scalar reference."""
+
+    STATIC = ("UMR", "MI-2", "OneRound")
+    DYNAMIC = ("RUMR", "Factoring")
+
+    @pytest.fixture(scope="class")
+    def paths(self):
+        grid = smoke_grid().restrict(
+            Ns=(8,), bandwidth_factors=(1.6,), cLats=(0.1,), nLats=(0.1,),
+            errors=(0.0, 0.1, 0.3), repetitions=4,
+        )
+        algos = self.STATIC + self.DYNAMIC
+        batched = run_sweep(grid, algorithms=algos, batch_static=True)
+        scalar = run_sweep(grid, algorithms=algos, batch_static=False)
+        return batched, scalar
+
+    def test_static_exact_at_zero_error(self, paths):
+        batched, scalar = paths
+        for algo in self.STATIC:
+            assert np.array_equal(
+                batched.makespans[algo][:, 0, :], scalar.makespans[algo][:, 0, :]
+            ), algo
+
+    def test_static_close_at_positive_error(self, paths):
+        # At error > 0 the paths are distributionally identical; bitwise
+        # divergence only where truncation resampling fires (rare), so the
+        # tensors stay within a loose relative tolerance.
+        batched, scalar = paths
+        for algo in self.STATIC:
+            assert np.allclose(
+                batched.makespans[algo], scalar.makespans[algo], rtol=0.15
+            ), algo
+
+    def test_dynamic_identical_everywhere(self, paths):
+        # Dynamic algorithms run the scalar engine on both paths with the
+        # same per-cell seeds — the pairing must be untouched.
+        batched, scalar = paths
+        for algo in self.DYNAMIC:
+            assert np.array_equal(
+                batched.makespans[algo], scalar.makespans[algo]
+            ), algo
+
+    def test_uniform_error_kind_falls_back(self):
+        # Non-normal error kinds are not batchable; both flags must give
+        # bit-identical tensors because both use the scalar engine.
+        grid = smoke_grid().restrict(
+            Ns=(8,), bandwidth_factors=(1.6,), cLats=(0.1,), nLats=(0.1,),
+            errors=(0.0, 0.2), repetitions=2, error_kind="uniform",
+        )
+        batched = run_sweep(grid, algorithms=("UMR", "RUMR"), batch_static=True)
+        scalar = run_sweep(grid, algorithms=("UMR", "RUMR"), batch_static=False)
+        for algo in ("UMR", "RUMR"):
+            assert np.array_equal(
+                batched.makespans[algo], scalar.makespans[algo]
+            )
+
+
 class TestSweepResults:
     def test_select_filters_platforms(self, tiny_results):
         subset = tiny_results.select(lambda p: p.cLat == 0.0)

@@ -174,3 +174,99 @@ class TestErrorHandling:
         p = single_worker()
         result = simulate_fast(p, 2.0, ListScheduler([Dispatch(worker=0, size=2.0)]), NoError())
         assert result.num_chunks == 1
+
+
+class TestMakespanOnlyMode:
+    """collect_records=False must change allocation, never the trajectory."""
+
+    def _platform(self, n=6):
+        return PlatformSpec(
+            [WorkerSpec(S=1.0, B=2.0, cLat=0.1, nLat=0.05, tLat=0.02)] * n
+        )
+
+    def test_records_empty_makespan_equal_static(self):
+        from repro.core import UMR
+
+        p = self._platform()
+        full = simulate_fast(p, 200.0, UMR(), NoError(), seed=3)
+        lean = simulate_fast(p, 200.0, UMR(), NoError(), seed=3, collect_records=False)
+        assert lean.records == ()
+        assert full.records  # the default still collects
+        assert lean.makespan == full.makespan
+
+    def test_dynamic_scheduler_trajectory_unchanged(self):
+        # Factoring consults observed completions; the makespan-only mode
+        # must feed it the identical view (same RNG consumption, same
+        # decisions) at every error level.
+        from repro.core import Factoring
+        from repro.errors import make_error_model
+
+        p = self._platform()
+        for error in (0.0, 0.2, 0.4):
+            model = make_error_model("normal", error)
+            full = simulate_fast(p, 150.0, Factoring(), model, seed=11)
+            model = make_error_model("normal", error)
+            lean = simulate_fast(
+                p, 150.0, Factoring(), model, seed=11, collect_records=False
+            )
+            assert lean.makespan == full.makespan
+            assert lean.records == ()
+
+    def test_metadata_preserved(self):
+        p = self._platform(2)
+        result = simulate_fast(
+            p, 10.0, ListScheduler([Dispatch(worker=0, size=10.0)]), NoError(),
+            seed=5, collect_records=False,
+        )
+        assert result.scheduler_name == "list"
+        assert result.seed == 5
+        assert result.total_work == 10.0
+
+
+class TestObservedCompletionsLazyMerge:
+    def test_notes_sorted_and_filtered_by_now(self):
+        # Interleave dispatches to two workers so realized completion times
+        # arrive out of global order, then check the merged view at several
+        # decision times.
+        p = PlatformSpec([
+            WorkerSpec(S=10.0, B=10.0),   # fast worker: finishes early
+            WorkerSpec(S=0.5, B=10.0),    # slow worker
+        ])
+        sched = ListScheduler([
+            Dispatch(worker=1, size=2.0),  # slow chunk first on the link
+            Dispatch(worker=0, size=2.0),
+            Dispatch(worker=1, size=1.0),
+            Dispatch(worker=0, size=1.0),
+        ])
+        result = simulate_fast(p, 6.0, sched, NoError())
+        times = [r.comp_end for r in result.records]
+        assert times != sorted(times)  # out-of-order arrival is exercised
+
+    def test_view_cache_invalidates_on_time_advance(self):
+        observed = []
+
+        class Peeker(DispatchSource):
+            def __init__(self):
+                self.step = 0
+
+            def next_dispatch(self, view):
+                self.step += 1
+                observed.append(len(view.observed_completions()))
+                # Call twice at the same decision point: cached result.
+                assert view.observed_completions() is view.observed_completions()
+                if self.step <= 3:
+                    return Dispatch(worker=0, size=2.0)
+                if observed[-1] < 3:
+                    return WAIT
+                return None
+
+        class PeekScheduler(Scheduler):
+            name = "peeker"
+
+            def create_source(self, platform, total_work):
+                return Peeker()
+
+        simulate(single_worker(S=1.0, B=100.0), 6.0, PeekScheduler())
+        assert observed[0] == 0
+        assert observed[-1] == 3  # all completions eventually visible
+        assert observed == sorted(observed)
