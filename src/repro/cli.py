@@ -83,8 +83,9 @@ def _parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--no-batch",
             action="store_true",
-            help="force the scalar engine for static algorithms too "
-            "(disables the vectorized sweep fast path)",
+            help="force the scalar engine for every algorithm "
+            "(disables both the static-plan and lockstep-dynamic "
+            "vectorized sweep fast paths)",
         )
 
     for name in TABLE_COMMANDS + FIGURE_COMMANDS + ("all", "sweep"):

@@ -189,9 +189,17 @@ class Scheduler:
     #: Static schedulers additionally implement :meth:`static_plan` and are
     #: eligible for the vectorized batch engine
     #: (:func:`repro.sim.batch.simulate_static_batch`); dynamic schedulers
-    #: must go through a scalar engine, which replays their decisions
-    #: against the realized randomness.
+    #: go through a scalar engine — or, when they also declare
+    #: :attr:`is_batch_dynamic`, through the lockstep batch engine.
     is_static: bool = False
+
+    #: Whether the scheduler's *decision rule* is pure arithmetic over
+    #: master-observable state, so many runs can advance in lockstep as
+    #: array operations (:func:`repro.sim.dynbatch.simulate_dynamic_batch`).
+    #: Such schedulers additionally implement :meth:`batch_kernel`.  The
+    #: lockstep trajectory must match the scalar engine bit-for-bit when
+    #: fed the same perturbation factors.
+    is_batch_dynamic: bool = False
 
     def create_source(self, platform: PlatformSpec, total_work: float) -> DispatchSource:
         """Bind to one run and return a fresh dispatch source."""
@@ -206,6 +214,18 @@ class Scheduler:
         repetitions (the sweep fast path does exactly that).
         """
         raise NotImplementedError(f"{self.name} is not a static scheduler")
+
+    def batch_kernel(self, platform: PlatformSpec, total_work: float):
+        """The lockstep decision-rule spec of a batch-dynamic scheduler.
+
+        Only meaningful when :attr:`is_batch_dynamic` is true; the default
+        raises.  Returns a :class:`repro.core.lockstep.KernelSpec` bound
+        to ``(platform, total_work)`` — and, through the scheduler's own
+        configuration, to the cell's error magnitude where the algorithm
+        consumes it (RUMR's phase split).  Specs with equal ``group_key``
+        can be merged into one kernel spanning many cells.
+        """
+        raise NotImplementedError(f"{self.name} has no lockstep batch kernel")
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

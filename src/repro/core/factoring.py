@@ -20,10 +20,23 @@ tail does not degenerate into infinitely many vanishing transfers.
 
 from __future__ import annotations
 
+import dataclasses
+
+import numpy as np
+
 from repro.core.base import WAIT, Dispatch, DispatchSource, MasterView, Scheduler, Wait
+from repro.core.lockstep import (
+    DISPATCH,
+    DONE,
+    WAIT_FOR_COMPLETION,
+    KernelSpec,
+    LockstepKernel,
+    expand_rows,
+    starved_argmin,
+)
 from repro.platform.spec import PlatformSpec
 
-__all__ = ["Factoring", "FactoringSource"]
+__all__ = ["Factoring", "FactoringSource", "FactoringKernel", "FactoringKernelSpec"]
 
 
 class FactoringSource(DispatchSource):
@@ -97,6 +110,81 @@ class FactoringSource(DispatchSource):
         return Dispatch(worker=worker, size=size, phase=self._phase)
 
 
+@dataclasses.dataclass(frozen=True)
+class FactoringKernelSpec(KernelSpec):
+    """One cell's :class:`FactoringSource` parameters, lockstep form.
+
+    ``total_work = 0`` is a valid degenerate spec whose rows are DONE
+    from the first decision — RUMR uses it for a skipped phase 2.
+    """
+
+    n: int = 0
+    total_work: float = 0.0
+    factor: float = 2.0
+    min_chunk: float = 1.0
+    lookahead: int = 1
+
+    group_key = ("factoring",)
+
+    def make_kernel(self, specs, reps, n_max):
+        return FactoringKernel(specs, reps, n_max)
+
+
+class FactoringKernel(LockstepKernel):
+    """Lockstep rows of factoring state (see :class:`FactoringSource`).
+
+    Every formula is evaluated with the scalar source's exact operation
+    order — ``remaining / (factor · n)``, ``max(·, min_chunk)``,
+    ``min(batch_size, remaining)``, ``max(0, remaining − size)`` — so a
+    row's dispatch sequence is bit-identical to the scalar run's.
+    """
+
+    def __init__(self, specs, reps, n_max):
+        self._rows = np.arange(int(np.sum(reps)))
+        self._n = expand_rows([s.n for s in specs], reps, dtype=np.int64)
+        self._n_float = self._n.astype(float)
+        self._remaining = expand_rows([s.total_work for s in specs], reps, dtype=float)
+        self._epsilon = np.array(
+            [1e-12 * max(s.total_work, 1.0) for s in specs]
+        ).repeat(reps)
+        self._factor_n = expand_rows(
+            [s.factor * s.n for s in specs], reps, dtype=float
+        )
+        self._min_chunk = expand_rows([s.min_chunk for s in specs], reps, dtype=float)
+        self._lookahead = expand_rows([s.lookahead for s in specs], reps, dtype=np.int64)
+        self._batch_left = np.zeros(len(self._rows), dtype=np.int64)
+        self._batch_size = np.zeros(len(self._rows))
+
+    def decide(self, counts, works, action, worker, size, mask=None):
+        fin = self._remaining <= self._epsilon
+        if mask is None:
+            live = ~fin
+        else:
+            live = mask & ~fin
+            fin = mask & fin
+        w = starved_argmin(counts, works)
+        wait = live & (counts[self._rows, w] >= self._lookahead)
+        disp = live & ~wait
+        action[fin] = DONE
+        action[wait] = WAIT_FOR_COMPLETION
+        action[disp] = DISPATCH
+        worker[disp] = w[disp]
+        new_batch = disp & (self._batch_left == 0)
+        if new_batch.any():
+            np.copyto(
+                self._batch_size,
+                np.maximum(self._remaining / self._factor_n, self._min_chunk),
+                where=new_batch,
+            )
+            np.copyto(self._batch_left, self._n, where=new_batch)
+        self._batch_left[disp] -= 1
+        sz = np.minimum(self._batch_size, self._remaining)
+        size[disp] = sz[disp]
+        np.copyto(
+            self._remaining, np.maximum(0.0, self._remaining - sz), where=disp
+        )
+
+
 class Factoring(Scheduler):
     """Factoring scheduler (see module docstring).
 
@@ -107,6 +195,8 @@ class Factoring(Scheduler):
     min_chunk:
         Smallest chunk the master will send (default 1 workload unit).
     """
+
+    is_batch_dynamic = True
 
     def __init__(self, factor: float = 2.0, min_chunk: float = 1.0):
         if factor <= 1.0:
@@ -122,4 +212,13 @@ class Factoring(Scheduler):
             factor=self.factor,
             min_chunk=self.min_chunk,
             phase="factoring",
+        )
+
+    def batch_kernel(self, platform: PlatformSpec, total_work: float) -> FactoringKernelSpec:
+        return FactoringKernelSpec(
+            n=platform.N,
+            total_work=total_work,
+            factor=self.factor,
+            min_chunk=self.min_chunk,
+            lookahead=1,
         )

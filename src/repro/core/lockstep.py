@@ -1,0 +1,120 @@
+"""Lockstep kernels: dynamic scheduling decisions as row-wise array ops.
+
+The scalar engine asks a :class:`~repro.core.base.DispatchSource` one
+decision at a time.  A *lockstep kernel* answers the same question for R
+independent runs at once: given the master-observable state of every row
+(pending chunk counts and pending work per worker, as observed at each
+row's own clock), fill per-row ``action``/``worker``/``size`` arrays.
+Rows proceed through their *own* trajectories — different rows may be in
+different rounds, batches, or phases — the kernel merely evaluates all of
+their next decisions in one pass of NumPy arithmetic.
+
+This is possible because the batchable dynamic schedulers (Factoring,
+WeightedFactoring, RUMR) decide from pure arithmetic over master state:
+no data-dependent control flow survives except per-row branches, which
+become masks.  The contract mirrors the scalar sources bit-for-bit: the
+same tie-breaks (fewest pending chunks, then least pending work, then
+lowest index), the same batch/size formulas evaluated with the same
+operation order and associativity, so a lockstep row reproduces the
+scalar engine's trajectory exactly when fed the same perturbation
+factors.
+
+Kernels are built from :class:`KernelSpec` objects (one per simulated
+cell) by :meth:`KernelSpec.make_kernel`; specs with equal ``group_key``
+may be merged into one kernel spanning many cells, padded to a common
+worker count.  Padded worker slots must be made unselectable by the
+*caller*: the engine reports a huge pending-chunk count for them, which
+excludes them from every starved-worker argmin and idle test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DISPATCH",
+    "WAIT_FOR_COMPLETION",
+    "DONE",
+    "PAD_PENDING",
+    "KernelSpec",
+    "LockstepKernel",
+    "expand_rows",
+    "starved_argmin",
+]
+
+#: Per-row action codes written into the engine's ``action`` array.
+DISPATCH = 0
+WAIT_FOR_COMPLETION = 1
+DONE = 2
+
+#: Pending-chunk count reported for padded (nonexistent) worker slots.
+#: Large enough that a pad can never win a fewest-pending tie or look
+#: idle, small enough to stay exact in int64 arithmetic.
+PAD_PENDING = 1 << 40
+
+
+def expand_rows(values, reps, dtype=None) -> np.ndarray:
+    """Repeat one per-spec value per repetition row (``np.repeat`` sugar)."""
+    return np.repeat(np.asarray(values, dtype=dtype), reps, axis=0)
+
+
+def starved_argmin(counts: np.ndarray, works: np.ndarray) -> np.ndarray:
+    """Row-wise ``min((pending_chunks(i), pending_work(i), i))`` worker.
+
+    Vectorizes the scalar sources' lexicographic candidate rule: fewest
+    pending chunks first, least pending work among those, lowest index as
+    the final tie-break (``argmax`` of a boolean row returns the first
+    ``True``).
+    """
+    cmin = counts.min(axis=1, keepdims=True)
+    tie = counts == cmin
+    masked = np.where(tie, works, np.inf)
+    wmin = masked.min(axis=1, keepdims=True)
+    return (tie & (masked == wmin)).argmax(axis=1)
+
+
+class KernelSpec:
+    """One cell's decision-rule configuration, mergeable by ``group_key``.
+
+    Produced by :meth:`repro.core.base.Scheduler.batch_kernel`.  Specs
+    whose ``group_key`` match describe the same decision-rule *family*
+    (identical code path, different parameters) and may be handed
+    together to :meth:`make_kernel`, which expands them into per-row
+    state — ``reps[i]`` consecutive rows per spec — padded to ``n_max``
+    workers.
+    """
+
+    #: Hashable family identifier; equal keys merge into one kernel.
+    group_key: tuple = ()
+    #: Real worker count of this spec's platform.
+    n: int = 0
+
+    def make_kernel(
+        self, specs: "list[KernelSpec]", reps: "list[int]", n_max: int
+    ) -> "LockstepKernel":
+        raise NotImplementedError
+
+
+class LockstepKernel:
+    """Per-row decision state for one merged group of cells."""
+
+    def decide(
+        self,
+        counts: np.ndarray,
+        works: np.ndarray,
+        action: np.ndarray,
+        worker: np.ndarray,
+        size: np.ndarray,
+        mask: "np.ndarray | None" = None,
+    ) -> None:
+        """Write each row's next decision into the output arrays.
+
+        ``counts``/``works`` are (R, n_max) observed pending chunks and
+        pending work; ``action``/``worker``/``size`` are (R,) outputs.
+        With ``mask`` (boolean (R,)), only masked rows are decided and
+        mutated — used by composite kernels (RUMR's phase-2 tail) to
+        delegate a row subset; rows outside the mask are left untouched.
+        Rows whose workload is exhausted write :data:`DONE` and must keep
+        doing so on every later call (finished rows stay frozen).
+        """
+        raise NotImplementedError

@@ -34,14 +34,26 @@ Design choices (§4.2), all reproduced here:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 
+import numpy as np
+
 from repro.core.base import Dispatch, DispatchSource, MasterView, Scheduler, Wait
-from repro.core.factoring import FactoringSource
+from repro.core.factoring import FactoringKernelSpec, FactoringSource
+from repro.core.lockstep import DISPATCH, KernelSpec, LockstepKernel, expand_rows
 from repro.core.umr import MAX_ROUNDS, UMRPlan, solve_umr
 from repro.platform.spec import PlatformSpec
 
-__all__ = ["RUMR", "RUMRSource", "round_overhead", "phase2_workload", "phase2_min_chunk"]
+__all__ = [
+    "RUMR",
+    "RUMRSource",
+    "RUMRKernel",
+    "RUMRKernelSpec",
+    "round_overhead",
+    "phase2_workload",
+    "phase2_min_chunk",
+]
 
 
 def round_overhead(platform: PlatformSpec) -> float:
@@ -162,6 +174,86 @@ class RUMRSource(DispatchSource):
         return None
 
 
+@dataclasses.dataclass(frozen=True)
+class RUMRKernelSpec(KernelSpec):
+    """One cell's RUMR state in lockstep form.
+
+    ``rounds`` holds the phase-1 plan as dense per-round size rows
+    (zeros for workers with nothing in that round); ``phase2`` is always
+    present — a zero-workload factoring spec stands in for a skipped
+    phase 2, so the skip condition does not fracture the group.
+    """
+
+    n: int = 0
+    rounds: tuple = ()
+    out_of_order: bool = True
+    phase2: "KernelSpec | None" = None
+
+    @property
+    def group_key(self):
+        return ("rumr", self.phase2.group_key)
+
+    def make_kernel(self, specs, reps, n_max):
+        return RUMRKernel(specs, reps, n_max)
+
+
+class RUMRKernel(LockstepKernel):
+    """Lockstep rows of RUMR state: eager phase-1 rounds + factoring tail.
+
+    Phase-1 rows always dispatch (matching :class:`RUMRSource`): the
+    worker is the lowest-index one with a chunk left in the current
+    round, or — with out-of-order dispatch — the lowest-index such
+    worker the master observes idle.  When a row's round empties, its
+    cursor advances; past the last round the row is delegated to the
+    embedded phase-2 kernel (whose rows with zero workload answer DONE
+    immediately — the skipped-phase-2 case).
+    """
+
+    def __init__(self, specs, reps, n_max):
+        rows = int(np.sum(reps))
+        m_max = max(max((len(s.rounds) for s in specs), default=0), 1)
+        sizes = np.zeros((len(specs), m_max, n_max))
+        for i, s in enumerate(specs):
+            for j, row in enumerate(s.rounds):
+                sizes[i, j, : s.n] = row
+        self._sizes = np.repeat(sizes, reps, axis=0)
+        self._avail = self._sizes > 0.0
+        self._num_rounds = expand_rows(
+            [len(s.rounds) for s in specs], reps, dtype=np.int64
+        )
+        self._ooo = expand_rows([s.out_of_order for s in specs], reps, dtype=bool)
+        self._any_ooo = bool(self._ooo.any())
+        self._cursor = np.zeros(rows, dtype=np.int64)
+        self._phase2 = specs[0].phase2.make_kernel(
+            [s.phase2 for s in specs], reps, n_max
+        )
+
+    def decide(self, counts, works, action, worker, size, mask=None):
+        in_p1 = self._cursor < self._num_rounds
+        if mask is None:
+            p2_mask = ~in_p1
+        else:
+            p2_mask = mask & ~in_p1
+            in_p1 = mask & in_p1
+        if in_p1.any():
+            rows = np.flatnonzero(in_p1)
+            cur = self._cursor[rows]
+            avail = self._avail[rows, cur]
+            pick = avail.argmax(axis=1)
+            if self._any_ooo:
+                idle = avail & (counts[rows] == 0)
+                use_idle = idle.any(axis=1) & self._ooo[rows]
+                pick = np.where(use_idle, idle.argmax(axis=1), pick)
+            action[rows] = DISPATCH
+            worker[rows] = pick
+            size[rows] = self._sizes[rows, cur, pick]
+            self._avail[rows, cur, pick] = False
+            exhausted = ~self._avail[rows, cur].any(axis=1)
+            self._cursor[rows[exhausted]] += 1
+        if p2_mask.any():
+            self._phase2.decide(counts, works, action, worker, size, mask=p2_mask)
+
+
 class RUMR(Scheduler):
     """The RUMR scheduler (see module docstring).
 
@@ -188,6 +280,8 @@ class RUMR(Scheduler):
         Phase-1 share when ``known_error`` is ``None`` (default 0.8, the
         paper's recommended practical choice).
     """
+
+    is_batch_dynamic = True
 
     def __init__(
         self,
@@ -274,3 +368,41 @@ class RUMR(Scheduler):
                     lookahead=1,
                 )
         return RUMRSource(plan=plan, phase2=phase2, out_of_order=self.out_of_order)
+
+    def batch_kernel(self, platform: PlatformSpec, total_work: float) -> RUMRKernelSpec:
+        w1, w2 = self.split(platform, total_work)
+        rounds = []
+        if w1 > 0:
+            plan = solve_umr(platform, w1, self.max_rounds, self.umr_method)
+            for row in plan.chunk_sizes:
+                if any(s > 0.0 for s in row):
+                    rounds.append(tuple(s if s > 0.0 else 0.0 for s in row))
+        if w2 > 0:
+            if self.phase2_weighted:
+                from repro.core.weighted_factoring import WeightedFactoringKernelSpec
+
+                s_tot = platform.total_compute_rate()
+                phase2 = WeightedFactoringKernelSpec(
+                    n=platform.N,
+                    total_work=w2,
+                    factor=self.factor,
+                    min_chunk=self.min_chunk(platform, phase2_work=w2),
+                    lookahead=1,
+                    weights=tuple(w.S / s_tot for w in platform),
+                )
+            else:
+                phase2 = FactoringKernelSpec(
+                    n=platform.N,
+                    total_work=w2,
+                    factor=self.factor,
+                    min_chunk=self.min_chunk(platform, phase2_work=w2),
+                    lookahead=1,
+                )
+        else:
+            phase2 = FactoringKernelSpec(n=platform.N, total_work=0.0)
+        return RUMRKernelSpec(
+            n=platform.N,
+            rounds=tuple(rounds),
+            out_of_order=self.out_of_order,
+            phase2=phase2,
+        )

@@ -25,10 +25,28 @@ strictly better.
 
 from __future__ import annotations
 
+import dataclasses
+
+import numpy as np
+
 from repro.core.base import WAIT, Dispatch, DispatchSource, MasterView, Scheduler, Wait
+from repro.core.lockstep import (
+    DISPATCH,
+    DONE,
+    WAIT_FOR_COMPLETION,
+    KernelSpec,
+    LockstepKernel,
+    expand_rows,
+    starved_argmin,
+)
 from repro.platform.spec import PlatformSpec
 
-__all__ = ["WeightedFactoring", "WeightedFactoringSource"]
+__all__ = [
+    "WeightedFactoring",
+    "WeightedFactoringSource",
+    "WeightedFactoringKernel",
+    "WeightedFactoringKernelSpec",
+]
 
 
 class WeightedFactoringSource(DispatchSource):
@@ -86,8 +104,77 @@ class WeightedFactoringSource(DispatchSource):
         return Dispatch(worker=worker, size=size, phase=self._phase)
 
 
+@dataclasses.dataclass(frozen=True)
+class WeightedFactoringKernelSpec(KernelSpec):
+    """One cell's :class:`WeightedFactoringSource` parameters, lockstep form."""
+
+    n: int = 0
+    total_work: float = 0.0
+    factor: float = 2.0
+    min_chunk: float = 1.0
+    lookahead: int = 1
+    weights: tuple = ()
+
+    group_key = ("weighted-factoring",)
+
+    def make_kernel(self, specs, reps, n_max):
+        return WeightedFactoringKernel(specs, reps, n_max)
+
+
+class WeightedFactoringKernel(LockstepKernel):
+    """Lockstep rows of weighted-factoring state.
+
+    The size rule keeps the scalar source's exact evaluation order:
+    ``(remaining / factor) · w_i``, ``min_chunk · w_i · n``,
+    ``min(max(share, floor), remaining)``.  Padded worker slots carry
+    weight 0 and are never selected (the caller reports them as
+    maximally pending).
+    """
+
+    def __init__(self, specs, reps, n_max):
+        rows = int(np.sum(reps))
+        self._rows = np.arange(rows)
+        self._n_float = expand_rows([float(s.n) for s in specs], reps, dtype=float)
+        self._remaining = expand_rows([s.total_work for s in specs], reps, dtype=float)
+        self._epsilon = np.array(
+            [1e-12 * max(s.total_work, 1.0) for s in specs]
+        ).repeat(reps)
+        self._factor = expand_rows([s.factor for s in specs], reps, dtype=float)
+        self._min_chunk = expand_rows([s.min_chunk for s in specs], reps, dtype=float)
+        self._lookahead = expand_rows([s.lookahead for s in specs], reps, dtype=np.int64)
+        padded = np.zeros((len(specs), n_max))
+        for i, s in enumerate(specs):
+            padded[i, : s.n] = s.weights
+        self._weights = np.repeat(padded, reps, axis=0)
+
+    def decide(self, counts, works, action, worker, size, mask=None):
+        fin = self._remaining <= self._epsilon
+        if mask is None:
+            live = ~fin
+        else:
+            live = mask & ~fin
+            fin = mask & fin
+        w = starved_argmin(counts, works)
+        wait = live & (counts[self._rows, w] >= self._lookahead)
+        disp = live & ~wait
+        action[fin] = DONE
+        action[wait] = WAIT_FOR_COMPLETION
+        action[disp] = DISPATCH
+        worker[disp] = w[disp]
+        wgt = self._weights[self._rows, w]
+        share = (self._remaining / self._factor) * wgt
+        floor = self._min_chunk * wgt * self._n_float
+        sz = np.minimum(np.maximum(share, floor), self._remaining)
+        size[disp] = sz[disp]
+        np.copyto(
+            self._remaining, np.maximum(0.0, self._remaining - sz), where=disp
+        )
+
+
 class WeightedFactoring(Scheduler):
     """Weighted Factoring scheduler (see module docstring)."""
+
+    is_batch_dynamic = True
 
     def __init__(self, factor: float = 2.0, min_chunk: float = 1.0):
         if factor <= 1.0:
@@ -102,4 +189,17 @@ class WeightedFactoring(Scheduler):
             total_work=total_work,
             factor=self.factor,
             min_chunk=self.min_chunk,
+        )
+
+    def batch_kernel(
+        self, platform: PlatformSpec, total_work: float
+    ) -> WeightedFactoringKernelSpec:
+        s_tot = platform.total_compute_rate()
+        return WeightedFactoringKernelSpec(
+            n=platform.N,
+            total_work=total_work,
+            factor=self.factor,
+            min_chunk=self.min_chunk,
+            lookahead=1,
+            weights=tuple(w.S / s_tot for w in platform),
         )

@@ -74,22 +74,27 @@ def cached_sweep(
     n_jobs: int = 1,
     progress: typing.Callable[[int, int], None] | None = None,
     batch_static: bool = True,
+    batch_dynamic: bool | None = None,
 ) -> SweepResults:
     """Run a sweep, or load it if an identical one is already on disk.
 
-    ``batch_static`` is forwarded to :func:`run_sweep` on a cache miss; it
-    is deliberately *not* part of the cache key, because both paths produce
-    the same distribution under the same seeds (and identical tensors at
-    zero error and for every dynamic algorithm).
+    ``batch_static`` / ``batch_dynamic`` are forwarded to
+    :func:`run_sweep` on a cache miss; they are deliberately *not* part of
+    the cache key, because all paths produce the same distribution under
+    the same seeds (and identical tensors at zero error).
     """
     directory = pathlib.Path(directory)
     key = sweep_key(grid, algorithms)
     npz_path = directory / f"sweep-{grid.name}-{key}.npz"
     if npz_path.exists() and npz_path.with_suffix(".json").exists():
-        loaded = load_sweep(npz_path)
         # Guard against a stale or hand-edited sidecar: the entry is only
-        # trusted if it actually holds the requested algorithm list.
-        if loaded.algorithms == tuple(algorithms):
+        # trusted if it loads cleanly and actually holds the requested
+        # algorithm list; anything else falls through to a fresh run.
+        try:
+            loaded = load_sweep(npz_path)
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+            loaded = None
+        if loaded is not None and loaded.algorithms == tuple(algorithms):
             return loaded
     results = run_sweep(
         grid,
@@ -97,6 +102,7 @@ def cached_sweep(
         n_jobs=n_jobs,
         progress=progress,
         batch_static=batch_static,
+        batch_dynamic=batch_dynamic,
     )
     save_sweep(results, directory)
     return results

@@ -11,12 +11,18 @@ is_static` (UMR, MI-x, one-round) have a fixed dispatch sequence, so each
 :func:`~repro.sim.batch.simulate_static_batch` call — NumPy array math
 instead of the per-run Python loop, two orders of magnitude faster.  The
 plan is solved once per platform and shared across every error level and
-repetition.  Dynamic algorithms (RUMR, Factoring, FSC, AdaptiveRUMR) keep
-the scalar engine in makespan-only mode, with *the same per-cell seeds*,
-so the cross-algorithm pairing is untouched.  At ``error = 0`` the two
-paths agree bit-for-bit; at ``error > 0`` the batch engine's makespans are
-distributionally identical but not bitwise (see ``repro.sim.batch``).
-``batch_static=False`` forces everything through the scalar engine.
+repetition.  Batch-dynamic algorithms (RUMR and its variants, Factoring,
+WeightedFactoring) have no fixed plan but a pure-arithmetic decision
+rule, so *their* repetition axes advance in lockstep through
+:func:`~repro.sim.dynbatch.simulate_dynamic_cells` — one global pass
+merging every (platform, error) cell, run after the per-platform loop.
+The remaining dynamic algorithms (FSC, AdaptiveRUMR) keep the scalar
+engine in makespan-only mode.  All paths use *the same per-cell seeds*,
+so the cross-algorithm pairing is untouched.  At ``error = 0`` the batch
+paths agree with the scalar engine bit-for-bit; at ``error > 0`` their
+makespans are distributionally identical but not bitwise (see
+``repro.sim.batch`` / ``repro.sim.dynbatch``).  ``batch_static=False``
+(CLI ``--no-batch``) forces everything through the scalar engine.
 
 The runner is serial by default (the reproduction box has one core) but
 can fan platforms out over a process pool with ``n_jobs > 1`` (or
@@ -33,7 +39,7 @@ import typing
 
 import numpy as np
 
-from repro.core.registry import make_scheduler
+from repro.core.registry import is_batch_dynamic_algorithm, make_scheduler
 from repro.errors.models import make_error_model
 from repro.errors.rng import stream_for
 from repro.experiments.config import PAPER_ALGORITHMS, ExperimentGrid, PlatformPoint
@@ -42,6 +48,7 @@ from repro.sim.batch import (
     draw_factor_matrices,
     simulate_static_batch,
 )
+from repro.sim.dynbatch import DynamicCell, simulate_dynamic_cells
 from repro.sim.fastsim import simulate_fast
 
 __all__ = ["SweepResults", "run_sweep"]
@@ -122,10 +129,14 @@ def _run_platform(
     p_idx: int,
     algorithms: tuple[str, ...],
     batch_static: bool = True,
+    batch_dynamic: bool = True,
 ) -> np.ndarray:
     """Worker: all (error, rep, algo) simulations for one platform.
 
     Returns an array of shape (num_errors, repetitions, num_algorithms).
+    With ``batch_dynamic`` on, batch-dynamic algorithms are *skipped*
+    here — their slots hold garbage until the caller's global lockstep
+    pass overwrites them.
     """
     platform = point.build()
     out = np.empty((len(grid.errors), grid.repetitions, len(algorithms)))
@@ -135,6 +146,7 @@ def _run_platform(
     # reused across the whole (error × repetition) face instead of being
     # re-derived inside create_source for every run.
     static_plans: dict[int, typing.Any] = {}
+    skipped: set[int] = set()
     if batch_static and _grid_supports_batch(grid):
         for a_idx, name in enumerate(algorithms):
             scheduler = make_scheduler(name, 0.0)
@@ -142,8 +154,18 @@ def _run_platform(
                 static_plans[a_idx] = compile_static_plan(
                     platform, scheduler.static_plan(platform, grid.total_work)
                 )
+    if batch_dynamic and _grid_supports_batch(grid):
+        skipped = {
+            a_idx
+            for a_idx, name in enumerate(algorithms)
+            if is_batch_dynamic_algorithm(name)
+        }
 
-    dynamic_indices = [i for i in range(len(algorithms)) if i not in static_plans]
+    dynamic_indices = [
+        i for i in range(len(algorithms)) if i not in static_plans and i not in skipped
+    ]
+    if not static_plans and not dynamic_indices:
+        return out
     max_chunks = max((p.num_chunks for p in static_plans.values()), default=0)
     for e_idx, error in enumerate(grid.errors):
         seeds = _cell_seeds(grid, p_idx, e_idx)
@@ -182,7 +204,9 @@ def _run_platform(
 # Process-pool plumbing: the grid, platform list and algorithm tuple are
 # shipped to each worker exactly once via the initializer; tasks are then
 # bare platform indices instead of fat pickled tuples.
-_POOL_CTX: tuple[ExperimentGrid, tuple[PlatformPoint, ...], tuple[str, ...], bool] | None = None
+_POOL_CTX: (
+    tuple[ExperimentGrid, tuple[PlatformPoint, ...], tuple[str, ...], bool, bool] | None
+) = None
 
 
 def _pool_init(
@@ -190,15 +214,54 @@ def _pool_init(
     platforms: tuple[PlatformPoint, ...],
     algorithms: tuple[str, ...],
     batch_static: bool,
+    batch_dynamic: bool,
 ) -> None:
     global _POOL_CTX
-    _POOL_CTX = (grid, platforms, algorithms, batch_static)
+    _POOL_CTX = (grid, platforms, algorithms, batch_static, batch_dynamic)
 
 
 def _pool_task(p_idx: int) -> np.ndarray:
     assert _POOL_CTX is not None, "pool worker used without initializer"
-    grid, platforms, algorithms, batch_static = _POOL_CTX
-    return _run_platform(grid, platforms[p_idx], p_idx, algorithms, batch_static)
+    grid, platforms, algorithms, batch_static, batch_dynamic = _POOL_CTX
+    return _run_platform(
+        grid, platforms[p_idx], p_idx, algorithms, batch_static, batch_dynamic
+    )
+
+
+def _run_dynamic_batch_pass(
+    grid: ExperimentGrid,
+    platforms: tuple[PlatformPoint, ...],
+    names: list[str],
+    tensors: dict[str, np.ndarray],
+) -> None:
+    """Fill the batch-dynamic algorithms' tensors via one lockstep pass.
+
+    Builds one :class:`~repro.sim.dynbatch.DynamicCell` per (platform,
+    error, algorithm) with the *same* per-cell seeds the scalar path
+    would use, then lets :func:`simulate_dynamic_cells` merge compatible
+    cells into shared lockstep calls.
+    """
+    cells: list[DynamicCell] = []
+    targets: list[tuple[str, int, int]] = []
+    for p_idx, point in enumerate(platforms):
+        platform = point.build()
+        for e_idx, error in enumerate(grid.errors):
+            seeds = tuple(_cell_seeds(grid, p_idx, e_idx))
+            magnitude = error if grid.error_kind != "none" else 0.0
+            for name in names:
+                cells.append(
+                    DynamicCell(
+                        platform=platform,
+                        scheduler=make_scheduler(name, error),
+                        total_work=grid.total_work,
+                        error=magnitude,
+                        seeds=seeds,
+                    )
+                )
+                targets.append((name, p_idx, e_idx))
+    results = simulate_dynamic_cells(cells, mode=grid.error_mode)
+    for (name, p_idx, e_idx), makespans in zip(targets, results):
+        tensors[name][p_idx, e_idx, :] = makespans
 
 
 def run_sweep(
@@ -207,6 +270,7 @@ def run_sweep(
     n_jobs: int = 1,
     progress: typing.Callable[[int, int], None] | None = None,
     batch_static: bool = True,
+    batch_dynamic: bool | None = None,
 ) -> SweepResults:
     """Run the full sweep and return the makespan tensors.
 
@@ -224,8 +288,11 @@ def run_sweep(
     batch_static:
         Route static algorithms through the vectorized batch engine (the
         default; see the module docstring).  ``False`` forces the scalar
-        engine for everything — mainly for benchmarking and equivalence
-        tests.
+        engine — mainly for benchmarking and equivalence tests.
+    batch_dynamic:
+        Route batch-dynamic algorithms through the lockstep batch engine.
+        ``None`` (default) follows ``batch_static``, so ``--no-batch``
+        disables both fast paths at once.
     """
     algorithms = tuple(algorithms)
     if len(set(algorithms)) != len(algorithms):
@@ -234,17 +301,32 @@ def run_sweep(
         n_jobs = os.cpu_count() or 1
     elif n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    if batch_dynamic is None:
+        batch_dynamic = batch_static
     platforms = tuple(grid.platforms())
     shape = (len(platforms), len(grid.errors), grid.repetitions)
     tensors = {a: np.empty(shape) for a in algorithms}
 
-    if n_jobs > 1:
+    dyn_batch_names = (
+        [a for a in algorithms if is_batch_dynamic_algorithm(a)]
+        if batch_dynamic and _grid_supports_batch(grid)
+        else []
+    )
+    # When the lockstep pass covers every algorithm, the per-platform loop
+    # has nothing left to do — skip it (and the pool) entirely.
+    if len(dyn_batch_names) == len(algorithms):
+        n_jobs = 0
+
+    if n_jobs == 0:
+        if progress is not None:
+            progress(len(platforms), len(platforms))
+    elif n_jobs > 1:
         import concurrent.futures
 
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=n_jobs,
             initializer=_pool_init,
-            initargs=(grid, platforms, algorithms, batch_static),
+            initargs=(grid, platforms, algorithms, batch_static, batch_dynamic),
         ) as pool:
             blocks = pool.map(_pool_task, range(len(platforms)), chunksize=4)
             for p_idx, block in enumerate(blocks):
@@ -254,11 +336,16 @@ def run_sweep(
                     progress(p_idx + 1, len(platforms))
     else:
         for p_idx, point in enumerate(platforms):
-            block = _run_platform(grid, point, p_idx, algorithms, batch_static)
+            block = _run_platform(
+                grid, point, p_idx, algorithms, batch_static, batch_dynamic
+            )
             for a_idx, algo in enumerate(algorithms):
                 tensors[algo][p_idx] = block[:, :, a_idx]
             if progress is not None:
                 progress(p_idx + 1, len(platforms))
+
+    if dyn_batch_names:
+        _run_dynamic_batch_pass(grid, platforms, dyn_batch_names, tensors)
 
     return SweepResults(
         grid=grid, algorithms=algorithms, platforms=platforms, makespans=tensors

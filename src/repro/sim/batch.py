@@ -26,11 +26,16 @@ the same two spawned streams as the scalar engines, in chunk order, so
   the (rare) below-floor entries afterwards.  The test suite checks exact
   equality where defined and statistical agreement elsewhere.
 
-Dynamic schedulers (Factoring, RUMR's tail, FSC) cannot be batched — the
-dispatch sequence *is* the random outcome — which is why the experiment
-harness keeps the scalar engine: its strict cross-algorithm pairing is
-what Tables 2–3 need.  Use this module for wide static-algorithm studies
-(e.g. UMR sensitivity sweeps at paper scale).
+Dynamic schedulers have no fixed dispatch sequence, so they cannot use
+*this* engine — but most of them (Factoring, WeightedFactoring, the RUMR
+variants) decide from pure arithmetic over master-observable state and
+batch under the *lockstep* contract instead: :mod:`repro.sim.dynbatch`
+advances all repetitions one decision at a time as row-wise array
+operations, consuming the same per-seed streams and reusing this
+module's :func:`_draw_factors`.  Only the remaining dynamics (FSC,
+AdaptiveRUMR) stay on the scalar engine.  The per-cell seeds are shared
+by every path, so the strict cross-algorithm pairing Tables 2–3 need is
+preserved throughout.
 """
 
 from __future__ import annotations
@@ -192,6 +197,12 @@ def simulate_static_batch(
     else:
         if factors is not None:
             comm_factors, comp_factors = factors
+            if comm_factors.shape[0] != len(seeds):
+                raise ValueError(
+                    f"shared factor matrices have {comm_factors.shape[0]} "
+                    f"rows but {len(seeds)} seeds were given — one row "
+                    "per repetition seed is required"
+                )
             if comm_factors.shape[1] < k:
                 raise ValueError(
                     f"shared factor matrices have {comm_factors.shape[1]} "

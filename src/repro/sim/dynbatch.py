@@ -1,0 +1,392 @@
+"""Lockstep batch simulation of *dynamic* schedulers.
+
+The static batch engine (:mod:`repro.sim.batch`) collapses a repetition
+axis because the dispatch sequence is fixed up front.  Dynamic schedulers
+have no fixed sequence — but the batchable ones (Factoring,
+WeightedFactoring, RUMR) *decide* from pure arithmetic over
+master-observable state, so R independent runs can advance in lockstep:
+one iteration evaluates every run's next action (dispatch / wait / done)
+as row-wise NumPy operations, then applies all dispatches and wait
+wake-ups at once.  Rows follow their own trajectories — each has its own
+clock, queue state, and decision state — only the *stepping* is shared.
+
+Per iteration:
+
+1. **Observe.**  Pop every per-(row, worker) FIFO queue head whose
+   realized completion time has passed the row's clock, accumulating
+   completed chunk counts and work in pop order (bit-identical to the
+   scalar view's prefix-sum difference).
+2. **Decide.**  The merged :class:`~repro.core.lockstep.LockstepKernel`
+   fills per-row action/worker/size from the observed pending state,
+   using the exact scalar tie-breaks and size formulas.
+3. **Apply.**  Dispatching rows advance through the standard timeline
+   arithmetic (link occupancy → arrival → FIFO compute start →
+   completion), perturbed by each row's own pre-drawn factor columns at
+   the row's own dispatch counter; waiting rows jump to their earliest
+   outstanding completion; finished rows freeze.
+
+Equivalence contract (mirrors the static engine's): perturbation factors
+come from the same two spawned streams per seed, consumed in dispatch
+order, so at ``error = 0`` every row equals the scalar engine *exactly*
+(bit for bit — same decisions, same arithmetic), and at ``error > 0``
+results are distributionally identical, diverging bitwise only where
+truncation resampling fires or a zero-cost transfer (``nLat = 0`` with
+infinite bandwidth) skips a scalar draw.
+
+Cells from *different* platforms, error levels, and scheduler parameters
+are merged into shared calls — grouped by kernel family and padded to a
+common worker count — because lockstep efficiency comes from row count:
+the per-iteration NumPy overhead is amortized over every row that is
+still running.  Only the truncated-normal (``"normal"``/``"none"``)
+error model is supported; other kinds stay on the scalar engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.base import DeadlockError, Scheduler
+from repro.core.lockstep import DISPATCH, DONE, PAD_PENDING, WAIT_FOR_COMPLETION
+from repro.errors.models import MIN_RATIO
+from repro.platform.spec import PlatformSpec
+from repro.sim.batch import _draw_factors
+
+__all__ = ["DynamicCell", "simulate_dynamic_batch", "simulate_dynamic_cells"]
+
+#: Row cap per lockstep call: bounds peak memory (queues are dense
+#: (rows × workers × capacity) arrays) while keeping calls wide enough
+#: to amortize the per-iteration overhead.
+MAX_ROWS = 1024
+
+#: Initial factor-bank column capacity; grown by doubling on demand.
+_INITIAL_COLUMNS = 160
+
+
+@dataclasses.dataclass(frozen=True)
+class DynamicCell:
+    """One (platform, scheduler, error) cell and its repetition seeds."""
+
+    platform: PlatformSpec
+    scheduler: Scheduler
+    total_work: float
+    error: float
+    seeds: tuple
+
+    def __post_init__(self) -> None:
+        if not self.scheduler.is_batch_dynamic:
+            raise TypeError(
+                f"{self.scheduler.name} is not batch-dynamic; run it through "
+                "the scalar engine instead"
+            )
+        if self.error < 0:
+            raise ValueError(f"error magnitude must be >= 0, got {self.error}")
+        if not self.total_work > 0:
+            raise ValueError(f"total_work must be > 0, got {self.total_work}")
+        if len(self.seeds) == 0:
+            raise ValueError("a cell needs at least one seed")
+
+
+class _FactorBank:
+    """Per-row (comm, comp) perturbation factor columns, drawn lazily.
+
+    Column ``k`` of row ``r`` perturbs row ``r``'s ``k``-th dispatch.
+    Streams are spawned exactly like :func:`repro.errors.rng.spawn_rngs`
+    and block-drawn with mask resampling (:func:`repro.sim.batch.
+    _draw_factors`), so the consumption is bit-identical to the scalar
+    engine's chunk-order draws whenever no resample fires.  Rows with
+    zero magnitude hold exact ones and spawn no generators at all.
+    """
+
+    def __init__(self, seeds, sigmas, mode: str, min_ratio: float):
+        self._sigmas = sigmas
+        self._mode = mode
+        self._min_ratio = min_ratio
+        self._gens: list = []
+        for seed, sigma in zip(seeds, sigmas):
+            if sigma > 0.0:
+                comm_seq, comp_seq = np.random.SeedSequence(int(seed)).spawn(2)
+                self._gens.append(
+                    (
+                        np.random.Generator(np.random.PCG64(comm_seq)),
+                        np.random.Generator(np.random.PCG64(comp_seq)),
+                    )
+                )
+            else:
+                self._gens.append(None)
+        rows = len(self._gens)
+        self.comm = np.ones((rows, 0))
+        self.comp = np.ones((rows, 0))
+        self._cols = 0
+
+    def ensure(self, cols: int) -> None:
+        """Guarantee at least ``cols`` drawn columns."""
+        if cols <= self._cols:
+            return
+        target = max(cols, 2 * self._cols, _INITIAL_COLUMNS)
+        extra = target - self._cols
+        comm_new = np.ones((self.comm.shape[0], extra))
+        comp_new = np.ones((self.comm.shape[0], extra))
+        for i, pair in enumerate(self._gens):
+            if pair is None:
+                continue
+            comm_new[i] = _draw_factors(pair[0], extra, self._sigmas[i], self._min_ratio)
+            comp_new[i] = _draw_factors(pair[1], extra, self._sigmas[i], self._min_ratio)
+        if self._mode == "divide":
+            np.divide(1.0, comm_new, out=comm_new)
+            np.divide(1.0, comp_new, out=comp_new)
+        self.comm = np.concatenate([self.comm, comm_new], axis=1)
+        self.comp = np.concatenate([self.comp, comp_new], axis=1)
+        self._cols = target
+
+
+def _worker_arrays(cells, reps, n_max):
+    """Per-row padded (S, B, cLat, nLat, tLat) matrices."""
+    shape = (len(cells), n_max)
+    S = np.ones(shape)
+    B = np.ones(shape)
+    cl = np.zeros(shape)
+    nl = np.zeros(shape)
+    tl = np.zeros(shape)
+    for i, cell in enumerate(cells):
+        for j, w in enumerate(cell.platform.workers):
+            S[i, j] = w.S
+            B[i, j] = w.B
+            cl[i, j] = w.cLat
+            nl[i, j] = w.nLat
+            tl[i, j] = w.tLat
+    rep = lambda a: np.repeat(a, reps, axis=0)  # noqa: E731
+    return rep(S), rep(B), rep(cl), rep(nl), rep(tl)
+
+
+def _simulate_rows(cells, specs, mode: str, min_ratio: float) -> list:
+    """Run one merged batch of cells to completion; makespans per cell.
+
+    ``cells``/``specs`` must be ordered so that equal ``group_key`` runs
+    are contiguous: each run becomes one kernel deciding a contiguous row
+    slice, while the engine state (clocks, queues, dispatch arithmetic)
+    is shared across all rows — one iteration advances every still-active
+    row of every family.
+    """
+    reps = [len(c.seeds) for c in cells]
+    offsets = np.cumsum([0] + reps)
+    rows = int(offsets[-1])
+    n_max = max(c.platform.N for c in cells)
+
+    kernels = []
+    i = 0
+    while i < len(cells):
+        j = i
+        while j < len(cells) and specs[j].group_key == specs[i].group_key:
+            j += 1
+        kernels.append(
+            (
+                specs[i].make_kernel(specs[i:j], reps[i:j], n_max),
+                slice(int(offsets[i]), int(offsets[j])),
+            )
+        )
+        i = j
+
+    # Stacked (S, B, cLat, nLat, tLat) so each dispatch gathers all five
+    # per-worker parameters in one fancy-index operation.
+    wp = np.stack(_worker_arrays(cells, reps, n_max))
+    seeds = [s for c in cells for s in c.seeds]
+    sigmas = np.repeat([c.error for c in cells], reps)
+    bank = _FactorBank(seeds, sigmas, mode, min_ratio)
+    cell_of_row = np.repeat(np.arange(len(cells)), reps)
+
+    # Append-only FIFO queues of realized completions, one per
+    # (row, worker), with the head element mirrored into dense
+    # ``head_end``/``head_size`` arrays (inf/0 for an empty queue) so the
+    # observe step never gathers from the 3-d slot arrays.
+    cap = 8
+    q_end = np.full((rows, n_max, cap), np.inf)
+    q_size = np.zeros((rows, n_max, cap))
+    q_head = np.zeros((rows, n_max), dtype=np.int64)
+    q_tail = np.zeros((rows, n_max), dtype=np.int64)
+    head_end = np.full((rows, n_max), np.inf)
+    head_size = np.zeros((rows, n_max))
+
+    # Pending chunk counts are maintained incrementally (integers, so the
+    # running value is exact); pending work stays a sent − done difference
+    # because that is bitwise-identical to the scalar view's bookkeeping.
+    counts = np.zeros((rows, n_max), dtype=np.int64)
+    sent_work = np.zeros((rows, n_max))
+    done_work = np.zeros((rows, n_max))
+    # Padded worker slots report a huge pending count so no kernel ever
+    # selects them or sees them idle.
+    n_per_row = np.repeat([c.platform.N for c in cells], reps)
+    counts[np.arange(n_max)[None, :] >= n_per_row[:, None]] = PAD_PENDING
+
+    busy = np.zeros((rows, n_max))
+    now = np.zeros(rows)
+    kdisp = np.zeros(rows, dtype=np.int64)
+    active = np.ones(rows, dtype=bool)
+    action = np.empty(rows, dtype=np.int64)
+    worker = np.zeros(rows, dtype=np.int64)
+    size = np.zeros(rows)
+
+    while active.any():
+        # 1. Observe: pop queue heads whose completion has passed each
+        # row's clock.  One head per (row, worker) per pass, in FIFO
+        # order, so done_work accumulates exactly like the scalar view's
+        # completed-work prefix sums.
+        while True:
+            ready = head_end <= now[:, None]
+            if not ready.any():
+                break
+            rr, ww = np.nonzero(ready)
+            counts[rr, ww] -= 1
+            done_work[rr, ww] += head_size[rr, ww]
+            nh = q_head[rr, ww] + 1
+            q_head[rr, ww] = nh
+            has_more = nh < q_tail[rr, ww]
+            idx = np.minimum(nh, q_end.shape[2] - 1)
+            head_end[rr, ww] = np.where(has_more, q_end[rr, ww, idx], np.inf)
+            head_size[rr, ww] = np.where(has_more, q_size[rr, ww, idx], 0.0)
+
+        # 2. Decide: each family's kernel fills its contiguous row slice.
+        works = sent_work - done_work
+        for kernel, sl in kernels:
+            if active[sl].any():
+                kernel.decide(
+                    counts[sl], works[sl], action[sl], worker[sl], size[sl]
+                )
+
+        newly_done = active & (action == DONE)
+        if newly_done.any():
+            active &= ~newly_done
+            if not active.any():
+                break
+
+        # 3a. Apply dispatches.
+        disp = np.flatnonzero(active & (action == DISPATCH))
+        if disp.size:
+            w = worker[disp]
+            sz = size[disp]
+            k = kdisp[disp]
+            bank.ensure(int(k.max()) + 1)
+            w_s, w_b, w_cl, w_nl, w_tl = wp[:, disp, w]
+            # chunk/inf is +0.0, matching link_time's infinite-bandwidth
+            # branch bit for bit; multiplying by an exact 1.0 factor (the
+            # zero-error rows) is also a bitwise no-op.
+            link_eff = (w_nl + sz / w_b) * bank.comm[disp, k]
+            send_end = now[disp] + link_eff
+            arrival = send_end + w_tl
+            comp_start = np.maximum(arrival, busy[disp, w])
+            comp_eff = (w_cl + sz / w_s) * bank.comp[disp, k]
+            comp_end = comp_start + comp_eff
+            busy[disp, w] = comp_end
+
+            tail = q_tail[disp, w]
+            if int(tail.max()) >= q_end.shape[2]:
+                grow = q_end.shape[2]
+                q_end = np.concatenate(
+                    [q_end, np.full((rows, n_max, grow), np.inf)], axis=2
+                )
+                q_size = np.concatenate(
+                    [q_size, np.zeros((rows, n_max, grow))], axis=2
+                )
+            q_end[disp, w, tail] = comp_end
+            q_size[disp, w, tail] = sz
+            was_empty = tail == q_head[disp, w]
+            head_end[disp, w] = np.where(was_empty, comp_end, head_end[disp, w])
+            head_size[disp, w] = np.where(was_empty, sz, head_size[disp, w])
+            q_tail[disp, w] += 1
+            counts[disp, w] += 1
+            sent_work[disp, w] += sz
+            kdisp[disp] += 1
+            now[disp] = send_end
+
+        # 3b. Apply waits: jump to the earliest outstanding completion.
+        waiting = np.flatnonzero(active & (action == WAIT_FOR_COMPLETION))
+        if waiting.size:
+            wake = head_end[waiting].min(axis=1)
+            stuck = np.isinf(wake)
+            if stuck.any():
+                row = int(waiting[np.flatnonzero(stuck)[0]])
+                cell = cells[int(cell_of_row[row])]
+                raise DeadlockError(
+                    f"{cell.scheduler.name}: WAIT with no outstanding chunk "
+                    f"at t={now[row]}"
+                )
+            now[waiting] = wake
+
+    # Each worker's busy time is its last chunk's completion, so the
+    # row makespan is simply the max over workers (pad slots stay 0).
+    makespan = busy.max(axis=1)
+    return [makespan[offsets[i] : offsets[i + 1]].copy() for i in range(len(cells))]
+
+
+def simulate_dynamic_cells(
+    cells,
+    mode: str = "multiply",
+    min_ratio: float = MIN_RATIO,
+    max_rows: int = MAX_ROWS,
+) -> list:
+    """Simulate many dynamic cells, merging compatible ones per call.
+
+    Cells are ordered group-major by their kernel spec's ``group_key``
+    (decision-rule family) so each lockstep call — chunked to at most
+    ``max_rows`` repetition rows — holds contiguous family runs, each
+    driven by one merged kernel while the engine state is shared across
+    all of them.  Returns one makespan array per cell, in input order,
+    each of shape ``(len(cell.seeds),)``.
+    """
+    if mode not in ("multiply", "divide"):
+        raise ValueError(f"unknown perturbation mode {mode!r}")
+    if max_rows < 1:
+        raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+    cells = list(cells)
+    outputs: list = [None] * len(cells)
+
+    groups: dict = {}
+    for idx, cell in enumerate(cells):
+        spec = cell.scheduler.batch_kernel(cell.platform, cell.total_work)
+        groups.setdefault(spec.group_key, []).append((idx, spec))
+    ordered = [pair for members in groups.values() for pair in members]
+
+    batch: list = []
+    batch_rows = 0
+    for idx, spec in ordered + [(None, None)]:
+        rows = len(cells[idx].seeds) if idx is not None else 0
+        if batch and (idx is None or batch_rows + rows > max_rows):
+            results = _simulate_rows(
+                [cells[i] for i, _ in batch],
+                [s for _, s in batch],
+                mode,
+                min_ratio,
+            )
+            for (i, _), res in zip(batch, results):
+                outputs[i] = res
+            batch, batch_rows = [], 0
+        if idx is not None:
+            batch.append((idx, spec))
+            batch_rows += rows
+    return outputs
+
+
+def simulate_dynamic_batch(
+    platform: PlatformSpec,
+    scheduler: Scheduler,
+    total_work: float,
+    error: float,
+    seeds,
+    mode: str = "multiply",
+    min_ratio: float = MIN_RATIO,
+) -> np.ndarray:
+    """Makespans of one batch-dynamic scheduler under R paired error draws.
+
+    The single-cell entry point: one (platform, error) cell, one seed per
+    repetition, same stream contract as the scalar engine (see the module
+    docstring).  Returns an array of shape ``(len(seeds),)``.
+    """
+    cell = DynamicCell(
+        platform=platform,
+        scheduler=scheduler,
+        total_work=total_work,
+        error=error,
+        seeds=tuple(int(s) for s in seeds),
+    )
+    return simulate_dynamic_cells([cell], mode=mode, min_ratio=min_ratio)[0]

@@ -1,0 +1,151 @@
+"""Property-based tests of the lockstep dynamic batch engine contract.
+
+The lockstep engine promises (see ``repro.sim.dynbatch``): bitwise
+equality with the scalar engine at zero error for every batch-dynamic
+scheduler, and distributional identity at nonzero error — bitwise
+whenever no truncation resample fires, which at moderate magnitudes is
+almost every run.  Hypothesis drives both over arbitrary homogeneous
+platforms, workloads, and scheduler parameters, covering RUMR's phase 1
+(UMR rounds), its factoring phase 2, and the degenerate split where
+phase 2 is skipped entirely.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.factoring import Factoring
+from repro.core.rumr import RUMR, phase2_workload
+from repro.core.weighted_factoring import WeightedFactoring
+from repro.errors import make_error_model
+from repro.platform import homogeneous_platform
+from repro.sim.dynbatch import simulate_dynamic_batch
+from repro.sim.fastsim import simulate_fast
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+platforms = st.builds(
+    lambda n, factor, clat, nlat, tlat: homogeneous_platform(
+        n, S=1.0, bandwidth_factor=factor, cLat=clat, nLat=nlat, tLat=tlat
+    ),
+    n=st.integers(min_value=1, max_value=12),
+    factor=st.floats(min_value=1.05, max_value=3.0, **finite),
+    clat=st.floats(min_value=0.0, max_value=1.0, **finite),
+    nlat=st.floats(min_value=0.0, max_value=1.0, **finite),
+    tlat=st.floats(min_value=0.0, max_value=0.5, **finite),
+)
+
+workloads = st.floats(min_value=50.0, max_value=5000.0, **finite)
+
+# Factories taking the cell error, mirroring the registry contract.
+# RUMR variants span in-order and out-of-order phase 1 and several
+# phase-1 fractions (and hence both phase-2 shapes).
+dynamic_schedulers = st.sampled_from(
+    [
+        lambda error: Factoring(),
+        lambda error: Factoring(factor=1.5, min_chunk=0.5),
+        lambda error: WeightedFactoring(),
+        lambda error: RUMR(known_error=error),
+        lambda error: RUMR(known_error=error, out_of_order=False),
+        lambda error: RUMR(known_error=error, phase1_fraction=0.7),
+    ]
+)
+
+
+def scalar_makespan(platform, work, scheduler, error, seed):
+    model = make_error_model("normal", error)
+    return simulate_fast(
+        platform, work, scheduler, model, seed=seed, collect_records=False
+    ).makespan
+
+
+class TestLockstepScalarEquivalence:
+    @settings(deadline=None)
+    @given(
+        platform=platforms,
+        work=workloads,
+        factory=dynamic_schedulers,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_bitwise_equal_at_zero_error(self, platform, work, factory, seed):
+        scheduler = factory(0.0)
+        scalar = scalar_makespan(platform, work, scheduler, 0.0, seed)
+        batch = simulate_dynamic_batch(platform, scheduler, work, 0.0, [seed, seed + 1])
+        assert batch.shape == (2,)
+        assert batch[0] == scalar
+
+    @settings(deadline=None)
+    @given(
+        platform=platforms,
+        work=workloads,
+        factory=dynamic_schedulers,
+        error=st.floats(min_value=0.01, max_value=0.25, **finite),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_matches_scalar_under_error(self, platform, work, factory, error, seed):
+        # Bitwise equality holds whenever no truncation resample fires and
+        # no link is free of charge — overwhelmingly likely here — so a
+        # loose relative bound covering the rare divergent case never
+        # trips.
+        scheduler = factory(error)
+        scalar = scalar_makespan(platform, work, scheduler, error, seed)
+        batch = simulate_dynamic_batch(platform, scheduler, work, error, [seed])
+        assert batch[0] == pytest.approx(scalar, rel=0.2)
+
+
+class TestRUMRPhaseCoverage:
+    def test_phase2_skip_condition_bitwise_equal(self):
+        # A tiny error estimate drives the phase-2 workload below the
+        # per-worker overhead threshold, so the split degenerates to
+        # w2 = 0 and RUMR runs phase 1 only.  The lockstep engine must
+        # reproduce that trajectory exactly.
+        platform = homogeneous_platform(
+            10, S=1.0, bandwidth_factor=1.4, cLat=0.2, nLat=0.1
+        )
+        work, error = 1000.0, 0.01
+        assert phase2_workload(platform, work, error) == 0.0
+        scheduler = RUMR(known_error=error)
+        seeds = [3, 4, 5]
+        scalar = np.array(
+            [scalar_makespan(platform, work, scheduler, error, s) for s in seeds]
+        )
+        batch = simulate_dynamic_batch(platform, scheduler, work, error, seeds)
+        assert np.array_equal(scalar, batch)
+
+    def test_phase2_active_condition_bitwise_equal(self):
+        # At a large error estimate the same platform keeps a nonzero
+        # phase-2 workload, exercising the factoring tail of the kernel.
+        platform = homogeneous_platform(
+            10, S=1.0, bandwidth_factor=1.4, cLat=0.2, nLat=0.1
+        )
+        # 0.1 keeps w2 > 0 while the truncation floor stays ~9 sigma away,
+        # so no resample can realistically fire and bitwise equality holds.
+        work, error = 1000.0, 0.1
+        assert phase2_workload(platform, work, error) > 0.0
+        scheduler = RUMR(known_error=error)
+        seeds = [3, 4, 5]
+        scalar = np.array(
+            [scalar_makespan(platform, work, scheduler, error, s) for s in seeds]
+        )
+        batch = simulate_dynamic_batch(platform, scheduler, work, error, seeds)
+        assert np.array_equal(scalar, batch)
+
+
+class TestStatisticalConsistency:
+    def test_mean_makespan_matches_at_large_error(self):
+        # At error = 0.3 truncation resampling interleaves differently
+        # between the engines, so individual seeds may diverge — but the
+        # paired means over many seeds must agree tightly.
+        platform = homogeneous_platform(
+            8, S=1.0, bandwidth_factor=1.8, cLat=0.2, nLat=0.1
+        )
+        work, error = 1000.0, 0.3
+        seeds = list(range(200))
+        for scheduler in (Factoring(), RUMR(known_error=error)):
+            scalar = np.array(
+                [scalar_makespan(platform, work, scheduler, error, s) for s in seeds]
+            )
+            batch = simulate_dynamic_batch(platform, scheduler, work, error, seeds)
+            assert batch.mean() == pytest.approx(scalar.mean(), rel=2e-3)
+            assert np.mean(scalar == batch) > 0.5

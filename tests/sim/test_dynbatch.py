@@ -1,0 +1,202 @@
+"""Tests for the lockstep dynamic batch simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import is_batch_dynamic_algorithm, make_scheduler
+from repro.errors import NormalErrorModel
+from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
+from repro.sim.batch import simulate_static_batch
+from repro.sim.dynbatch import (
+    DynamicCell,
+    simulate_dynamic_batch,
+    simulate_dynamic_cells,
+)
+from repro.sim.fastsim import simulate_fast
+
+W = 1000.0
+SEEDS = tuple(range(20, 26))
+
+BATCHABLE = ("Factoring", "WeightedFactoring", "RUMR", "RUMR-plain", "RUMR_70")
+
+
+def scalar_makespans(platform, scheduler, error, seeds):
+    model = NormalErrorModel(magnitude=error)
+    return np.array(
+        [
+            simulate_fast(
+                platform, W, scheduler, model, seed=s, collect_records=False
+            ).makespan
+            for s in seeds
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def hom_platform():
+    return homogeneous_platform(10, S=1.0, bandwidth_factor=1.4, cLat=0.0, nLat=0.1)
+
+
+@pytest.fixture(scope="module")
+def het_platform():
+    # Mixed speeds, bandwidths and latencies; every link cost is nonzero
+    # so the scalar engine consumes exactly one comm draw per dispatch
+    # (the documented zero-cost-transfer exception does not trigger).
+    return PlatformSpec(
+        workers=(
+            WorkerSpec(S=1.0, B=2.0, cLat=0.1, nLat=0.05, tLat=0.02),
+            WorkerSpec(S=2.5, B=1.2, cLat=0.0, nLat=0.1, tLat=0.0),
+            WorkerSpec(S=0.7, B=np.inf, cLat=0.3, nLat=0.01, tLat=0.1),
+        )
+    )
+
+
+class TestExactAgreement:
+    @pytest.mark.parametrize("name", BATCHABLE)
+    def test_zero_error_bitwise_equal(self, hom_platform, name):
+        scheduler = make_scheduler(name, 0.0)
+        scalar = scalar_makespans(hom_platform, scheduler, 0.0, SEEDS)
+        batch = simulate_dynamic_batch(hom_platform, scheduler, W, 0.0, SEEDS)
+        assert np.array_equal(scalar, batch)
+
+    @pytest.mark.parametrize("name", BATCHABLE)
+    def test_nonzero_error_bitwise_equal_when_no_resample(self, hom_platform, name):
+        # At small error the truncation floor is essentially never hit, so
+        # the factor streams are consumed identically and the whole
+        # trajectory matches bit for bit.
+        scheduler = make_scheduler(name, 0.05)
+        scalar = scalar_makespans(hom_platform, scheduler, 0.05, SEEDS)
+        batch = simulate_dynamic_batch(hom_platform, scheduler, W, 0.05, SEEDS)
+        assert np.array_equal(scalar, batch)
+
+    @pytest.mark.parametrize("name", BATCHABLE)
+    def test_heterogeneous_platform_bitwise_equal(self, het_platform, name):
+        scheduler = make_scheduler(name, 0.05)
+        scalar = scalar_makespans(het_platform, scheduler, 0.05, SEEDS)
+        batch = simulate_dynamic_batch(het_platform, scheduler, W, 0.05, SEEDS)
+        assert np.array_equal(scalar, batch)
+
+    def test_registry_flags(self):
+        for name in BATCHABLE:
+            assert is_batch_dynamic_algorithm(name)
+        for name in ("UMR", "MI-2", "FSC", "AdaptiveRUMR", "OneRound"):
+            assert not is_batch_dynamic_algorithm(name)
+
+
+class TestStatisticalAgreement:
+    def test_means_match_scalar_engine_at_large_error(self, hom_platform):
+        # Resampling interleaves differently at error = 0.3, so compare
+        # distributions over many paired seeds, not bits.
+        seeds = list(range(200))
+        scheduler = make_scheduler("Factoring", 0.3)
+        scalar = scalar_makespans(hom_platform, scheduler, 0.3, seeds)
+        batch = simulate_dynamic_batch(hom_platform, scheduler, W, 0.3, seeds)
+        assert batch.mean() == pytest.approx(scalar.mean(), rel=2e-3)
+        # Most paired seeds never resample and stay bitwise identical.
+        assert np.mean(scalar == batch) > 0.5
+
+
+class TestMerging:
+    def test_merged_cells_equal_solo_cells(self, hom_platform, het_platform):
+        cells, solo = [], []
+        for platform in (hom_platform, het_platform):
+            for error in (0.0, 0.2):
+                for name in ("Factoring", "WeightedFactoring", "RUMR"):
+                    scheduler = make_scheduler(name, error)
+                    cells.append(
+                        DynamicCell(
+                            platform=platform,
+                            scheduler=scheduler,
+                            total_work=W,
+                            error=error,
+                            seeds=SEEDS,
+                        )
+                    )
+                    solo.append(
+                        simulate_dynamic_batch(platform, scheduler, W, error, SEEDS)
+                    )
+        merged = simulate_dynamic_cells(cells)
+        assert all(np.array_equal(m, s) for m, s in zip(merged, solo))
+
+    def test_row_chunking_does_not_change_results(self, hom_platform):
+        cells = [
+            DynamicCell(
+                platform=hom_platform,
+                scheduler=make_scheduler(name, error),
+                total_work=W,
+                error=error,
+                seeds=SEEDS,
+            )
+            for name in ("Factoring", "RUMR")
+            for error in (0.0, 0.1)
+        ]
+        unchunked = simulate_dynamic_cells(cells)
+        chunked = simulate_dynamic_cells(cells, max_rows=4)
+        assert all(np.array_equal(u, c) for u, c in zip(unchunked, chunked))
+
+
+class TestValidation:
+    def test_non_batchable_scheduler_rejected(self, hom_platform):
+        with pytest.raises(TypeError, match="not batch-dynamic"):
+            DynamicCell(
+                platform=hom_platform,
+                scheduler=make_scheduler("FSC", 0.1),
+                total_work=W,
+                error=0.1,
+                seeds=SEEDS,
+            )
+
+    def test_negative_error_rejected(self, hom_platform):
+        with pytest.raises(ValueError, match="error magnitude"):
+            DynamicCell(
+                platform=hom_platform,
+                scheduler=make_scheduler("Factoring", 0.0),
+                total_work=W,
+                error=-0.1,
+                seeds=SEEDS,
+            )
+
+    def test_empty_seeds_rejected(self, hom_platform):
+        with pytest.raises(ValueError, match="at least one seed"):
+            DynamicCell(
+                platform=hom_platform,
+                scheduler=make_scheduler("Factoring", 0.0),
+                total_work=W,
+                error=0.0,
+                seeds=(),
+            )
+
+    def test_bad_mode_rejected(self, hom_platform):
+        cell = DynamicCell(
+            platform=hom_platform,
+            scheduler=make_scheduler("Factoring", 0.0),
+            total_work=W,
+            error=0.0,
+            seeds=SEEDS,
+        )
+        with pytest.raises(ValueError, match="perturbation mode"):
+            simulate_dynamic_cells([cell], mode="add")
+
+    def test_bad_max_rows_rejected(self, hom_platform):
+        cell = DynamicCell(
+            platform=hom_platform,
+            scheduler=make_scheduler("Factoring", 0.0),
+            total_work=W,
+            error=0.0,
+            seeds=SEEDS,
+        )
+        with pytest.raises(ValueError, match="max_rows"):
+            simulate_dynamic_cells([cell], max_rows=0)
+
+    def test_static_batch_factor_row_mismatch_rejected(self, hom_platform):
+        # Satellite of the same PR: shared factor matrices must carry one
+        # row per repetition seed.
+        from repro.core.umr import solve_umr
+        from repro.sim.batch import draw_factor_matrices
+
+        plan = solve_umr(hom_platform, W).to_chunk_plan()
+        factors = draw_factor_matrices([1, 2, 3], len(plan), 0.2)
+        with pytest.raises(ValueError, match="rows but 2 seeds"):
+            simulate_static_batch(
+                hom_platform, plan, 0.2, seeds=[1, 2], factors=factors
+            )

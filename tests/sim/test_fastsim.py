@@ -97,6 +97,23 @@ class TestDynamicSemantics:
         with pytest.raises(DeadlockError):
             simulate(single_worker(), 1.0, BadScheduler())
 
+    def test_fast_engine_wait_without_outstanding_chunks_deadlocks(self):
+        # Same contract violation, driven through simulate_fast directly:
+        # the fast engine's WAIT handler must raise (not spin or hang)
+        # when its future-completions heap is empty.
+        class AlwaysWaitSource(DispatchSource):
+            def next_dispatch(self, view):
+                return WAIT
+
+        class AlwaysWait(Scheduler):
+            name = "always-wait"
+
+            def create_source(self, platform, total_work):
+                return AlwaysWaitSource()
+
+        with pytest.raises(DeadlockError, match="WAIT with no outstanding chunk"):
+            simulate_fast(single_worker(), 1.0, AlwaysWait(), NoError(), seed=0)
+
     def test_view_hides_future_completions(self):
         # A dynamic source sees a worker as busy until its chunk's real
         # completion time has passed.
