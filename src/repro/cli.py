@@ -9,6 +9,8 @@ Examples
     python -m repro all --preset small --results results/ --out results/
     python -m repro sweep --preset smoke --results results/
     python -m repro gantt --scheduler RUMR --error 0.3
+    python -m repro figfaults --preset smoke --faults crash:p=0.3,tmax=200
+    python -m repro sweep --preset smoke --fault crash:p=0.2,tmax=400
     python -m repro hetero
     python -m repro adaptive
     python -m repro list
@@ -79,6 +81,13 @@ def _parser() -> argparse.ArgumentParser:
             choices=("multiply", "divide"),
             help="perturbation direction (see repro.errors.models)",
         )
+        p.add_argument(
+            "--fault",
+            default=None,
+            metavar="SPEC",
+            help="worker fault scenario applied to every run "
+            "(e.g. 'crash:p=0.2,tmax=400'; see repro.errors.make_fault_model)",
+        )
         p.add_argument("--quiet", action="store_true", help="suppress progress output")
         p.add_argument(
             "--no-batch",
@@ -120,6 +129,26 @@ def _parser() -> argparse.ArgumentParser:
     )
     e.add_argument("--out", default=None, help="write artifacts to this directory")
     e.add_argument("--repetitions", type=int, default=8)
+
+    f = sub.add_parser(
+        "figfaults",
+        help="fault study: makespan degradation per fault scenario",
+    )
+    add_common(f)
+    f.add_argument(
+        "--faults",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="fault scenario to sweep (repeatable; 'none' is always included; "
+        "default: a crash/pause/slowdown/spike quartet)",
+    )
+    f.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated algorithm names "
+        "(default: RUMR,Factoring,WeightedFactoring)",
+    )
     return parser
 
 
@@ -130,6 +159,8 @@ def _grid(args: argparse.Namespace):
         updates["seed"] = args.seed
     if args.error_mode is not None:
         updates["error_mode"] = args.error_mode
+    if getattr(args, "fault", None) is not None:
+        updates["fault"] = args.fault
     if updates:
         grid = grid.restrict(**updates)
     return grid
@@ -166,6 +197,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_adaptive(args)
     if args.command == "extfigs":
         return _cmd_extfigs(args)
+    if args.command == "figfaults":
+        return _cmd_figfaults(args)
 
     grid = _grid(args)
     progress = None if args.quiet else eta_progress()
@@ -233,6 +266,36 @@ def main(argv: list[str] | None = None) -> int:
             "Figure 7: RUMR with plain UMR phase 1, normalized to original RUMR",
         )
         _emit(args, "fig7", render_figure(fig))
+    return 0
+
+
+#: Default scenarios for ``figfaults``: one of each fault kind, sized so
+#: the smoke/small grids (W=1000, makespans of order 100–600s) see them.
+DEFAULT_FAULT_SPECS = (
+    "crash:p=0.3,tmax=200",
+    "pause:p=0.5,tmax=200,dur=50",
+    "slow:p=0.5,tmax=200,factor=3",
+    "spike:p=0.2,delay=5",
+)
+
+
+def _cmd_figfaults(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import fault_figure, fig_faults_algorithms
+    from repro.experiments.runner import run_fault_sweep
+
+    grid = _grid(args)
+    specs = tuple(args.faults) if args.faults else DEFAULT_FAULT_SPECS
+    algorithms = (
+        tuple(a.strip() for a in args.algorithms.split(","))
+        if args.algorithms
+        else fig_faults_algorithms
+    )
+    progress = None if args.quiet else eta_progress()
+    results = run_fault_sweep(
+        grid, specs, algorithms=algorithms, n_jobs=args.jobs,
+        progress=progress, directory=args.results,
+    )
+    _emit(args, "figfaults", render_figure(fault_figure(results)))
     return 0
 
 

@@ -34,6 +34,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "CompletionNote",
+    "LossNote",
     "Dispatch",
     "WAIT",
     "Wait",
@@ -52,6 +53,24 @@ class DeadlockError(RuntimeError):
 @dataclasses.dataclass(frozen=True, slots=True, order=True)
 class CompletionNote:
     """One observed completion: when which chunk finished on which worker."""
+
+    time: float
+    chunk_index: int
+    worker: int
+    size: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True, order=True)
+class LossNote:
+    """One observed chunk loss: a crashed worker's chunk returned to the pool.
+
+    The master observes a loss at ``max(crash_time, arrival)``: chunks
+    already queued on the worker are reported when its crash is detected,
+    chunks still in flight when their delivery fails.  Lost chunks leave
+    the pending set at :attr:`time`, exactly like completions, but deliver
+    no work — recovery-aware sources re-add :attr:`size` to their
+    remaining pool.
+    """
 
     time: float
     chunk_index: int
@@ -128,6 +147,34 @@ class MasterView:
         """
         raise NotImplementedError
 
+    # -- fault observability ------------------------------------------------
+    #
+    # Defaults describe a fault-free world, so views (and tests) that
+    # predate fault injection keep working unchanged.  Engines running with
+    # a fault schedule override all three.
+
+    @property
+    def faults_possible(self) -> bool:
+        """Whether this run may experience worker faults at all.
+
+        Recovery-aware sources only pay the bookkeeping (loss absorption,
+        crash filtering, end-of-work WAITs) when this is true, keeping the
+        fault-free decision arithmetic bit-identical to before.
+        """
+        return False
+
+    def crashed_workers(self) -> "tuple[int, ...]":
+        """Workers whose crash the master has detected (``crash <= now``)."""
+        return ()
+
+    def observed_losses(self) -> "tuple[LossNote, ...]":
+        """All loss announcements observed so far, sorted like completions.
+
+        Sorted by ``(time, chunk_index)``; append-only over the run, so
+        sources may keep a cursor into it.
+        """
+        return ()
+
     # -- derived helpers ----------------------------------------------------
     def is_idle(self, worker: int) -> bool:
         """True when the worker has nothing dispatched-and-unfinished."""
@@ -200,6 +247,14 @@ class Scheduler:
     #: lockstep trajectory must match the scalar engine bit-for-bit when
     #: fed the same perturbation factors.
     is_batch_dynamic: bool = False
+
+    #: Whether the batch engines (static or lockstep-dynamic) implement the
+    #: fault semantics for this scheduler.  The sweep runner only routes a
+    #: fault cell through a batch path when this is true; otherwise the
+    #: cell falls back to the scalar engine.  Declining is the default —
+    #: the flag exists so the decision is explicit and testable, mirroring
+    #: :attr:`is_batch_dynamic`.
+    batch_supports_faults: bool = False
 
     def create_source(self, platform: PlatformSpec, total_work: float) -> DispatchSource:
         """Bind to one run and return a fresh dispatch source."""

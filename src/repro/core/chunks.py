@@ -96,6 +96,12 @@ class DispatchRecord:
     phase:
         Free-form label set by the scheduler (e.g. ``"umr"``,
         ``"factoring"``, ``"rumr-phase1"``).
+    lost:
+        True when the receiving worker crashed before the computation
+        finished.  The timeline fields then hold the *would-have-been*
+        values (the times the chunk would have seen had the worker
+        survived); the chunk delivers no work and is excluded from the
+        makespan.
     """
 
     index: int
@@ -107,6 +113,7 @@ class DispatchRecord:
     comp_start: float
     comp_end: float
     phase: str = ""
+    lost: bool = False
 
     @property
     def link_time(self) -> float:

@@ -80,32 +80,69 @@ class FactoringSource(DispatchSource):
         self._lookahead = lookahead
         self._batch_left = 0  # chunks still to issue in the current batch
         self._batch_size = 0.0
+        # Recovery state, touched only when the run's view reports
+        # faults_possible: a cursor into view.observed_losses() (lost work
+        # re-enters the remaining pool exactly once).
+        self._loss_cursor = 0
 
     @property
     def remaining(self) -> float:
         """Workload not yet dispatched."""
         return self._remaining
 
-    def _next_size(self) -> float:
+    def _next_size(self, n_live: int) -> float:
         if self._batch_left == 0:
-            self._batch_size = max(self._remaining / (self._factor * self._n), self._min_chunk)
-            self._batch_left = self._n
+            self._batch_size = max(
+                self._remaining / (self._factor * n_live), self._min_chunk
+            )
+            self._batch_left = n_live
         self._batch_left -= 1
         return min(self._batch_size, self._remaining)
 
+    def _absorb_losses(self, view: MasterView) -> None:
+        losses = view.observed_losses()
+        while self._loss_cursor < len(losses):
+            self._remaining += losses[self._loss_cursor].size
+            self._loss_cursor += 1
+
     def next_dispatch(self, view: MasterView) -> "Dispatch | Wait | None":
+        # Recovery path (fault runs only): lost chunks rejoin the pool, and
+        # workers whose crash the master has observed stop being candidates
+        # — their batch share flows to the survivors because the batch rule
+        # divides by the live count.
+        crashed: tuple[int, ...] = ()
+        if view.faults_possible:
+            self._absorb_losses(view)
+            crashed = view.crashed_workers()
         if self._remaining <= self._epsilon:
+            if view.faults_possible and any(
+                view.pending_chunks(i) for i in range(self._n)
+            ):
+                # Outstanding chunks may yet be lost and need re-dispatch;
+                # wake on each resolution until the pending set drains.
+                return WAIT
             return None
         # Serve the most starved worker (fewest buffered chunks, then least
         # pending work, then lowest index for determinism) — but only while
         # it has fewer than `lookahead` chunks outstanding.
-        candidates = [
-            (view.pending_chunks(i), view.pending_work(i), i) for i in range(self._n)
-        ]
+        if crashed:
+            crashed_set = set(crashed)
+            live = [i for i in range(self._n) if i not in crashed_set]
+            if not live:
+                return None  # every worker is gone; the rest is undeliverable
+            candidates = [
+                (view.pending_chunks(i), view.pending_work(i), i) for i in live
+            ]
+            n_live = len(live)
+        else:
+            candidates = [
+                (view.pending_chunks(i), view.pending_work(i), i) for i in range(self._n)
+            ]
+            n_live = self._n
         pending, _, worker = min(candidates)
         if pending >= self._lookahead:
             return WAIT
-        size = self._next_size()
+        size = self._next_size(n_live)
         self._remaining = max(0.0, self._remaining - size)
         return Dispatch(worker=worker, size=size, phase=self._phase)
 

@@ -121,13 +121,33 @@ def phase2_min_chunk(
 
 
 class RUMRSource(DispatchSource):
-    """Per-run state: an eager phase-1 plan chained into a factoring tail."""
+    """Per-run state: an eager phase-1 plan chained into a factoring tail.
+
+    Fault recovery (active only when the run's view reports
+    ``faults_possible``, and only when the binding ``scheduler`` /
+    ``platform`` / ``total_work`` references were provided):
+
+    * A crash observed *before anything was dispatched* rebuilds the whole
+      schedule on the surviving sub-platform — the run is then equivalent
+      to starting on a platform without the dead worker.
+    * A crash observed mid-phase-1 abandons the remaining UMR rounds (the
+      no-idle construction they implement is void once a worker is gone)
+      and falls back to crash-aware factoring over everything not yet
+      dispatched — the paper's own robustness mechanism, promoted to the
+      whole tail.
+    * Crashes observed in phase 2 are handled by the phase-2 source
+      itself (:class:`FactoringSource` filters crashed workers and
+      re-absorbs announced losses, including losses of phase-1 chunks).
+    """
 
     def __init__(
         self,
         plan: UMRPlan | None,
         phase2: DispatchSource | None,
         out_of_order: bool,
+        scheduler: "RUMR | None" = None,
+        platform: PlatformSpec | None = None,
+        total_work: float = 0.0,
     ):
         self._out_of_order = out_of_order
         self._phase2 = phase2
@@ -141,6 +161,12 @@ class RUMRSource(DispatchSource):
                     self._rounds.append(entries)
         self._round_cursor = 0
         self.plan = plan
+        self._scheduler = scheduler
+        self._platform = platform
+        self._total_work = total_work
+        self._dispatched_gross = 0.0  # every dispatch, delivered or lost
+        self._known_crashed: tuple[int, ...] = ()
+        self._fallback: FactoringSource | None = None
 
     @property
     def in_phase1(self) -> bool:
@@ -158,7 +184,76 @@ class RUMRSource(DispatchSource):
             return idle[0]
         return ordered[0]
 
+    def _make_recovery_tail(self, pool: float, live: "list[int]") -> FactoringSource:
+        scheduler = self._scheduler
+        assert scheduler is not None and self._platform is not None
+        sub = self._platform.subset(live) if live else self._platform
+        return FactoringSource(
+            n=self._platform.N,
+            total_work=pool,
+            factor=scheduler.factor,
+            min_chunk=scheduler.min_chunk(sub, phase2_work=pool if pool > 0 else None),
+            phase="rumr-recovery",
+            lookahead=1,
+        )
+
+    def _on_crash(self, view: MasterView, crashed: tuple[int, ...]) -> None:
+        self._known_crashed = crashed
+        if not self.in_phase1 or self._scheduler is None or self._platform is None:
+            # Phase-2 / fallback sources handle crashes themselves.
+            return
+        crashed_set = set(crashed)
+        live = [i for i in range(self._platform.N) if i not in crashed_set]
+        if self._dispatched_gross == 0.0:
+            # Nothing committed yet: replan from scratch on the survivors,
+            # as if the platform never had the dead workers.
+            self._rounds = []
+            self._round_cursor = 0
+            self._phase2 = None
+            if not live:
+                return
+            sub = self._platform.subset(live)
+            scheduler = self._scheduler
+            w1, w2 = scheduler.split(sub, self._total_work)
+            if w1 > 0:
+                plan = solve_umr(sub, w1, scheduler.max_rounds, scheduler.umr_method)
+                self.plan = plan
+                for row in plan.chunk_sizes:
+                    entries = {
+                        live[j]: size for j, size in enumerate(row) if size > 0.0
+                    }
+                    if entries:
+                        self._rounds.append(entries)
+            if w2 > 0:
+                self._phase2 = FactoringSource(
+                    n=self._platform.N,
+                    total_work=w2,
+                    factor=scheduler.factor,
+                    min_chunk=scheduler.min_chunk(sub, phase2_work=w2),
+                    phase="rumr-p2",
+                    lookahead=1,
+                )
+        else:
+            # Mid-phase-1 crash: the UMR rounds assumed the dead worker's
+            # throughput, so abandon the plan and fall back to factoring
+            # over everything not yet dispatched (announced losses rejoin
+            # the fallback's pool as they are observed).
+            self._rounds = []
+            self._round_cursor = 0
+            self._phase2 = None
+            pool = max(0.0, self._total_work - self._dispatched_gross)
+            self._fallback = self._make_recovery_tail(pool, live)
+
     def next_dispatch(self, view: MasterView) -> "Dispatch | Wait | None":
+        if view.faults_possible:
+            crashed = view.crashed_workers()
+            if crashed != self._known_crashed:
+                self._on_crash(view, crashed)
+            if self._fallback is not None:
+                action = self._fallback.next_dispatch(view)
+                if isinstance(action, Dispatch):
+                    self._dispatched_gross += action.size
+                return action
         while self._round_cursor < len(self._rounds):
             pending = self._rounds[self._round_cursor]
             if not pending:
@@ -166,11 +261,26 @@ class RUMRSource(DispatchSource):
                 continue
             worker = self._pick_phase1_worker(view, pending)
             size = pending.pop(worker)
+            self._dispatched_gross += size
             return Dispatch(
                 worker=worker, size=size, phase=f"rumr-p1-round{self._round_cursor}"
             )
         if self._phase2 is not None:
-            return self._phase2.next_dispatch(view)
+            action = self._phase2.next_dispatch(view)
+            if isinstance(action, Dispatch):
+                self._dispatched_gross += action.size
+            return action
+        if view.faults_possible and self._scheduler is not None and self._platform is not None:
+            # Pure-UMR tail under faults: keep a zero-pool recovery source
+            # alive so work lost after the last planned dispatch is still
+            # re-dispatched rather than abandoned.
+            crashed_set = set(view.crashed_workers())
+            live = [i for i in range(self._platform.N) if i not in crashed_set]
+            self._fallback = self._make_recovery_tail(0.0, live)
+            action = self._fallback.next_dispatch(view)
+            if isinstance(action, Dispatch):
+                self._dispatched_gross += action.size
+            return action
         return None
 
 
@@ -367,7 +477,14 @@ class RUMR(Scheduler):
                     phase="rumr-p2",
                     lookahead=1,
                 )
-        return RUMRSource(plan=plan, phase2=phase2, out_of_order=self.out_of_order)
+        return RUMRSource(
+            plan=plan,
+            phase2=phase2,
+            out_of_order=self.out_of_order,
+            scheduler=self,
+            platform=platform,
+            total_work=total_work,
+        )
 
     def batch_kernel(self, platform: PlatformSpec, total_work: float) -> RUMRKernelSpec:
         w1, w2 = self.split(platform, total_work)

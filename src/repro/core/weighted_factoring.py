@@ -76,30 +76,63 @@ class WeightedFactoringSource(DispatchSource):
         self._min_chunk = min_chunk
         self._phase = phase
         self._lookahead = lookahead
+        self._loss_cursor = 0
 
     @property
     def remaining(self) -> float:
         """Workload not yet dispatched."""
         return self._remaining
 
-    def _size_for(self, worker: int) -> float:
+    def _size_for(self, worker: int, weight: float, n_live: int) -> float:
         # The batch-equivalent share is remaining/factor split over the
-        # platform in proportion to speed; for worker i that is
-        # remaining/factor * w_i (weights sum to 1).
-        share = (self._remaining / self._factor) * self._weights[worker]
-        floor = self._min_chunk * self._weights[worker] * self._n
+        # live platform in proportion to speed; for worker i that is
+        # remaining/factor * w_i (live weights sum to 1).
+        share = (self._remaining / self._factor) * weight
+        floor = self._min_chunk * weight * n_live
         return min(max(share, floor), self._remaining)
 
+    def _absorb_losses(self, view: MasterView) -> None:
+        losses = view.observed_losses()
+        while self._loss_cursor < len(losses):
+            self._remaining += losses[self._loss_cursor].size
+            self._loss_cursor += 1
+
     def next_dispatch(self, view: MasterView) -> "Dispatch | Wait | None":
+        # Recovery path mirrors FactoringSource: absorb announced losses,
+        # drop observed-crashed workers from the candidate set, and
+        # renormalize the speed weights over the survivors.
+        crashed: tuple[int, ...] = ()
+        if view.faults_possible:
+            self._absorb_losses(view)
+            crashed = view.crashed_workers()
         if self._remaining <= self._epsilon:
+            if view.faults_possible and any(
+                view.pending_chunks(i) for i in range(self._n)
+            ):
+                return WAIT
             return None
-        candidates = [
-            (view.pending_chunks(i), view.pending_work(i), i) for i in range(self._n)
-        ]
-        pending, _, worker = min(candidates)
-        if pending >= self._lookahead:
-            return WAIT
-        size = self._size_for(worker)
+        if crashed:
+            crashed_set = set(crashed)
+            live = [i for i in range(self._n) if i not in crashed_set]
+            if not live:
+                return None
+            candidates = [
+                (view.pending_chunks(i), view.pending_work(i), i) for i in live
+            ]
+            pending, _, worker = min(candidates)
+            if pending >= self._lookahead:
+                return WAIT
+            live_weight = sum(self._weights[i] for i in live)
+            weight = self._weights[worker] / live_weight
+            size = self._size_for(worker, weight, len(live))
+        else:
+            candidates = [
+                (view.pending_chunks(i), view.pending_work(i), i) for i in range(self._n)
+            ]
+            pending, _, worker = min(candidates)
+            if pending >= self._lookahead:
+                return WAIT
+            size = self._size_for(worker, self._weights[worker], self._n)
         self._remaining = max(0.0, self._remaining - size)
         return Dispatch(worker=worker, size=size, phase=self._phase)
 

@@ -8,6 +8,17 @@ every chunk computation.  A uniform-ratio variant is mentioned as giving
 future work; both are implemented here as well.
 """
 
+from repro.errors.faults import (
+    NO_FAULT_SPEC,
+    CrashFaults,
+    FaultModel,
+    FaultSchedule,
+    LinkSpikeFaults,
+    NoFaults,
+    PauseFaults,
+    SlowdownFaults,
+    make_fault_model,
+)
 from repro.errors.models import (
     DriftingErrorModel,
     ErrorModel,
@@ -20,13 +31,22 @@ from repro.errors.rng import spawn_rngs, stream_for
 from repro.errors.trace import TraceErrorModel, trace_from_workload
 
 __all__ = [
+    "NO_FAULT_SPEC",
+    "CrashFaults",
     "DriftingErrorModel",
     "ErrorModel",
+    "FaultModel",
+    "FaultSchedule",
+    "LinkSpikeFaults",
     "NoError",
+    "NoFaults",
     "NormalErrorModel",
+    "PauseFaults",
+    "SlowdownFaults",
     "TraceErrorModel",
     "UniformErrorModel",
     "make_error_model",
+    "make_fault_model",
     "spawn_rngs",
     "stream_for",
     "trace_from_workload",

@@ -1,0 +1,427 @@
+"""Worker fault models: crashes, pauses, slowdowns and link spikes.
+
+The prediction-error models in :mod:`repro.errors.models` cover one half of
+robustness on real star platforms — durations that differ from their
+predictions.  This module covers the other half: *workers that misbehave*.
+Four fault kinds are modelled, mirroring the failure taxonomy of the
+resource-sharing DLT literature:
+
+* **permanent crash** — a worker dies at time ``t``; every chunk that has
+  not finished computing by then (queued, in flight on the link, or mid
+  computation) is lost and must be re-dispatched by a recovery-aware
+  scheduler;
+* **transient pause** — a worker computes nothing during a window
+  ``[start, start + duration)`` and then resumes where it left off;
+* **sustained slowdown** — from ``start`` onward a worker's computations
+  take ``factor×`` as long;
+* **link latency spike** — an individual transfer occupies the master's
+  serialized link for ``delay`` extra seconds, with probability ``prob``
+  per dispatch.
+
+A :class:`FaultModel` is *configuration only* (like a
+:class:`~repro.core.base.Scheduler`): calling :meth:`FaultModel.sample`
+with a platform and an RNG realizes one run's :class:`FaultSchedule`.  Both
+simulation engines spawn the fault stream as the **third** child of the run
+seed — after the communication and computation error streams, whose draws
+are unchanged — sample the schedule once at run start, and then draw the
+per-dispatch spike stream in dispatch order.  The engines therefore stay
+trajectory-identical under faults (see ``docs/faults.md`` for the exact
+semantics contract and ``tests/sim/test_differential.py`` for the
+enforcement).
+
+Fault scenarios are named by compact spec strings so they can ride through
+the experiment grid, the sweep cache key and the CLI unchanged::
+
+    none
+    crash:p=0.2,tmax=400        # each worker crashes w.p. 0.2 at U(0, 400)
+    crash:worker=0,at=25        # deterministic: worker 0 dies at t=25
+    pause:p=0.5,tmax=200,dur=60
+    slow:p=0.5,tmax=200,factor=2.5
+    spike:p=0.1,delay=5
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+import numpy as np
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.platform.spec import PlatformSpec
+
+__all__ = [
+    "NO_FAULT_SPEC",
+    "FaultSchedule",
+    "FaultModel",
+    "NoFaults",
+    "CrashFaults",
+    "PauseFaults",
+    "SlowdownFaults",
+    "LinkSpikeFaults",
+    "make_fault_model",
+]
+
+#: The spec string meaning "no fault injection" (the grid default).
+NO_FAULT_SPEC = "none"
+
+_NEVER = math.inf
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """One run's realized faults, pre-sampled before the first dispatch.
+
+    Both engines consume the schedule through three pure-arithmetic hooks,
+    guaranteeing identical trajectories:
+
+    * :attr:`crash_times` — per-worker absolute crash instants
+      (``math.inf`` = never).  A chunk whose computation would end after
+      its worker's crash time is *lost*; the master observes the loss at
+      ``max(crash_time, arrival)`` (queued work is reported when the crash
+      is detected, in-flight work when its delivery fails).
+    * :meth:`compute_duration` — maps a computation's start time and
+      nominal duration to its effective duration, folding in the worker's
+      pause window and slowdown onset.
+    * :meth:`link_extra` — the per-dispatch latency-spike draw, consumed
+      from the fault stream in dispatch order (one draw per dispatch
+      whenever ``spike_prob > 0``, spike or not, so the stream position
+      never depends on outcomes).
+    """
+
+    crash_times: tuple[float, ...]
+    #: Per-worker ``(start, duration)``; ``duration <= 0`` means no pause.
+    pauses: tuple[tuple[float, float], ...]
+    #: Per-worker ``(start, factor)``; ``factor <= 1`` means no slowdown.
+    slowdowns: tuple[tuple[float, float], ...]
+    spike_prob: float = 0.0
+    spike_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        n = len(self.crash_times)
+        if len(self.pauses) != n or len(self.slowdowns) != n:
+            raise ValueError("fault schedule arrays must have equal length")
+        if not 0.0 <= self.spike_prob <= 1.0:
+            raise ValueError(f"spike_prob must be in [0, 1], got {self.spike_prob}")
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.crash_times)
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether the schedule can perturb this run at all."""
+        return (
+            any(t != _NEVER for t in self.crash_times)
+            or any(d > 0.0 for _, d in self.pauses)
+            or any(f > 1.0 for _, f in self.slowdowns)
+            or self.spike_prob > 0.0
+        )
+
+    def crash_time(self, worker: int) -> float:
+        """Absolute crash instant of ``worker`` (``inf`` = never)."""
+        return self.crash_times[worker]
+
+    def compute_duration(self, worker: int, start: float, duration: float) -> float:
+        """Effective duration of a computation starting at ``start``.
+
+        Work progresses at the worker's nominal rate outside its pause
+        window, at rate zero inside it, and — once the slowdown onset has
+        passed — takes ``factor×`` as long per unit of remaining work.
+        Engines must compute ``comp_end = comp_start + compute_duration(…)``
+        with this exact value so the DES timeout chain reproduces the fast
+        engine's floats bit-for-bit.
+        """
+        pause_start, pause_len = self.pauses[worker]
+        if pause_len > 0.0 and start < pause_start + pause_len:
+            if start >= pause_start:
+                # Began inside the window: all work shifts past its end.
+                duration = (pause_start + pause_len + duration) - start
+            elif start + duration > pause_start:
+                # Straddles the window: the tail is delayed by its length.
+                duration = duration + pause_len
+        slow_start, slow_factor = self.slowdowns[worker]
+        if slow_factor > 1.0 and start + duration > slow_start:
+            if start >= slow_start:
+                duration = duration * slow_factor
+            else:
+                done = slow_start - start
+                duration = done + (duration - done) * slow_factor
+        return duration
+
+    def link_extra(self, rng: np.random.Generator) -> float:
+        """Extra link occupancy for the next dispatch (spike model)."""
+        if self.spike_prob <= 0.0:
+            return 0.0
+        if rng.random() < self.spike_prob:
+            return self.spike_delay
+        return 0.0
+
+
+def _clear_schedule(n: int) -> FaultSchedule:
+    return FaultSchedule(
+        crash_times=(_NEVER,) * n,
+        pauses=((0.0, 0.0),) * n,
+        slowdowns=((0.0, 1.0),) * n,
+    )
+
+
+class FaultModel:
+    """A configured fault scenario (see module docstring).
+
+    Subclasses implement :meth:`sample`; instances hold configuration only
+    and may be reused across thousands of runs.  :attr:`spec` is the
+    canonical spec string (round-trips through :func:`make_fault_model`).
+    """
+
+    spec: str = NO_FAULT_SPEC
+
+    def sample(self, platform: "PlatformSpec", rng: np.random.Generator) -> FaultSchedule:
+        """Realize one run's fault schedule from the fault RNG stream."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(spec={self.spec!r})"
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class NoFaults(FaultModel):
+    """The identity scenario: nothing ever fails."""
+
+    spec: str = NO_FAULT_SPEC
+
+    def sample(self, platform: "PlatformSpec", rng: np.random.Generator) -> FaultSchedule:
+        return _clear_schedule(platform.N)
+
+
+def _draw_onsets(
+    n: int, prob: float, tmax: float, rng: np.random.Generator
+) -> list[float | None]:
+    """Per-worker fault onset times: ``None`` for unaffected workers.
+
+    Draw order is fixed (worker 0..n-1, hit test then onset) so the fault
+    stream position is identical in both engines.
+    """
+    onsets: list[float | None] = []
+    for _ in range(n):
+        if rng.random() < prob:
+            onsets.append(float(rng.uniform(0.0, tmax)))
+        else:
+            onsets.append(None)
+    return onsets
+
+
+def _check_prob_tmax(prob: float, tmax: float) -> None:
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError(f"fault probability must be in [0, 1], got {prob}")
+    if tmax < 0.0:
+        raise ValueError(f"fault onset horizon must be >= 0, got {tmax}")
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class CrashFaults(FaultModel):
+    """Permanent worker crashes.
+
+    Random form: each worker independently crashes with probability
+    ``prob`` at a time uniform on ``[0, tmax]``.  ``spare_one`` (default)
+    keeps at least one worker alive — when every worker draws a crash, the
+    latest-crashing one is spared — so recovery-aware schedulers always
+    have somewhere to re-dispatch.  Deterministic form: ``worker``/``at``
+    pin exactly one crash (used by tests and the docs examples).
+    """
+
+    prob: float = 0.0
+    tmax: float = 0.0
+    worker: int | None = None
+    at: float | None = None
+    spare_one: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.worker is None) != (self.at is None):
+            raise ValueError("deterministic crashes need both worker= and at=")
+        if self.worker is None:
+            _check_prob_tmax(self.prob, self.tmax)
+        elif self.at < 0.0:
+            raise ValueError(f"crash time must be >= 0, got {self.at}")
+
+    @property
+    def spec(self) -> str:
+        if self.worker is not None:
+            return f"crash:worker={self.worker},at={_fmt(self.at)}"
+        return f"crash:p={_fmt(self.prob)},tmax={_fmt(self.tmax)}"
+
+    def sample(self, platform: "PlatformSpec", rng: np.random.Generator) -> FaultSchedule:
+        n = platform.N
+        times = [_NEVER] * n
+        if self.worker is not None:
+            if not 0 <= self.worker < n:
+                raise ValueError(
+                    f"crash worker {self.worker} outside the platform (N={n})"
+                )
+            times[self.worker] = float(self.at)
+        else:
+            for i, onset in enumerate(_draw_onsets(n, self.prob, self.tmax, rng)):
+                if onset is not None:
+                    times[i] = onset
+            if self.spare_one and all(t != _NEVER for t in times):
+                times[max(range(n), key=times.__getitem__)] = _NEVER
+        return dataclasses.replace(_clear_schedule(n), crash_times=tuple(times))
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class PauseFaults(FaultModel):
+    """Transient stalls: affected workers compute nothing for ``duration``."""
+
+    prob: float = 0.0
+    tmax: float = 0.0
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_prob_tmax(self.prob, self.tmax)
+        if self.duration < 0.0:
+            raise ValueError(f"pause duration must be >= 0, got {self.duration}")
+
+    @property
+    def spec(self) -> str:
+        return f"pause:p={_fmt(self.prob)},tmax={_fmt(self.tmax)},dur={_fmt(self.duration)}"
+
+    def sample(self, platform: "PlatformSpec", rng: np.random.Generator) -> FaultSchedule:
+        n = platform.N
+        pauses = [(0.0, 0.0)] * n
+        for i, onset in enumerate(_draw_onsets(n, self.prob, self.tmax, rng)):
+            if onset is not None:
+                pauses[i] = (onset, self.duration)
+        return dataclasses.replace(_clear_schedule(n), pauses=tuple(pauses))
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class SlowdownFaults(FaultModel):
+    """Sustained degradation: computations stretch by ``factor`` after onset."""
+
+    prob: float = 0.0
+    tmax: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_prob_tmax(self.prob, self.tmax)
+        if self.factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {self.factor}")
+
+    @property
+    def spec(self) -> str:
+        return f"slow:p={_fmt(self.prob)},tmax={_fmt(self.tmax)},factor={_fmt(self.factor)}"
+
+    def sample(self, platform: "PlatformSpec", rng: np.random.Generator) -> FaultSchedule:
+        n = platform.N
+        slowdowns = [(0.0, 1.0)] * n
+        for i, onset in enumerate(_draw_onsets(n, self.prob, self.tmax, rng)):
+            if onset is not None:
+                slowdowns[i] = (onset, self.factor)
+        return dataclasses.replace(_clear_schedule(n), slowdowns=tuple(slowdowns))
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class LinkSpikeFaults(FaultModel):
+    """Per-dispatch link latency spikes (drawn in dispatch order)."""
+
+    prob: float = 0.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"spike probability must be in [0, 1], got {self.prob}")
+        if self.delay < 0.0:
+            raise ValueError(f"spike delay must be >= 0, got {self.delay}")
+
+    @property
+    def spec(self) -> str:
+        return f"spike:p={_fmt(self.prob)},delay={_fmt(self.delay)}"
+
+    def sample(self, platform: "PlatformSpec", rng: np.random.Generator) -> FaultSchedule:
+        return dataclasses.replace(
+            _clear_schedule(platform.N),
+            spike_prob=self.prob,
+            spike_delay=self.delay,
+        )
+
+
+def _fmt(value: float | int) -> str:
+    """Compact canonical number formatting for spec strings."""
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _parse_kv(body: str, kind: str) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"malformed fault parameter {part!r} in {kind!r} spec")
+        try:
+            out[key.strip()] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"fault parameter {key.strip()!r} needs a number, got {value!r}"
+            ) from None
+    return out
+
+
+def _take(params: dict[str, float], kind: str, *names: str, **defaults) -> list[float]:
+    values = []
+    for name in names:
+        if name in params:
+            values.append(params.pop(name))
+        elif name in defaults:
+            values.append(defaults[name])
+        else:
+            raise ValueError(f"fault spec {kind!r} is missing parameter {name!r}")
+    if params:
+        extra = ", ".join(sorted(params))
+        raise ValueError(f"unknown parameter(s) for fault kind {kind!r}: {extra}")
+    return values
+
+
+def make_fault_model(spec: str | FaultModel) -> FaultModel:
+    """Parse a fault spec string (see module docstring) into a model.
+
+    Accepts an already-constructed :class:`FaultModel` unchanged, so
+    callers can be agnostic about which form they hold.
+    """
+    if isinstance(spec, FaultModel):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"fault spec must be a string, got {type(spec).__name__}")
+    text = spec.strip()
+    if text in (NO_FAULT_SPEC, ""):
+        return NoFaults()
+    kind, sep, body = text.partition(":")
+    kind = kind.strip()
+    if not sep:
+        raise ValueError(f"fault spec {spec!r} has no parameters (expected kind:k=v,…)")
+    params = _parse_kv(body, kind)
+    if kind == "crash":
+        if "worker" in params or "at" in params:
+            worker, at = _take(params, kind, "worker", "at")
+            if worker != int(worker):
+                raise ValueError(f"crash worker index must be integral, got {worker}")
+            return CrashFaults(worker=int(worker), at=at)
+        p, tmax = _take(params, kind, "p", "tmax")
+        return CrashFaults(prob=p, tmax=tmax)
+    if kind == "pause":
+        p, tmax, dur = _take(params, kind, "p", "tmax", "dur")
+        return PauseFaults(prob=p, tmax=tmax, duration=dur)
+    if kind == "slow":
+        p, tmax, factor = _take(params, kind, "p", "tmax", "factor")
+        return SlowdownFaults(prob=p, tmax=tmax, factor=factor)
+    if kind == "spike":
+        p, delay = _take(params, kind, "p", "delay")
+        return LinkSpikeFaults(prob=p, delay=delay)
+    raise ValueError(
+        f"unknown fault kind {kind!r}; available: crash, pause, slow, spike, none"
+    )

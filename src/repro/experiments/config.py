@@ -90,6 +90,12 @@ class ExperimentGrid:
     #: paper's exact axes be probed at a fraction of the cost, with
     #: unbiased coverage of the whole space (unlike axis decimation).
     platform_sample: int = 0
+    #: Worker fault scenario applied to every run, as a spec string parsed
+    #: by :func:`repro.errors.make_fault_model` (``"none"`` = fault-free,
+    #: ``"crash:p=0.2,tmax=400"``, ``"pause:p=0.5,tmax=200,dur=60"``, …).
+    #: Part of the grid identity, so fault and fault-free sweeps hash to
+    #: different cache keys.
+    fault: str = "none"
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -102,6 +108,16 @@ class ExperimentGrid:
             raise ValueError("error axis must be non-empty")
         if self.platform_sample < 0:
             raise ValueError(f"platform_sample must be >= 0, got {self.platform_sample}")
+        # Validate the fault spec eagerly so a typo fails at grid build
+        # time, not platforms-deep into a sweep.
+        from repro.errors.faults import make_fault_model
+
+        make_fault_model(self.fault)
+
+    @property
+    def has_faults(self) -> bool:
+        """Whether this grid injects worker faults."""
+        return self.fault.strip() not in ("", "none")
 
     def _full_cross_product(self) -> list[PlatformPoint]:
         return [
@@ -145,7 +161,7 @@ class ExperimentGrid:
                 updates[key] = tuple(value)
             elif key in (
                 "repetitions", "seed", "name", "error_kind", "error_mode",
-                "platform_sample",
+                "platform_sample", "fault",
             ):
                 updates[key] = value
             else:

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.runner import SweepResults
+from repro.experiments.runner import FaultSweepResults, SweepResults
 
 __all__ = [
     "PAPER_BUCKETS",
     "error_buckets",
+    "fault_degradation",
     "mean_normalized_makespan",
     "outperform_fraction",
     "overall_outperform_fraction",
@@ -87,3 +88,27 @@ def mean_normalized_makespan(
     reference = reference or results.reference
     ratio = results.makespans[competitor] / results.makespans[reference]
     return ratio.mean(axis=(0, 2))
+
+
+def fault_degradation(
+    results: FaultSweepResults,
+    algorithm: str,
+    baseline_spec: str = "none",
+) -> dict[str, float]:
+    """Mean makespan degradation per fault scenario, relative to fault-free.
+
+    For each fault spec: the per-experiment ratio ``makespan(under fault) /
+    makespan(fault-free)`` averaged over every (platform, error,
+    repetition) cell — valid pairing because all scenarios share the grid
+    seed.  1.0 means the scenario costs nothing; a recovery-aware
+    scheduler's value under crashes measures how much of the lost worker's
+    throughput it manages to re-absorb.
+    """
+    if baseline_spec not in results.sweeps:
+        raise ValueError(f"baseline fault spec {baseline_spec!r} not in results")
+    base = results.sweeps[baseline_spec].makespans[algorithm]
+    out: dict[str, float] = {}
+    for spec in results.fault_specs:
+        tensor = results.sweeps[spec].makespans[algorithm]
+        out[spec] = float((tensor / base).mean())
+    return out

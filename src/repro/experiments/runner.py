@@ -40,6 +40,7 @@ import typing
 import numpy as np
 
 from repro.core.registry import is_batch_dynamic_algorithm, make_scheduler
+from repro.errors.faults import make_fault_model
 from repro.errors.models import make_error_model
 from repro.errors.rng import stream_for
 from repro.experiments.config import PAPER_ALGORITHMS, ExperimentGrid, PlatformPoint
@@ -51,7 +52,7 @@ from repro.sim.batch import (
 from repro.sim.dynbatch import DynamicCell, simulate_dynamic_cells
 from repro.sim.fastsim import simulate_fast
 
-__all__ = ["SweepResults", "run_sweep"]
+__all__ = ["SweepResults", "run_sweep", "run_fault_sweep", "FaultSweepResults"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -110,6 +111,17 @@ def _grid_supports_batch(grid: ExperimentGrid) -> bool:
     return grid.error_kind in ("normal", "none")
 
 
+def _batch_eligible(grid: ExperimentGrid, scheduler) -> bool:
+    """Whether one scheduler's cells may take a batch path on this grid.
+
+    Fault grids additionally require the scheduler to declare
+    :attr:`~repro.core.base.Scheduler.batch_supports_faults` — the explicit
+    opt-in mirroring ``is_batch_dynamic``.  No in-tree scheduler sets it
+    yet, so every fault cell currently routes through the scalar engine.
+    """
+    return not grid.has_faults or scheduler.batch_supports_faults
+
+
 def _cell_seeds(grid: ExperimentGrid, p_idx: int, e_idx: int) -> list[int]:
     """The per-repetition stream keys of one (platform, error) cell.
 
@@ -140,6 +152,7 @@ def _run_platform(
     """
     platform = point.build()
     out = np.empty((len(grid.errors), grid.repetitions, len(algorithms)))
+    fault_model = make_fault_model(grid.fault) if grid.has_faults else None
 
     # Per-platform plan cache: a static plan depends only on (platform,
     # total_work), so it is solved and compiled exactly once here and
@@ -150,7 +163,7 @@ def _run_platform(
     if batch_static and _grid_supports_batch(grid):
         for a_idx, name in enumerate(algorithms):
             scheduler = make_scheduler(name, 0.0)
-            if scheduler.is_static:
+            if scheduler.is_static and _batch_eligible(grid, scheduler):
                 static_plans[a_idx] = compile_static_plan(
                     platform, scheduler.static_plan(platform, grid.total_work)
                 )
@@ -159,6 +172,7 @@ def _run_platform(
             a_idx
             for a_idx, name in enumerate(algorithms)
             if is_batch_dynamic_algorithm(name)
+            and _batch_eligible(grid, make_scheduler(name, 0.0))
         }
 
     dynamic_indices = [
@@ -196,6 +210,7 @@ def _run_platform(
                     model,
                     seed=seeds[rep],
                     collect_records=False,
+                    faults=fault_model,
                 )
                 out[e_idx, rep, a_idx] = result.makespan
     return out
@@ -308,7 +323,12 @@ def run_sweep(
     tensors = {a: np.empty(shape) for a in algorithms}
 
     dyn_batch_names = (
-        [a for a in algorithms if is_batch_dynamic_algorithm(a)]
+        [
+            a
+            for a in algorithms
+            if is_batch_dynamic_algorithm(a)
+            and _batch_eligible(grid, make_scheduler(a, 0.0))
+        ]
         if batch_dynamic and _grid_supports_batch(grid)
         else []
     )
@@ -349,6 +369,69 @@ def run_sweep(
 
     return SweepResults(
         grid=grid, algorithms=algorithms, platforms=platforms, makespans=tensors
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSweepResults:
+    """One sweep per fault scenario, sharing grid, seeds and algorithms.
+
+    ``sweeps[spec]`` holds the :class:`SweepResults` of the grid with
+    ``fault=spec``; the first spec is conventionally ``"none"`` so
+    degradation metrics have a baseline.  Because each scenario's grid
+    shares the base grid's seed, the (platform, error, repetition) cells
+    are paired across scenarios — the same common-random-numbers trick the
+    algorithm comparisons use, applied to the fault axis.
+    """
+
+    base_grid: ExperimentGrid
+    fault_specs: tuple[str, ...]
+    algorithms: tuple[str, ...]
+    sweeps: dict[str, SweepResults]
+
+    def __post_init__(self) -> None:
+        missing = [s for s in self.fault_specs if s not in self.sweeps]
+        if missing:
+            raise ValueError(f"fault specs without results: {missing}")
+
+
+def run_fault_sweep(
+    grid: ExperimentGrid,
+    fault_specs: typing.Sequence[str],
+    algorithms: typing.Sequence[str] = PAPER_ALGORITHMS,
+    n_jobs: int = 1,
+    progress: typing.Callable[[int, int], None] | None = None,
+    directory: "str | os.PathLike | None" = None,
+) -> FaultSweepResults:
+    """Run the same sweep under several fault scenarios.
+
+    ``fault_specs`` are fault spec strings (see
+    :func:`repro.errors.make_fault_model`); ``"none"`` is prepended when
+    absent so the result always carries a fault-free baseline.  When
+    ``directory`` is given each scenario goes through the sweep cache
+    (scenarios hash to distinct keys because ``fault`` is part of the grid).
+    """
+    specs = tuple(fault_specs)
+    if "none" not in specs:
+        specs = ("none",) + specs
+    if len(set(specs)) != len(specs):
+        raise ValueError("duplicate fault specs")
+    algorithms = tuple(algorithms)
+    sweeps: dict[str, SweepResults] = {}
+    for spec in specs:
+        fault_grid = dataclasses.replace(grid, fault=spec)
+        if directory is not None:
+            from repro.experiments.cache import cached_sweep
+
+            sweeps[spec] = cached_sweep(
+                fault_grid, algorithms, directory, n_jobs=n_jobs, progress=progress
+            )
+        else:
+            sweeps[spec] = run_sweep(
+                fault_grid, algorithms=algorithms, n_jobs=n_jobs, progress=progress
+            )
+    return FaultSweepResults(
+        base_grid=grid, fault_specs=specs, algorithms=algorithms, sweeps=sweeps
     )
 
 

@@ -16,23 +16,37 @@ dispatch order from the same two streams.  A zero-delay flush before every
 dispatch decision guarantees that completions occurring *exactly* at the
 decision time are observed — these ties are systematic under zero error
 because UMR aligns round boundaries by construction.
+
+Fault injection preserves that identity.  The master mirrors the fast
+engine's busy-until chain (``pred_busy``) so it can price each chunk's
+computation window at dispatch time with the exact same float operations;
+a chunk whose predicted completion outlives its worker's crash is *lost* —
+it occupies the link normally but is never delivered.  Loss announcements
+reach the completions inbox at ``max(crash_time, arrival)``: a per-worker
+crash-watch process (started at ``t=0``, so its ``timeout(t_crash)`` fires
+at the exact crash float) reports chunks already queued on the worker, and
+a per-chunk announcer riding the ``tLat`` tail reports chunks still in
+flight.
 """
 
 from __future__ import annotations
 
 import bisect
 import dataclasses
+import math
 
 from repro.core.base import (
     WAIT,
     CompletionNote,
     DeadlockError,
     Dispatch,
+    LossNote,
     MasterView,
     Scheduler,
 )
 from repro.core.chunks import DispatchRecord
 from repro.des import Environment, Monitor, Store
+from repro.errors.faults import FaultModel, FaultSchedule
 from repro.errors.models import ErrorModel
 from repro.errors.rng import spawn_rngs
 from repro.platform.spec import PlatformSpec
@@ -65,9 +79,18 @@ class _DesView(MasterView):
     flip least-loaded orderings between engines).
     """
 
-    __slots__ = ("env", "_n", "_sent", "_done", "_prefix", "_all_notes")
+    __slots__ = (
+        "env",
+        "_n",
+        "_sent",
+        "_done",
+        "_prefix",
+        "_all_notes",
+        "_crash_times",
+        "_all_losses",
+    )
 
-    def __init__(self, env: Environment, n: int):
+    def __init__(self, env: Environment, n: int, crash_times: tuple[float, ...] | None = None):
         self.env = env
         self._n = n
         self._sent = [0] * n
@@ -76,6 +99,8 @@ class _DesView(MasterView):
         # Sorted by (time, chunk_index): identical to the fast view even
         # when announcements drain in a different internal order.
         self._all_notes: list[CompletionNote] = []
+        self._crash_times = crash_times
+        self._all_losses: list[LossNote] = []
 
     @property
     def now(self) -> float:
@@ -95,6 +120,20 @@ class _DesView(MasterView):
     def observed_completions(self) -> tuple[CompletionNote, ...]:
         return tuple(self._all_notes)
 
+    # -- fault observability -------------------------------------------------
+    @property
+    def faults_possible(self) -> bool:
+        return self._crash_times is not None
+
+    def crashed_workers(self) -> tuple[int, ...]:
+        if self._crash_times is None:
+            return ()
+        now = self.env.now
+        return tuple(i for i in range(self._n) if self._crash_times[i] <= now)
+
+    def observed_losses(self) -> tuple[LossNote, ...]:
+        return tuple(self._all_losses)
+
     # -- engine-side mutation ----------------------------------------------
     def note_dispatch(self, worker: int, size: float) -> None:
         self._sent[worker] += 1
@@ -107,6 +146,15 @@ class _DesView(MasterView):
             CompletionNote(time=when, chunk_index=chunk_index, worker=worker, size=size),
         )
 
+    def note_loss(self, worker: int, chunk_index: int, size: float, when: float) -> None:
+        # A loss leaves the pending set exactly like a completion; it is
+        # only recorded in the loss list rather than the completion list.
+        self._done[worker] += 1
+        bisect.insort(
+            self._all_losses,
+            LossNote(time=when, chunk_index=chunk_index, worker=worker, size=size),
+        )
+
 
 def simulate_des(
     platform: PlatformSpec,
@@ -115,9 +163,22 @@ def simulate_des(
     error_model: ErrorModel,
     seed: int | None = None,
     trace: Monitor | None = None,
+    faults: FaultModel | None = None,
 ) -> SimResult:
-    """Simulate one run with the DES engine (see module docstring)."""
-    rng_comm, rng_comp = spawn_rngs(seed, 2)
+    """Simulate one run with the DES engine (see module docstring).
+
+    ``faults`` matches :func:`repro.sim.fastsim.simulate_fast`: ``None``
+    keeps the legacy two-stream path; a model spawns a third stream,
+    realizes one :class:`FaultSchedule`, and injects it.
+    """
+    schedule: FaultSchedule | None = None
+    if faults is not None:
+        rng_comm, rng_comp, rng_fault = spawn_rngs(seed, 3)
+        schedule = faults.sample(platform, rng_fault)
+        if not schedule.any_faults:
+            schedule = None
+    else:
+        rng_comm, rng_comp = spawn_rngs(seed, 2)
     source = scheduler.create_source(platform, total_work)
     env = Environment()
     monitor = trace if trace is not None else Monitor(enabled=False)
@@ -125,11 +186,23 @@ def simulate_des(
 
     inboxes = [Store(env) for _ in range(n)]
     completions = Store(env)
-    view = _DesView(env, n)
+    view = _DesView(env, n, schedule.crash_times if schedule is not None else None)
     records: list[DispatchRecord | None] = []
     deliveries: list = []  # delivery processes, joined before shutdown
-    # Chunks dispatched but not yet announced complete (deadlock detection).
+    # Chunks dispatched but not yet announced complete or lost (deadlock
+    # detection).
     outstanding = [0]
+    work_lost = [0.0]
+    # Mirror of the fast engine's busy-until chain: lets the master price a
+    # chunk's computation window at dispatch time with the exact floats the
+    # worker will realize, which is what decides whether it outlives the
+    # worker's crash.
+    pred_busy = [0.0] * n
+    # Lost chunks queued on a worker at its crash instant, announced by the
+    # crash-watch process; after the watch has fired, registrations report
+    # themselves directly.
+    crash_pending: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    watch_fired = [False] * n
 
     def worker_proc(index: int):
         while True:
@@ -146,7 +219,7 @@ def simulate_des(
             records[msg.index] = dataclasses.replace(
                 rec, comp_start=comp_start, comp_end=comp_end
             )
-            completions.put((index, msg.index, msg.size, comp_end))
+            completions.put(("done", index, msg.index, msg.size, comp_end))
 
     def delivery_proc(worker: int, msg: _ChunkMsg, t_lat: float):
         if t_lat > 0:
@@ -157,12 +230,37 @@ def simulate_des(
         records[msg.index] = dataclasses.replace(rec, arrival=env.now)
         inboxes[worker].put(msg)
 
+    def loss_announce_proc(worker: int, idx: int, size: float, t_lat: float):
+        # In-flight loss: the master learns of it when delivery fails at
+        # the (would-have-been) arrival instant, send_end + tLat.
+        if t_lat > 0:
+            yield env.timeout(t_lat)
+        monitor.record(env.now, "chunk_lost", worker, chunk=idx, size=size)
+        completions.put(("lost", worker, idx, size, env.now))
+
+    def crash_watch_proc(worker: int, t_crash: float):
+        # Started at t=0 so ``timeout(t_crash)`` lands on the exact crash
+        # float; its early insertion sequence also makes it run before any
+        # master activity at the same timestamp.
+        yield env.timeout(t_crash)
+        monitor.record(env.now, "crash", worker)
+        watch_fired[worker] = True
+        for idx, size in crash_pending[worker]:
+            monitor.record(env.now, "chunk_lost", worker, chunk=idx, size=size)
+            completions.put(("lost", worker, idx, size, t_crash))
+        crash_pending[worker].clear()
+
+    def apply_note(kind: str, worker: int, idx: int, size: float, when: float) -> None:
+        if kind == "done":
+            view.note_completion(worker, idx, size, when)
+        else:
+            view.note_loss(worker, idx, size, when)
+        outstanding[0] -= 1
+
     def drain_completions() -> None:
         while len(completions) > 0:
             event = completions.get()
-            worker, idx, size, when = event.value
-            view.note_completion(worker, idx, size, when)
-            outstanding[0] -= 1
+            apply_note(*event.value)
 
     def master_proc():
         while True:
@@ -179,9 +277,7 @@ def simulate_des(
                         f"{scheduler.name}: WAIT with no outstanding chunk at t={env.now}"
                     )
                 msg = yield completions.get()
-                worker, idx, size, when = msg
-                view.note_completion(worker, idx, size, when)
-                outstanding[0] -= 1
+                apply_note(*msg)
                 continue
             if not isinstance(action, Dispatch):
                 raise TypeError(
@@ -196,10 +292,28 @@ def simulate_des(
             spec = platform[action.worker]
             size = action.size
             link_time = error_model.perturb(spec.link_time(size), rng_comm)
+            if schedule is not None:
+                link_time += schedule.link_extra(rng_fault)
             comp_time = error_model.perturb(spec.compute_time(size), rng_comp)
             error_model.advance()
             index = len(records)
             send_start = env.now
+            # Predicted chunk timeline — bit-identical to what the kernel
+            # will realize, because env.timeout chains absolute times with
+            # the same `a + b` float operations.
+            send_end_pred = send_start + link_time
+            arrival_pred = send_end_pred + spec.tLat
+            comp_start_pred = max(arrival_pred, pred_busy[action.worker])
+            if schedule is not None:
+                comp_time = schedule.compute_duration(
+                    action.worker, comp_start_pred, comp_time
+                )
+            comp_end_pred = comp_start_pred + comp_time
+            pred_busy[action.worker] = comp_end_pred
+            lost = (
+                schedule is not None
+                and comp_end_pred > schedule.crash_times[action.worker]
+            )
             monitor.record(send_start, "send_start", action.worker, chunk=index, size=size)
             records.append(
                 DispatchRecord(
@@ -207,15 +321,40 @@ def simulate_des(
                     worker=action.worker,
                     size=size,
                     send_start=send_start,
-                    send_end=send_start,  # patched below
-                    arrival=send_start,
-                    comp_start=send_start,
-                    comp_end=send_start,
+                    send_end=send_end_pred,
+                    arrival=arrival_pred,
+                    comp_start=comp_start_pred,
+                    comp_end=comp_end_pred,
                     phase=action.phase,
+                    lost=lost,
                 )
             )
             view.note_dispatch(action.worker, size)
             outstanding[0] += 1
+            if lost:
+                work_lost[0] += size
+                t_crash = schedule.crash_times[action.worker]
+                if arrival_pred > t_crash:
+                    # Still in flight at the crash: announced at arrival.
+                    yield env.timeout(link_time)
+                    monitor.record(env.now, "send_end", action.worker, chunk=index, size=size)
+                    deliveries.append(
+                        env.process(
+                            loss_announce_proc(action.worker, index, size, spec.tLat)
+                        )
+                    )
+                else:
+                    # Queued on the worker at the crash: announced by the
+                    # crash watch at the crash instant itself (or now, in
+                    # the degenerate same-timestamp case where the watch
+                    # already fired).
+                    if watch_fired[action.worker]:
+                        completions.put(("lost", action.worker, index, size, t_crash))
+                    else:
+                        crash_pending[action.worker].append((index, size))
+                    yield env.timeout(link_time)
+                    monitor.record(env.now, "send_end", action.worker, chunk=index, size=size)
+                continue
             yield env.timeout(link_time)
             send_end = env.now
             monitor.record(send_end, "send_end", action.worker, chunk=index, size=size)
@@ -234,13 +373,17 @@ def simulate_des(
             inbox.put(_POISON)
 
     worker_procs = [env.process(worker_proc(i)) for i in range(n)]
+    if schedule is not None:
+        for w, t_crash in enumerate(schedule.crash_times):
+            if t_crash != math.inf:
+                env.process(crash_watch_proc(w, t_crash))
     env.process(master_proc())
     env.run()
     for proc in worker_procs:
         assert proc.processed, "worker process did not terminate"
 
     final = [r for r in records if r is not None]
-    makespan = max((r.comp_end for r in final), default=0.0)
+    makespan = max((r.comp_end for r in final if not r.lost), default=0.0)
     return SimResult(
         makespan=makespan,
         records=tuple(final),
@@ -248,4 +391,5 @@ def simulate_des(
         total_work=total_work,
         scheduler_name=scheduler.name,
         seed=seed,
+        work_lost=work_lost[0],
     )

@@ -9,7 +9,13 @@ with timestamp comparisons against the realized completion times.
 
 The loop draws error perturbations in dispatch order from two independent
 streams (communication, computation), exactly like the DES engine, so both
-engines are trajectory-identical for a given seed.
+engines are trajectory-identical for a given seed.  Under fault injection a
+third stream (spawned after the first two, which therefore keep their
+draws) realizes the run's :class:`~repro.errors.faults.FaultSchedule` and
+feeds per-dispatch link-spike draws; chunks whose computation would outlive
+their worker's crash are *lost* — they free the pending set at
+``max(crash_time, arrival)`` via a :class:`~repro.core.base.LossNote`,
+deliver no work, and do not extend the makespan.
 """
 
 from __future__ import annotations
@@ -22,10 +28,12 @@ from repro.core.base import (
     CompletionNote,
     DeadlockError,
     Dispatch,
+    LossNote,
     MasterView,
     Scheduler,
 )
 from repro.core.chunks import DispatchRecord
+from repro.errors.faults import FaultModel, FaultSchedule
 from repro.errors.models import ErrorModel
 from repro.errors.rng import spawn_rngs
 from repro.platform.spec import PlatformSpec
@@ -48,11 +56,19 @@ class _FastView(MasterView):
         "_notes_pending",
         "_obs_cache",
         "_obs_cache_key",
+        "_crash_times",
+        "_losses_sorted",
+        "_losses_pending",
     )
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, crash_times: tuple[float, ...] | None = None):
         self._now = 0.0
         self._n = n
+        # None when the run is fault-free; faults_possible keys off it so
+        # recovery-aware sources skip their fault bookkeeping entirely.
+        self._crash_times = crash_times
+        self._losses_sorted: list[LossNote] = []
+        self._losses_pending: list[LossNote] = []
         self._sent_count = [0] * n
         self._sent_work = [0.0] * n
         # Per-worker realized completion times (nondecreasing: FIFO) and the
@@ -110,17 +126,49 @@ class _FastView(MasterView):
         self._obs_cache_key = key
         return self._obs_cache
 
+    # -- fault observability -------------------------------------------------
+    @property
+    def faults_possible(self) -> bool:
+        return self._crash_times is not None
+
+    def crashed_workers(self) -> tuple[int, ...]:
+        if self._crash_times is None:
+            return ()
+        now = self._now
+        return tuple(i for i in range(self._n) if self._crash_times[i] <= now)
+
+    def observed_losses(self) -> tuple[LossNote, ...]:
+        if self._losses_pending:
+            self._losses_sorted.extend(self._losses_pending)
+            self._losses_sorted.sort(key=lambda n: (n.time, n.chunk_index))
+            self._losses_pending.clear()
+        cutoff = bisect.bisect_right(
+            self._losses_sorted,
+            (self._now, float("inf")),
+            key=lambda n: (n.time, n.chunk_index),
+        )
+        return tuple(self._losses_sorted[:cutoff])
+
     # -- engine-side mutation ------------------------------------------------
     def _note_dispatch(
-        self, worker: int, size: float, comp_end: float, index: int
+        self, worker: int, size: float, end: float, index: int, lost: bool = False
     ) -> None:
+        # ``end`` is the chunk's exit from the pending set: its completion
+        # time, or — for a lost chunk — its loss-observation time.  Either
+        # way it joins the per-worker nondecreasing ends list, so pending
+        # accounting needs no loss special case.
         self._sent_count[worker] += 1
         self._sent_work[worker] += size
-        self._ends[worker].append(comp_end)
+        self._ends[worker].append(end)
         self._end_work_prefix[worker].append(self._end_work_prefix[worker][-1] + size)
-        self._notes_pending.append(
-            CompletionNote(time=comp_end, chunk_index=index, worker=worker, size=size)
-        )
+        if lost:
+            self._losses_pending.append(
+                LossNote(time=end, chunk_index=index, worker=worker, size=size)
+            )
+        else:
+            self._notes_pending.append(
+                CompletionNote(time=end, chunk_index=index, worker=worker, size=size)
+            )
 
 
 def simulate_fast(
@@ -130,6 +178,7 @@ def simulate_fast(
     error_model: ErrorModel,
     seed: int | None = None,
     collect_records: bool = True,
+    faults: FaultModel | None = None,
 ) -> SimResult:
     """Simulate one run with the specialized engine (see module docstring).
 
@@ -138,14 +187,27 @@ def simulate_fast(
     returned result carries an empty ``records`` tuple.  The trajectory —
     and therefore the makespan and the random-stream consumption — is
     identical in both modes.
+
+    ``faults`` enables fault injection: a third RNG stream realizes the
+    model's :class:`FaultSchedule` before the first dispatch.  Passing
+    ``None`` (not merely :class:`~repro.errors.faults.NoFaults`) keeps the
+    run on the exact legacy code path with two streams.
     """
-    rng_comm, rng_comp = spawn_rngs(seed, 2)
+    schedule: FaultSchedule | None = None
+    if faults is not None:
+        rng_comm, rng_comp, rng_fault = spawn_rngs(seed, 3)
+        schedule = faults.sample(platform, rng_fault)
+        if not schedule.any_faults:
+            schedule = None
+    else:
+        rng_comm, rng_comp = spawn_rngs(seed, 2)
     source = scheduler.create_source(platform, total_work)
     workers = platform.workers
     n = platform.N
 
-    view = _FastView(n)
+    view = _FastView(n, schedule.crash_times if schedule is not None else None)
     worker_busy_until = [0.0] * n
+    work_lost = 0.0
     # Min-heap of future completion times, for WAIT wake-ups.
     future_ends: list[float] = []
     records: list[DispatchRecord] = []
@@ -182,20 +244,36 @@ def simulate_fast(
 
         send_start = now
         link_time = error_model.perturb(spec.link_time(size), rng_comm)
+        if schedule is not None:
+            link_time += schedule.link_extra(rng_fault)
         send_end = send_start + link_time
         arrival = send_end + spec.tLat
 
         comp_start = max(arrival, worker_busy_until[action.worker])
         comp_time = error_model.perturb(spec.compute_time(size), rng_comp)
+        if schedule is not None:
+            comp_time = schedule.compute_duration(action.worker, comp_start, comp_time)
         comp_end = comp_start + comp_time
         worker_busy_until[action.worker] = comp_end
         error_model.advance()
 
-        view._note_dispatch(action.worker, size, comp_end, num_dispatched)
+        lost = schedule is not None and comp_end > schedule.crash_times[action.worker]
+        if lost:
+            # The master observes the loss when the crash is detected (for
+            # chunks already queued) or when delivery fails (in flight):
+            # max(crash, arrival).  Fictitious timeline values keep the
+            # worker's busy chain monotone, so every later chunk sent to a
+            # crashed worker is lost too.
+            loss_time = max(schedule.crash_times[action.worker], arrival)
+            view._note_dispatch(action.worker, size, loss_time, num_dispatched, lost=True)
+            heapq.heappush(future_ends, loss_time)
+            work_lost += size
+        else:
+            view._note_dispatch(action.worker, size, comp_end, num_dispatched)
+            heapq.heappush(future_ends, comp_end)
+            if comp_end > makespan:
+                makespan = comp_end
         num_dispatched += 1
-        heapq.heappush(future_ends, comp_end)
-        if comp_end > makespan:
-            makespan = comp_end
         if collect_records:
             records.append(
                 DispatchRecord(
@@ -208,6 +286,7 @@ def simulate_fast(
                     comp_start=comp_start,
                     comp_end=comp_end,
                     phase=action.phase,
+                    lost=lost,
                 )
             )
         now = send_end
@@ -219,4 +298,5 @@ def simulate_fast(
         total_work=total_work,
         scheduler_name=scheduler.name,
         seed=seed,
+        work_lost=work_lost,
     )

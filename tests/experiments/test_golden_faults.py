@@ -1,0 +1,90 @@
+"""Golden-trace regression: the fault sweep reproduces bit-for-bit.
+
+``tests/data/golden_fault_sweep.json`` pins every makespan of a small
+fault sweep (4 workers, two error levels, three scenarios, three
+algorithms).  Any change to engine arithmetic, RNG stream layout, fault
+sampling order or recovery scheduling shows up here as an exact-equality
+failure — deliberately strict, because the two engines' bit-equality and
+the sweep cache both depend on runs being byte-stable across versions.
+
+To regenerate after an *intentional* semantics change::
+
+    PYTHONPATH=src python -c "
+    import json, pathlib
+    from tests.experiments.test_golden_faults import GOLDEN_PATH, golden_grid, GOLDEN_SPECS, GOLDEN_ALGOS
+    from repro.experiments.runner import run_fault_sweep
+    r = run_fault_sweep(golden_grid(), GOLDEN_SPECS, algorithms=GOLDEN_ALGOS)
+    payload = json.loads(GOLDEN_PATH.read_text())
+    payload['makespans'] = {s: {a: r.sweeps[s].makespans[a].tolist() for a in GOLDEN_ALGOS} for s in r.fault_specs}
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + chr(10))
+    "
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentGrid
+from repro.experiments.runner import run_fault_sweep, run_sweep
+
+GOLDEN_PATH = pathlib.Path(__file__).parent.parent / "data" / "golden_fault_sweep.json"
+
+GOLDEN_SPECS = ("crash:p=0.6,tmax=30", "pause:p=1,tmax=20,dur=10")
+GOLDEN_ALGOS = ("RUMR", "UMR", "Factoring")
+
+
+def golden_grid() -> ExperimentGrid:
+    return ExperimentGrid(
+        name="golden-faults",
+        Ns=(4,),
+        bandwidth_factors=(1.5,),
+        cLats=(0.2,),
+        nLats=(0.1,),
+        errors=(0.0, 0.2),
+        repetitions=3,
+        total_work=200.0,
+        seed=77,
+    )
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_describes_this_grid(golden):
+    grid = golden_grid()
+    meta = golden["grid"]
+    assert tuple(meta["Ns"]) == grid.Ns
+    assert tuple(meta["errors"]) == grid.errors
+    assert meta["seed"] == grid.seed
+    assert meta["total_work"] == grid.total_work
+    assert golden["fault_specs"] == ["none", *GOLDEN_SPECS]
+    assert golden["algorithms"] == list(GOLDEN_ALGOS)
+
+
+def test_fault_sweep_reproduces_golden_bit_for_bit(golden):
+    results = run_fault_sweep(golden_grid(), GOLDEN_SPECS, algorithms=GOLDEN_ALGOS)
+    for spec in results.fault_specs:
+        for algo in GOLDEN_ALGOS:
+            expected = np.array(golden["makespans"][spec][algo])
+            actual = results.sweeps[spec].makespans[algo]
+            assert np.array_equal(actual, expected), (
+                f"makespan drift for {algo} under {spec!r}"
+            )
+
+
+def test_single_scenario_matches_golden_slice(golden):
+    # run_sweep on the faulted grid directly must agree with the
+    # run_fault_sweep entry — same cells, same seeds, same routing.
+    spec = GOLDEN_SPECS[0]
+    import dataclasses
+
+    results = run_sweep(
+        dataclasses.replace(golden_grid(), fault=spec), algorithms=GOLDEN_ALGOS
+    )
+    for algo in GOLDEN_ALGOS:
+        expected = np.array(golden["makespans"][spec][algo])
+        assert np.array_equal(results.makespans[algo], expected)

@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for fault injection and recovery.
+
+Three invariant families:
+
+* **work conservation** — whatever the crash pattern, delivered plus
+  lost-then-redispatched work accounts for the full workload: recovery
+  schedulers deliver exactly ``W_total`` as long as one worker survives,
+  and every scheduler satisfies ``delivered + lost == dispatched``;
+* **no post-crash dispatch** — once a worker's crash is observable, a
+  recovery scheduler never targets it (the t=0 case: the dead worker
+  receives nothing, ever);
+* **monotone degradation** — for *static* plans the fault arithmetic is
+  provably monotone: an earlier crash loses weakly more work, a longer
+  pause weakly delays the makespan.  (Pointwise monotonicity is *not*
+  asserted for the adaptive schedulers: their heuristics are not monotone
+  in the worker count, so an earlier crash occasionally yields a luckier
+  re-plan — a real property of the algorithms, not a simulator artifact.)
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import RUMR, UMR, EqualSplit, Factoring, MultiInstallment, WeightedFactoring
+from repro.errors import NoError, NormalErrorModel
+from repro.platform import homogeneous_platform
+from repro.sim import simulate, validate_schedule
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+platforms = st.builds(
+    lambda n, factor, clat, nlat: homogeneous_platform(
+        n, S=1.0, bandwidth_factor=factor, cLat=clat, nLat=nlat
+    ),
+    n=st.integers(min_value=2, max_value=12),
+    factor=st.floats(min_value=1.1, max_value=2.5, **finite),
+    clat=st.floats(min_value=0.0, max_value=0.6, **finite),
+    nlat=st.floats(min_value=0.0, max_value=0.6, **finite),
+)
+
+workloads = st.floats(min_value=50.0, max_value=2000.0, **finite)
+crash_times = st.floats(min_value=0.0, max_value=300.0, **finite)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+RECOVERY = [
+    ("Factoring", lambda: Factoring()),
+    ("RUMR", lambda: RUMR(known_error=0.2)),
+    ("WeightedFactoring", lambda: WeightedFactoring()),
+]
+STATIC = [
+    ("UMR", lambda: UMR()),
+    ("EqualSplit", lambda: EqualSplit()),
+    ("MI-2", lambda: MultiInstallment(2)),
+]
+
+
+class TestWorkConservation:
+    @given(platform=platforms, work=workloads, at=crash_times, seed=seeds)
+    def test_recovery_delivers_everything(self, platform, work, at, seed):
+        # One worker crashes; the survivors must absorb its share exactly.
+        worker = seed % platform.N
+        for _, make in RECOVERY:
+            result = simulate(
+                platform, work, make(), NormalErrorModel(0.2), seed=seed,
+                engine="fast", faults=f"crash:worker={worker},at={at}",
+            )
+            assert result.delivered_work == pytest.approx(work, rel=1e-9)
+            lost = sum(r.size for r in result.records if r.lost)
+            assert result.delivered_work + lost == pytest.approx(
+                result.dispatched_work, rel=1e-9
+            )
+            validate_schedule(result)
+
+    @given(platform=platforms, work=workloads, seed=seeds)
+    def test_accounting_identity_under_random_crashes(self, platform, work, seed):
+        # Static schedulers lose work but the ledger still balances.
+        for _, make in STATIC:
+            result = simulate(
+                platform, work, make(), NoError(), seed=seed, engine="fast",
+                faults="crash:p=0.5,tmax=100",
+            )
+            lost = sum(r.size for r in result.records if r.lost)
+            assert lost == pytest.approx(result.work_lost, rel=1e-12, abs=1e-9)
+            assert result.delivered_work + result.work_lost == pytest.approx(
+                result.dispatched_work, rel=1e-9
+            )
+            assert result.dispatched_work == pytest.approx(work, rel=1e-9)
+
+
+class TestNoPostCrashDispatch:
+    @given(platform=platforms, work=workloads, seed=seeds)
+    def test_dead_from_start_receives_nothing(self, platform, work, seed):
+        worker = seed % platform.N
+        for _, make in RECOVERY:
+            result = simulate(
+                platform, work, make(), NoError(), seed=seed, engine="fast",
+                faults=f"crash:worker={worker},at=0",
+            )
+            assert all(r.worker != worker for r in result.records)
+            assert result.work_lost == 0.0
+
+    @given(platform=platforms, work=workloads, at=crash_times, seed=seeds)
+    def test_chunks_sent_after_crash_are_lost(self, platform, work, at, seed):
+        # Loss-rule consistency: anything sent to the crashed worker after
+        # its crash instant can never complete.
+        worker = seed % platform.N
+        for _, make in RECOVERY + STATIC:
+            result = simulate(
+                platform, work, make(), NoError(), seed=seed, engine="fast",
+                faults=f"crash:worker={worker},at={at}",
+            )
+            for r in result.records:
+                if r.worker == worker and r.send_start > at:
+                    assert r.lost
+
+
+class TestMonotoneDegradation:
+    @given(platform=platforms, work=workloads, seed=seeds,
+           t1=crash_times, t2=crash_times)
+    def test_earlier_crash_loses_more_static(self, platform, work, seed, t1, t2):
+        t_early, t_late = min(t1, t2), max(t1, t2)
+        worker = seed % platform.N
+        for _, make in STATIC:
+            def lost_at(t):
+                return simulate(
+                    platform, work, make(), NormalErrorModel(0.3), seed=seed,
+                    engine="fast", faults=f"crash:worker={worker},at={t}",
+                ).work_lost
+            assert lost_at(t_early) >= lost_at(t_late) - 1e-9
+
+    @given(platform=platforms, work=workloads, seed=seeds,
+           d1=st.floats(min_value=0.0, max_value=60.0, **finite),
+           d2=st.floats(min_value=0.0, max_value=60.0, **finite))
+    def test_longer_pause_never_faster_static(self, platform, work, seed, d1, d2):
+        d_short, d_long = min(d1, d2), max(d1, d2)
+        for _, make in STATIC:
+            def makespan_with(d):
+                return simulate(
+                    platform, work, make(), NormalErrorModel(0.3), seed=seed,
+                    engine="fast", faults=f"pause:p=1,tmax=0,dur={d}",
+                ).makespan
+            assert makespan_with(d_long) >= makespan_with(d_short) - 1e-9

@@ -1,89 +1,17 @@
-"""Cross-validation: the DES engine and the fast engine are trajectory-identical."""
+"""DES trace-monitor checks.
 
-import pytest
+The fast-vs-DES trajectory-equality suite lives in
+``tests/sim/test_differential.py`` (curated cases plus a seeded randomized
+harness over schedulers, errors and fault scenarios).  What remains here
+are the monitor-specific checks that only the DES engine can provide.
+"""
 
-from repro.core import (
-    RUMR,
-    UMR,
-    EqualSplit,
-    Factoring,
-    FixedSizeChunking,
-    MultiInstallment,
-    OneRound,
-)
+from repro.core import UMR
 from repro.des import Monitor
-from repro.errors import NoError, NormalErrorModel, UniformErrorModel
-from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
-from repro.sim import simulate, validate_schedule
+from repro.errors import NoError
+from repro.sim import simulate
 
 W = 1000.0
-
-ALL_SCHEDULERS = [
-    UMR(),
-    RUMR(known_error=0.3),
-    RUMR(known_error=0.3, out_of_order=False),
-    RUMR(known_error=1.5),
-    RUMR(phase1_fraction=0.7),
-    Factoring(),
-    FixedSizeChunking(known_error=0.3),
-    MultiInstallment(1),
-    MultiInstallment(3),
-    OneRound(),
-    EqualSplit(),
-]
-
-
-def assert_identical(platform, scheduler, error_model, seed):
-    fast = simulate(platform, W, scheduler, error_model, seed=seed, engine="fast")
-    des = simulate(platform, W, scheduler, error_model, seed=seed, engine="des")
-    assert fast.makespan == des.makespan
-    assert fast.num_chunks == des.num_chunks
-    for a, b in zip(fast.records, des.records):
-        assert a.worker == b.worker
-        assert a.size == b.size
-        assert a.send_start == b.send_start
-        assert a.send_end == b.send_end
-        assert a.arrival == b.arrival
-        assert a.comp_start == b.comp_start
-        assert a.comp_end == b.comp_end
-    validate_schedule(fast)
-    validate_schedule(des)
-
-
-@pytest.mark.parametrize("scheduler", ALL_SCHEDULERS, ids=lambda s: s.name)
-def test_engines_identical_no_error(scheduler, paper_platform):
-    assert_identical(paper_platform, scheduler, NoError(), None)
-
-
-@pytest.mark.parametrize("scheduler", ALL_SCHEDULERS, ids=lambda s: s.name)
-def test_engines_identical_normal_error(scheduler, paper_platform):
-    assert_identical(paper_platform, scheduler, NormalErrorModel(0.3), 42)
-
-
-@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
-def test_engines_identical_across_seeds(seed, small_platform):
-    assert_identical(small_platform, RUMR(known_error=0.4), NormalErrorModel(0.4), seed)
-
-
-def test_engines_identical_uniform_error(paper_platform):
-    assert_identical(paper_platform, Factoring(), UniformErrorModel(0.3), 7)
-
-
-def test_engines_identical_heterogeneous(hetero_platform):
-    for scheduler in (UMR(), Factoring(), RUMR(known_error=0.2)):
-        assert_identical(hetero_platform, scheduler, NormalErrorModel(0.2), 3)
-
-
-def test_engines_identical_with_tlat():
-    p = PlatformSpec([WorkerSpec(S=1.0, B=10.0, cLat=0.1, nLat=0.1, tLat=0.4)] * 4)
-    assert_identical(p, UMR(), NormalErrorModel(0.2), 11)
-    assert_identical(p, Factoring(), NormalErrorModel(0.2), 11)
-
-
-def test_engines_identical_divide_mode(paper_platform):
-    assert_identical(
-        paper_platform, RUMR(known_error=0.3), NormalErrorModel(0.3, mode="divide"), 13
-    )
 
 
 def test_des_trace_monitor_is_populated(paper_platform):
@@ -100,12 +28,3 @@ def test_des_trace_times_match_records(small_platform):
     result = simulate(small_platform, W, UMR(), NoError(), engine="des", trace=mon)
     ends = sorted(r.time for r in mon.of_kind("compute_end"))
     assert ends[-1] == result.makespan
-
-
-def test_zero_error_ties_are_systematic(paper_platform):
-    # UMR's no-idle alignment makes round boundaries coincide exactly; this
-    # is the case the DES engine's same-time flush exists for.  Out-of-order
-    # RUMR consults idleness at those instants, so any divergence between
-    # engines would show up here.
-    sched = RUMR(known_error=0.3, out_of_order=True)
-    assert_identical(paper_platform, sched, NoError(), None)

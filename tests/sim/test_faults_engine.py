@@ -1,0 +1,241 @@
+"""Fault injection through the engines and recovery-aware scheduling.
+
+Covers the loss semantics contract (what counts as lost, when the master
+observes it) and the recovery behaviour of the dynamic schedulers:
+Factoring, WeightedFactoring and RUMR re-absorb lost work and finish the
+full workload as long as one worker survives.  The headline acceptance
+check: a worker that crashes at t=0 is *exactly* equivalent to a platform
+that never had it.
+"""
+
+import math
+
+import pytest
+
+from repro.core import RUMR, UMR, EqualSplit, Factoring, WeightedFactoring
+from repro.errors import NoError, NormalErrorModel
+from repro.platform import homogeneous_platform
+from repro.sim import simulate, validate_schedule
+
+W = 300.0
+
+
+@pytest.fixture
+def platform():
+    return homogeneous_platform(5, S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.1)
+
+
+RECOVERY_SCHEDULERS = [
+    lambda: Factoring(),
+    lambda: RUMR(known_error=0.2),
+    lambda: WeightedFactoring(),
+]
+RECOVERY_IDS = ["Factoring", "RUMR", "WeightedFactoring"]
+
+
+class TestCrashAtZeroEquivalence:
+    """Crash at t=0 == the same platform without that worker."""
+
+    @pytest.mark.parametrize("make", RECOVERY_SCHEDULERS, ids=RECOVERY_IDS)
+    @pytest.mark.parametrize("engine", ["fast", "des"])
+    def test_equivalent_to_smaller_platform(self, make, engine, platform):
+        crashed = simulate(
+            platform, W, make(), NoError(), seed=1, engine=engine,
+            faults="crash:worker=0,at=0",
+        )
+        reduced = simulate(
+            platform.subset([1, 2, 3, 4]), W, make(), NoError(), seed=1, engine=engine,
+        )
+        assert crashed.makespan == reduced.makespan
+        assert crashed.delivered_work == pytest.approx(W, rel=1e-9)
+        # The surviving workers run the identical chunk sequence.
+        live = [r for r in crashed.records if not r.lost]
+        assert [r.size for r in live] == [r.size for r in reduced.records]
+        assert [r.worker - 1 for r in live] == [r.worker for r in reduced.records]
+
+    def test_no_chunk_ever_sent_to_the_dead_worker(self, platform):
+        for make in RECOVERY_SCHEDULERS:
+            result = simulate(
+                platform, W, make(), NoError(), seed=1, engine="fast",
+                faults="crash:worker=2,at=0",
+            )
+            assert all(r.worker != 2 for r in result.records)
+
+
+class TestLossSemantics:
+    def test_chunk_finishing_after_crash_is_lost(self, platform):
+        result = simulate(
+            platform, W, UMR(), NoError(), seed=0, engine="fast",
+            faults="crash:worker=1,at=40",
+        )
+        for r in result.records:
+            if r.worker == 1:
+                assert r.lost == (r.comp_end > 40.0)
+            else:
+                assert not r.lost
+
+    def test_work_lost_matches_lost_records(self, platform):
+        result = simulate(
+            platform, W, UMR(), NormalErrorModel(0.2), seed=4, engine="fast",
+            faults="crash:p=0.5,tmax=60",
+        )
+        lost = sum(r.size for r in result.records if r.lost)
+        assert result.work_lost == pytest.approx(lost, rel=1e-12)
+        assert result.delivered_work == pytest.approx(
+            result.dispatched_work - lost, rel=1e-12
+        )
+
+    def test_static_scheduler_does_not_recover(self, platform):
+        # UMR/EqualSplit have no recovery path: the crashed worker's share
+        # is simply gone.
+        for sched in (UMR(), EqualSplit()):
+            result = simulate(
+                platform, W, sched, NoError(), seed=0, engine="fast",
+                faults="crash:worker=1,at=10",
+            )
+            assert result.work_lost > 0.0
+            assert result.delivered_work < W
+            validate_schedule(result)
+
+    def test_makespan_over_delivered_chunks_only(self, platform):
+        result = simulate(
+            platform, W, UMR(), NoError(), seed=0, engine="fast",
+            faults="crash:worker=1,at=40",
+        )
+        delivered_end = max(r.comp_end for r in result.records if not r.lost)
+        assert result.makespan == delivered_end
+
+    def test_fault_free_run_unchanged_by_fault_plumbing(self, platform):
+        # faults="none" must take the exact legacy code path: bit-identical
+        # to not passing faults at all.
+        base = simulate(platform, W, RUMR(known_error=0.3), NormalErrorModel(0.3), seed=9)
+        none = simulate(
+            platform, W, RUMR(known_error=0.3), NormalErrorModel(0.3), seed=9,
+            faults="none",
+        )
+        assert base.makespan == none.makespan
+        assert base.records == none.records
+
+    def test_error_streams_unperturbed_by_fault_stream(self, platform):
+        # The fault stream is the *third* spawn of the run seed: adding a
+        # fault scenario must not shift the comm/comp error draws.  With a
+        # crash that never fires (at far future), the trajectory matches
+        # the fault-free run exactly.
+        base = simulate(platform, W, Factoring(), NormalErrorModel(0.3), seed=9)
+        futur = simulate(
+            platform, W, Factoring(), NormalErrorModel(0.3), seed=9,
+            faults="crash:worker=0,at=1e9",
+        )
+        assert base.makespan == futur.makespan
+        assert [r.size for r in base.records] == [r.size for r in futur.records]
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("make", RECOVERY_SCHEDULERS, ids=RECOVERY_IDS)
+    @pytest.mark.parametrize("at", [5.0, 20.0, 60.0])
+    def test_all_work_delivered_after_mid_run_crash(self, make, at, platform):
+        result = simulate(
+            platform, W, make(), NormalErrorModel(0.2), seed=7, engine="fast",
+            faults=f"crash:worker=1,at={at}",
+        )
+        assert result.delivered_work == pytest.approx(W, rel=1e-9)
+        validate_schedule(result)
+
+    @pytest.mark.parametrize("make", RECOVERY_SCHEDULERS, ids=RECOVERY_IDS)
+    def test_survives_multiple_crashes(self, make, platform):
+        # spare_one guarantees a survivor even at p=1.
+        result = simulate(
+            platform, W, make(), NoError(), seed=3, engine="fast",
+            faults="crash:p=1,tmax=50",
+        )
+        assert result.delivered_work == pytest.approx(W, rel=1e-9)
+
+    @pytest.mark.parametrize("make", RECOVERY_SCHEDULERS, ids=RECOVERY_IDS)
+    def test_no_dispatch_to_observed_crashed_worker(self, make, platform):
+        # After a worker's first loss is observed, no later-decided chunk
+        # targets it.  Records are appended in decision order, so every
+        # record to the crashed worker must precede the first record to a
+        # live worker decided after the loss observation.
+        result = simulate(
+            platform, W, make(), NoError(), seed=3, engine="fast",
+            faults="crash:worker=1,at=30",
+        )
+        losses = [r for r in result.records if r.lost]
+        if not losses:
+            pytest.skip("crash after completion for this configuration")
+        # Loss observation happens at max(crash, arrival); any dispatch
+        # *sent* after every loss was observed must avoid worker 1.
+        last_observed = max(max(30.0, r.arrival) for r in losses)
+        for r in result.records:
+            if r.send_start > last_observed:
+                assert r.worker != 1
+
+    def test_recovery_makespan_bounded_by_reduced_platform(self, platform):
+        # Losing a worker mid-run can never beat having started without it
+        # by much — sanity-bound the recovery cost: the crashed run should
+        # be within 25% of the (N-1)-worker run (empirically ~1.0-1.1x).
+        for make in RECOVERY_SCHEDULERS:
+            crashed = simulate(
+                platform, W, make(), NoError(), seed=1, engine="fast",
+                faults="crash:worker=0,at=30",
+            ).makespan
+            reduced = simulate(
+                platform.subset([1, 2, 3, 4]), W, make(), NoError(), seed=1,
+                engine="fast",
+            ).makespan
+            assert crashed <= reduced * 1.25
+
+    def test_rumr_crash_during_phase2(self, platform):
+        # A crash late enough to land in RUMR's factoring phase exercises
+        # the phase-2 source's own recovery path (no fallback rebuild).
+        result = simulate(
+            platform, W, RUMR(known_error=0.3), NormalErrorModel(0.3), seed=11,
+            engine="fast", faults="crash:worker=3,at=80",
+        )
+        assert result.delivered_work == pytest.approx(W, rel=1e-9)
+        phases = {r.phase for r in result.records}
+        assert any("umr" in p or "round" in p for p in phases) or len(phases) > 1
+
+
+class TestNonCrashFaults:
+    def test_pause_delays_makespan(self, platform):
+        base = simulate(platform, W, UMR(), NoError(), seed=0, engine="fast").makespan
+        paused = simulate(
+            platform, W, UMR(), NoError(), seed=0, engine="fast",
+            faults="pause:p=1,tmax=0,dur=25",
+        ).makespan
+        assert paused > base
+        assert paused <= base + 25.0 + 1e-9
+
+    def test_slowdown_stretches_makespan(self, platform):
+        base = simulate(platform, W, UMR(), NoError(), seed=0, engine="fast").makespan
+        slowed = simulate(
+            platform, W, UMR(), NoError(), seed=0, engine="fast",
+            faults="slow:p=1,tmax=0,factor=2",
+        ).makespan
+        assert slowed > base
+
+    def test_spike_adds_link_occupancy(self, platform):
+        base = simulate(platform, W, Factoring(), NoError(), seed=0, engine="fast")
+        spiked = simulate(
+            platform, W, Factoring(), NoError(), seed=0, engine="fast",
+            faults="spike:p=1,delay=3",
+        )
+        # Every transfer occupies the link 3s longer.
+        first = spiked.records[0]
+        base_first = base.records[0]
+        assert first.send_end - first.send_start == pytest.approx(
+            (base_first.send_end - base_first.send_start) + 3.0, rel=1e-9
+        )
+        assert spiked.makespan > base.makespan
+        assert spiked.work_lost == 0.0
+
+    def test_non_crash_faults_lose_no_work(self, platform):
+        for spec in ("pause:p=1,tmax=50,dur=20", "slow:p=1,tmax=50,factor=3",
+                     "spike:p=0.5,delay=4"):
+            result = simulate(
+                platform, W, Factoring(), NoError(), seed=2, engine="fast",
+                faults=spec,
+            )
+            assert result.work_lost == 0.0
+            assert result.delivered_work == pytest.approx(W, rel=1e-9)
