@@ -13,16 +13,37 @@ regeneration of its own artifact.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 from repro.experiments.config import PAPER_ALGORITHMS, smoke_grid
 from repro.experiments.runner import run_sweep
+
+BENCH_BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_sweep.json"
 
 
 @pytest.fixture(scope="session")
 def bench_grid():
     """The benchmark grid: Table-1-shaped, seconds-scale."""
     return smoke_grid()
+
+
+@pytest.fixture(scope="session")
+def bench_baseline():
+    """The committed ``BENCH_sweep.json`` report, or None if absent.
+
+    The trace-overhead benchmarks compare against it; regenerate with
+    ``PYTHONPATH=src python scripts/bench_sweep.py`` after intentional
+    perf changes.
+    """
+    if not BENCH_BASELINE_PATH.exists():
+        return None
+    try:
+        return json.loads(BENCH_BASELINE_PATH.read_text())
+    except json.JSONDecodeError:
+        return None
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,87 @@
+"""Benchmarks for the observability layer: tracing must be pay-as-you-go.
+
+Two contracts from ``repro.obs``:
+
+* **zero-cost when disabled** — engines take ``tracer=None`` and guard
+  every emission behind one ``is not None`` test, so an untraced run
+  costs what it cost before the hooks existed.  The gating version of
+  this check lives in ``scripts/bench_sweep.py --max-overhead`` (full
+  sweep vs the committed ``BENCH_sweep.json``); here we document the
+  single-run cost and sanity-check the sweep against the baseline with a
+  generous noise allowance.
+* **bounded when enabled** — a traced run pays per-event append cost,
+  linear in the chunk count, not superlinear in anything.
+"""
+
+import time
+
+import pytest
+
+from repro.core import RUMR, Factoring
+from repro.errors import NormalErrorModel
+from repro.experiments.config import PAPER_ALGORITHMS
+from repro.experiments.runner import run_sweep
+from repro.obs import Tracer
+from repro.platform import homogeneous_platform
+from repro.sim import simulate_des, simulate_fast
+
+W = 1000.0
+
+
+@pytest.fixture
+def platform():
+    return homogeneous_platform(20, S=1.0, bandwidth_factor=1.8, cLat=0.3, nLat=0.1)
+
+
+@pytest.fixture
+def model():
+    return NormalErrorModel(0.3)
+
+
+def test_bench_fast_engine_untraced(benchmark, platform, model):
+    result = benchmark(simulate_fast, platform, W, Factoring(), model, 1)
+    assert result.makespan > 0
+
+
+def test_bench_fast_engine_traced(benchmark, platform, model):
+    def run():
+        tracer = Tracer()
+        return simulate_fast(
+            platform, W, Factoring(), model, 1, tracer=tracer
+        ), tracer
+
+    (result, tracer) = benchmark(run)
+    assert result.makespan > 0
+    assert len(tracer.events()) >= 4 * result.num_chunks
+
+
+def test_bench_des_engine_traced(benchmark, platform, model):
+    def run():
+        tracer = Tracer()
+        return simulate_des(
+            platform, W, RUMR(known_error=0.3), model, 1, tracer=tracer
+        ), tracer
+
+    (result, tracer) = benchmark(run)
+    assert result.makespan > 0
+    assert len(tracer.events()) >= 4 * result.num_chunks
+
+
+def test_untraced_sweep_within_baseline(bench_grid, bench_baseline):
+    # The pay-nothing direction, sweep-scale: one batched smoke sweep
+    # (which never traces) against the committed baseline wall time.  The
+    # strict 5% gate runs in CI via scripts/bench_sweep.py on best-of-N
+    # timings; a single pytest-interleaved run is noisier, so this
+    # assertion allows 2x before failing — it catches "the hooks landed
+    # in the hot loop", not single-digit drift.
+    if bench_baseline is None:
+        pytest.skip("no BENCH_sweep.json baseline committed")
+    base_wall = bench_baseline["full_sweep"]["batched_wall_s"]
+    run_sweep(bench_grid, algorithms=PAPER_ALGORITHMS)  # warm solver caches
+    start = time.perf_counter()
+    run_sweep(bench_grid, algorithms=PAPER_ALGORITHMS)
+    wall = time.perf_counter() - start
+    assert wall <= base_wall * 2.0, (
+        f"untraced batched sweep took {wall:.3f}s vs baseline "
+        f"{base_wall:.3f}s — disabled tracing must stay off the hot paths"
+    )

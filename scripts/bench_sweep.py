@@ -15,10 +15,18 @@ algorithm.  (At ``error > 0`` the batch engines are distributionally
 identical but not bitwise — see ``repro.sim.batch`` and
 ``repro.sim.dynbatch``.)
 
+The previous report (``--baseline``, default: the ``--out`` path before
+it is overwritten) doubles as a perf baseline: the new full-sweep batched
+wall time is compared against it and the ratio recorded as
+``overhead_vs_baseline``.  ``--max-overhead 0.05`` turns that into a
+gate — the guard for the ``repro.obs`` tracing hooks, which promise to be
+zero-cost when disabled: a sweep never traces, so any wall-time growth
+beyond noise means the hooks leaked into the hot paths.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_sweep.py [--preset smoke]
-        [--repeats 3] [--out BENCH_sweep.json]
+        [--repeats 3] [--out BENCH_sweep.json] [--max-overhead 0.05]
 """
 
 from __future__ import annotations
@@ -39,6 +47,17 @@ from repro.core.registry import (  # noqa: E402
 )
 from repro.experiments.config import PAPER_ALGORITHMS, preset_grid  # noqa: E402
 from repro.experiments.runner import run_sweep  # noqa: E402
+
+
+def _load_baseline(path: str | pathlib.Path) -> dict | None:
+    """The previous report at ``path``, or None if absent/unreadable."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
 
 
 def _time_sweep(grid, algorithms, batch_static: bool, repeats: int):
@@ -128,9 +147,31 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero if the static- or dynamic-portion speedup "
         "falls below this",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="previous report to compare against (default: the --out path "
+        "before it is overwritten)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        help="exit non-zero if the full-sweep batched wall time exceeds "
+        "the baseline's by more than this fraction (tracing-disabled "
+        "overhead guard; e.g. 0.05 for 5%%)",
+    )
     args = parser.parse_args(argv)
 
+    baseline = _load_baseline(args.baseline or args.out)
     report = bench(args.preset, args.repeats)
+    overhead = None
+    if baseline is not None:
+        base_wall = baseline.get("full_sweep", {}).get("batched_wall_s")
+        if base_wall:
+            overhead = report["full_sweep"]["batched_wall_s"] / base_wall - 1.0
+            report["full_sweep"]["baseline_batched_wall_s"] = base_wall
+            report["full_sweep"]["overhead_vs_baseline"] = round(overhead, 4)
     pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
 
     sp = report["static_portion"]
@@ -155,9 +196,30 @@ def main(argv: list[str] | None = None) -> int:
         f"scalar {fs['scalar_wall_s']:.3f}s -> batched {fs['batched_wall_s']:.3f}s, "
         f"{fs['speedup']:.1f}x"
     )
+    if overhead is not None:
+        print(
+            f"vs baseline: batched full sweep "
+            f"{fs['baseline_batched_wall_s']:.3f}s -> {fs['batched_wall_s']:.3f}s "
+            f"({overhead:+.1%})"
+        )
     print(f"wrote {args.out}")
 
     failed = False
+    if args.max_overhead is not None:
+        if overhead is None:
+            print(
+                "NOTE: --max-overhead given but no baseline report found; "
+                "overhead gate skipped",
+                file=sys.stderr,
+            )
+        elif overhead > args.max_overhead:
+            print(
+                f"ERROR: full-sweep batched wall time regressed "
+                f"{overhead:+.1%} vs baseline (allowed {args.max_overhead:.0%}) "
+                "-- the disabled-tracing hooks must stay off the hot paths",
+                file=sys.stderr,
+            )
+            failed = True
     for label, portion in (("static", sp), ("dynamic", dp)):
         if not portion["equal_at_zero_error"]:
             print(

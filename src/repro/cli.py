@@ -103,16 +103,56 @@ def _parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list registered scheduling algorithms")
 
+    def add_scenario(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scheduler", default="RUMR", help="registered algorithm name")
+        p.add_argument("--n", type=int, default=10, help="number of workers")
+        p.add_argument("--bandwidth-factor", type=float, default=1.8)
+        p.add_argument("--clat", type=float, default=0.3)
+        p.add_argument("--nlat", type=float, default=0.1)
+        p.add_argument("--work", type=float, default=1000.0)
+        p.add_argument("--error", type=float, default=0.0)
+        p.add_argument("--seed", type=int, default=0)
+
     g = sub.add_parser("gantt", help="simulate one scenario and print its Gantt chart")
-    g.add_argument("--scheduler", default="RUMR", help="registered algorithm name")
-    g.add_argument("--n", type=int, default=10, help="number of workers")
-    g.add_argument("--bandwidth-factor", type=float, default=1.8)
-    g.add_argument("--clat", type=float, default=0.3)
-    g.add_argument("--nlat", type=float, default=0.1)
-    g.add_argument("--work", type=float, default=1000.0)
-    g.add_argument("--error", type=float, default=0.0)
-    g.add_argument("--seed", type=int, default=0)
+    add_scenario(g)
     g.add_argument("--width", type=int, default=96)
+
+    t = sub.add_parser(
+        "trace",
+        help="simulate one scenario and export its typed event trace",
+    )
+    add_scenario(t)
+    t.add_argument(
+        "--fault",
+        default=None,
+        metavar="SPEC",
+        help="worker fault scenario (e.g. 'crash:p=0.3,tmax=200')",
+    )
+    t.add_argument(
+        "--engine", default="fast", choices=("fast", "des"),
+        help="simulation engine emitting the stream (default: fast)",
+    )
+    t.add_argument(
+        "--format",
+        default="chrome",
+        choices=("chrome", "jsonl", "both"),
+        help="chrome: trace_event JSON for chrome://tracing / ui.perfetto.dev; "
+        "jsonl: one canonical event per line (default: chrome)",
+    )
+    t.add_argument(
+        "--out",
+        default="trace",
+        metavar="STEM",
+        help="output path stem — writes STEM.trace.json and/or STEM.jsonl "
+        "(default: trace)",
+    )
+
+    s = sub.add_parser(
+        "stats",
+        help="run (or load) the main sweep and print engine-routing, "
+        "per-cell timing, and cache statistics",
+    )
+    add_common(s)
 
     h = sub.add_parser("hetero", help="run the heterogeneity extension study")
     h.add_argument("--error", type=float, default=0.3)
@@ -191,6 +231,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "gantt":
         return _cmd_gantt(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "hetero":
         return _cmd_hetero(args)
     if args.command == "adaptive":
@@ -215,6 +257,17 @@ def main(argv: list[str] | None = None) -> int:
         results = main_sweep()
         total = grid.num_simulations(len(results.algorithms))
         print(f"sweep complete: {total} simulations cached in {args.results}")
+        return 0
+
+    if args.command == "stats":
+        from repro.obs import SweepStats
+
+        stats = SweepStats()
+        cached_sweep(
+            grid, PAPER_ALGORITHMS, args.results, n_jobs=args.jobs,
+            progress=progress, batch_static=batch_static, stats=stats,
+        )
+        print(stats.summary())
         return 0
 
     if args.command in ("table2", "all"):
@@ -314,6 +367,44 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     model = make_error_model("normal", args.error)
     result = simulate(platform, args.work, scheduler, model, seed=args.seed)
     print(render_gantt(result, width=args.width))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.registry import make_scheduler
+    from repro.errors.models import make_error_model
+    from repro.obs import Tracer, events_to_jsonl, write_chrome_trace
+    from repro.platform.spec import homogeneous_platform
+    from repro.sim import simulate
+
+    platform = homogeneous_platform(
+        args.n, S=1.0, bandwidth_factor=args.bandwidth_factor,
+        cLat=args.clat, nLat=args.nlat,
+    )
+    scheduler = make_scheduler(args.scheduler, args.error)
+    model = make_error_model("normal", args.error)
+    tracer = Tracer()
+    result = simulate(
+        platform, args.work, scheduler, model, seed=args.seed,
+        engine=args.engine, faults=args.fault, tracer=tracer,
+    )
+    events = tracer.canonical()
+    stem = pathlib.Path(args.out)
+    if args.format in ("chrome", "both"):
+        path = write_chrome_trace(events, stem.with_suffix(".trace.json"))
+        print(f"wrote {path} (open at chrome://tracing or ui.perfetto.dev)")
+    if args.format in ("jsonl", "both"):
+        path = stem.with_suffix(".jsonl")
+        path.write_text(events_to_jsonl(events))
+        print(f"wrote {path}")
+    kinds: dict[str, int] = {}
+    for e in events:
+        kinds[e.kind] = kinds.get(e.kind, 0) + 1
+    breakdown = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    print(
+        f"{scheduler.name}: {len(events)} events ({breakdown}); "
+        f"makespan={result.makespan:.3f}s, work_lost={result.work_lost:g}"
+    )
     return 0
 
 

@@ -102,6 +102,10 @@ class DispatchRecord:
         values (the times the chunk would have seen had the worker
         survived); the chunk delivers no work and is excluded from the
         makespan.
+    loss_time:
+        When the master observed the chunk lost: ``max(crash_time,
+        arrival)`` for lost chunks, -1.0 otherwise.  (-1.0 rather than
+        NaN so records stay equality-comparable.)
     """
 
     index: int
@@ -114,6 +118,7 @@ class DispatchRecord:
     comp_end: float
     phase: str = ""
     lost: bool = False
+    loss_time: float = -1.0
 
     @property
     def link_time(self) -> float:

@@ -75,6 +75,7 @@ def cached_sweep(
     progress: typing.Callable[[int, int], None] | None = None,
     batch_static: bool = True,
     batch_dynamic: bool | None = None,
+    stats=None,
 ) -> SweepResults:
     """Run a sweep, or load it if an identical one is already on disk.
 
@@ -82,6 +83,10 @@ def cached_sweep(
     :func:`run_sweep` on a cache miss; they are deliberately *not* part of
     the cache key, because all paths produce the same distribution under
     the same seeds (and identical tensors at zero error).
+
+    ``stats`` (a :class:`repro.obs.SweepStats`) tallies the hit/miss and,
+    on a miss, is forwarded to :func:`run_sweep` so one collector covers
+    the whole cached workflow.
     """
     directory = pathlib.Path(directory)
     key = sweep_key(grid, algorithms)
@@ -95,7 +100,11 @@ def cached_sweep(
         except (KeyError, TypeError, ValueError, json.JSONDecodeError):
             loaded = None
         if loaded is not None and loaded.algorithms == tuple(algorithms):
+            if stats is not None:
+                stats.cache_hits += 1
             return loaded
+    if stats is not None:
+        stats.cache_misses += 1
     results = run_sweep(
         grid,
         algorithms=algorithms,
@@ -103,6 +112,7 @@ def cached_sweep(
         progress=progress,
         batch_static=batch_static,
         batch_dynamic=batch_dynamic,
+        stats=stats,
     )
     save_sweep(results, directory)
     return results

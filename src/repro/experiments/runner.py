@@ -142,6 +142,7 @@ def _run_platform(
     algorithms: tuple[str, ...],
     batch_static: bool = True,
     batch_dynamic: bool = True,
+    stats=None,
 ) -> np.ndarray:
     """Worker: all (error, rep, algo) simulations for one platform.
 
@@ -149,6 +150,10 @@ def _run_platform(
     With ``batch_dynamic`` on, batch-dynamic algorithms are *skipped*
     here — their slots hold garbage until the caller's global lockstep
     pass overwrites them.
+
+    ``stats`` (a :class:`repro.obs.SweepStats`) receives per-cell wall
+    times; only the in-process path passes it — pool workers cannot share
+    the parent's collector.
     """
     platform = point.build()
     out = np.empty((len(grid.errors), grid.repetitions, len(algorithms)))
@@ -193,16 +198,24 @@ def _run_platform(
             else None
         )
         for a_idx, plan in static_plans.items():
+            t0 = time.perf_counter() if stats is not None else 0.0
             out[e_idx, :, a_idx] = simulate_static_batch(
                 platform, plan, magnitude, seeds, mode=grid.error_mode,
                 factors=factors,
             )
+            if stats is not None:
+                stats.time_cell(
+                    algorithms[a_idx], p_idx, e_idx, "static-batch",
+                    grid.repetitions, time.perf_counter() - t0,
+                )
         if not dynamic_indices:
             continue
         schedulers = [(i, make_scheduler(algorithms[i], error)) for i in dynamic_indices]
+        scalar_wall = {i: 0.0 for i in dynamic_indices} if stats is not None else None
         for rep in range(grid.repetitions):
             for a_idx, scheduler in schedulers:
                 model = make_error_model(grid.error_kind, error, mode=grid.error_mode)
+                t0 = time.perf_counter() if stats is not None else 0.0
                 result = simulate_fast(
                     platform,
                     grid.total_work,
@@ -212,7 +225,15 @@ def _run_platform(
                     collect_records=False,
                     faults=fault_model,
                 )
+                if scalar_wall is not None:
+                    scalar_wall[a_idx] += time.perf_counter() - t0
                 out[e_idx, rep, a_idx] = result.makespan
+        if stats is not None:
+            for a_idx, wall in scalar_wall.items():
+                stats.time_cell(
+                    algorithms[a_idx], p_idx, e_idx, "scalar",
+                    grid.repetitions, wall,
+                )
     return out
 
 
@@ -286,6 +307,7 @@ def run_sweep(
     progress: typing.Callable[[int, int], None] | None = None,
     batch_static: bool = True,
     batch_dynamic: bool | None = None,
+    stats=None,
 ) -> SweepResults:
     """Run the full sweep and return the makespan tensors.
 
@@ -308,7 +330,13 @@ def run_sweep(
         Route batch-dynamic algorithms through the lockstep batch engine.
         ``None`` (default) follows ``batch_static``, so ``--no-batch``
         disables both fast paths at once.
+    stats:
+        Optional :class:`repro.obs.SweepStats` collector: engine-routing
+        counts, per-cell wall times (in-process runs only — pool workers
+        cannot share the parent's collector), lockstep and total wall
+        time.  Surfaced by the ``repro stats`` CLI.
     """
+    sweep_t0 = time.perf_counter()
     algorithms = tuple(algorithms)
     if len(set(algorithms)) != len(algorithms):
         raise ValueError("duplicate algorithm names")
@@ -337,6 +365,26 @@ def run_sweep(
     if len(dyn_batch_names) == len(algorithms):
         n_jobs = 0
 
+    if stats is not None:
+        # Routing is deterministic from (grid, algorithm, flags), so the
+        # counts are derived analytically rather than tallied in the loops
+        # — which also makes them exact on the process-pool path.
+        num_cells = len(platforms) * len(grid.errors)
+        for a in algorithms:
+            scheduler = make_scheduler(a, 0.0)
+            if a in dyn_batch_names:
+                engine = "dynbatch"
+            elif (
+                batch_static
+                and _grid_supports_batch(grid)
+                and scheduler.is_static
+                and _batch_eligible(grid, scheduler)
+            ):
+                engine = "static-batch"
+            else:
+                engine = "scalar"
+            stats.count_routing(engine, num_cells, grid.repetitions)
+
     if n_jobs == 0:
         if progress is not None:
             progress(len(platforms), len(platforms))
@@ -357,7 +405,8 @@ def run_sweep(
     else:
         for p_idx, point in enumerate(platforms):
             block = _run_platform(
-                grid, point, p_idx, algorithms, batch_static, batch_dynamic
+                grid, point, p_idx, algorithms, batch_static, batch_dynamic,
+                stats=stats,
             )
             for a_idx, algo in enumerate(algorithms):
                 tensors[algo][p_idx] = block[:, :, a_idx]
@@ -365,8 +414,13 @@ def run_sweep(
                 progress(p_idx + 1, len(platforms))
 
     if dyn_batch_names:
+        t0 = time.perf_counter()
         _run_dynamic_batch_pass(grid, platforms, dyn_batch_names, tensors)
+        if stats is not None:
+            stats.lockstep_wall_s += time.perf_counter() - t0
 
+    if stats is not None:
+        stats.total_wall_s += time.perf_counter() - sweep_t0
     return SweepResults(
         grid=grid, algorithms=algorithms, platforms=platforms, makespans=tensors
     )

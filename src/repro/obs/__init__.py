@@ -1,0 +1,52 @@
+"""Unified simulation observability: typed event streams and sinks.
+
+Every engine in :mod:`repro.sim` can emit one structured stream of
+:class:`SimEvent` records — dispatches, computations, faults, recovery
+decisions, round boundaries — through a :class:`Tracer`.  The stream is
+
+* a **debugging timeline**: pluggable sinks render it as an in-memory
+  ring, a JSONL file, or a Chrome ``trace_event`` JSON loadable in
+  ``chrome://tracing`` (:mod:`repro.obs.sinks`);
+* the **test oracle**: the cross-engine differential harness compares
+  canonical event streams and reports the *first divergent event*
+  instead of a bare result inequality (:mod:`repro.obs.diff`);
+* the **timeline of record**: :func:`events_from_result` derives the
+  record-implied substream from any :class:`~repro.sim.result.SimResult`,
+  and both the Gantt renderer and ``validate_schedule`` consume it.
+
+Sweep-level observability (engine routing counts, per-cell wall time,
+cache tallies) lives in :mod:`repro.obs.stats` and is surfaced by the
+``repro stats`` CLI command.
+
+The hook is zero-cost when disabled: engines take ``tracer=None`` by
+default and guard every emission behind a single ``is not None`` test,
+so the batched sweep hot paths are untouched.
+"""
+
+from repro.obs.diff import TraceDivergence, first_divergence
+from repro.obs.events import (
+    EVENT_KINDS,
+    SimEvent,
+    canonical_order,
+    events_from_result,
+    events_to_jsonl,
+)
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, RingSink, write_chrome_trace
+from repro.obs.stats import SweepStats
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "EVENT_KINDS",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "RingSink",
+    "SimEvent",
+    "SweepStats",
+    "TraceDivergence",
+    "Tracer",
+    "canonical_order",
+    "events_from_result",
+    "events_to_jsonl",
+    "first_divergence",
+    "write_chrome_trace",
+]

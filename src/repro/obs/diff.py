@@ -1,0 +1,103 @@
+"""Trace comparison: find and describe the first divergent event.
+
+The cross-engine differential harness's oracle.  Two trajectory-identical
+runs produce identical canonical event streams; when they do not, a bare
+``makespan_a != makespan_b`` hides *where* the trajectories forked — a
+one-float drift in an early UMR round compounds through every later
+chunk.  :func:`first_divergence` walks two canonical streams and returns
+the first position where they disagree, carrying both engines' events so
+the failure message names the engine, event kind, timestamp, worker and
+chunk of the fork point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.obs.events import SimEvent
+
+__all__ = ["TraceDivergence", "first_divergence"]
+
+
+def _fmt(event: SimEvent | None) -> str:
+    if event is None:
+        return "<no event (stream ended)>"
+    parts = [
+        f"kind={event.kind}",
+        f"time={event.time!r}",
+        f"worker={event.worker}",
+        f"chunk={event.chunk}",
+    ]
+    if event.size:
+        parts.append(f"size={event.size!r}")
+    if event.phase:
+        parts.append(f"phase={event.phase!r}")
+    if event.detail:
+        parts.append(f"detail={event.detail!r}")
+    return "SimEvent(" + ", ".join(parts) + ")"
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceDivergence:
+    """The first position where two canonical event streams disagree.
+
+    ``left``/``right`` are the events at ``index`` in each stream (None
+    when that stream ended early); ``left_label``/``right_label`` name
+    the producers (e.g. engine names).
+    """
+
+    index: int
+    left_label: str
+    right_label: str
+    left: SimEvent | None
+    right: SimEvent | None
+
+    def describe(self) -> str:
+        """A multi-line report naming the fork point for both engines."""
+        lines = [
+            f"event traces diverge at canonical event #{self.index}:",
+            f"  {self.left_label:>8}: {_fmt(self.left)}",
+            f"  {self.right_label:>8}: {_fmt(self.right)}",
+        ]
+        if self.left is not None and self.right is not None:
+            diffs = [
+                f
+                for f in ("time", "kind", "worker", "chunk", "size", "phase", "detail")
+                if getattr(self.left, f) != getattr(self.right, f)
+            ]
+            lines.append(f"  differing fields: {', '.join(diffs)}")
+            if "time" in diffs:
+                lines.append(
+                    f"  time delta: {self.right.time - self.left.time!r}"
+                )
+        else:
+            short = self.left_label if self.left is None else self.right_label
+            lines.append(f"  ({short} emitted fewer events)")
+        return "\n".join(lines)
+
+
+def first_divergence(
+    left: typing.Sequence[SimEvent],
+    right: typing.Sequence[SimEvent],
+    labels: tuple[str, str] = ("left", "right"),
+) -> TraceDivergence | None:
+    """First index where two canonical streams differ, or None if equal.
+
+    Streams must already be in canonical order (compare
+    ``tracer.canonical()`` outputs, not raw emission-order streams — the
+    engines legitimately emit in different internal orders).
+    """
+    for i, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            return TraceDivergence(i, labels[0], labels[1], a, b)
+    if len(left) != len(right):
+        i = min(len(left), len(right))
+        return TraceDivergence(
+            i,
+            labels[0],
+            labels[1],
+            left[i] if i < len(left) else None,
+            right[i] if i < len(right) else None,
+        )
+    return None

@@ -1,0 +1,187 @@
+"""The simulation event schema and canonical stream derivations.
+
+A :class:`SimEvent` is one observable instant of a simulated run.  The
+seven kinds mirror what the paper's multi-round schedules make one reason
+about: link occupancy (``dispatch_start``/``dispatch_end``), per-worker
+computation (``comp_start``/``comp_end``), worker faults and chunk losses
+(``fault``), the scheduler reacting to an observed crash
+(``recovery_decision``), and phase/round transitions (``round_boundary``).
+
+Engines emit events in *engine order* (the fast engine in dispatch order,
+the DES engine in simulation-time order).  Cross-engine comparisons and
+golden files therefore use :func:`canonical_order`, a total order on
+events that is identical for both engines because the underlying floats
+are — the differential harness's oracle is the canonically sorted stream.
+
+:func:`events_from_result` derives the *record-implied* substream (all
+kinds except worker-crash ``fault`` events and ``recovery_decision``,
+which are not reconstructible from :class:`~repro.core.chunks.
+DispatchRecord` alone) from a finished result, making every
+``SimResult`` a trace source even when no tracer was attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+__all__ = [
+    "EVENT_KINDS",
+    "SimEvent",
+    "canonical_order",
+    "events_from_result",
+    "events_to_jsonl",
+]
+
+#: The closed set of event kinds (see module docstring).
+EVENT_KINDS = frozenset(
+    {
+        "dispatch_start",
+        "dispatch_end",
+        "comp_start",
+        "comp_end",
+        "fault",
+        "recovery_decision",
+        "round_boundary",
+    }
+)
+
+#: Tie-break rank for events sharing a timestamp: completions and fault
+#: observations are ordered before the decisions and dispatches they
+#: enable, matching how the master observes then acts at one instant.
+_KIND_RANK = {
+    "comp_end": 0,
+    "fault": 1,
+    "recovery_decision": 2,
+    "round_boundary": 3,
+    "dispatch_start": 4,
+    "dispatch_end": 5,
+    "comp_start": 6,
+}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One observable instant of a simulated run.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the event.
+    kind:
+        One of :data:`EVENT_KINDS`.
+    worker:
+        Worker index the event concerns (-1 for worker-agnostic events
+        such as ``round_boundary``).
+    chunk:
+        Dispatch sequence number of the chunk involved (-1 when the event
+        is not chunk-scoped, e.g. a worker-crash ``fault``).
+    size:
+        Chunk size in workload units (0.0 when not chunk-scoped).
+    phase:
+        Scheduler phase label of the involved dispatch ("" when unknown).
+    detail:
+        Free-form qualifier; ``fault`` events use ``"crash"`` (the worker
+        died) and ``"loss"`` (the master observed a chunk lost to a
+        crash), ``recovery_decision`` uses ``"crash-observed"``.
+    """
+
+    time: float
+    kind: str
+    worker: int
+    chunk: int = -1
+    size: float = 0.0
+    phase: str = ""
+    detail: str = ""
+
+    def sort_key(self) -> tuple:
+        """Key of the canonical total order (see :func:`canonical_order`)."""
+        return (
+            self.time,
+            _KIND_RANK.get(self.kind, len(_KIND_RANK)),
+            self.worker,
+            self.chunk,
+            self.detail,
+        )
+
+
+def canonical_order(events: typing.Iterable[SimEvent]) -> tuple[SimEvent, ...]:
+    """Sort an event stream into the canonical cross-engine order.
+
+    Two engines that realized the same trajectory produce the same
+    canonical stream regardless of their internal emission order; the
+    differential harness compares exactly this.
+    """
+    return tuple(sorted(events, key=SimEvent.sort_key))
+
+
+def events_from_result(result) -> tuple[SimEvent, ...]:
+    """Derive the record-implied canonical event stream of a result.
+
+    ``result`` is a :class:`~repro.sim.result.SimResult` (typed loosely to
+    avoid an import cycle: anything with ``records`` works).  Delivered
+    chunks yield ``dispatch_start``/``dispatch_end``/``comp_start``/
+    ``comp_end``; lost chunks yield their dispatch pair plus a
+    ``fault``/``loss`` event at the master's loss-observation time
+    (``DispatchRecord.loss_time``) instead of fictitious compute events;
+    phase-label changes along the dispatch order yield ``round_boundary``
+    events.  Worker-crash ``fault`` and ``recovery_decision`` events are
+    *not* derivable from records — a live :class:`~repro.obs.tracer.
+    Tracer` stream is a strict superset of this one.
+    """
+    events: list[SimEvent] = []
+    last_phase: str | None = None
+    for r in result.records:
+        if r.phase != last_phase:
+            events.append(
+                SimEvent(r.send_start, "round_boundary", -1, chunk=r.index, phase=r.phase)
+            )
+            last_phase = r.phase
+        events.append(
+            SimEvent(
+                r.send_start, "dispatch_start", r.worker,
+                chunk=r.index, size=r.size, phase=r.phase,
+            )
+        )
+        events.append(
+            SimEvent(
+                r.send_end, "dispatch_end", r.worker,
+                chunk=r.index, size=r.size, phase=r.phase,
+            )
+        )
+        if r.lost:
+            events.append(
+                SimEvent(
+                    r.loss_time, "fault", r.worker,
+                    chunk=r.index, size=r.size, phase=r.phase, detail="loss",
+                )
+            )
+        else:
+            events.append(
+                SimEvent(
+                    r.comp_start, "comp_start", r.worker,
+                    chunk=r.index, size=r.size, phase=r.phase,
+                )
+            )
+            events.append(
+                SimEvent(
+                    r.comp_end, "comp_end", r.worker,
+                    chunk=r.index, size=r.size, phase=r.phase,
+                )
+            )
+    return canonical_order(events)
+
+
+def events_to_jsonl(events: typing.Iterable[SimEvent]) -> str:
+    """Serialize events as one JSON object per line (byte-deterministic).
+
+    Keys are sorted and floats use Python's shortest-roundtrip repr, so
+    the same event stream always serializes to the same bytes — the
+    golden-trace regression tests pin these files.
+    """
+    lines = [
+        json.dumps(dataclasses.asdict(e), sort_keys=True, separators=(",", ":"))
+        for e in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,170 @@
+"""Pluggable event sinks: in-memory ring, JSONL, Chrome trace_event.
+
+A sink is anything with ``emit(event)`` and ``close()``.  Three are
+provided:
+
+* :class:`RingSink` — a bounded in-memory ring buffer holding the most
+  recent events, for always-on tracing with capped memory;
+* :class:`JsonlSink` — streams one JSON object per line to a file, the
+  byte-deterministic format the golden-trace regressions pin;
+* :class:`ChromeTraceSink` — buffers the run and writes a Chrome
+  ``trace_event`` JSON on close.  Open the file at ``chrome://tracing``
+  (or https://ui.perfetto.dev): workers render as threads with their
+  compute intervals, the master's link as thread 0 with transfer
+  intervals, and faults / recovery decisions / round boundaries as
+  instant markers.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+import pathlib
+import typing
+
+from repro.obs.events import SimEvent
+
+__all__ = ["RingSink", "JsonlSink", "ChromeTraceSink", "write_chrome_trace"]
+
+
+class RingSink:
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: collections.deque[SimEvent] = collections.deque(maxlen=capacity)
+
+    def emit(self, event: SimEvent) -> None:
+        self._ring.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def events(self) -> tuple[SimEvent, ...]:
+        """Retained events, oldest first."""
+        return tuple(self._ring)
+
+
+class JsonlSink:
+    """Stream events to a file as JSON lines, in emission order."""
+
+    def __init__(self, path: "str | pathlib.Path"):
+        self.path = pathlib.Path(path)
+        self._fh: typing.TextIO | None = self.path.open("w")
+        self.count = 0
+
+    def emit(self, event: SimEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        self._fh.write(
+            json.dumps(dataclasses.asdict(event), sort_keys=True, separators=(",", ":"))
+        )
+        self._fh.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+#: Simulation seconds → trace microseconds (Chrome's ts/dur unit).
+_US = 1e6
+
+#: Thread id of the master's serialized link in the Chrome trace.
+_LINK_TID = 0
+
+
+def _chrome_trace_events(events: typing.Iterable[SimEvent]) -> list[dict]:
+    """Lower a stream to Chrome ``trace_event`` dicts.
+
+    Start/end pairs (matched per chunk) become complete ``"X"`` duration
+    events; unpaired and scalar kinds become instant ``"i"`` events.
+    Workers map to tids ``worker + 1``; the link is tid 0.
+    """
+    dispatch_open: dict[int, SimEvent] = {}
+    comp_open: dict[tuple[int, int], SimEvent] = {}
+    out: list[dict] = []
+
+    def duration(name: str, cat: str, tid: int, start: SimEvent, end_time: float) -> dict:
+        return {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": start.time * _US,
+            "dur": (end_time - start.time) * _US,
+            "pid": 0,
+            "tid": tid,
+            "args": {"chunk": start.chunk, "size": start.size, "phase": start.phase},
+        }
+
+    for e in events:
+        if e.kind == "dispatch_start":
+            dispatch_open[e.chunk] = e
+        elif e.kind == "dispatch_end":
+            start = dispatch_open.pop(e.chunk, None)
+            if start is not None:
+                out.append(
+                    duration(f"send->w{e.worker}", "link", _LINK_TID, start, e.time)
+                )
+        elif e.kind == "comp_start":
+            comp_open[(e.worker, e.chunk)] = e
+        elif e.kind == "comp_end":
+            start = comp_open.pop((e.worker, e.chunk), None)
+            if start is not None:
+                name = start.phase or f"chunk {e.chunk}"
+                out.append(duration(name, "compute", e.worker + 1, start, e.time))
+        else:
+            out.append(
+                {
+                    "name": f"{e.kind}:{e.detail}" if e.detail else e.kind,
+                    "cat": e.kind,
+                    "ph": "i",
+                    "s": "g",
+                    "ts": e.time * _US,
+                    "pid": 0,
+                    "tid": _LINK_TID if e.worker < 0 else e.worker + 1,
+                    "args": {"chunk": e.chunk, "phase": e.phase},
+                }
+            )
+    return out
+
+
+def write_chrome_trace(
+    events: typing.Iterable[SimEvent], path: "str | pathlib.Path"
+) -> pathlib.Path:
+    """Write a stream as a Chrome-loadable ``trace_event`` JSON file."""
+    path = pathlib.Path(path)
+    payload = {
+        "traceEvents": _chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "unit": "1 trace us = 1 sim us"},
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+class ChromeTraceSink:
+    """Buffer a run's events; write the Chrome trace JSON on close."""
+
+    def __init__(self, path: "str | pathlib.Path"):
+        self.path = pathlib.Path(path)
+        self._events: list[SimEvent] = []
+        self._closed = False
+
+    def emit(self, event: SimEvent) -> None:
+        if self._closed:
+            raise ValueError(f"sink for {self.path} is closed")
+        self._events.append(event)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            write_chrome_trace(self._events, self.path)

@@ -1,0 +1,131 @@
+"""Sweep-level observability: engine routing, per-cell wall time, cache.
+
+A :class:`SweepStats` rides through :func:`repro.experiments.runner.
+run_sweep` and :func:`repro.experiments.cache.cached_sweep` and collects
+
+* **routing** — how many (platform, error, algorithm) cells each engine
+  family handled (``static-batch`` / ``dynbatch`` / ``scalar``), and how
+  many individual simulations that represents;
+* **cell timings** — wall time of each batched cell and each scalar
+  (cell, algorithm) loop; the merged lockstep pass reports one aggregate
+  wall time (its cells share one call by design);
+* **cache tallies** — hits and misses of the on-disk sweep cache.
+
+Collection piggybacks on the in-process path; a process-pool run
+(``n_jobs > 1``) still records routing and total wall time but not
+per-cell timings (they happen in pool workers).  Everything is surfaced
+by ``repro stats`` on the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["CellTiming", "SweepStats"]
+
+#: Engine-routing families a cell can take.
+ENGINES = ("static-batch", "dynbatch", "scalar")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CellTiming:
+    """Wall time of one timed unit of sweep work."""
+
+    algorithm: str
+    platform_index: int
+    error_index: int
+    engine: str
+    runs: int
+    wall_s: float
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Mutable collector for one or more sweeps (see module docstring)."""
+
+    cells: dict[str, int] = dataclasses.field(
+        default_factory=lambda: {e: 0 for e in ENGINES}
+    )
+    runs: dict[str, int] = dataclasses.field(
+        default_factory=lambda: {e: 0 for e in ENGINES}
+    )
+    cell_timings: list[CellTiming] = dataclasses.field(default_factory=list)
+    lockstep_wall_s: float = 0.0
+    total_wall_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # -- collection hooks ---------------------------------------------------
+    def count_routing(self, engine: str, cells: int, runs_per_cell: int) -> None:
+        """Account ``cells`` cells of ``engine`` routing."""
+        if engine not in self.cells:
+            raise ValueError(f"unknown engine family {engine!r}")
+        self.cells[engine] += cells
+        self.runs[engine] += cells * runs_per_cell
+
+    def time_cell(
+        self,
+        algorithm: str,
+        platform_index: int,
+        error_index: int,
+        engine: str,
+        runs: int,
+        wall_s: float,
+    ) -> None:
+        self.cell_timings.append(
+            CellTiming(algorithm, platform_index, error_index, engine, runs, wall_s)
+        )
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def total_cells(self) -> int:
+        return sum(self.cells.values())
+
+    @property
+    def total_runs(self) -> int:
+        return sum(self.runs.values())
+
+    def slowest_cells(self, count: int = 5) -> list[CellTiming]:
+        return sorted(self.cell_timings, key=lambda c: -c.wall_s)[:count]
+
+    def summary(self, top: int = 5) -> str:
+        """Human-readable multi-line report for the CLI."""
+        lines = [
+            f"sweep stats: {self.total_runs} simulations in "
+            f"{self.total_cells} cells, {self.total_wall_s:.3f}s wall",
+            "engine routing:",
+        ]
+        for engine in ENGINES:
+            cells = self.cells[engine]
+            runs = self.runs[engine]
+            share = runs / self.total_runs if self.total_runs else 0.0
+            lines.append(
+                f"  {engine:>12}: {cells:5d} cells, {runs:7d} runs ({share:5.1%})"
+            )
+        if self.lockstep_wall_s:
+            lines.append(f"lockstep pass wall: {self.lockstep_wall_s:.3f}s")
+        lines.append(
+            f"cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es)"
+        )
+        slowest = self.slowest_cells(top)
+        if slowest:
+            lines.append(f"slowest timed cells (top {len(slowest)}):")
+            for c in slowest:
+                lines.append(
+                    f"  {c.wall_s * 1e3:9.2f} ms  {c.algorithm:<18} "
+                    f"platform={c.platform_index} error={c.error_index} "
+                    f"[{c.engine}, {c.runs} runs]"
+                )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (used by tests and tooling)."""
+        return {
+            "cells": dict(self.cells),
+            "runs": dict(self.runs),
+            "lockstep_wall_s": self.lockstep_wall_s,
+            "total_wall_s": self.total_wall_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cell_timings": [dataclasses.asdict(c) for c in self.cell_timings],
+        }

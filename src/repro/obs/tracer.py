@@ -1,0 +1,86 @@
+"""The engine-facing emission hook.
+
+A :class:`Tracer` is handed to an engine (``simulate(...,
+tracer=Tracer())``); the engine calls :meth:`Tracer.emit` at every
+observable instant.  The tracer retains the stream in memory (unless
+``keep=False``) and forwards each event to any attached sinks.
+
+Engines guard every emission behind ``if tracer is not None`` — passing
+no tracer costs one pointer test per dispatch, which is what keeps the
+sweep hot paths at their benchmarked speed (see the trace-overhead guard
+in ``scripts/bench_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.events import EVENT_KINDS, SimEvent, canonical_order
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Collects :class:`SimEvent` records and fans them out to sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Objects with ``emit(event)`` and ``close()`` (see
+        :mod:`repro.obs.sinks`); every emitted event is forwarded to each.
+    keep:
+        Retain events in memory (default).  ``keep=False`` makes the
+        tracer a pure fan-out shim for long streaming runs.
+    """
+
+    __slots__ = ("_events", "_sinks", "_keep")
+
+    def __init__(self, sinks: typing.Sequence = (), keep: bool = True):
+        self._events: list[SimEvent] = []
+        self._sinks = tuple(sinks)
+        self._keep = keep
+
+    def emit(
+        self,
+        time: float,
+        kind: str,
+        worker: int,
+        chunk: int = -1,
+        size: float = 0.0,
+        phase: str = "",
+        detail: str = "",
+    ) -> None:
+        """Record one event (kind must be in :data:`EVENT_KINDS`)."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        event = SimEvent(time, kind, worker, chunk, size, phase, detail)
+        if self._keep:
+            self._events.append(event)
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> tuple[SimEvent, ...]:
+        """The stream in emission order (engine-dependent)."""
+        return tuple(self._events)
+
+    def canonical(self) -> tuple[SimEvent, ...]:
+        """The stream in canonical order — the cross-engine oracle."""
+        return canonical_order(self._events)
+
+    def of_kind(self, kind: str) -> tuple[SimEvent, ...]:
+        """Events of one kind, in emission order."""
+        return tuple(e for e in self._events if e.kind == kind)
+
+    def close(self) -> None:
+        """Close all attached sinks (flushes file-backed ones)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

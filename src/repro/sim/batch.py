@@ -41,6 +41,7 @@ preserved throughout.
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 import numpy as np
 
@@ -71,6 +72,8 @@ class CompiledStaticPlan:
     link_pred: np.ndarray     # (K,) predicted link occupancy per chunk
     comp_pred: np.ndarray     # (K,) predicted compute duration per chunk
     tlat: np.ndarray          # (K,) pipeline latency per chunk
+    sizes: "np.ndarray | None" = None   # (K,) chunk sizes (tracing only)
+    phases: tuple[str, ...] = ()        # (K,) plan-derived phase labels
 
     @property
     def num_chunks(self) -> int:
@@ -86,6 +89,10 @@ def compile_static_plan(platform: PlatformSpec, plan: ChunkPlan) -> CompiledStat
         link_pred=np.array([platform[c.worker].link_time(c.size) for c in chunks]),
         comp_pred=np.array([platform[c.worker].compute_time(c.size) for c in chunks]),
         tlat=np.array([platform[c.worker].tLat for c in chunks]),
+        sizes=np.array([c.size for c in chunks]),
+        phases=tuple(
+            f"round{c.round_index}" if c.round_index >= 0 else "" for c in chunks
+        ),
     )
 
 
@@ -147,6 +154,7 @@ def simulate_static_batch(
     min_ratio: float = MIN_RATIO,
     mode: str = "multiply",
     factors: tuple[np.ndarray, np.ndarray] | None = None,
+    tracers: "typing.Sequence | None" = None,
 ) -> np.ndarray:
     """Makespans of one static plan under R independent error draws.
 
@@ -171,6 +179,13 @@ def simulate_static_batch(
         columns are ignored); lets callers share one draw across several
         plans under the same seeds.  The ``mode`` inversion is applied
         here, so pass raw factors.
+    tracers:
+        Optional sequence of one :class:`repro.obs.Tracer` (or ``None``)
+        per seed; each non-None entry receives its repetition's event
+        stream.  Phase labels come from the compiled plan's round indices
+        (``"round{r}"``) rather than scheduler-specific names, and timeline
+        values are extracted from the batch arrays only for traced rows —
+        the untraced path allocates nothing extra.
 
     Returns
     -------
@@ -219,18 +234,56 @@ def simulate_static_batch(
             comp_factors = 1.0 / comp_factors
     r = comm_factors.shape[0]
 
-    send_end = np.cumsum(link_pred[None, :] * comm_factors, axis=1)
+    tracing = tracers is not None and any(t is not None for t in tracers)
+
+    link_eff = link_pred[None, :] * comm_factors
+    send_end = np.cumsum(link_eff, axis=1)
     arrival = send_end + tlat[None, :]
     comp_dur = comp_pred[None, :] * comp_factors
 
     busy = np.zeros((r, plan.num_workers))
     makespan = np.zeros(r)
+    comp_starts = np.empty((r, k)) if tracing else None
     for j in range(k):
         w = workers[j]
         start = np.maximum(arrival[:, j], busy[:, w])
         end = start + comp_dur[:, j]
         busy[:, w] = end
         np.maximum(makespan, end, out=makespan)
+        if tracing:
+            comp_starts[:, j] = start
+
+    if tracing:
+        # send_start_j is exactly send_end_{j-1} (the scalar engines' link
+        # chain), not send_end_j - link_j: (a + b) - b != a in floats.
+        send_start = np.concatenate([np.zeros((r, 1)), send_end[:, :-1]], axis=1)
+        sizes = plan.sizes if plan.sizes is not None else np.zeros(k)
+        phases = plan.phases if plan.phases else ("",) * k
+        for i, tracer in enumerate(tracers):
+            if tracer is None:
+                continue
+            # At error 0 only one broadcast row was simulated.
+            row = min(i, r - 1)
+            last_phase: str | None = None
+            for j in range(k):
+                w = int(workers[j])
+                ph = phases[j]
+                sz = float(sizes[j])
+                ss = float(send_start[row, j])
+                if ph != last_phase:
+                    tracer.emit(ss, "round_boundary", -1, chunk=j, phase=ph)
+                    last_phase = ph
+                tracer.emit(ss, "dispatch_start", w, chunk=j, size=sz, phase=ph)
+                tracer.emit(
+                    float(send_end[row, j]), "dispatch_end", w,
+                    chunk=j, size=sz, phase=ph,
+                )
+                cs = float(comp_starts[row, j])
+                tracer.emit(cs, "comp_start", w, chunk=j, size=sz, phase=ph)
+                tracer.emit(
+                    cs + float(comp_dur[row, j]), "comp_end", w,
+                    chunk=j, size=sz, phase=ph,
+                )
     if r == 1 and len(seeds) != 1:
         return np.full(len(seeds), makespan[0])
     return makespan

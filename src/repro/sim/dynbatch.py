@@ -160,7 +160,7 @@ def _worker_arrays(cells, reps, n_max):
     return rep(S), rep(B), rep(cl), rep(nl), rep(tl)
 
 
-def _simulate_rows(cells, specs, mode: str, min_ratio: float) -> list:
+def _simulate_rows(cells, specs, mode: str, min_ratio: float, row_tracers=None) -> list:
     """Run one merged batch of cells to completion; makespans per cell.
 
     ``cells``/``specs`` must be ordered so that equal ``group_key`` runs
@@ -168,6 +168,12 @@ def _simulate_rows(cells, specs, mode: str, min_ratio: float) -> list:
     slice, while the engine state (clocks, queues, dispatch arithmetic)
     is shared across all rows — one iteration advances every still-active
     row of every family.
+
+    ``row_tracers`` is one :class:`repro.obs.Tracer` (or ``None``) per
+    repetition row; traced rows have their dispatch timelines extracted
+    from the batch arrays as they are applied (phase labels are not
+    available here — lockstep kernels carry no scheduler phase — so traced
+    events use ``phase=""`` and emit no ``round_boundary``).
     """
     reps = [len(c.seeds) for c in cells]
     offsets = np.cumsum([0] + reps)
@@ -293,6 +299,27 @@ def _simulate_rows(cells, specs, mode: str, min_ratio: float) -> list:
             was_empty = tail == q_head[disp, w]
             head_end[disp, w] = np.where(was_empty, comp_end, head_end[disp, w])
             head_size[disp, w] = np.where(was_empty, sz, head_size[disp, w])
+            if row_tracers is not None:
+                for pos, row in enumerate(disp):
+                    tracer = row_tracers[row]
+                    if tracer is None:
+                        continue
+                    wi = int(w[pos])
+                    ci = int(k[pos])
+                    szi = float(sz[pos])
+                    tracer.emit(
+                        float(now[row]), "dispatch_start", wi, chunk=ci, size=szi
+                    )
+                    tracer.emit(
+                        float(send_end[pos]), "dispatch_end", wi, chunk=ci, size=szi
+                    )
+                    tracer.emit(
+                        float(comp_start[pos]), "comp_start", wi, chunk=ci, size=szi
+                    )
+                    tracer.emit(
+                        float(comp_end[pos]), "comp_end", wi, chunk=ci, size=szi
+                    )
+
             q_tail[disp, w] += 1
             counts[disp, w] += 1
             sent_work[disp, w] += sz
@@ -324,6 +351,7 @@ def simulate_dynamic_cells(
     mode: str = "multiply",
     min_ratio: float = MIN_RATIO,
     max_rows: int = MAX_ROWS,
+    tracers=None,
 ) -> list:
     """Simulate many dynamic cells, merging compatible ones per call.
 
@@ -333,6 +361,10 @@ def simulate_dynamic_cells(
     driven by one merged kernel while the engine state is shared across
     all of them.  Returns one makespan array per cell, in input order,
     each of shape ``(len(cell.seeds),)``.
+
+    ``tracers``, when given, parallels ``cells``: each entry is ``None``
+    or a sequence of one :class:`repro.obs.Tracer` (or ``None``) per seed
+    of that cell (see :func:`_simulate_rows`).
     """
     if mode not in ("multiply", "divide"):
         raise ValueError(f"unknown perturbation mode {mode!r}")
@@ -352,11 +384,21 @@ def simulate_dynamic_cells(
     for idx, spec in ordered + [(None, None)]:
         rows = len(cells[idx].seeds) if idx is not None else 0
         if batch and (idx is None or batch_rows + rows > max_rows):
+            row_tracers = None
+            if tracers is not None and any(tracers[i] for i, _ in batch):
+                row_tracers = []
+                for i, _ in batch:
+                    cell_tracers = tracers[i]
+                    if cell_tracers is None:
+                        row_tracers.extend([None] * len(cells[i].seeds))
+                    else:
+                        row_tracers.extend(cell_tracers)
             results = _simulate_rows(
                 [cells[i] for i, _ in batch],
                 [s for _, s in batch],
                 mode,
                 min_ratio,
+                row_tracers,
             )
             for (i, _), res in zip(batch, results):
                 outputs[i] = res
@@ -375,12 +417,14 @@ def simulate_dynamic_batch(
     seeds,
     mode: str = "multiply",
     min_ratio: float = MIN_RATIO,
+    tracers=None,
 ) -> np.ndarray:
     """Makespans of one batch-dynamic scheduler under R paired error draws.
 
     The single-cell entry point: one (platform, error) cell, one seed per
     repetition, same stream contract as the scalar engine (see the module
-    docstring).  Returns an array of shape ``(len(seeds),)``.
+    docstring).  ``tracers`` is one :class:`repro.obs.Tracer` (or ``None``)
+    per seed.  Returns an array of shape ``(len(seeds),)``.
     """
     cell = DynamicCell(
         platform=platform,
@@ -389,4 +433,9 @@ def simulate_dynamic_batch(
         error=error,
         seeds=tuple(int(s) for s in seeds),
     )
-    return simulate_dynamic_cells([cell], mode=mode, min_ratio=min_ratio)[0]
+    return simulate_dynamic_cells(
+        [cell],
+        mode=mode,
+        min_ratio=min_ratio,
+        tracers=None if tracers is None else [tracers],
+    )[0]

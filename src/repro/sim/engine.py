@@ -68,6 +68,15 @@ class _ChunkMsg:
     phase: str
 
 
+class _NullTracer:
+    """Absorbs emissions so the engine's hot paths stay branch-free."""
+
+    __slots__ = ()
+
+    def emit(self, *args, **kwargs) -> None:
+        pass
+
+
 class _DesView(MasterView):
     """Master-observable state, maintained by explicit message counting.
 
@@ -164,12 +173,22 @@ def simulate_des(
     seed: int | None = None,
     trace: Monitor | None = None,
     faults: FaultModel | None = None,
+    tracer=None,
 ) -> SimResult:
     """Simulate one run with the DES engine (see module docstring).
 
     ``faults`` matches :func:`repro.sim.fastsim.simulate_fast`: ``None``
     keeps the legacy two-stream path; a model spawns a third stream,
     realizes one :class:`FaultSchedule`, and injects it.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) receives the run's typed
+    event stream.  Unlike the fast engine — which can emit a chunk's whole
+    timeline at dispatch — this engine emits each event from the process
+    that realizes it (workers, delivery tails, crash watchers), so the
+    stream certifies the DES kernel's actual execution; the two engines'
+    *canonical* streams are equal exactly when their trajectories are.
+    ``trace`` is the legacy low-level :class:`Monitor` hook, kept for the
+    kernel's own regression tests.
     """
     schedule: FaultSchedule | None = None
     if faults is not None:
@@ -182,6 +201,7 @@ def simulate_des(
     source = scheduler.create_source(platform, total_work)
     env = Environment()
     monitor = trace if trace is not None else Monitor(enabled=False)
+    tr = tracer if tracer is not None else _NullTracer()
     n = platform.N
 
     inboxes = [Store(env) for _ in range(n)]
@@ -211,9 +231,17 @@ def simulate_des(
                 return
             comp_start = env.now
             monitor.record(comp_start, "compute_start", index, chunk=msg.index, size=msg.size)
+            tr.emit(
+                comp_start, "comp_start", index,
+                chunk=msg.index, size=msg.size, phase=msg.phase,
+            )
             yield env.timeout(msg.comp_time)
             comp_end = env.now
             monitor.record(comp_end, "compute_end", index, chunk=msg.index, size=msg.size)
+            tr.emit(
+                comp_end, "comp_end", index,
+                chunk=msg.index, size=msg.size, phase=msg.phase,
+            )
             rec = records[msg.index]
             assert rec is not None
             records[msg.index] = dataclasses.replace(
@@ -230,12 +258,13 @@ def simulate_des(
         records[msg.index] = dataclasses.replace(rec, arrival=env.now)
         inboxes[worker].put(msg)
 
-    def loss_announce_proc(worker: int, idx: int, size: float, t_lat: float):
+    def loss_announce_proc(worker: int, idx: int, size: float, phase: str, t_lat: float):
         # In-flight loss: the master learns of it when delivery fails at
         # the (would-have-been) arrival instant, send_end + tLat.
         if t_lat > 0:
             yield env.timeout(t_lat)
         monitor.record(env.now, "chunk_lost", worker, chunk=idx, size=size)
+        tr.emit(env.now, "fault", worker, chunk=idx, size=size, phase=phase, detail="loss")
         completions.put(("lost", worker, idx, size, env.now))
 
     def crash_watch_proc(worker: int, t_crash: float):
@@ -244,9 +273,13 @@ def simulate_des(
         # master activity at the same timestamp.
         yield env.timeout(t_crash)
         monitor.record(env.now, "crash", worker)
+        tr.emit(t_crash, "fault", worker, detail="crash")
         watch_fired[worker] = True
-        for idx, size in crash_pending[worker]:
+        for idx, size, phase in crash_pending[worker]:
             monitor.record(env.now, "chunk_lost", worker, chunk=idx, size=size)
+            tr.emit(
+                t_crash, "fault", worker, chunk=idx, size=size, phase=phase, detail="loss"
+            )
             completions.put(("lost", worker, idx, size, t_crash))
         crash_pending[worker].clear()
 
@@ -263,6 +296,8 @@ def simulate_des(
             apply_note(*event.value)
 
     def master_proc():
+        last_phase: str | None = None
+        crashes_observed: set[int] = set()
         while True:
             # Flush same-time events so completions at exactly `now` are
             # visible, then fold announcements into the view.
@@ -291,6 +326,17 @@ def simulate_des(
                 )
             spec = platform[action.worker]
             size = action.size
+            if action.phase != last_phase:
+                tr.emit(
+                    env.now, "round_boundary", -1,
+                    chunk=len(records), phase=action.phase,
+                )
+                last_phase = action.phase
+            if schedule is not None:
+                for w in view.crashed_workers():
+                    if w not in crashes_observed:
+                        crashes_observed.add(w)
+                        tr.emit(env.now, "recovery_decision", w, detail="crash-observed")
             link_time = error_model.perturb(spec.link_time(size), rng_comm)
             if schedule is not None:
                 link_time += schedule.link_extra(rng_fault)
@@ -314,7 +360,14 @@ def simulate_des(
                 schedule is not None
                 and comp_end_pred > schedule.crash_times[action.worker]
             )
+            loss_time = (
+                max(schedule.crash_times[action.worker], arrival_pred) if lost else -1.0
+            )
             monitor.record(send_start, "send_start", action.worker, chunk=index, size=size)
+            tr.emit(
+                send_start, "dispatch_start", action.worker,
+                chunk=index, size=size, phase=action.phase,
+            )
             records.append(
                 DispatchRecord(
                     index=index,
@@ -327,6 +380,7 @@ def simulate_des(
                     comp_end=comp_end_pred,
                     phase=action.phase,
                     lost=lost,
+                    loss_time=loss_time,
                 )
             )
             view.note_dispatch(action.worker, size)
@@ -338,9 +392,15 @@ def simulate_des(
                     # Still in flight at the crash: announced at arrival.
                     yield env.timeout(link_time)
                     monitor.record(env.now, "send_end", action.worker, chunk=index, size=size)
+                    tr.emit(
+                        env.now, "dispatch_end", action.worker,
+                        chunk=index, size=size, phase=action.phase,
+                    )
                     deliveries.append(
                         env.process(
-                            loss_announce_proc(action.worker, index, size, spec.tLat)
+                            loss_announce_proc(
+                                action.worker, index, size, action.phase, spec.tLat
+                            )
                         )
                     )
                 else:
@@ -349,15 +409,27 @@ def simulate_des(
                     # the degenerate same-timestamp case where the watch
                     # already fired).
                     if watch_fired[action.worker]:
+                        tr.emit(
+                            t_crash, "fault", action.worker,
+                            chunk=index, size=size, phase=action.phase, detail="loss",
+                        )
                         completions.put(("lost", action.worker, index, size, t_crash))
                     else:
-                        crash_pending[action.worker].append((index, size))
+                        crash_pending[action.worker].append((index, size, action.phase))
                     yield env.timeout(link_time)
                     monitor.record(env.now, "send_end", action.worker, chunk=index, size=size)
+                    tr.emit(
+                        env.now, "dispatch_end", action.worker,
+                        chunk=index, size=size, phase=action.phase,
+                    )
                 continue
             yield env.timeout(link_time)
             send_end = env.now
             monitor.record(send_end, "send_end", action.worker, chunk=index, size=size)
+            tr.emit(
+                send_end, "dispatch_end", action.worker,
+                chunk=index, size=size, phase=action.phase,
+            )
             rec = records[index]
             assert rec is not None
             records[index] = dataclasses.replace(rec, send_end=send_end)

@@ -179,6 +179,7 @@ def simulate_fast(
     seed: int | None = None,
     collect_records: bool = True,
     faults: FaultModel | None = None,
+    tracer=None,
 ) -> SimResult:
     """Simulate one run with the specialized engine (see module docstring).
 
@@ -192,6 +193,9 @@ def simulate_fast(
     model's :class:`FaultSchedule` before the first dispatch.  Passing
     ``None`` (not merely :class:`~repro.errors.faults.NoFaults`) keeps the
     run on the exact legacy code path with two streams.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) receives the run's event
+    stream; ``None`` (the default) skips all emission work.
     """
     schedule: FaultSchedule | None = None
     if faults is not None:
@@ -214,6 +218,16 @@ def simulate_fast(
     num_dispatched = 0
     makespan = 0.0
     now = 0.0
+    last_phase: str | None = None
+    crashes_observed: set[int] = set()
+    if tracer is not None and schedule is not None:
+        # Crash events are known once the schedule is realized; emitting
+        # them upfront (as the DES engine does via its crash watchers)
+        # keeps both engines' streams identical even when a crash falls
+        # after the last dispatch.
+        for w, ct in enumerate(schedule.crash_times):
+            if ct != float("inf"):
+                tracer.emit(ct, "fault", w, detail="crash")
 
     while True:
         view._now = now
@@ -242,6 +256,23 @@ def simulate_fast(
         spec = workers[action.worker]
         size = action.size
 
+        if tracer is not None:
+            if action.phase != last_phase:
+                tracer.emit(
+                    now, "round_boundary", -1, chunk=num_dispatched, phase=action.phase
+                )
+            if schedule is not None:
+                # The master acts on a newly observed crash at its next
+                # dispatch decision: one recovery_decision per crashed
+                # worker entering the observable set.
+                for w in view.crashed_workers():
+                    if w not in crashes_observed:
+                        crashes_observed.add(w)
+                        tracer.emit(
+                            now, "recovery_decision", w, detail="crash-observed"
+                        )
+        last_phase = action.phase
+
         send_start = now
         link_time = error_model.perturb(spec.link_time(size), rng_comm)
         if schedule is not None:
@@ -258,6 +289,7 @@ def simulate_fast(
         error_model.advance()
 
         lost = schedule is not None and comp_end > schedule.crash_times[action.worker]
+        loss_time = -1.0
         if lost:
             # The master observes the loss when the crash is detected (for
             # chunks already queued) or when delivery fails (in flight):
@@ -273,6 +305,30 @@ def simulate_fast(
             heapq.heappush(future_ends, comp_end)
             if comp_end > makespan:
                 makespan = comp_end
+        if tracer is not None:
+            tracer.emit(
+                send_start, "dispatch_start", action.worker,
+                chunk=num_dispatched, size=size, phase=action.phase,
+            )
+            tracer.emit(
+                send_end, "dispatch_end", action.worker,
+                chunk=num_dispatched, size=size, phase=action.phase,
+            )
+            if lost:
+                tracer.emit(
+                    loss_time, "fault", action.worker,
+                    chunk=num_dispatched, size=size, phase=action.phase,
+                    detail="loss",
+                )
+            else:
+                tracer.emit(
+                    comp_start, "comp_start", action.worker,
+                    chunk=num_dispatched, size=size, phase=action.phase,
+                )
+                tracer.emit(
+                    comp_end, "comp_end", action.worker,
+                    chunk=num_dispatched, size=size, phase=action.phase,
+                )
         num_dispatched += 1
         if collect_records:
             records.append(
@@ -287,6 +343,7 @@ def simulate_fast(
                     comp_end=comp_end,
                     phase=action.phase,
                     lost=lost,
+                    loss_time=loss_time,
                 )
             )
         now = send_end

@@ -1,16 +1,27 @@
-"""Text Gantt rendering of simulation results.
+"""Text Gantt rendering of simulation event streams.
 
-Turns a :class:`~repro.sim.result.SimResult` into a per-worker timeline
-(one row per worker plus one for the master's link) so schedules can be
-inspected in a terminal.  Compute intervals render as ``#`` runs keyed to
-the scheduler phase; link occupancy renders as ``=``; idle time as spaces
-— the comm/comp overlap the algorithms fight for is directly visible.
+Turns the event stream of a run into a per-worker timeline (one row per
+worker plus one for the master's link) so schedules can be inspected in a
+terminal.  Compute intervals render as ``#`` runs keyed to the scheduler
+phase; link occupancy renders as ``=``; chunk losses as ``x``; idle time
+as spaces — the comm/comp overlap the algorithms fight for is directly
+visible.
+
+Both entry points consume :class:`~repro.obs.events.SimEvent` streams —
+the same stream the engines emit live and the differential harness
+compares — derived from the result's records via
+:func:`repro.obs.events.events_from_result` when no explicit stream is
+given.  Lost chunks therefore never render fictitious compute: the
+derived stream carries a ``fault``/loss event instead of compute events
+for them.
 """
 
 from __future__ import annotations
 
 import io
+import typing
 
+from repro.obs.events import SimEvent, events_from_result
 from repro.sim.result import SimResult
 
 __all__ = ["render_gantt", "utilization_profile"]
@@ -23,14 +34,40 @@ def _phase_mark(phase: str) -> str:
     return "#"
 
 
-def render_gantt(result: SimResult, width: int = 96) -> str:
+def _paired_intervals(
+    events: typing.Iterable[SimEvent], start_kind: str, end_kind: str
+) -> list[tuple[SimEvent, float]]:
+    """Match start/end event pairs per (worker, chunk), in stream order."""
+    open_by_key: dict[tuple[int, int], SimEvent] = {}
+    out: list[tuple[SimEvent, float]] = []
+    for e in events:
+        key = (e.worker, e.chunk)
+        if e.kind == start_kind:
+            open_by_key[key] = e
+        elif e.kind == end_kind:
+            start = open_by_key.pop(key, None)
+            if start is not None:
+                out.append((start, e.time))
+    return out
+
+
+def render_gantt(
+    result: SimResult,
+    width: int = 96,
+    events: "typing.Sequence[SimEvent] | None" = None,
+) -> str:
     """Render a result as an ASCII Gantt chart.
 
-    One row per worker (computation) plus a ``link`` row (master transfer
-    occupancy).  The horizontal axis spans ``[0, makespan]``.
+    One row per worker (computation, with ``x`` marking observed chunk
+    losses) plus a ``link`` row (master transfer occupancy).  The
+    horizontal axis spans ``[0, makespan]``.  ``events`` substitutes an
+    explicit stream (e.g. a live :meth:`repro.obs.Tracer.canonical`) for
+    the record-derived one.
     """
     if result.makespan <= 0 or not result.records:
         return "(empty schedule)\n"
+    if events is None:
+        events = events_from_result(result)
     scale = (width - 1) / result.makespan
 
     def span(a: float, b: float) -> tuple[int, int]:
@@ -45,39 +82,58 @@ def render_gantt(result: SimResult, width: int = 96) -> str:
         f"utilization={result.utilization():.0%}\n"
     )
     link_row = [" "] * width
-    for r in result.records:
-        lo, hi = span(r.send_start, r.send_end)
+    for start, end_time in _paired_intervals(events, "dispatch_start", "dispatch_end"):
+        lo, hi = span(start.time, end_time)
         for c in range(lo, hi):
             link_row[c] = "="
     out.write(f"{'link':>7} |{''.join(link_row)}|\n")
 
+    comp = _paired_intervals(events, "comp_start", "comp_end")
+    losses = [e for e in events if e.kind == "fault" and e.detail == "loss"]
+    any_loss = False
     for w in range(result.platform.N):
         row = [" "] * width
-        for r in result.worker_records(w):
-            lo, hi = span(r.comp_start, r.comp_end)
-            mark = _phase_mark(r.phase)
+        for start, end_time in comp:
+            if start.worker != w:
+                continue
+            lo, hi = span(start.time, end_time)
+            mark = _phase_mark(start.phase)
             for c in range(lo, hi):
                 row[c] = mark
+        for e in losses:
+            if e.worker == w and e.time <= result.makespan:
+                row[min(int(e.time * scale), width - 1)] = "x"
+                any_loss = True
         out.write(f"{f'w{w}':>7} |{''.join(row)}|\n")
     out.write(f"{'':>8} 0{'':>{width - 10}}{result.makespan:8.2f}s\n")
     out.write("         '=' link busy   '#' compute (phase 1/static)   '+' compute (factoring tail)\n")
+    if any_loss:
+        out.write("         'x' chunk lost to a worker crash\n")
     return out.getvalue()
 
 
-def utilization_profile(result: SimResult, buckets: int = 20) -> list[float]:
+def utilization_profile(
+    result: SimResult,
+    buckets: int = 20,
+    events: "typing.Sequence[SimEvent] | None" = None,
+) -> list[float]:
     """Fraction of workers computing in each of ``buckets`` makespan slices.
 
     Useful in tests and examples to quantify ramp-up (pipeline fill) and
-    tail (straggler) inefficiency without eyeballing the Gantt.
+    tail (straggler) inefficiency without eyeballing the Gantt.  Computed
+    from the event stream's compute intervals, so lost chunks' fictitious
+    timelines never count as busy time.
     """
     if result.makespan <= 0:
         return [0.0] * buckets
+    if events is None:
+        events = events_from_result(result)
     edges = [result.makespan * k / buckets for k in range(buckets + 1)]
     totals = [0.0] * buckets
-    for r in result.records:
+    for start, end_time in _paired_intervals(events, "comp_start", "comp_end"):
         for b in range(buckets):
             lo, hi = edges[b], edges[b + 1]
-            overlap = min(r.comp_end, hi) - max(r.comp_start, lo)
+            overlap = min(end_time, hi) - max(start.time, lo)
             if overlap > 0:
                 totals[b] += overlap
     slice_len = result.makespan / buckets

@@ -99,6 +99,7 @@ def simulate(
     engine: str = "fast",
     trace: "typing.Any | None" = None,
     faults: "typing.Any | None" = None,
+    tracer: "typing.Any | None" = None,
 ) -> SimResult:
     """Run one application under ``scheduler`` and return the result.
 
@@ -120,6 +121,9 @@ def simulate(
         machinery; the DES engine additionally fills ``trace`` if given.
     trace:
         Optional :class:`repro.des.Monitor` (DES engine only).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; both engines emit the run's
+        typed event stream into it (see :mod:`repro.obs`).
     faults:
         Optional fault scenario — a :class:`repro.errors.FaultModel` or a
         spec string like ``"crash:p=0.2,tmax=400"`` (see
@@ -145,11 +149,13 @@ def simulate(
         if trace is not None:
             raise ValueError("trace monitors require engine='des'")
         return simulate_fast(
-            platform, total_work, scheduler, error_model, seed, faults=fault_model
+            platform, total_work, scheduler, error_model, seed,
+            faults=fault_model, tracer=tracer,
         )
     if engine == "des":
         return simulate_des(
-            platform, total_work, scheduler, error_model, seed, trace, faults=fault_model
+            platform, total_work, scheduler, error_model, seed, trace,
+            faults=fault_model, tracer=tracer,
         )
     raise ValueError(f"unknown engine {engine!r}")
 
@@ -168,7 +174,16 @@ def validate_schedule(result: SimResult, rel_tol: float = 1e-9) -> None:
     * each arrival happens at/after its transfer's link release;
     * computation starts at/after arrival and respects per-worker FIFO;
     * the makespan is the max computation end over delivered chunks.
+
+    Timeline invariants are checked against the run's *event stream*
+    (:func:`repro.obs.events.events_from_result`) — the same stream the
+    engines emit live and the differential harness compares — so gantt
+    rendering, differential testing, and validation all certify one
+    representation.  The arrival sandwich and the work accounting are not
+    expressible as events and stay record-based.
     """
+    from repro.obs.events import events_from_result
+
     records = result.records
     total = result.total_work
     has_losses = result.work_lost > 0.0 or any(r.lost for r in records)
@@ -190,22 +205,44 @@ def validate_schedule(result: SimResult, rel_tol: float = 1e-9) -> None:
             result.dispatched_work, total, rel_tol=rel_tol, abs_tol=1e-9
         ), f"dispatched {result.dispatched_work} != total {total}"
     tol = rel_tol * max(1.0, result.makespan)
+
+    events = events_from_result(result)
+    send_start_of: dict[int, float] = {}
+    send_end_of: dict[int, float] = {}
+    comp_start_of: dict[int, float] = {}
+    comp_end_of: dict[int, float] = {}
+    worker_chain: dict[int, float] = {}
+    last_comp_end = -math.inf
+    for e in events:
+        if e.kind == "dispatch_start":
+            send_start_of[e.chunk] = e.time
+        elif e.kind == "dispatch_end":
+            send_end_of[e.chunk] = e.time
+        elif e.kind == "comp_start":
+            comp_start_of[e.chunk] = e.time
+            prev_end = worker_chain.get(e.worker, -math.inf)
+            assert e.time >= prev_end - tol, f"worker {e.worker} FIFO violated"
+        elif e.kind == "comp_end":
+            comp_end_of[e.chunk] = e.time
+            worker_chain[e.worker] = e.time
+            last_comp_end = max(last_comp_end, e.time)
+    assert set(send_start_of) == set(send_end_of), "unbalanced dispatch events"
+    assert set(comp_start_of) == set(comp_end_of), "unbalanced compute events"
     prev_send_end = -math.inf
+    for chunk in sorted(send_start_of):
+        ss, se = send_start_of[chunk], send_end_of[chunk]
+        assert ss >= prev_send_end - tol, f"link overlap at chunk {chunk}"
+        assert se >= ss - tol, f"negative transfer at chunk {chunk}"
+        prev_send_end = se
+    for chunk in sorted(comp_start_of):
+        cs, ce = comp_start_of[chunk], comp_end_of[chunk]
+        assert cs >= send_end_of[chunk] - tol, f"compute before send end at {chunk}"
+        assert ce >= cs - tol, f"negative compute at {chunk}"
     for r in records:
-        assert r.send_start >= prev_send_end - tol, f"link overlap at chunk {r.index}"
-        assert r.send_end >= r.send_start - tol, f"negative transfer at chunk {r.index}"
         assert r.arrival >= r.send_end - tol, f"arrival precedes send end at {r.index}"
-        assert r.comp_start >= r.arrival - tol, f"compute before arrival at {r.index}"
-        assert r.comp_end >= r.comp_start - tol, f"negative compute at {r.index}"
-        prev_send_end = r.send_end
-    for w in range(result.platform.N):
-        prev_end = -math.inf
-        for r in result.worker_records(w):
-            assert r.comp_start >= prev_end - tol, f"worker {w} FIFO violated"
-            prev_end = r.comp_end
-    delivered_records = [r for r in records if not r.lost]
-    if delivered_records:
-        last = max(r.comp_end for r in delivered_records)
-        assert math.isclose(result.makespan, last, rel_tol=1e-12, abs_tol=1e-12), (
-            f"makespan {result.makespan} != last completion {last}"
-        )
+        if not r.lost:
+            assert r.comp_start >= r.arrival - tol, f"compute before arrival at {r.index}"
+    if last_comp_end > -math.inf:
+        assert math.isclose(
+            result.makespan, last_comp_end, rel_tol=1e-12, abs_tol=1e-12
+        ), f"makespan {result.makespan} != last completion {last_comp_end}"

@@ -2,17 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import hypothesis
 import pytest
 
 from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
 
-# Keep hypothesis deterministic and CI-friendly.
+# Keep hypothesis deterministic and CI-friendly.  CI caps the example
+# budget via HYPOTHESIS_MAX_EXAMPLES; print_blob reports the reproduction
+# blob on failure so a CI counterexample can be replayed locally with
+# @reproduce_failure.
 hypothesis.settings.register_profile(
     "repro",
-    max_examples=60,
+    max_examples=int(os.environ.get("HYPOTHESIS_MAX_EXAMPLES", "60")),
     deadline=None,
     derandomize=True,
+    print_blob=True,
     suppress_health_check=[hypothesis.HealthCheck.too_slow],
 )
 hypothesis.settings.load_profile("repro")

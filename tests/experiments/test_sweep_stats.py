@@ -1,0 +1,97 @@
+"""Tests for sweep-level stats collection (runner, cache, CLI)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.registry import (
+    is_batch_dynamic_algorithm,
+    is_static_algorithm,
+)
+from repro.experiments.cache import cached_sweep
+from repro.experiments.config import smoke_grid
+from repro.experiments.runner import run_sweep
+from repro.obs import SweepStats
+
+ALGOS = ("RUMR", "UMR", "Factoring", "MI-2")
+
+
+@pytest.fixture
+def grid():
+    return smoke_grid().restrict(
+        Ns=(6,), bandwidth_factors=(1.5,), cLats=(0.1, 0.3), nLats=(0.1,),
+        errors=(0.0, 0.2), repetitions=2,
+    )
+
+
+class TestRunSweepStats:
+    def test_routing_accounts_every_cell(self, grid):
+        stats = SweepStats()
+        run_sweep(grid, algorithms=ALGOS, stats=stats)
+        num_cells = grid.num_platforms * len(grid.errors)
+        assert stats.total_cells == num_cells * len(ALGOS)
+        assert stats.total_runs == grid.num_simulations(len(ALGOS))
+        # Registry knowledge predicts the split exactly.
+        n_static = sum(1 for a in ALGOS if is_static_algorithm(a))
+        n_dyn = sum(1 for a in ALGOS if is_batch_dynamic_algorithm(a))
+        assert stats.cells["static-batch"] == num_cells * n_static
+        assert stats.cells["dynbatch"] == num_cells * n_dyn
+        assert stats.cells["scalar"] == 0
+
+    def test_scalar_routing_when_batching_disabled(self, grid):
+        stats = SweepStats()
+        run_sweep(grid, algorithms=ALGOS, batch_static=False,
+                  batch_dynamic=False, stats=stats)
+        assert stats.cells["static-batch"] == 0
+        assert stats.cells["dynbatch"] == 0
+        assert stats.cells["scalar"] == stats.total_cells > 0
+
+    def test_timings_and_wall_recorded(self, grid):
+        stats = SweepStats()
+        run_sweep(grid, algorithms=ALGOS, stats=stats)
+        assert stats.total_wall_s > 0.0
+        assert stats.lockstep_wall_s > 0.0  # RUMR/Factoring lockstep pass
+        assert stats.cell_timings, "static batch cells must be timed"
+        assert all(t.wall_s >= 0.0 for t in stats.cell_timings)
+        timed_static = {t.algorithm for t in stats.cell_timings
+                        if t.engine == "static-batch"}
+        assert timed_static == {a for a in ALGOS if is_static_algorithm(a)}
+
+    def test_stats_do_not_perturb_results(self, grid):
+        plain = run_sweep(grid, algorithms=ALGOS)
+        stats = SweepStats()
+        observed = run_sweep(grid, algorithms=ALGOS, stats=stats)
+        for a in ALGOS:
+            assert np.array_equal(plain.makespans[a], observed.makespans[a])
+
+    def test_pool_path_still_counts_routing(self, grid):
+        # Per-cell timings happen in pool workers and are skipped, but
+        # routing is analytic (grid + flags) and must still be exact.
+        stats = SweepStats()
+        run_sweep(grid, algorithms=ALGOS, n_jobs=2, stats=stats)
+        assert stats.total_runs == grid.num_simulations(len(ALGOS))
+
+
+class TestCachedSweepStats:
+    def test_miss_then_hit(self, grid, tmp_path):
+        stats = SweepStats()
+        cached_sweep(grid, ALGOS, tmp_path, stats=stats)
+        assert (stats.cache_misses, stats.cache_hits) == (1, 0)
+        assert stats.total_runs > 0  # miss forwarded to run_sweep
+        cached_sweep(grid, ALGOS, tmp_path, stats=stats)
+        assert (stats.cache_misses, stats.cache_hits) == (1, 1)
+
+
+class TestStatsCli:
+    def test_stats_command_prints_report(self, tmp_path, capsys):
+        code = main(["stats", "--results", str(tmp_path), "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep stats:" in out
+        assert "engine routing:" in out
+        assert "cache: 0 hit(s), 1 miss(es)" in out
+        # Second invocation hits the cache written by the first.
+        code = main(["stats", "--results", str(tmp_path), "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache: 1 hit(s), 0 miss(es)" in out

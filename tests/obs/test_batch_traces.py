@@ -1,0 +1,95 @@
+"""Batch engines emit the same event streams as the scalar engine.
+
+At ``error = 0`` the vectorized static engine and the lockstep dynamic
+engine are bitwise-identical to the scalar fast engine, so their traced
+event streams must match too — modulo phase labels and the
+``round_boundary`` markers derived from them, where the engines
+legitimately differ (the static batch engine labels rounds from the
+compiled plan, the lockstep engine does not track phases at all).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import RUMR, UMR, Factoring, MultiInstallment, WeightedFactoring
+from repro.errors import NoError
+from repro.obs import Tracer, first_divergence
+from repro.platform import homogeneous_platform
+from repro.sim import simulate_fast
+from repro.sim.batch import simulate_static_batch
+from repro.sim.dynbatch import simulate_dynamic_batch
+
+W = 500.0
+
+
+@pytest.fixture
+def platform():
+    return homogeneous_platform(5, S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.1)
+
+
+def strip_phases(events):
+    """Drop phase labels and round markers — the engines' one free choice."""
+    return tuple(
+        dataclasses.replace(e, phase="")
+        for e in events
+        if e.kind != "round_boundary"
+    )
+
+
+def assert_streams_match(batch_tracer, scalar_tracer):
+    batch_events = strip_phases(batch_tracer.canonical())
+    scalar_events = strip_phases(scalar_tracer.canonical())
+    divergence = first_divergence(batch_events, scalar_events,
+                                  labels=("batch", "scalar"))
+    assert divergence is None, divergence.describe()
+
+
+class TestStaticBatchTraces:
+    @pytest.mark.parametrize("scheduler", [UMR(), MultiInstallment(3)],
+                             ids=["UMR", "MI-3"])
+    def test_matches_scalar_at_zero_error(self, platform, scheduler):
+        plan = scheduler.static_plan(platform, W)
+        scalar_tracer = Tracer()
+        scalar = simulate_fast(platform, W, scheduler, NoError(), seed=0,
+                               tracer=scalar_tracer)
+        batch_tracer = Tracer()
+        spans = simulate_static_batch(
+            platform, plan, 0.0, [0], tracers=[batch_tracer]
+        )
+        assert spans[0] == scalar.makespan
+        assert_streams_match(batch_tracer, scalar_tracer)
+
+    def test_per_seed_tracers_are_independent(self, platform):
+        plan = UMR().static_plan(platform, W)
+        tracers = [Tracer(), None, Tracer()]
+        simulate_static_batch(platform, plan, 0.0, [0, 1, 2], tracers=tracers)
+        # error=0 rows are identical, so both traced rows carry the same
+        # stream; the None slot must simply be skipped.
+        assert len(tracers[0]) == len(tracers[2]) > 0
+        assert tracers[0].canonical() == tracers[2].canonical()
+
+    def test_round_boundaries_come_from_plan(self, platform):
+        plan = UMR().static_plan(platform, W)
+        tracer = Tracer()
+        simulate_static_batch(platform, plan, 0.0, [0], tracers=[tracer])
+        rounds = {c.round_index for c in plan}
+        assert len(tracer.of_kind("round_boundary")) == len(rounds)
+
+
+class TestDynamicBatchTraces:
+    @pytest.mark.parametrize(
+        "scheduler",
+        [Factoring(), WeightedFactoring(), RUMR(known_error=0.0)],
+        ids=["Factoring", "WeightedFactoring", "RUMR"],
+    )
+    def test_matches_scalar_at_zero_error(self, platform, scheduler):
+        scalar_tracer = Tracer()
+        scalar = simulate_fast(platform, W, scheduler, NoError(), seed=7,
+                               tracer=scalar_tracer)
+        batch_tracer = Tracer()
+        spans = simulate_dynamic_batch(
+            platform, scheduler, W, 0.0, [7], tracers=[batch_tracer]
+        )
+        assert spans[0] == scalar.makespan
+        assert_streams_match(batch_tracer, scalar_tracer)

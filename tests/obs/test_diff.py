@@ -1,0 +1,59 @@
+"""Unit tests for the first-divergent-event oracle."""
+
+from repro.obs import SimEvent, first_divergence
+
+
+def stream(*events):
+    return tuple(events)
+
+
+A = SimEvent(1.0, "dispatch_start", 0, chunk=0, size=10.0, phase="round0")
+B = SimEvent(2.0, "dispatch_end", 0, chunk=0, size=10.0, phase="round0")
+C = SimEvent(3.0, "comp_start", 0, chunk=0, size=10.0, phase="round0")
+
+
+class TestFirstDivergence:
+    def test_equal_streams_return_none(self):
+        assert first_divergence(stream(A, B, C), stream(A, B, C)) is None
+        assert first_divergence((), ()) is None
+
+    def test_reports_first_differing_index(self):
+        shifted = SimEvent(2.5, "dispatch_end", 0, chunk=0, size=10.0, phase="round0")
+        d = first_divergence(stream(A, B, C), stream(A, shifted, C))
+        assert d.index == 1
+        assert d.left == B and d.right == shifted
+
+    def test_length_mismatch_reports_none_side(self):
+        d = first_divergence(stream(A, B, C), stream(A, B), labels=("fast", "des"))
+        assert d.index == 2
+        assert d.left == C and d.right is None
+        assert "des emitted fewer events" in d.describe()
+        assert "<no event (stream ended)>" in d.describe()
+
+    def test_labels_flow_into_report(self):
+        other = SimEvent(1.0, "dispatch_start", 1, chunk=0, size=10.0, phase="round0")
+        d = first_divergence(stream(A), stream(other), labels=("fast", "des"))
+        report = d.describe()
+        assert "fast:" in report and "des:" in report
+        assert "diverge at canonical event #0" in report
+
+
+class TestDescribe:
+    def test_names_every_identifying_field(self):
+        other = SimEvent(1.25, "dispatch_start", 0, chunk=0, size=10.0, phase="round0")
+        report = first_divergence(stream(A), stream(other)).describe()
+        for fragment in ("kind=dispatch_start", "time=1.0", "worker=0", "chunk=0"):
+            assert fragment in report
+
+    def test_lists_differing_fields_and_time_delta(self):
+        other = SimEvent(1.5, "dispatch_start", 2, chunk=0, size=10.0, phase="round0")
+        report = first_divergence(stream(A), stream(other)).describe()
+        assert "differing fields: time, worker" in report
+        assert "time delta: 0.5" in report
+
+    def test_detail_and_phase_surface_when_set(self):
+        left = SimEvent(4.0, "fault", 1, detail="crash")
+        right = SimEvent(4.0, "fault", 1, detail="loss")
+        report = first_divergence(stream(left), stream(right)).describe()
+        assert "detail='crash'" in report and "detail='loss'" in report
+        assert "differing fields: detail" in report

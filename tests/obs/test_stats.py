@@ -1,0 +1,81 @@
+"""Unit tests for the sweep-level stats collector."""
+
+import json
+
+import pytest
+
+from repro.obs import SweepStats
+from repro.obs.stats import ENGINES, CellTiming
+
+
+class TestRoutingCounters:
+    def test_counts_cells_and_runs(self):
+        stats = SweepStats()
+        stats.count_routing("static-batch", cells=10, runs_per_cell=3)
+        stats.count_routing("dynbatch", cells=4, runs_per_cell=3)
+        stats.count_routing("scalar", cells=2, runs_per_cell=3)
+        assert stats.cells == {"static-batch": 10, "dynbatch": 4, "scalar": 2}
+        assert stats.runs == {"static-batch": 30, "dynbatch": 12, "scalar": 6}
+        assert stats.total_cells == 16
+        assert stats.total_runs == 48
+
+    def test_accumulates_across_sweeps(self):
+        stats = SweepStats()
+        stats.count_routing("scalar", cells=5, runs_per_cell=2)
+        stats.count_routing("scalar", cells=5, runs_per_cell=2)
+        assert stats.cells["scalar"] == 10
+        assert stats.runs["scalar"] == 20
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine family"):
+            SweepStats().count_routing("gpu", cells=1, runs_per_cell=1)
+
+
+class TestTimings:
+    def test_slowest_cells_ordering(self):
+        stats = SweepStats()
+        for i, wall in enumerate([0.01, 0.5, 0.1, 0.3]):
+            stats.time_cell("RUMR", i, 0, "dynbatch", 5, wall)
+        slow = stats.slowest_cells(2)
+        assert [c.wall_s for c in slow] == [0.5, 0.3]
+        assert all(isinstance(c, CellTiming) for c in slow)
+
+    def test_slowest_handles_short_lists(self):
+        stats = SweepStats()
+        stats.time_cell("UMR", 0, 0, "static-batch", 3, 0.02)
+        assert len(stats.slowest_cells(5)) == 1
+        assert SweepStats().slowest_cells(5) == []
+
+
+class TestReporting:
+    def make_stats(self):
+        stats = SweepStats()
+        stats.count_routing("static-batch", cells=8, runs_per_cell=5)
+        stats.count_routing("scalar", cells=2, runs_per_cell=5)
+        stats.time_cell("UMR", 0, 1, "static-batch", 5, 0.004)
+        stats.lockstep_wall_s = 0.123
+        stats.total_wall_s = 1.5
+        stats.cache_hits = 1
+        stats.cache_misses = 2
+        return stats
+
+    def test_summary_mentions_everything(self):
+        text = self.make_stats().summary()
+        assert "50 simulations in 10 cells" in text
+        assert "static-batch" in text and "scalar" in text and "dynbatch" in text
+        assert "lockstep pass wall: 0.123s" in text
+        assert "cache: 1 hit(s), 2 miss(es)" in text
+        assert "UMR" in text
+
+    def test_summary_survives_empty_collector(self):
+        text = SweepStats().summary()
+        assert "0 simulations" in text
+
+    def test_as_dict_json_round_trip(self):
+        snapshot = self.make_stats().as_dict()
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded["cells"]["static-batch"] == 8
+        assert decoded["runs"]["scalar"] == 10
+        assert decoded["cache_hits"] == 1
+        assert decoded["cell_timings"][0]["algorithm"] == "UMR"
+        assert set(decoded["cells"]) == set(ENGINES)

@@ -1,0 +1,114 @@
+"""Unit tests for the Tracer hook and the pluggable sinks."""
+
+import json
+
+import pytest
+
+from repro.core import RUMR
+from repro.errors import NormalErrorModel
+from repro.obs import (
+    ChromeTraceSink,
+    JsonlSink,
+    RingSink,
+    SimEvent,
+    Tracer,
+    write_chrome_trace,
+)
+from repro.platform import homogeneous_platform
+from repro.sim import simulate
+
+
+class TestTracer:
+    def test_emit_retains_and_counts(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "dispatch_start", 0, chunk=0, size=5.0)
+        tracer.emit(2.0, "dispatch_end", 0, chunk=0, size=5.0)
+        assert len(tracer) == 2
+        assert tracer.events()[0].kind == "dispatch_start"
+        assert tracer.of_kind("dispatch_end") == (tracer.events()[1],)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            Tracer().emit(0.0, "teleport", 0)
+
+    def test_keep_false_is_pure_fanout(self):
+        ring = RingSink(capacity=8)
+        tracer = Tracer(sinks=[ring], keep=False)
+        tracer.emit(1.0, "fault", 2, detail="crash")
+        assert len(tracer) == 0
+        assert len(ring) == 1
+        assert ring.events[0].detail == "crash"
+
+    def test_context_manager_closes_sinks(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with Tracer(sinks=[JsonlSink(path)]) as tracer:
+            tracer.emit(0.0, "round_boundary", -1, chunk=0, phase="round0")
+        with pytest.raises(ValueError, match="closed"):
+            tracer._sinks[0].emit(SimEvent(1.0, "fault", 0))
+        assert json.loads(path.read_text())["phase"] == "round0"
+
+
+class TestRingSink:
+    def test_bounded(self):
+        ring = RingSink(capacity=3)
+        for i in range(10):
+            ring.emit(SimEvent(float(i), "comp_end", 0, chunk=i))
+        assert len(ring) == 3
+        assert [e.chunk for e in ring.events] == [7, 8, 9]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingSink(capacity=0)
+
+
+class TestChromeTrace:
+    @pytest.fixture
+    def traced_run(self, tmp_path):
+        platform = homogeneous_platform(
+            4, S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.1
+        )
+        tracer = Tracer()
+        simulate(
+            platform, 300.0, RUMR(known_error=0.3), NormalErrorModel(0.3),
+            seed=9, faults="crash:worker=1,at=40", tracer=tracer,
+        )
+        path = write_chrome_trace(tracer.canonical(), tmp_path / "run.trace.json")
+        return tracer, json.loads(path.read_text())
+
+    def test_payload_shape(self, traced_run):
+        _, payload = traced_run
+        assert "traceEvents" in payload
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert phases == {"X", "i"}
+
+    def test_pairs_become_durations(self, traced_run):
+        tracer, payload = traced_run
+        durations = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        link = [e for e in durations if e["tid"] == 0]
+        compute = [e for e in durations if e["tid"] > 0]
+        assert len(link) == len(tracer.of_kind("dispatch_start"))
+        assert len(compute) == len(tracer.of_kind("comp_start"))
+        assert all(e["dur"] >= 0 for e in durations)
+
+    def test_faults_become_instants(self, traced_run):
+        tracer, payload = traced_run
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        n_scalar = sum(
+            len(tracer.of_kind(k))
+            for k in ("fault", "recovery_decision", "round_boundary")
+        )
+        assert len(instants) == n_scalar
+        assert any(e["name"] == "fault:crash" for e in instants)
+
+    def test_sink_writes_on_close(self, tmp_path):
+        path = tmp_path / "sink.trace.json"
+        sink = ChromeTraceSink(path)
+        tracer = Tracer(sinks=[sink])
+        tracer.emit(0.0, "dispatch_start", 0, chunk=0, size=1.0)
+        tracer.emit(1.0, "dispatch_end", 0, chunk=0, size=1.0)
+        assert not path.exists()
+        tracer.close()
+        events = json.loads(path.read_text())["traceEvents"]
+        assert len(events) == 1 and events[0]["ph"] == "X"
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(SimEvent(2.0, "fault", 0))

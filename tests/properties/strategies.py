@@ -1,0 +1,102 @@
+"""Shared Hypothesis strategies for the property-test suite.
+
+Every ``test_properties*`` module used to carry its own copy of the
+platform/workload strategies, and the copies had quietly drifted (worker
+ranges, latency caps, presence of ``tLat``).  This module is the single
+source: strategy *factories* parameterised by the ranges a module needs,
+plus ready-made defaults covering (and exceeding) the paper's Table 1 —
+including degenerate corners: zero latencies, tiny workloads, single
+workers, heterogeneous rates.
+
+Factories return fresh strategies, so callers can narrow ranges without
+affecting anyone else::
+
+    from tests.properties.strategies import homogeneous_platforms, workloads
+
+    platforms = homogeneous_platforms(max_workers=12)
+
+    @given(platform=platforms, work=workloads())
+    def test_something(platform, work): ...
+"""
+
+from hypothesis import strategies as st
+
+from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
+
+__all__ = [
+    "finite",
+    "latencies",
+    "homogeneous_platforms",
+    "worker_specs",
+    "hetero_platforms",
+    "workloads",
+    "seeds",
+    "error_magnitudes",
+]
+
+# Keyword bundle for st.floats: simulator inputs are always finite.
+finite = dict(allow_nan=False, allow_infinity=False)
+
+#: Per-chunk latencies (cLat / nLat), including the zero corner.
+latencies = st.floats(min_value=0.0, max_value=1.0, **finite)
+
+
+def homogeneous_platforms(
+    min_workers: int = 1,
+    max_workers: int = 30,
+    min_factor: float = 1.05,
+    max_factor: float = 3.0,
+    max_latency: float = 1.0,
+    with_tlat: bool = True,
+):
+    """Homogeneous platforms over (and beyond) the Table-1 ranges.
+
+    ``bandwidth_factor`` stays above 1 so the single-port master link is
+    never the trivially-saturated bottleneck; ``with_tlat=False`` drops
+    the fixed per-transfer latency for modules that do not model it.
+    """
+    lat = st.floats(min_value=0.0, max_value=max_latency, **finite)
+    tlat = (
+        st.floats(min_value=0.0, max_value=0.5, **finite)
+        if with_tlat
+        else st.just(0.0)
+    )
+    return st.builds(
+        lambda n, factor, clat, nlat, tl: homogeneous_platform(
+            n, S=1.0, bandwidth_factor=factor, cLat=clat, nLat=nlat, tLat=tl
+        ),
+        n=st.integers(min_value=min_workers, max_value=max_workers),
+        factor=st.floats(min_value=min_factor, max_value=max_factor, **finite),
+        clat=lat,
+        nlat=lat,
+        tl=tlat,
+    )
+
+
+#: Individual heterogeneous workers: rates, bandwidths and latencies all vary.
+worker_specs = st.builds(
+    WorkerSpec,
+    S=st.floats(min_value=0.1, max_value=5.0, **finite),
+    B=st.floats(min_value=5.0, max_value=200.0, **finite),
+    cLat=latencies,
+    nLat=latencies,
+    tLat=st.floats(min_value=0.0, max_value=0.5, **finite),
+)
+
+#: Small heterogeneous platforms (1–8 workers, arbitrary specs).
+hetero_platforms = st.lists(worker_specs, min_size=1, max_size=8).map(PlatformSpec)
+
+
+def workloads(min_work: float = 1.0, max_work: float = 10000.0):
+    """Total workloads W_total; defaults span tiny through Table-1 scale."""
+    return st.floats(min_value=min_work, max_value=max_work, **finite)
+
+
+def seeds(max_value: int = 2**31):
+    """RNG seeds for the error/fault streams."""
+    return st.integers(min_value=0, max_value=max_value)
+
+
+def error_magnitudes(max_magnitude: float = 0.8):
+    """Prediction-error magnitudes (the sweep's epsilon axis)."""
+    return st.floats(min_value=0.0, max_value=max_magnitude, **finite)

@@ -1,11 +1,10 @@
 """Property-based tests (hypothesis) on core invariants.
 
-Strategies draw platforms and workloads from ranges that cover (and exceed)
-the paper's Table 1, including degenerate corners: zero latencies, tiny
-workloads, single workers, heterogeneous rates, infeasible bandwidths.
+Strategies come from :mod:`tests.properties.strategies` and draw
+platforms and workloads from ranges that cover (and exceed) the paper's
+Table 1, including degenerate corners: zero latencies, tiny workloads,
+single workers, heterogeneous rates, infeasible bandwidths.
 """
-
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -14,37 +13,19 @@ from hypothesis import strategies as st
 from repro.core import RUMR, UMR, Factoring, FixedSizeChunking, MultiInstallment
 from repro.core.umr import solve_umr
 from repro.errors import NormalErrorModel, NoError, UniformErrorModel
-from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
 from repro.sim import simulate, validate_schedule
 from repro.sim.analytic import analytic_makespan
-
-finite = dict(allow_nan=False, allow_infinity=False)
-
-latencies = st.floats(min_value=0.0, max_value=1.0, **finite)
-
-homog_platforms = st.builds(
-    lambda n, factor, clat, nlat, tlat: homogeneous_platform(
-        n, S=1.0, bandwidth_factor=factor, cLat=clat, nLat=nlat, tLat=tlat
-    ),
-    n=st.integers(min_value=1, max_value=30),
-    factor=st.floats(min_value=1.05, max_value=3.0, **finite),
-    clat=latencies,
-    nlat=latencies,
-    tlat=st.floats(min_value=0.0, max_value=0.5, **finite),
+from tests.properties.strategies import (
+    finite,
+    hetero_platforms,
+    homogeneous_platforms,
+    workloads as make_workloads,
 )
 
-worker_specs = st.builds(
-    WorkerSpec,
-    S=st.floats(min_value=0.1, max_value=5.0, **finite),
-    B=st.floats(min_value=5.0, max_value=200.0, **finite),
-    cLat=latencies,
-    nLat=latencies,
-    tLat=st.floats(min_value=0.0, max_value=0.5, **finite),
-)
+pytestmark = pytest.mark.property
 
-hetero_platforms = st.lists(worker_specs, min_size=1, max_size=8).map(PlatformSpec)
-
-workloads = st.floats(min_value=1.0, max_value=10000.0, **finite)
+homog_platforms = homogeneous_platforms()
+workloads = make_workloads()
 
 
 class TestUMRProperties:

@@ -22,21 +22,13 @@ from repro.errors import make_error_model
 from repro.platform import homogeneous_platform
 from repro.sim.dynbatch import simulate_dynamic_batch
 from repro.sim.fastsim import simulate_fast
+from tests.properties.strategies import finite, homogeneous_platforms, workloads as make_workloads
 
-finite = dict(allow_nan=False, allow_infinity=False)
+pytestmark = pytest.mark.property
 
-platforms = st.builds(
-    lambda n, factor, clat, nlat, tlat: homogeneous_platform(
-        n, S=1.0, bandwidth_factor=factor, cLat=clat, nLat=nlat, tLat=tlat
-    ),
-    n=st.integers(min_value=1, max_value=12),
-    factor=st.floats(min_value=1.05, max_value=3.0, **finite),
-    clat=st.floats(min_value=0.0, max_value=1.0, **finite),
-    nlat=st.floats(min_value=0.0, max_value=1.0, **finite),
-    tlat=st.floats(min_value=0.0, max_value=0.5, **finite),
-)
+platforms = homogeneous_platforms(max_workers=12)
 
-workloads = st.floats(min_value=50.0, max_value=5000.0, **finite)
+workloads = make_workloads(min_work=50.0, max_work=5000.0)
 
 # Factories taking the cell error, mirroring the registry contract.
 # RUMR variants span in-order and out-of-order phase 1 and several

@@ -23,24 +23,24 @@ from hypothesis import strategies as st
 
 from repro.core import RUMR, UMR, EqualSplit, Factoring, MultiInstallment, WeightedFactoring
 from repro.errors import NoError, NormalErrorModel
-from repro.platform import homogeneous_platform
 from repro.sim import simulate, validate_schedule
-
-finite = dict(allow_nan=False, allow_infinity=False)
-
-platforms = st.builds(
-    lambda n, factor, clat, nlat: homogeneous_platform(
-        n, S=1.0, bandwidth_factor=factor, cLat=clat, nLat=nlat
-    ),
-    n=st.integers(min_value=2, max_value=12),
-    factor=st.floats(min_value=1.1, max_value=2.5, **finite),
-    clat=st.floats(min_value=0.0, max_value=0.6, **finite),
-    nlat=st.floats(min_value=0.0, max_value=0.6, **finite),
+from tests.properties.strategies import (
+    finite,
+    homogeneous_platforms,
+    seeds as make_seeds,
+    workloads as make_workloads,
 )
 
-workloads = st.floats(min_value=50.0, max_value=2000.0, **finite)
+pytestmark = pytest.mark.property
+
+platforms = homogeneous_platforms(
+    min_workers=2, max_workers=12, min_factor=1.1, max_factor=2.5,
+    max_latency=0.6, with_tlat=False,
+)
+
+workloads = make_workloads(min_work=50.0, max_work=2000.0)
 crash_times = st.floats(min_value=0.0, max_value=300.0, **finite)
-seeds = st.integers(min_value=0, max_value=2**31 - 1)
+seeds = make_seeds(2**31 - 1)
 
 RECOVERY = [
     ("Factoring", lambda: Factoring()),

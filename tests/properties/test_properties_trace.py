@@ -1,0 +1,178 @@
+"""Property-based tests: every emitted event stream is well-formed.
+
+The trace is the test oracle (the differential harness compares streams
+event-for-event), so the stream itself needs invariants of its own:
+
+* **balanced pairs** — every ``dispatch_start`` has exactly one
+  ``dispatch_end`` for the same chunk, every ``comp_start`` a
+  ``comp_end``, and start never follows end;
+* **per-worker monotonicity** — one worker computes one chunk at a time,
+  so its interleaved ``comp_start``/``comp_end`` sequence is
+  non-decreasing in time and strictly alternating;
+* **no dispatch after observed crash** — once a recovery-aware scheduler
+  emits ``recovery_decision`` for a worker, no later ``dispatch_start``
+  targets that worker;
+* **makespan agreement** — the max ``comp_end`` timestamp equals
+  ``SimResult.makespan`` bitwise (fault-free runs: every chunk is
+  delivered).
+
+These hold for *any* platform/scheduler/error/fault draw — Hypothesis
+drives them over the shared Table-1-and-beyond strategies.
+"""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RUMR, UMR, Factoring, MultiInstallment, WeightedFactoring
+from repro.errors import NoError, NormalErrorModel
+from repro.obs import Tracer, canonical_order
+from repro.sim import simulate
+from tests.properties.strategies import (
+    finite,
+    homogeneous_platforms,
+    seeds as make_seeds,
+    workloads as make_workloads,
+)
+
+pytestmark = pytest.mark.property
+
+platforms = homogeneous_platforms(max_workers=12)
+workloads = make_workloads(min_work=10.0, max_work=2000.0)
+seeds = make_seeds()
+
+schedulers = st.sampled_from(
+    [
+        lambda: UMR(),
+        lambda: RUMR(known_error=0.3),
+        lambda: Factoring(),
+        lambda: WeightedFactoring(),
+        lambda: MultiInstallment(2),
+    ]
+)
+
+
+def traced(platform, work, scheduler, model, seed, faults=None, engine="fast"):
+    tracer = Tracer()
+    result = simulate(
+        platform, work, scheduler, model, seed=seed, engine=engine,
+        faults=faults, tracer=tracer,
+    )
+    return result, tracer.canonical()
+
+
+def assert_balanced_pairs(events):
+    for start_kind, end_kind in (
+        ("dispatch_start", "dispatch_end"),
+        ("comp_start", "comp_end"),
+    ):
+        open_chunks: set[tuple[int, int]] = set()
+        counts: collections.Counter = collections.Counter()
+        for e in events:
+            key = (e.worker, e.chunk)
+            if e.kind == start_kind:
+                assert key not in open_chunks, f"double {start_kind} for {key}"
+                open_chunks.add(key)
+                counts[key] += 1
+            elif e.kind == end_kind:
+                assert key in open_chunks, f"{end_kind} without {start_kind} for {key}"
+                open_chunks.remove(key)
+        assert not open_chunks, f"unclosed {start_kind} events: {open_chunks}"
+        assert all(c == 1 for c in counts.values())
+
+
+def assert_worker_monotone(events):
+    last_time: dict[int, float] = {}
+    expect_start: dict[int, bool] = {}
+    for e in events:
+        if e.kind not in ("comp_start", "comp_end"):
+            continue
+        prev = last_time.get(e.worker)
+        if prev is not None:
+            assert e.time >= prev, (
+                f"worker {e.worker} time went backwards: {prev} -> {e.time}"
+            )
+        last_time[e.worker] = e.time
+        starting = e.kind == "comp_start"
+        assert expect_start.get(e.worker, True) == starting, (
+            f"worker {e.worker} compute events do not alternate"
+        )
+        expect_start[e.worker] = not starting
+    assert all(v for v in expect_start.values()), "worker left mid-computation"
+
+
+class TestStreamWellFormed:
+    @given(
+        platform=platforms, work=workloads, factory=schedulers,
+        error=st.floats(min_value=0.0, max_value=0.5, **finite), seed=seeds,
+    )
+    @settings(max_examples=40)
+    def test_pairs_and_monotonicity(self, platform, work, factory, error, seed):
+        model = NormalErrorModel(error) if error else NoError()
+        _, events = traced(platform, work, factory(), model, seed)
+        assert events == canonical_order(events)
+        assert_balanced_pairs(events)
+        assert_worker_monotone(events)
+
+    @given(
+        platform=platforms, work=workloads, factory=schedulers, seed=seeds,
+        crash_at=st.floats(min_value=0.0, max_value=200.0, **finite),
+    )
+    @settings(max_examples=30)
+    def test_pairs_hold_under_faults(self, platform, work, factory, seed, crash_at):
+        worker = seed % platform.N
+        _, events = traced(
+            platform, work, factory(), NoError(), seed,
+            faults=f"crash:worker={worker},at={crash_at}",
+        )
+        assert_balanced_pairs(events)
+        assert_worker_monotone(events)
+        assert any(e.kind == "fault" and e.detail == "crash" for e in events)
+
+    @given(platform=platforms, work=workloads, seed=seeds,
+           crash_at=st.floats(min_value=0.0, max_value=200.0, **finite))
+    @settings(max_examples=30)
+    def test_no_dispatch_after_crash_observed(self, platform, work, seed, crash_at):
+        # Once the recovery decision for a worker is on the stream, that
+        # worker never appears in another dispatch_start.
+        worker = seed % platform.N
+        for factory in (lambda: Factoring(), lambda: RUMR(known_error=0.2)):
+            _, events = traced(
+                platform, work, factory(), NoError(), seed,
+                faults=f"crash:worker={worker},at={crash_at}",
+            )
+            observed_at: dict[int, float] = {}
+            for e in events:
+                if e.kind == "recovery_decision":
+                    observed_at.setdefault(e.worker, e.time)
+                elif e.kind == "dispatch_start" and e.worker in observed_at:
+                    pytest.fail(
+                        f"dispatch_start to worker {e.worker} at t={e.time} after "
+                        f"its crash was observed at t={observed_at[e.worker]}"
+                    )
+
+    @given(
+        platform=platforms, work=workloads, factory=schedulers,
+        error=st.floats(min_value=0.0, max_value=0.5, **finite), seed=seeds,
+    )
+    @settings(max_examples=40)
+    def test_event_makespan_equals_result(self, platform, work, factory, error, seed):
+        # Fault-free: every chunk is delivered, so the last comp_end IS
+        # the makespan — bitwise, no tolerance.
+        model = NormalErrorModel(error) if error else NoError()
+        result, events = traced(platform, work, factory(), model, seed)
+        comp_ends = [e.time for e in events if e.kind == "comp_end"]
+        assert comp_ends, "no computation happened"
+        assert max(comp_ends) == result.makespan
+
+    @given(platform=platforms, work=workloads, seed=seeds)
+    @settings(max_examples=15)
+    def test_des_streams_equally_well_formed(self, platform, work, seed):
+        _, events = traced(
+            platform, work, RUMR(known_error=0.3), NormalErrorModel(0.3),
+            seed, engine="des",
+        )
+        assert_balanced_pairs(events)
+        assert_worker_monotone(events)

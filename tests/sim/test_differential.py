@@ -16,7 +16,20 @@ on it.  This module enforces it two ways:
   including under faults — because both engines consume the same
   pre-sampled :class:`~repro.errors.faults.FaultSchedule` through the same
   pure arithmetic.
+
+The oracle is the **canonical event stream** (:mod:`repro.obs`): both
+engines run under a :class:`~repro.obs.Tracer` and their canonically
+ordered streams are compared event by event.  On mismatch the failure
+message names the *first divergent event* — engine, event kind,
+timestamp, worker, and chunk — instead of a bare float inequality, and
+(when ``REPRO_DIFF_ARTIFACTS`` names a directory) both full streams are
+dumped there as JSONL for offline diffing.  Record/makespan equality is
+kept as a backstop for anything the stream does not carry (arrival
+times, loss bookkeeping).
 """
+
+import os
+import pathlib
 
 import numpy as np
 import pytest
@@ -32,6 +45,7 @@ from repro.core import (
     WeightedFactoring,
 )
 from repro.errors import NoError, NormalErrorModel, UniformErrorModel
+from repro.obs import Tracer, events_to_jsonl, first_divergence
 from repro.platform import PlatformSpec, WorkerSpec, homogeneous_platform
 from repro.sim import simulate, validate_schedule
 
@@ -53,14 +67,48 @@ ALL_SCHEDULERS = [
 ]
 
 
+def _dump_divergence_artifacts(fast_events, des_events, divergence) -> str:
+    """Write both streams + the report to ``$REPRO_DIFF_ARTIFACTS``.
+
+    Returns a note naming the files (empty when the env var is unset), so
+    CI can upload the directory as a build artifact on failure.
+    """
+    directory = os.environ.get("REPRO_DIFF_ARTIFACTS")
+    if not directory:
+        return ""
+    out = pathlib.Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = f"divergence-{len(list(out.glob('divergence-*.txt')))}"
+    (out / f"{stem}-fast.jsonl").write_text(events_to_jsonl(fast_events))
+    (out / f"{stem}-des.jsonl").write_text(events_to_jsonl(des_events))
+    (out / f"{stem}.txt").write_text(divergence.describe() + "\n")
+    return f"\n(full streams dumped to {out}/{stem}-*.jsonl)"
+
+
+def assert_traces_identical(fast_tracer, des_tracer):
+    """The trace oracle: canonical streams must match event for event."""
+    fast_events = fast_tracer.canonical()
+    des_events = des_tracer.canonical()
+    divergence = first_divergence(fast_events, des_events, labels=("fast", "des"))
+    if divergence is not None:
+        note = _dump_divergence_artifacts(fast_events, des_events, divergence)
+        pytest.fail(divergence.describe() + note)
+
+
 def assert_identical(platform, scheduler, error_model, seed, work=W, faults=None):
     """Run both engines and assert bit-for-bit identical trajectories."""
+    fast_tracer, des_tracer = Tracer(), Tracer()
     fast = simulate(
-        platform, work, scheduler, error_model, seed=seed, engine="fast", faults=faults
+        platform, work, scheduler, error_model, seed=seed, engine="fast",
+        faults=faults, tracer=fast_tracer,
     )
     des = simulate(
-        platform, work, scheduler, error_model, seed=seed, engine="des", faults=faults
+        platform, work, scheduler, error_model, seed=seed, engine="des",
+        faults=faults, tracer=des_tracer,
     )
+    assert_traces_identical(fast_tracer, des_tracer)
+    # Backstop: fields the event stream does not carry (arrival, loss
+    # bookkeeping) plus the headline numbers.
     assert fast.makespan == des.makespan
     assert fast.num_chunks == des.num_chunks
     assert fast.work_lost == des.work_lost
@@ -73,6 +121,7 @@ def assert_identical(platform, scheduler, error_model, seed, work=W, faults=None
         assert a.comp_start == b.comp_start
         assert a.comp_end == b.comp_end
         assert a.lost == b.lost
+        assert a.loss_time == b.loss_time
     validate_schedule(fast)
     validate_schedule(des)
     return fast
@@ -267,6 +316,65 @@ def test_differential_random_config(index):
     platform, scheduler, error, fault, work, seed = _random_config(index)
     model = NoError() if error == 0.0 else NormalErrorModel(error)
     assert_identical(platform, scheduler, model, seed, work=work, faults=fault)
+
+
+# ---------------------------------------------------------------------------
+# The oracle itself: a deliberate mismatch must be caught and reported as
+# the first divergent event, naming engine, kind, timestamp, worker, chunk.
+# ---------------------------------------------------------------------------
+
+
+def test_deliberate_mismatch_reports_first_divergent_event(
+    small_platform, tmp_path, monkeypatch
+):
+    # Perturb one engine's trajectory (different seed) and check the trace
+    # oracle fails with a report naming the exact fork point.
+    fast_tracer, des_tracer = Tracer(), Tracer()
+    simulate(
+        small_platform, W, RUMR(known_error=0.3), NormalErrorModel(0.3),
+        seed=1, engine="fast", tracer=fast_tracer,
+    )
+    simulate(
+        small_platform, W, RUMR(known_error=0.3), NormalErrorModel(0.3),
+        seed=2, engine="des", tracer=des_tracer,
+    )
+    monkeypatch.setenv("REPRO_DIFF_ARTIFACTS", str(tmp_path))
+    with pytest.raises(pytest.fail.Exception) as excinfo:
+        assert_traces_identical(fast_tracer, des_tracer)
+    message = str(excinfo.value)
+    assert "diverge at canonical event #" in message
+    assert "fast:" in message and "des:" in message
+    assert "kind=" in message and "time=" in message
+    assert "worker=" in message and "chunk=" in message
+    # Both streams were dumped for offline diffing.
+    assert (tmp_path / "divergence-0-fast.jsonl").exists()
+    assert (tmp_path / "divergence-0-des.jsonl").exists()
+    assert "divergence-0" in message
+
+
+def test_deliberate_mismatch_names_the_differing_fields():
+    fast_tracer, des_tracer = Tracer(), Tracer()
+    fast_tracer.emit(0.0, "dispatch_start", 0, chunk=0, size=10.0)
+    des_tracer.emit(0.5, "dispatch_start", 0, chunk=0, size=10.0)
+    with pytest.raises(pytest.fail.Exception) as excinfo:
+        assert_traces_identical(fast_tracer, des_tracer)
+    message = str(excinfo.value)
+    assert "differing fields: time" in message
+    assert "time delta: 0.5" in message
+
+
+def test_deliberate_length_mismatch_reports_short_stream():
+    fast_tracer, des_tracer = Tracer(), Tracer()
+    for tracer in (fast_tracer, des_tracer):
+        tracer.emit(0.0, "dispatch_start", 0, chunk=0, size=10.0)
+        tracer.emit(1.0, "dispatch_end", 0, chunk=0, size=10.0)
+    fast_tracer.emit(2.0, "comp_start", 0, chunk=0, size=10.0)
+    with pytest.raises(pytest.fail.Exception) as excinfo:
+        assert_traces_identical(fast_tracer, des_tracer)
+    message = str(excinfo.value)
+    assert "diverge at canonical event #2" in message
+    assert "des emitted fewer events" in message
+    assert "<no event (stream ended)>" in message
 
 
 def test_random_configs_cover_all_fault_kinds():

@@ -1,0 +1,102 @@
+"""Golden-trace regression: canonical event streams reproduce byte-for-byte.
+
+``tests/data/golden_trace_rumr.jsonl`` and
+``tests/data/golden_trace_factoring.jsonl`` pin the *full canonical event
+stream* (JSONL, sorted keys, shortest-roundtrip floats) of one
+fault-injected RUMR run and one fault-free Factoring run.  Where the
+golden fault sweep pins only makespans, these files pin every dispatch,
+computation, fault, recovery decision and round boundary — any change to
+RNG stream layout, event emission order, canonical sorting or float
+arithmetic shows up as a byte diff naming the first divergent line.
+
+To regenerate after an *intentional* semantics change::
+
+    PYTHONPATH=src python -c "
+    from tests.sim.test_golden_traces import GOLDEN_DIR, SCENARIOS, render_scenario
+    for name in SCENARIOS:
+        (GOLDEN_DIR / f'golden_trace_{name}.jsonl').write_text(render_scenario(name))
+    "
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core import RUMR, Factoring
+from repro.errors import NoError, NormalErrorModel
+from repro.obs import Tracer, events_to_jsonl
+from repro.platform import homogeneous_platform
+from repro.sim import simulate
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "data"
+
+# One recovery-aware fault-injected cell and one fault-free dynamic cell;
+# both small enough to read by eye, big enough to exercise every event
+# kind (the RUMR run covers fault + recovery_decision + round_boundary).
+SCENARIOS = {
+    "rumr": dict(
+        scheduler=lambda: RUMR(known_error=0.3),
+        model=lambda: NormalErrorModel(0.3),
+        faults="crash:p=0.6,tmax=60",
+        n=5, work=400.0, seed=2003,
+    ),
+    "factoring": dict(
+        scheduler=lambda: Factoring(),
+        model=lambda: NoError(),
+        faults=None,
+        n=4, work=300.0, seed=610,
+    ),
+}
+
+
+def render_scenario(name: str) -> str:
+    """The scenario's canonical event stream, serialized as JSONL."""
+    spec = SCENARIOS[name]
+    platform = homogeneous_platform(
+        spec["n"], S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.1
+    )
+    tracer = Tracer()
+    simulate(
+        platform, spec["work"], spec["scheduler"](), spec["model"](),
+        seed=spec["seed"], faults=spec["faults"], tracer=tracer,
+    )
+    return events_to_jsonl(tracer.canonical())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_trace_matches_golden_bytes(name):
+    golden_path = GOLDEN_DIR / f"golden_trace_{name}.jsonl"
+    assert golden_path.exists(), (
+        f"{golden_path} missing — run the regeneration snippet in this "
+        "module's docstring"
+    )
+    golden = golden_path.read_text()
+    rendered = render_scenario(name)
+    if rendered != golden:
+        golden_lines = golden.splitlines()
+        new_lines = rendered.splitlines()
+        for i, (a, b) in enumerate(zip(golden_lines, new_lines)):
+            if a != b:
+                pytest.fail(
+                    f"golden trace {name!r} diverges at line {i}:\n"
+                    f"  golden: {a}\n  now:    {b}"
+                )
+        pytest.fail(
+            f"golden trace {name!r} length changed: "
+            f"{len(golden_lines)} -> {len(new_lines)} events"
+        )
+
+
+def test_golden_rumr_covers_every_event_kind():
+    # The pinned RUMR scenario must keep exercising the full vocabulary;
+    # if a regeneration loses a kind, the regression has gone blind to it.
+    import json
+
+    kinds = {
+        json.loads(line)["kind"]
+        for line in (GOLDEN_DIR / "golden_trace_rumr.jsonl").read_text().splitlines()
+    }
+    assert kinds >= {
+        "dispatch_start", "dispatch_end", "comp_start", "comp_end",
+        "fault", "recovery_decision", "round_boundary",
+    }
