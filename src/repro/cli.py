@@ -8,6 +8,7 @@ Examples
     python -m repro fig4a --preset small --results results/
     python -m repro all --preset small --results results/ --out results/
     python -m repro sweep --preset smoke --results results/
+    python -m repro sweep --preset small --resume --retries 5
     python -m repro gantt --scheduler RUMR --error 0.3
     python -m repro figfaults --preset smoke --faults crash:p=0.3,tmax=200
     python -m repro sweep --preset smoke --fault crash:p=0.2,tmax=400
@@ -89,6 +90,29 @@ def _parser() -> argparse.ArgumentParser:
             "(e.g. 'crash:p=0.2,tmax=400'; see repro.errors.make_fault_model)",
         )
         p.add_argument("--quiet", action="store_true", help="suppress progress output")
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume an interrupted sweep from its checkpoint shards "
+            "under <results>/partial/ (completed platforms are not re-run)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="attempts per engine rung before falling back / quarantining "
+            "a cell (default: 3; 1 disables retries)",
+        )
+        p.add_argument(
+            "--cell-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget per process-pool platform task; an "
+            "overrunning task is abandoned and recomputed in-process "
+            "(default: unlimited)",
+        )
         p.add_argument(
             "--no-batch",
             action="store_true",
@@ -192,6 +216,22 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _retry_policy(args: argparse.Namespace):
+    """A RetryPolicy from the CLI knobs, or None for the default."""
+    if getattr(args, "retries", None) is None and (
+        getattr(args, "cell_timeout", None) is None
+    ):
+        return None
+    from repro.experiments.resilient import RetryPolicy
+
+    kwargs = {}
+    if args.retries is not None:
+        kwargs["max_attempts"] = args.retries
+    if args.cell_timeout is not None:
+        kwargs["cell_timeout_s"] = args.cell_timeout
+    return RetryPolicy(**kwargs)
+
+
 def _grid(args: argparse.Namespace):
     grid = preset_grid(args.preset)
     updates = {}
@@ -246,17 +286,34 @@ def main(argv: list[str] | None = None) -> int:
     progress = None if args.quiet else eta_progress()
 
     batch_static = not args.no_batch
+    retry = _retry_policy(args)
 
     def main_sweep():
         return cached_sweep(
             grid, PAPER_ALGORITHMS, args.results, n_jobs=args.jobs,
             progress=progress, batch_static=batch_static,
+            retry=retry, resume=args.resume,
         )
 
     if args.command == "sweep":
-        results = main_sweep()
+        from repro.experiments.resilient import FailureLedger
+
+        ledger = FailureLedger()
+        results = cached_sweep(
+            grid, PAPER_ALGORITHMS, args.results, n_jobs=args.jobs,
+            progress=progress, batch_static=batch_static,
+            retry=retry, resume=args.resume, failures=ledger,
+        )
         total = grid.num_simulations(len(results.algorithms))
         print(f"sweep complete: {total} simulations cached in {args.results}")
+        if len(ledger):
+            print(
+                f"warning: {len(ledger)} cell(s) quarantined as NaN "
+                f"(ledger in {args.results}); first: "
+                f"{ledger.entries[0].algorithm} platform="
+                f"{ledger.entries[0].platform_index} "
+                f"[{ledger.entries[0].exc_type}]"
+            )
         return 0
 
     if args.command == "stats":
@@ -266,6 +323,7 @@ def main(argv: list[str] | None = None) -> int:
         cached_sweep(
             grid, PAPER_ALGORITHMS, args.results, n_jobs=args.jobs,
             progress=progress, batch_static=batch_static, stats=stats,
+            retry=retry, resume=args.resume,
         )
         print(stats.summary())
         return 0
@@ -287,6 +345,7 @@ def main(argv: list[str] | None = None) -> int:
         results = cached_sweep(
             fig5_grid(base), PAPER_ALGORITHMS, args.results, n_jobs=args.jobs,
             progress=progress, batch_static=batch_static,
+            retry=retry, resume=args.resume,
         )
         from repro.experiments.figures import _normalized_figure
 
@@ -299,6 +358,7 @@ def main(argv: list[str] | None = None) -> int:
         results = cached_sweep(
             grid, fig6_algorithms, args.results, n_jobs=args.jobs,
             progress=progress, batch_static=batch_static,
+            retry=retry, resume=args.resume,
         )
         from repro.experiments.figures import _normalized_figure
 
@@ -311,6 +371,7 @@ def main(argv: list[str] | None = None) -> int:
         results = cached_sweep(
             grid, fig7_algorithms, args.results, n_jobs=args.jobs,
             progress=progress, batch_static=batch_static,
+            retry=retry, resume=args.resume,
         )
         from repro.experiments.figures import _normalized_figure
 
@@ -346,7 +407,7 @@ def _cmd_figfaults(args: argparse.Namespace) -> int:
     progress = None if args.quiet else eta_progress()
     results = run_fault_sweep(
         grid, specs, algorithms=algorithms, n_jobs=args.jobs,
-        progress=progress, directory=args.results,
+        progress=progress, directory=args.results, resume=args.resume,
     )
     _emit(args, "figfaults", render_figure(fault_figure(results)))
     return 0

@@ -8,6 +8,9 @@ which :mod:`~repro.experiments.tables` and
 :mod:`~repro.experiments.figures` derive the paper's Tables 2–3 and
 Figures 4(a), 4(b), 5, 6 and 7.  :mod:`~repro.experiments.report` renders
 them as text/CSV; :mod:`~repro.experiments.cache` persists sweep tensors.
+:mod:`~repro.experiments.resilient` supervises execution — per-cell
+retries, an engine-fallback ladder, NaN quarantine with a failure
+ledger, and crash-safe resumable checkpoints (see ``docs/resilience.md``).
 
 Three grid presets trade fidelity for runtime: ``paper`` (the full Table 1
 cross product — hours), ``small`` (a decimated grid spanning the same
@@ -22,6 +25,7 @@ from repro.experiments.config import (
     preset_grid,
     small_grid,
     smoke_grid,
+    sweep_key,
 )
 from repro.experiments.figures import fig4a, fig4b, fig5, fig6, fig7
 from repro.experiments.metrics import (
@@ -29,14 +33,25 @@ from repro.experiments.metrics import (
     mean_normalized_makespan,
     outperform_fraction,
 )
+from repro.experiments.resilient import (
+    CellFailure,
+    CheckpointStore,
+    FailureLedger,
+    RetryPolicy,
+)
 from repro.experiments.runner import SweepResults, run_sweep
 from repro.experiments.stats import bootstrap_ci, sign_test_pvalue, win_rate_ci
 from repro.experiments.tables import table2, table3
 
 __all__ = [
+    "CellFailure",
+    "CheckpointStore",
     "ExperimentGrid",
+    "FailureLedger",
     "PlatformPoint",
+    "RetryPolicy",
     "SweepResults",
+    "sweep_key",
     "error_buckets",
     "fig4a",
     "fig4b",

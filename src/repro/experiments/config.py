@@ -19,6 +19,8 @@ algorithm — far beyond a single-core reproduction run, hence the presets.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import typing
 
 from repro.platform.spec import PlatformSpec, homogeneous_platform
@@ -31,6 +33,7 @@ __all__ = [
     "small_grid",
     "smoke_grid",
     "preset_grid",
+    "sweep_key",
     "PAPER_ALGORITHMS",
 ]
 
@@ -167,6 +170,21 @@ class ExperimentGrid:
             else:
                 raise ValueError(f"unknown grid axis {key!r}")
         return dataclasses.replace(self, **updates)
+
+
+def sweep_key(grid: ExperimentGrid, algorithms: typing.Sequence[str]) -> str:
+    """Deterministic content hash identifying a sweep.
+
+    Keys both the on-disk sweep cache (:mod:`repro.experiments.cache`)
+    and the crash-recovery checkpoint shards
+    (:class:`repro.experiments.resilient.CheckpointStore`) — any change
+    to the grid or the algorithm list invalidates both automatically.
+    """
+    payload = json.dumps(
+        {"grid": dataclasses.asdict(grid), "algorithms": list(algorithms)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 def _error_axis(step: float, stop: float = 0.5) -> tuple[float, ...]:

@@ -24,6 +24,23 @@ makespans are distributionally identical but not bitwise (see
 ``repro.sim.batch`` / ``repro.sim.dynbatch``).  ``batch_static=False``
 (CLI ``--no-batch``) forces everything through the scalar engine.
 
+Resilience: every cell executes under a
+:class:`~repro.experiments.resilient.CellSupervisor` — retried per the
+:class:`~repro.experiments.resilient.RetryPolicy`, rerouted down the
+engine-fallback ladder (batch engine → scalar engine), and finally
+quarantined as NaN with a :class:`~repro.experiments.resilient.
+CellFailure` ledger entry instead of aborting the sweep.  With a
+``checkpoint_dir``, each completed platform shard (and the lockstep
+pass) is flushed atomically so a killed sweep resumes from the last
+shard via ``resume=True``.  The process pool is supervised too: a
+``BrokenProcessPool`` restarts the pool once and degrades to in-process
+execution on a second break; a shard that overruns
+``RetryPolicy.cell_timeout_s`` is abandoned (its worker killed) and
+recomputed in-process.  Because a retry re-runs the exact same seeded
+computation, any cell that eventually succeeds on its original engine is
+bitwise identical to an unperturbed run; a scalar fallback yields
+exactly what ``batch_static=False`` would have.
+
 The runner is serial by default (the reproduction box has one core) but
 can fan platforms out over a process pool with ``n_jobs > 1`` (or
 ``n_jobs=-1`` for one worker per CPU).  The grid ships to pool workers
@@ -34,6 +51,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import pathlib
 import time
 import typing
 
@@ -43,7 +61,18 @@ from repro.core.registry import is_batch_dynamic_algorithm, make_scheduler
 from repro.errors.faults import make_fault_model
 from repro.errors.models import make_error_model
 from repro.errors.rng import stream_for
-from repro.experiments.config import PAPER_ALGORITHMS, ExperimentGrid, PlatformPoint
+from repro.experiments.config import (
+    PAPER_ALGORITHMS,
+    ExperimentGrid,
+    PlatformPoint,
+    sweep_key,
+)
+from repro.experiments.resilient import (
+    CellSupervisor,
+    CheckpointStore,
+    FailureLedger,
+    RetryPolicy,
+)
 from repro.sim.batch import (
     compile_static_plan,
     draw_factor_matrices,
@@ -61,7 +90,8 @@ class SweepResults:
 
     ``makespans[algo]`` has shape ``(num_platforms, num_errors,
     repetitions)``; ``platforms`` matches axis 0 and ``grid.errors``
-    axis 1.
+    axis 1.  Quarantined cells (see :mod:`repro.experiments.resilient`)
+    hold NaN.
     """
 
     grid: ExperimentGrid
@@ -135,6 +165,30 @@ def _cell_seeds(grid: ExperimentGrid, p_idx: int, e_idx: int) -> list[int]:
     ]
 
 
+def _scalar_cell(
+    platform, grid: ExperimentGrid, scheduler, error: float, seeds, fault_model
+) -> np.ndarray:
+    """One (platform, error, algorithm) cell on the scalar engine.
+
+    The shared bottom rung of the engine-fallback ladder: exactly the
+    computation ``batch_static=False`` performs for the cell, so a
+    fallen-back cell is bitwise identical to a ``--no-batch`` run's.
+    """
+    out = np.empty(len(seeds))
+    for rep, seed in enumerate(seeds):
+        model = make_error_model(grid.error_kind, error, mode=grid.error_mode)
+        out[rep] = simulate_fast(
+            platform,
+            grid.total_work,
+            scheduler,
+            model,
+            seed=seed,
+            collect_records=False,
+            faults=fault_model,
+        ).makespan
+    return out
+
+
 def _run_platform(
     grid: ExperimentGrid,
     point: PlatformPoint,
@@ -143,6 +197,7 @@ def _run_platform(
     batch_static: bool = True,
     batch_dynamic: bool = True,
     stats=None,
+    supervisor: CellSupervisor | None = None,
 ) -> np.ndarray:
     """Worker: all (error, rep, algo) simulations for one platform.
 
@@ -151,10 +206,15 @@ def _run_platform(
     here — their slots hold garbage until the caller's global lockstep
     pass overwrites them.
 
-    ``stats`` (a :class:`repro.obs.SweepStats`) receives per-cell wall
-    times; only the in-process path passes it — pool workers cannot share
-    the parent's collector.
+    Every cell runs through ``supervisor`` (retry → scalar fallback →
+    NaN quarantine; a fresh default supervisor is built when none is
+    given), so no cell failure escapes this function.  ``stats`` (a
+    :class:`repro.obs.SweepStats`) receives per-cell wall times; only the
+    in-process path passes it — pool workers cannot share the parent's
+    collector.
     """
+    if supervisor is None:
+        supervisor = CellSupervisor()
     platform = point.build()
     out = np.empty((len(grid.errors), grid.repetitions, len(algorithms)))
     fault_model = make_fault_model(grid.fault) if grid.has_faults else None
@@ -169,9 +229,14 @@ def _run_platform(
         for a_idx, name in enumerate(algorithms):
             scheduler = make_scheduler(name, 0.0)
             if scheduler.is_static and _batch_eligible(grid, scheduler):
-                static_plans[a_idx] = compile_static_plan(
-                    platform, scheduler.static_plan(platform, grid.total_work)
-                )
+                try:
+                    static_plans[a_idx] = compile_static_plan(
+                        platform, scheduler.static_plan(platform, grid.total_work)
+                    )
+                except Exception:  # noqa: BLE001 — first rung of the ladder
+                    # Plan solving/compilation failed: this algorithm's
+                    # cells take the scalar engine on this platform.
+                    supervisor.count_fallback()
     if batch_dynamic and _grid_supports_batch(grid):
         skipped = {
             a_idx
@@ -198,50 +263,63 @@ def _run_platform(
             else None
         )
         for a_idx, plan in static_plans.items():
+            name = algorithms[a_idx]
             t0 = time.perf_counter() if stats is not None else 0.0
-            out[e_idx, :, a_idx] = simulate_static_batch(
-                platform, plan, magnitude, seeds, mode=grid.error_mode,
-                factors=factors,
+            out[e_idx, :, a_idx] = supervisor.run_cell(
+                lambda plan=plan: simulate_static_batch(
+                    platform, plan, magnitude, seeds, mode=grid.error_mode,
+                    factors=factors,
+                ),
+                fallback=lambda name=name, error=error: _scalar_cell(
+                    platform, grid, make_scheduler(name, error), error, seeds,
+                    fault_model,
+                ),
+                algorithm=name,
+                platform_index=p_idx,
+                error_index=e_idx,
+                engine="static-batch",
+                seed=seeds[0],
+                shape=(grid.repetitions,),
             )
             if stats is not None:
                 stats.time_cell(
-                    algorithms[a_idx], p_idx, e_idx, "static-batch",
+                    name, p_idx, e_idx, "static-batch",
                     grid.repetitions, time.perf_counter() - t0,
                 )
         if not dynamic_indices:
             continue
         schedulers = [(i, make_scheduler(algorithms[i], error)) for i in dynamic_indices]
-        scalar_wall = {i: 0.0 for i in dynamic_indices} if stats is not None else None
-        for rep in range(grid.repetitions):
-            for a_idx, scheduler in schedulers:
-                model = make_error_model(grid.error_kind, error, mode=grid.error_mode)
-                t0 = time.perf_counter() if stats is not None else 0.0
-                result = simulate_fast(
-                    platform,
-                    grid.total_work,
-                    scheduler,
-                    model,
-                    seed=seeds[rep],
-                    collect_records=False,
-                    faults=fault_model,
-                )
-                if scalar_wall is not None:
-                    scalar_wall[a_idx] += time.perf_counter() - t0
-                out[e_idx, rep, a_idx] = result.makespan
-        if stats is not None:
-            for a_idx, wall in scalar_wall.items():
+        for a_idx, scheduler in schedulers:
+            t0 = time.perf_counter() if stats is not None else 0.0
+            out[e_idx, :, a_idx] = supervisor.run_cell(
+                lambda scheduler=scheduler, error=error: _scalar_cell(
+                    platform, grid, scheduler, error, seeds, fault_model
+                ),
+                algorithm=algorithms[a_idx],
+                platform_index=p_idx,
+                error_index=e_idx,
+                engine="scalar",
+                seed=seeds[0],
+                shape=(grid.repetitions,),
+            )
+            if stats is not None:
                 stats.time_cell(
                     algorithms[a_idx], p_idx, e_idx, "scalar",
-                    grid.repetitions, wall,
+                    grid.repetitions, time.perf_counter() - t0,
                 )
     return out
 
 
-# Process-pool plumbing: the grid, platform list and algorithm tuple are
-# shipped to each worker exactly once via the initializer; tasks are then
-# bare platform indices instead of fat pickled tuples.
+# Process-pool plumbing: the grid, platform list, algorithm tuple and
+# retry policy are shipped to each worker exactly once via the
+# initializer; tasks are then bare platform indices instead of fat
+# pickled tuples.
 _POOL_CTX: (
-    tuple[ExperimentGrid, tuple[PlatformPoint, ...], tuple[str, ...], bool, bool] | None
+    tuple[
+        ExperimentGrid, tuple[PlatformPoint, ...], tuple[str, ...],
+        bool, bool, RetryPolicy,
+    ]
+    | None
 ) = None
 
 
@@ -251,17 +329,142 @@ def _pool_init(
     algorithms: tuple[str, ...],
     batch_static: bool,
     batch_dynamic: bool,
+    policy: RetryPolicy,
 ) -> None:
     global _POOL_CTX
-    _POOL_CTX = (grid, platforms, algorithms, batch_static, batch_dynamic)
+    _POOL_CTX = (grid, platforms, algorithms, batch_static, batch_dynamic, policy)
 
 
-def _pool_task(p_idx: int) -> np.ndarray:
+def _pool_task(p_idx: int):
+    """One platform shard in a pool worker.
+
+    Runs under the worker's own :class:`CellSupervisor` (the parent's
+    cannot cross the process boundary) and ships the block plus the
+    supervisor's ledger entries and counters back for the parent to
+    absorb.
+    """
     assert _POOL_CTX is not None, "pool worker used without initializer"
-    grid, platforms, algorithms, batch_static, batch_dynamic = _POOL_CTX
-    return _run_platform(
-        grid, platforms[p_idx], p_idx, algorithms, batch_static, batch_dynamic
+    grid, platforms, algorithms, batch_static, batch_dynamic, policy = _POOL_CTX
+    supervisor = CellSupervisor(policy=policy)
+    block = _run_platform(
+        grid, platforms[p_idx], p_idx, algorithms, batch_static, batch_dynamic,
+        supervisor=supervisor,
     )
+    return block, supervisor.ledger.entries, supervisor.counters()
+
+
+def _kill_pool_workers(pool) -> None:
+    """Forcibly terminate a pool's worker processes.
+
+    Used when a shard overruns its timeout or the pool broke: a plain
+    ``shutdown(wait=False)`` leaves hung workers alive, and the
+    interpreter would join them at exit.  Reaches into the private
+    process map — there is no public kill switch — and tolerates its
+    absence.
+    """
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.kill()
+        except Exception:  # noqa: BLE001 — best-effort cleanup
+            pass
+
+
+def _supervised_pool_run(
+    grid: ExperimentGrid,
+    platforms: tuple[PlatformPoint, ...],
+    algorithms: tuple[str, ...],
+    batch_static: bool,
+    batch_dynamic: bool,
+    n_jobs: int,
+    pending: list[int],
+    policy: RetryPolicy,
+    supervisor: CellSupervisor,
+    stats,
+    on_block: typing.Callable[[int, np.ndarray], None],
+) -> list[int]:
+    """Run platform shards on a supervised process pool.
+
+    Shards are harvested in submission order; each waits at most
+    ``policy.cell_timeout_s`` from the moment it is polled.  A
+    ``BrokenProcessPool`` restarts the pool once (completed shards are
+    salvaged first); a second break, or any shard timeout, abandons the
+    pool — the returned list holds the shards still pending, which the
+    caller must run in-process.
+    """
+    import concurrent.futures
+    from concurrent.futures.process import BrokenProcessPool
+
+    remaining = list(pending)
+    restarted = False
+    while remaining:
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(remaining)),
+            initializer=_pool_init,
+            initargs=(grid, platforms, algorithms, batch_static, batch_dynamic, policy),
+        )
+        broken = timed_out = False
+        futures: dict[int, concurrent.futures.Future] = {}
+        try:
+            try:
+                futures = {p: pool.submit(_pool_task, p) for p in remaining}
+            except BrokenProcessPool:
+                broken = True
+            for p_idx in () if broken else list(remaining):
+                try:
+                    block, entries, counters = futures[p_idx].result(
+                        timeout=policy.cell_timeout_s
+                    )
+                except BrokenProcessPool:
+                    broken = True
+                    break
+                except TimeoutError:
+                    timed_out = True
+                    break
+                supervisor.absorb(entries, counters)
+                on_block(p_idx, block)
+                remaining.remove(p_idx)
+            if broken or timed_out:
+                # Salvage shards that finished before the pool went down.
+                for p_idx in list(remaining):
+                    fut = futures.get(p_idx)
+                    if fut is None or not fut.done() or fut.cancelled():
+                        continue
+                    try:
+                        block, entries, counters = fut.result(timeout=0)
+                    except Exception:  # noqa: BLE001 — salvage is best-effort
+                        continue
+                    supervisor.absorb(entries, counters)
+                    on_block(p_idx, block)
+                    remaining.remove(p_idx)
+        finally:
+            if broken or timed_out:
+                # Kill before shutdown: shutdown(wait=False) drops the
+                # executor's process map, and hung workers it leaves
+                # behind would block the interpreter's exit join.
+                _kill_pool_workers(pool)
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True)
+        if not remaining:
+            break
+        if timed_out:
+            # A hung shard cannot be preempted remotely; finish the rest
+            # in-process where the supervisor can at least bound retries.
+            if stats is not None:
+                stats.pool_timeouts += 1
+            break
+        if broken:
+            if not restarted:
+                restarted = True
+                if stats is not None:
+                    stats.pool_restarts += 1
+                continue
+            if stats is not None:
+                stats.pool_degradations += 1
+            break
+        break  # unreachable: no failure implies remaining is empty
+    return remaining
 
 
 def _run_dynamic_batch_pass(
@@ -269,6 +472,7 @@ def _run_dynamic_batch_pass(
     platforms: tuple[PlatformPoint, ...],
     names: list[str],
     tensors: dict[str, np.ndarray],
+    supervisor: CellSupervisor | None = None,
 ) -> None:
     """Fill the batch-dynamic algorithms' tensors via one lockstep pass.
 
@@ -276,9 +480,15 @@ def _run_dynamic_batch_pass(
     error, algorithm) with the *same* per-cell seeds the scalar path
     would use, then lets :func:`simulate_dynamic_cells` merge compatible
     cells into shared lockstep calls.
+
+    With a ``supervisor``, the merged pass is retried per the policy;
+    if it keeps failing, the pass degrades to per-cell lockstep calls —
+    bitwise identical to the merged pass — each under the full ladder
+    (retry → scalar fallback → NaN quarantine), so one poisoned cell
+    cannot take down every batch-dynamic result.
     """
     cells: list[DynamicCell] = []
-    targets: list[tuple[str, int, int]] = []
+    targets: list[tuple[str, int, int, float]] = []
     for p_idx, point in enumerate(platforms):
         platform = point.build()
         for e_idx, error in enumerate(grid.errors):
@@ -294,9 +504,33 @@ def _run_dynamic_batch_pass(
                         seeds=seeds,
                     )
                 )
-                targets.append((name, p_idx, e_idx))
-    results = simulate_dynamic_cells(cells, mode=grid.error_mode)
-    for (name, p_idx, e_idx), makespans in zip(targets, results):
+                targets.append((name, p_idx, e_idx, error))
+    if supervisor is None:
+        results = simulate_dynamic_cells(cells, mode=grid.error_mode)
+    else:
+        results, exc = supervisor.attempt(
+            lambda: simulate_dynamic_cells(cells, mode=grid.error_mode), grid.seed
+        )
+        if exc is not None:
+            results = [
+                supervisor.run_cell(
+                    lambda cell=cell: simulate_dynamic_cells(
+                        [cell], mode=grid.error_mode
+                    )[0],
+                    fallback=lambda cell=cell, error=error: _scalar_cell(
+                        cell.platform, grid, cell.scheduler, error,
+                        list(cell.seeds), None,
+                    ),
+                    algorithm=name,
+                    platform_index=p_idx,
+                    error_index=e_idx,
+                    engine="dynbatch",
+                    seed=cell.seeds[0],
+                    shape=(grid.repetitions,),
+                )
+                for cell, (name, p_idx, e_idx, error) in zip(cells, targets)
+            ]
+    for (name, p_idx, e_idx, _error), makespans in zip(targets, results):
         tensors[name][p_idx, e_idx, :] = makespans
 
 
@@ -308,6 +542,11 @@ def run_sweep(
     batch_static: bool = True,
     batch_dynamic: bool | None = None,
     stats=None,
+    retry: RetryPolicy | None = None,
+    checkpoint_dir: "str | os.PathLike | None" = None,
+    resume: bool = False,
+    failures: FailureLedger | None = None,
+    tracer=None,
 ) -> SweepResults:
     """Run the full sweep and return the makespan tensors.
 
@@ -321,7 +560,9 @@ def run_sweep(
         Process-pool width; 1 (default) runs in-process, ``-1`` uses one
         worker per CPU.
     progress:
-        Optional callback ``(platforms_done, platforms_total)``.
+        Optional callback ``(platforms_done, platforms_total)``.  The
+        done count is monotone even under retries, pool restarts and
+        resume — resumed shards are reported done up front.
     batch_static:
         Route static algorithms through the vectorized batch engine (the
         default; see the module docstring).  ``False`` forces the scalar
@@ -334,7 +575,28 @@ def run_sweep(
         Optional :class:`repro.obs.SweepStats` collector: engine-routing
         counts, per-cell wall times (in-process runs only — pool workers
         cannot share the parent's collector), lockstep and total wall
-        time.  Surfaced by the ``repro stats`` CLI.
+        time, plus resilience tallies (retries, fallbacks, quarantines,
+        resumed cells, pool supervision).  Surfaced by ``repro stats``.
+    retry:
+        The :class:`~repro.experiments.resilient.RetryPolicy` guarding
+        every cell (default: three attempts per ladder rung with
+        exponential, deterministically jittered backoff).
+    checkpoint_dir:
+        When given, completed platform shards (and the lockstep pass)
+        are flushed to ``<checkpoint_dir>/partial/<key>/`` as atomic,
+        content-hashed files; the directory is cleared once the sweep
+        finishes.  :func:`~repro.experiments.cache.cached_sweep` passes
+        its cache directory automatically.
+    resume:
+        Load surviving checkpoint shards before running — only the
+        unfinished remainder is recomputed (``repro sweep --resume``).
+        Shards failing their content hash are discarded and recomputed.
+    failures:
+        Optional :class:`~repro.experiments.resilient.FailureLedger`
+        receiving a :class:`CellFailure` entry per quarantined cell.
+    tracer:
+        Optional :class:`repro.obs.Tracer` receiving harness-level
+        ``engine_fallback`` / ``cell_quarantined`` events.
     """
     sweep_t0 = time.perf_counter()
     algorithms = tuple(algorithms)
@@ -346,6 +608,11 @@ def run_sweep(
         raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
     if batch_dynamic is None:
         batch_dynamic = batch_static
+    policy = retry if retry is not None else RetryPolicy()
+    ledger = failures if failures is not None else FailureLedger()
+    supervisor = CellSupervisor(
+        policy=policy, stats=stats, ledger=ledger, tracer=tracer
+    )
     platforms = tuple(grid.platforms())
     shape = (len(platforms), len(grid.errors), grid.repetitions)
     tensors = {a: np.empty(shape) for a in algorithms}
@@ -360,6 +627,13 @@ def run_sweep(
         if batch_dynamic and _grid_supports_batch(grid)
         else []
     )
+    dyn_set = set(dyn_batch_names)
+    # Columns the per-platform loop is responsible for (the lockstep pass
+    # overwrites the rest); checkpoint shards record this mask so a shard
+    # written under different batch flags is never trusted for columns it
+    # did not actually compute.
+    loop_valid = np.array([a not in dyn_set for a in algorithms], dtype=bool)
+    loop_algo_count = int(loop_valid.sum())
     # When the lockstep pass covers every algorithm, the per-platform loop
     # has nothing left to do — skip it (and the pool) entirely.
     if len(dyn_batch_names) == len(algorithms):
@@ -385,39 +659,132 @@ def run_sweep(
                 engine = "scalar"
             stats.count_routing(engine, num_cells, grid.repetitions)
 
-    if n_jobs == 0:
-        if progress is not None:
-            progress(len(platforms), len(platforms))
-    elif n_jobs > 1:
-        import concurrent.futures
-
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=n_jobs,
-            initializer=_pool_init,
-            initargs=(grid, platforms, algorithms, batch_static, batch_dynamic),
-        ) as pool:
-            blocks = pool.map(_pool_task, range(len(platforms)), chunksize=4)
-            for p_idx, block in enumerate(blocks):
-                for a_idx, algo in enumerate(algorithms):
-                    tensors[algo][p_idx] = block[:, :, a_idx]
-                if progress is not None:
-                    progress(p_idx + 1, len(platforms))
-    else:
-        for p_idx, point in enumerate(platforms):
-            block = _run_platform(
-                grid, point, p_idx, algorithms, batch_static, batch_dynamic,
-                stats=stats,
-            )
-            for a_idx, algo in enumerate(algorithms):
-                tensors[algo][p_idx] = block[:, :, a_idx]
-            if progress is not None:
-                progress(p_idx + 1, len(platforms))
-
-    if dyn_batch_names:
-        t0 = time.perf_counter()
-        _run_dynamic_batch_pass(grid, platforms, dyn_batch_names, tensors)
+    # -- checkpoint store and resume ---------------------------------------
+    key = sweep_key(grid, algorithms)
+    ckpt = (
+        CheckpointStore(checkpoint_dir, f"sweep-{grid.name}-{key}")
+        if checkpoint_dir is not None
+        else None
+    )
+    resumed_blocks: dict[int, np.ndarray] = {}
+    lockstep_resumed: np.ndarray | None = None
+    if ckpt is not None and resume:
+        block_shape = (len(grid.errors), grid.repetitions, len(algorithms))
+        for p_idx in range(len(platforms)):
+            shard = ckpt.load(f"platform-{p_idx:05d}")
+            if shard is None:
+                continue
+            block, valid = shard.get("block"), shard.get("valid")
+            if (
+                block is None
+                or valid is None
+                or block.shape != block_shape
+                or valid.shape != (len(algorithms),)
+                or not np.all(valid.astype(bool) | ~loop_valid)
+            ):
+                continue
+            resumed_blocks[p_idx] = block
+        if dyn_batch_names:
+            shard = ckpt.load("lockstep")
+            if shard is not None:
+                names = [str(n) for n in shard.get("names", np.array([]))]
+                arr = shard.get("block")
+                expected = (
+                    len(dyn_batch_names), len(platforms),
+                    len(grid.errors), grid.repetitions,
+                )
+                if names == list(dyn_batch_names) and (
+                    arr is not None and arr.shape == expected
+                ):
+                    lockstep_resumed = arr
         if stats is not None:
-            stats.lockstep_wall_s += time.perf_counter() - t0
+            stats.cells_resumed += (
+                len(resumed_blocks) * len(grid.errors) * loop_algo_count
+            )
+        # Quarantine records of resumed shards would otherwise be lost —
+        # their NaNs are being reused, so their ledger entries are too.
+        for entry in ckpt.load_ledger():
+            if entry.platform_index in resumed_blocks and entry.algorithm not in dyn_set:
+                ledger.add(entry)
+            elif lockstep_resumed is not None and entry.algorithm in dyn_set:
+                ledger.add(entry)
+
+    # -- the per-platform loop ---------------------------------------------
+    total = len(platforms)
+    done = 0
+
+    def fill(p_idx: int, block: np.ndarray) -> None:
+        for a_idx, algo in enumerate(algorithms):
+            tensors[algo][p_idx] = block[:, :, a_idx]
+
+    def on_block(p_idx: int, block: np.ndarray) -> None:
+        nonlocal done
+        fill(p_idx, block)
+        if ckpt is not None:
+            ckpt.save(f"platform-{p_idx:05d}", block=block, valid=loop_valid)
+            ckpt.save_ledger(ledger)
+        done += 1
+        if progress is not None:
+            progress(done, total)
+
+    if n_jobs == 0:
+        done = total
+        if progress is not None:
+            progress(total, total)
+    else:
+        for p_idx, block in sorted(resumed_blocks.items()):
+            fill(p_idx, block)
+            done += 1
+        if resumed_blocks and progress is not None:
+            progress(done, total)
+        pending = [p for p in range(total) if p not in resumed_blocks]
+        if n_jobs > 1 and pending:
+            pending = _supervised_pool_run(
+                grid, platforms, algorithms, batch_static, batch_dynamic,
+                n_jobs, pending, policy, supervisor, stats, on_block,
+            )
+        for p_idx in pending:
+            block = _run_platform(
+                grid, platforms[p_idx], p_idx, algorithms, batch_static,
+                batch_dynamic, stats=stats, supervisor=supervisor,
+            )
+            on_block(p_idx, block)
+
+    # -- the merged lockstep pass ------------------------------------------
+    if dyn_batch_names:
+        if lockstep_resumed is not None:
+            for i, name in enumerate(dyn_batch_names):
+                tensors[name][...] = lockstep_resumed[i]
+            if stats is not None:
+                stats.cells_resumed += (
+                    len(dyn_batch_names) * len(platforms) * len(grid.errors)
+                )
+        else:
+            t0 = time.perf_counter()
+            _run_dynamic_batch_pass(
+                grid, platforms, dyn_batch_names, tensors, supervisor=supervisor
+            )
+            if stats is not None:
+                stats.lockstep_wall_s += time.perf_counter() - t0
+            if ckpt is not None:
+                ckpt.save(
+                    "lockstep",
+                    block=np.stack([tensors[n] for n in dyn_batch_names]),
+                    names=np.array(dyn_batch_names),
+                )
+                ckpt.save_ledger(ledger)
+
+    # -- completion: persist the ledger, clear the checkpoints --------------
+    if ckpt is not None:
+        final = pathlib.Path(checkpoint_dir) / f"failures-sweep-{grid.name}-{key}.json"
+        if len(ledger):
+            tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
+            final.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(ledger.to_json())
+            os.replace(tmp, final)
+        elif final.exists():
+            final.unlink()
+        ckpt.discard()
 
     if stats is not None:
         stats.total_wall_s += time.perf_counter() - sweep_t0
@@ -456,6 +823,7 @@ def run_fault_sweep(
     n_jobs: int = 1,
     progress: typing.Callable[[int, int], None] | None = None,
     directory: "str | os.PathLike | None" = None,
+    resume: bool = False,
 ) -> FaultSweepResults:
     """Run the same sweep under several fault scenarios.
 
@@ -463,7 +831,9 @@ def run_fault_sweep(
     :func:`repro.errors.make_fault_model`); ``"none"`` is prepended when
     absent so the result always carries a fault-free baseline.  When
     ``directory`` is given each scenario goes through the sweep cache
-    (scenarios hash to distinct keys because ``fault`` is part of the grid).
+    (scenarios hash to distinct keys because ``fault`` is part of the
+    grid) and, with ``resume=True``, picks up surviving checkpoint
+    shards of an interrupted run.
     """
     specs = tuple(fault_specs)
     if "none" not in specs:
@@ -478,7 +848,8 @@ def run_fault_sweep(
             from repro.experiments.cache import cached_sweep
 
             sweeps[spec] = cached_sweep(
-                fault_grid, algorithms, directory, n_jobs=n_jobs, progress=progress
+                fault_grid, algorithms, directory, n_jobs=n_jobs,
+                progress=progress, resume=resume,
             )
         else:
             sweeps[spec] = run_sweep(

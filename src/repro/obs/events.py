@@ -1,11 +1,17 @@
 """The simulation event schema and canonical stream derivations.
 
 A :class:`SimEvent` is one observable instant of a simulated run.  The
-seven kinds mirror what the paper's multi-round schedules make one reason
-about: link occupancy (``dispatch_start``/``dispatch_end``), per-worker
-computation (``comp_start``/``comp_end``), worker faults and chunk losses
-(``fault``), the scheduler reacting to an observed crash
+seven simulation kinds mirror what the paper's multi-round schedules make
+one reason about: link occupancy (``dispatch_start``/``dispatch_end``),
+per-worker computation (``comp_start``/``comp_end``), worker faults and
+chunk losses (``fault``), the scheduler reacting to an observed crash
 (``recovery_decision``), and phase/round transitions (``round_boundary``).
+Two further *harness-level* kinds are emitted by the resilient sweep
+supervisor (:mod:`repro.experiments.resilient`) rather than by an engine:
+``engine_fallback`` (a failing cell was rerouted down the engine ladder)
+and ``cell_quarantined`` (a cell exhausted the ladder and became NaN).
+They carry ``time=0.0`` and ``worker=-1`` — they describe the harness,
+not simulated time.
 
 Engines emit events in *engine order* (the fast engine in dispatch order,
 the DES engine in simulation-time order).  Cross-engine comparisons and
@@ -44,6 +50,8 @@ EVENT_KINDS = frozenset(
         "fault",
         "recovery_decision",
         "round_boundary",
+        "engine_fallback",
+        "cell_quarantined",
     }
 )
 
@@ -58,6 +66,8 @@ _KIND_RANK = {
     "dispatch_start": 4,
     "dispatch_end": 5,
     "comp_start": 6,
+    "engine_fallback": 7,
+    "cell_quarantined": 8,
 }
 
 

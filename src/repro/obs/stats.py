@@ -9,7 +9,13 @@ run_sweep` and :func:`repro.experiments.cache.cached_sweep` and collects
 * **cell timings** — wall time of each batched cell and each scalar
   (cell, algorithm) loop; the merged lockstep pass reports one aggregate
   wall time (its cells share one call by design);
-* **cache tallies** — hits and misses of the on-disk sweep cache.
+* **cache tallies** — hits and misses of the on-disk sweep cache, plus
+  corrupt entries quarantined to ``<dir>/corrupt/``;
+* **resilience tallies** — retries, engine fallbacks, quarantined cells,
+  cells resumed from checkpoints, and process-pool supervision outcomes
+  (restarts, timeouts, degradations to serial), fed by
+  :class:`repro.experiments.resilient.CellSupervisor` and the runner's
+  pool supervisor.
 
 Collection piggybacks on the in-process path; a process-pool run
 (``n_jobs > 1``) still records routing and total wall time but not
@@ -54,6 +60,14 @@ class SweepStats:
     total_wall_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_corrupt_quarantined: int = 0
+    retries: int = 0
+    engine_fallbacks: int = 0
+    cells_quarantined: int = 0
+    cells_resumed: int = 0
+    pool_restarts: int = 0
+    pool_timeouts: int = 0
+    pool_degradations: int = 0
 
     # -- collection hooks ---------------------------------------------------
     def count_routing(self, engine: str, cells: int, runs_per_cell: int) -> None:
@@ -104,9 +118,26 @@ class SweepStats:
             )
         if self.lockstep_wall_s:
             lines.append(f"lockstep pass wall: {self.lockstep_wall_s:.3f}s")
-        lines.append(
+        cache_line = (
             f"cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es)"
         )
+        if self.cache_corrupt_quarantined:
+            cache_line += (
+                f", {self.cache_corrupt_quarantined} corrupt entr(ies) quarantined"
+            )
+        lines.append(cache_line)
+        lines.append(
+            f"resilience: {self.retries} retr(ies), "
+            f"{self.engine_fallbacks} engine fallback(s), "
+            f"{self.cells_quarantined} cell(s) quarantined, "
+            f"{self.cells_resumed} cell(s) resumed from checkpoints"
+        )
+        if self.pool_restarts or self.pool_timeouts or self.pool_degradations:
+            lines.append(
+                f"pool supervision: {self.pool_restarts} restart(s), "
+                f"{self.pool_timeouts} timeout(s), "
+                f"{self.pool_degradations} degradation(s) to serial"
+            )
         slowest = self.slowest_cells(top)
         if slowest:
             lines.append(f"slowest timed cells (top {len(slowest)}):")
@@ -127,5 +158,13 @@ class SweepStats:
             "total_wall_s": self.total_wall_s,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_corrupt_quarantined": self.cache_corrupt_quarantined,
+            "retries": self.retries,
+            "engine_fallbacks": self.engine_fallbacks,
+            "cells_quarantined": self.cells_quarantined,
+            "cells_resumed": self.cells_resumed,
+            "pool_restarts": self.pool_restarts,
+            "pool_timeouts": self.pool_timeouts,
+            "pool_degradations": self.pool_degradations,
             "cell_timings": [dataclasses.asdict(c) for c in self.cell_timings],
         }

@@ -1,0 +1,168 @@
+"""Sweep-cache hardening: atomic saves, typed corruption, quarantine.
+
+Covers the failure modes a cache directory accumulates over a long
+campaign — truncated npz files, hand-edited or deleted sidecars,
+mismatched npz/json pairs — and pins that every one surfaces as a typed
+:class:`CacheCorruptionError` from :func:`load_sweep` and degrades to a
+quarantine-plus-recompute (never an exception, never a wrong tensor) in
+:func:`cached_sweep`.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import (
+    CacheCorruptionError,
+    cached_sweep,
+    load_sweep,
+    save_sweep,
+    sweep_key,
+)
+from repro.experiments.config import smoke_grid
+from repro.experiments.runner import run_sweep
+from repro.obs import SweepStats
+
+ALGOS = ("RUMR", "UMR", "Factoring")
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return smoke_grid().restrict(
+        Ns=(10,), bandwidth_factors=(1.4, 1.8), cLats=(0.0,), nLats=(0.1,),
+        errors=(0.0, 0.2), repetitions=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def results(grid):
+    return run_sweep(grid, ALGOS)
+
+
+def _saved(results, directory):
+    return save_sweep(results, directory)
+
+
+class TestLoadSweepErrors:
+    def test_missing_entry_raises_typed_error(self, tmp_path):
+        missing = tmp_path / "sweep-none-0000.npz"
+        with pytest.raises(CacheCorruptionError) as err:
+            load_sweep(missing)
+        # The bare FileNotFoundError is wrapped, and the offending path
+        # (the sidecar, read first) is carried on the exception.
+        assert err.value.path == missing.with_suffix(".json")
+
+    def test_truncated_npz(self, results, tmp_path):
+        npz = _saved(results, tmp_path)
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 3])
+        with pytest.raises(CacheCorruptionError) as err:
+            load_sweep(npz)
+        assert err.value.path == npz
+
+    def test_garbage_npz(self, results, tmp_path):
+        npz = _saved(results, tmp_path)
+        npz.write_bytes(b"not a zip archive")
+        with pytest.raises(CacheCorruptionError):
+            load_sweep(npz)
+
+    def test_unparsable_sidecar(self, results, tmp_path):
+        npz = _saved(results, tmp_path)
+        npz.with_suffix(".json").write_text("{ truncated")
+        with pytest.raises(CacheCorruptionError) as err:
+            load_sweep(npz)
+        assert err.value.path == npz.with_suffix(".json")
+
+    def test_sidecar_missing_keys(self, results, tmp_path):
+        npz = _saved(results, tmp_path)
+        meta = json.loads(npz.with_suffix(".json").read_text())
+        del meta["algorithms"]
+        npz.with_suffix(".json").write_text(json.dumps(meta))
+        with pytest.raises(CacheCorruptionError):
+            load_sweep(npz)
+
+    def test_missing_tensor_key(self, results, tmp_path):
+        npz = _saved(results, tmp_path)
+        meta = json.loads(npz.with_suffix(".json").read_text())
+        meta["algorithms"].append("NotInTheNpz")
+        npz.with_suffix(".json").write_text(json.dumps(meta))
+        # The bare KeyError from the npz lookup is wrapped too.
+        with pytest.raises(CacheCorruptionError):
+            load_sweep(npz)
+
+    def test_mismatched_pair_fails_content_hash(self, results, grid, tmp_path):
+        """An npz restored next to a sidecar from a different run is
+        rejected by the sidecar's content hash."""
+        npz = _saved(results, tmp_path)
+        other = run_sweep(
+            grid.restrict(seed=grid.seed + 1, name=grid.name), ALGOS
+        )
+        forged = save_sweep(other, tmp_path / "other")
+        npz.write_bytes(forged.read_bytes())
+        with pytest.raises(CacheCorruptionError) as err:
+            load_sweep(npz)
+        assert "content hash" in str(err.value)
+
+    def test_clean_roundtrip_still_works(self, results, tmp_path):
+        npz = _saved(results, tmp_path)
+        loaded = load_sweep(npz)
+        assert loaded.algorithms == results.algorithms
+        for algo in ALGOS:
+            assert np.array_equal(loaded.makespans[algo],
+                                  results.makespans[algo])
+        meta = json.loads(npz.with_suffix(".json").read_text())
+        assert "content_sha256" in meta  # readers can verify the pair
+
+
+class TestCachedSweepQuarantine:
+    def test_corrupt_entry_quarantined_and_recomputed(self, grid, results,
+                                                      tmp_path):
+        npz = _saved(results, tmp_path)
+        npz.write_bytes(b"garbage")
+        stats = SweepStats()
+        recomputed = cached_sweep(grid, ALGOS, tmp_path, stats=stats)
+        assert stats.cache_corrupt_quarantined == 1
+        assert stats.cache_hits == 0 and stats.cache_misses == 1
+        for algo in ALGOS:
+            assert np.array_equal(recomputed.makespans[algo],
+                                  results.makespans[algo])
+        # Both files moved aside for post-mortem, then replaced by the
+        # fresh save.
+        assert (tmp_path / "corrupt" / npz.name).exists()
+        assert (tmp_path / "corrupt" / npz.with_suffix(".json").name).exists()
+        assert npz.exists()
+        # And the fresh entry is served as a hit afterwards.
+        stats2 = SweepStats()
+        cached_sweep(grid, ALGOS, tmp_path, stats=stats2)
+        assert stats2.cache_hits == 1
+        assert stats2.cache_corrupt_quarantined == 0
+
+    def test_corrupt_sidecar_quarantined(self, grid, results, tmp_path):
+        npz = _saved(results, tmp_path)
+        npz.with_suffix(".json").write_text("{ nope")
+        stats = SweepStats()
+        cached_sweep(grid, ALGOS, tmp_path, stats=stats)
+        assert stats.cache_corrupt_quarantined == 1
+        assert (tmp_path / "corrupt" / npz.with_suffix(".json").name).exists()
+
+    def test_stats_summary_reports_quarantines(self):
+        stats = SweepStats(cache_hits=1, cache_misses=2,
+                           cache_corrupt_quarantined=1)
+        assert (
+            "cache: 1 hit(s), 2 miss(es), 1 corrupt entr(ies) quarantined"
+            in stats.summary()
+        )
+        # The suffix only appears when something was quarantined, keeping
+        # the common-case line stable.
+        clean = SweepStats(cache_hits=1, cache_misses=2)
+        (cache_line,) = [
+            line for line in clean.summary().splitlines()
+            if line.startswith("cache:")
+        ]
+        assert cache_line == "cache: 1 hit(s), 2 miss(es)"
+
+    def test_key_stable_across_import_paths(self, grid):
+        # sweep_key moved to config but remains importable from cache.
+        from repro.experiments.config import sweep_key as config_key
+
+        assert sweep_key(grid, ALGOS) == config_key(grid, ALGOS)

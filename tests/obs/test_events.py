@@ -129,4 +129,5 @@ def test_kind_vocabulary_is_closed():
     assert EVENT_KINDS == {
         "dispatch_start", "dispatch_end", "comp_start", "comp_end",
         "fault", "recovery_decision", "round_boundary",
+        "engine_fallback", "cell_quarantined",
     }
