@@ -1,13 +1,14 @@
 #!/usr/bin/env python
 """Benchmark the sweep fast paths against the scalar path.
 
-Times three slices of a preset grid through both engines
+Times four slices of a preset grid through both engines
 (``run_sweep(batch_static=True)`` vs ``batch_static=False``): the
-static-algorithm portion (vectorized plan replay), the batch-dynamic
-portion (lockstep engine for Factoring/RUMR-family), and the full paper
-algorithm list, and writes the numbers to a JSON file (default
-``BENCH_sweep.json`` in the repository root) so the perf trajectory is
-tracked across PRs.
+static-algorithm portion (whole-grid vectorized plan replay), the
+batch-dynamic portion (lockstep engine for every in-tree dynamic
+scheduler), the full paper algorithm list, and the same full list on a
+*fault* grid (worker crashes threaded through the batch engines), and
+writes the numbers to a JSON file (default ``BENCH_sweep.json`` in the
+repository root) so the perf trajectory is tracked across PRs.
 
 The equivalence contract is asserted while benchmarking: at ``error = 0``
 both fast paths must agree with the scalar engine bit-for-bit for every
@@ -71,11 +72,18 @@ def _time_sweep(grid, algorithms, batch_static: bool, repeats: int):
     return best, results
 
 
+#: The fault scenario the ``fault_portion`` section benchmarks: every
+#: worker may crash inside the measured window, so both engines realize
+#: and replay per-repetition crash schedules.
+FAULT_SPEC = "crash:p=0.5,tmax=100"
+
+
 def bench(preset: str = "smoke", repeats: int = 3) -> dict:
     """Run the benchmark and return the report dict."""
     if repeats < 1:
         raise ValueError(f"--repeats must be >= 1, got {repeats}")
     grid = preset_grid(preset)
+    fault_grid = grid.restrict(fault=FAULT_SPEC)
     static_algos = tuple(a for a in PAPER_ALGORITHMS if is_static_algorithm(a))
     dynamic_algos = tuple(a for a in PAPER_ALGORITHMS if not is_static_algorithm(a))
     dyn_batch_algos = tuple(a for a in dynamic_algos if is_batch_dynamic_algorithm(a))
@@ -84,16 +92,16 @@ def bench(preset: str = "smoke", repeats: int = 3) -> dict:
     # solver-warm caches — the seed scalar path enjoyed the same caching.
     run_sweep(grid, algorithms=PAPER_ALGORITHMS)
 
-    def _portion(algos):
-        runs = grid.num_simulations(len(algos))
-        scalar_wall, scalar_res = _time_sweep(grid, algos, False, repeats)
-        batch_wall, batch_res = _time_sweep(grid, algos, True, repeats)
+    def _portion(algos, g=grid):
+        runs = g.num_simulations(len(algos))
+        scalar_wall, scalar_res = _time_sweep(g, algos, False, repeats)
+        batch_wall, batch_res = _time_sweep(g, algos, True, repeats)
         equal_at_zero = all(
             np.array_equal(
                 batch_res.makespans[a][:, 0, :], scalar_res.makespans[a][:, 0, :]
             )
             for a in algos
-            if grid.errors[0] == 0.0
+            if g.errors[0] == 0.0
         )
         return {
             "num_simulations": runs,
@@ -107,10 +115,9 @@ def bench(preset: str = "smoke", repeats: int = 3) -> dict:
 
     static_portion = _portion(static_algos)
     dynamic_portion = _portion(dyn_batch_algos)
-
-    full_runs = grid.num_simulations(len(PAPER_ALGORITHMS))
-    full_scalar_wall, _ = _time_sweep(grid, PAPER_ALGORITHMS, False, repeats)
-    full_batch_wall, _ = _time_sweep(grid, PAPER_ALGORITHMS, True, repeats)
+    full_sweep = _portion(PAPER_ALGORITHMS)
+    fault_portion = _portion(PAPER_ALGORITHMS, fault_grid)
+    fault_portion["fault"] = FAULT_SPEC
 
     return {
         "preset": preset,
@@ -120,20 +127,14 @@ def bench(preset: str = "smoke", repeats: int = 3) -> dict:
         "batch_dynamic_algorithms": list(dyn_batch_algos),
         "static_portion": static_portion,
         "dynamic_portion": dynamic_portion,
-        "full_sweep": {
-            "num_simulations": full_runs,
-            "scalar_wall_s": round(full_scalar_wall, 6),
-            "batched_wall_s": round(full_batch_wall, 6),
-            "scalar_us_per_run": round(full_scalar_wall / full_runs * 1e6, 3),
-            "batched_us_per_run": round(full_batch_wall / full_runs * 1e6, 3),
-            "speedup": round(full_scalar_wall / full_batch_wall, 2),
-        },
+        "fault_portion": fault_portion,
+        "full_sweep": full_sweep,
     }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--preset", default="smoke", help="grid preset (default: smoke)")
+    parser.add_argument("--preset", default="bench", help="grid preset (default: bench)")
     parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
     parser.add_argument(
         "--out",
@@ -146,6 +147,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="exit non-zero if the static- or dynamic-portion speedup "
         "falls below this",
+    )
+    parser.add_argument(
+        "--min-fault-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the fault-portion speedup falls below "
+        "this (fault grids ride the batch engines since PR 6)",
+    )
+    parser.add_argument(
+        "--min-full-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the full-sweep speedup falls below this",
     )
     parser.add_argument(
         "--baseline",
@@ -166,7 +180,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline = _load_baseline(args.baseline or args.out)
     report = bench(args.preset, args.repeats)
     overhead = None
-    if baseline is not None:
+    if baseline is not None and baseline.get("preset") == args.preset:
         base_wall = baseline.get("full_sweep", {}).get("batched_wall_s")
         if base_wall:
             overhead = report["full_sweep"]["batched_wall_s"] / base_wall - 1.0
@@ -190,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{dp['batched_wall_s']:.3f}s ({dp['batched_us_per_run']:.0f} us/run), "
         f"{dp['speedup']:.1f}x"
     )
+    fp = report["fault_portion"]
+    print(
+        f"fault portion ({fp['fault']}, {len(PAPER_ALGORITHMS)} algos, "
+        f"{fp['num_simulations']} runs): scalar {fp['scalar_wall_s']:.3f}s "
+        f"-> batched {fp['batched_wall_s']:.3f}s, {fp['speedup']:.1f}x"
+    )
     fs = report["full_sweep"]
     print(
         f"full sweep ({len(PAPER_ALGORITHMS)} algos, {fs['num_simulations']} runs): "
@@ -208,8 +228,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.max_overhead is not None:
         if overhead is None:
             print(
-                "NOTE: --max-overhead given but no baseline report found; "
-                "overhead gate skipped",
+                "NOTE: --max-overhead given but no baseline report for "
+                f"preset '{args.preset}' found; overhead gate skipped",
                 file=sys.stderr,
             )
         elif overhead > args.max_overhead:
@@ -220,13 +240,15 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             failed = True
-    for label, portion in (("static", sp), ("dynamic", dp)):
+    for label, portion in (("static", sp), ("dynamic", dp), ("fault", fp),
+                           ("full-sweep", fs)):
         if not portion["equal_at_zero_error"]:
             print(
                 f"ERROR: batched {label} path diverges from scalar path at error=0",
                 file=sys.stderr,
             )
             failed = True
+    for label, portion in (("static", sp), ("dynamic", dp)):
         if args.min_speedup is not None and portion["speedup"] < args.min_speedup:
             print(
                 f"ERROR: {label}-portion speedup {portion['speedup']}x < "
@@ -234,6 +256,20 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             failed = True
+    if args.min_fault_speedup is not None and fp["speedup"] < args.min_fault_speedup:
+        print(
+            f"ERROR: fault-portion speedup {fp['speedup']}x < "
+            f"required {args.min_fault_speedup}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.min_full_speedup is not None and fs["speedup"] < args.min_full_speedup:
+        print(
+            f"ERROR: full-sweep speedup {fs['speedup']}x < "
+            f"required {args.min_full_speedup}x",
+            file=sys.stderr,
+        )
+        failed = True
     return 1 if failed else 0
 
 

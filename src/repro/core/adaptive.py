@@ -29,15 +29,31 @@ anything.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 
+import numpy as np
+
 from repro.core.base import Dispatch, DispatchSource, MasterView, Scheduler, Wait
-from repro.core.factoring import FactoringSource
+from repro.core.factoring import FactoringKernelSpec, FactoringSource
+from repro.core.lockstep import (
+    DISPATCH,
+    DONE,
+    KernelSpec,
+    LockstepKernel,
+    expand_rows,
+)
 from repro.core.rumr import phase2_min_chunk, round_overhead
 from repro.core.umr import MAX_ROUNDS, solve_umr
 from repro.platform.spec import PlatformSpec
 
-__all__ = ["AdaptiveRUMR", "AdaptiveRUMRSource", "OnlineErrorEstimator"]
+__all__ = [
+    "AdaptiveRUMR",
+    "AdaptiveRUMRKernel",
+    "AdaptiveRUMRKernelSpec",
+    "AdaptiveRUMRSource",
+    "OnlineErrorEstimator",
+]
 
 
 class OnlineErrorEstimator:
@@ -189,6 +205,191 @@ class AdaptiveRUMRSource(DispatchSource):
         return None
 
 
+@dataclasses.dataclass(frozen=True)
+class AdaptiveRUMRKernelSpec(KernelSpec):
+    """One cell's adaptive-RUMR configuration in lockstep form.
+
+    ``rounds`` is the dense UMR plan over the *whole* workload;
+    ``clats`` / ``speeds`` carry the per-worker prediction model the
+    online estimator evaluates; ``overhead`` is the platform's
+    ``round_overhead`` (needed by the switch threshold and chunk floor).
+    ``phase2`` is a degenerate zero-workload factoring spec re-armed per
+    row at switch time via :meth:`FactoringKernel.activate_row`.
+    """
+
+    n: int = 0
+    total_work: float = 0.0
+    rounds: tuple = ()
+    factor: float = 2.0
+    min_samples: int = 8
+    clats: tuple = ()
+    speeds: tuple = ()
+    overhead: float = 0.0
+    phase2: "KernelSpec | None" = None
+
+    group_key = ("adaptive-rumr",)
+    wants_notes = True
+
+    def make_kernel(self, specs, reps, n_max):
+        return AdaptiveRUMRKernel(specs, reps, n_max)
+
+
+class AdaptiveRUMRKernel(LockstepKernel):
+    """Lockstep rows of adaptive-RUMR state.
+
+    Phase 1 mirrors :class:`AdaptiveRUMRSource` exactly: each decision
+    first folds the newly observed completion notes (delivered by the
+    engine through the step context in scalar observation order) into
+    the per-row Welford estimator, then evaluates the switch condition,
+    and otherwise dispatches the next planned chunk to the lowest-index
+    idle worker holding one (falling back to the lowest-index holder).
+    A row that switches re-arms its slot in the embedded factoring
+    kernel over exactly the undispatched remainder, with the chunk floor
+    evaluated at the estimate — and never consumes notes again.
+
+    Crash recovery is not kernelized (``handles_crashes`` stays False;
+    the engine defers crash-bearing rows to the scalar source); the
+    estimator itself is timing-based and follows pause/slowdown/spike
+    faults through the engine's shifted completion times.
+    """
+
+    _OUTLIER_FACTOR = 3.0
+
+    def __init__(self, specs, reps, n_max):
+        rows = int(np.sum(reps))
+        m_max = max(max((len(s.rounds) for s in specs), default=0), 1)
+        sizes = np.zeros((len(specs), m_max, n_max))
+        clats = np.zeros((len(specs), n_max))
+        speeds = np.ones((len(specs), n_max))
+        for i, s in enumerate(specs):
+            for j, row in enumerate(s.rounds):
+                sizes[i, j, : s.n] = row
+            clats[i, : s.n] = s.clats
+            speeds[i, : s.n] = s.speeds
+        self._sizes = np.repeat(sizes, reps, axis=0)
+        self._avail = self._sizes > 0.0
+        self._clat = np.repeat(clats, reps, axis=0)
+        self._speed = np.repeat(speeds, reps, axis=0)
+        self._num_rounds = expand_rows(
+            [len(s.rounds) for s in specs], reps, dtype=np.int64
+        )
+        self._cursor = np.zeros(rows, dtype=np.int64)
+        self._total = expand_rows([s.total_work for s in specs], reps, dtype=float)
+        self._n_float = expand_rows([float(s.n) for s in specs], reps, dtype=float)
+        self._overhead = expand_rows([s.overhead for s in specs], reps, dtype=float)
+        self._min_samples = expand_rows(
+            [s.min_samples for s in specs], reps, dtype=np.int64
+        )
+        self._dispatched = np.zeros(rows)
+        # Welford state around the model mean of 1, one estimator per row.
+        self._est_count = np.zeros(rows, dtype=np.int64)
+        self._est_mean = np.zeros(rows)
+        self._est_m2 = np.zeros(rows)
+        self._last_time = np.full((rows, n_max), np.nan)
+        self._switched = np.zeros(rows, dtype=bool)
+        self._phase2 = specs[0].phase2.make_kernel(
+            [s.phase2 for s in specs], reps, n_max
+        )
+
+    def compact(self, keep) -> None:
+        self._sizes = self._sizes[keep]
+        self._avail = self._avail[keep]
+        self._clat = self._clat[keep]
+        self._speed = self._speed[keep]
+        self._num_rounds = self._num_rounds[keep]
+        self._cursor = self._cursor[keep]
+        self._total = self._total[keep]
+        self._n_float = self._n_float[keep]
+        self._overhead = self._overhead[keep]
+        self._min_samples = self._min_samples[keep]
+        self._dispatched = self._dispatched[keep]
+        self._est_count = self._est_count[keep]
+        self._est_mean = self._est_mean[keep]
+        self._est_m2 = self._est_m2[keep]
+        self._last_time = self._last_time[keep]
+        self._switched = self._switched[keep]
+        self._phase2.compact(keep)
+
+    def _consume_notes(self, notes) -> None:
+        # Sequential per-note Welford updates in observation order —
+        # bit-compatible with OnlineErrorEstimator.consume.
+        switched = self._switched
+        clat = self._clat
+        speed = self._speed
+        last = self._last_time
+        count = self._est_count
+        mean = self._est_mean
+        m2 = self._est_m2
+        for r, time, w, sz in notes:
+            if switched[r]:
+                continue
+            predicted = clat[r, w] + sz / speed[r, w]
+            prev = last[r, w]
+            last[r, w] = time
+            if np.isnan(prev) or predicted <= 0:
+                continue
+            ratio = (time - prev) / predicted
+            if 0 < ratio <= self._OUTLIER_FACTOR:
+                c = count[r] + 1
+                count[r] = c
+                delta = ratio - mean[r]
+                mean[r] += delta / c
+                m2[r] += delta * (ratio - mean[r])
+
+    def decide(self, counts, works, action, worker, size, mask=None, ctx=None):
+        if ctx is not None and ctx.notes:
+            self._consume_notes(ctx.notes)
+        p1 = ~self._switched
+        if mask is not None:
+            p1 = p1 & mask
+        if p1.any():
+            remaining = self._total - self._dispatched
+            est = np.sqrt(self._est_m2 / np.maximum(self._est_count - 1, 1))
+            switch = (
+                p1
+                & (self._est_count >= 2)
+                & (self._est_count >= self._min_samples)
+                & (remaining > 0)
+                & (est > 0)
+                & (remaining <= np.minimum(est, 1.0) * self._total)
+                & (
+                    (remaining / self._n_float >= self._overhead)
+                    | (self._overhead == 0.0)
+                )
+            )
+            for r in np.flatnonzero(switch):
+                estimate = float(est[r])
+                pool = float(remaining[r])
+                floor = self._overhead[r] / estimate
+                floor = min(floor, pool / self._n_float[r])
+                self._phase2.activate_row(r, pool, max(floor, 1.0))
+            self._switched |= switch
+            p1 = p1 & ~switch
+            act = p1 & (self._cursor < self._num_rounds)
+            action[p1 & ~act] = DONE
+            rows = np.flatnonzero(act)
+            if rows.size:
+                cur = self._cursor[rows]
+                avail = self._avail[rows, cur]
+                pick = avail.argmax(axis=1)
+                idle = avail & (counts[rows] == 0)
+                use_idle = idle.any(axis=1)
+                pick = np.where(use_idle, idle.argmax(axis=1), pick)
+                action[rows] = DISPATCH
+                worker[rows] = pick
+                sz = self._sizes[rows, cur, pick]
+                size[rows] = sz
+                self._dispatched[rows] += sz
+                self._avail[rows, cur, pick] = False
+                exhausted = ~self._avail[rows, cur].any(axis=1)
+                self._cursor[rows[exhausted]] += 1
+        p2_mask = self._switched if mask is None else self._switched & mask
+        if p2_mask.any():
+            self._phase2.decide(
+                counts, works, action, worker, size, mask=p2_mask, ctx=ctx
+            )
+
+
 class AdaptiveRUMR(Scheduler):
     """RUMR without a priori error knowledge: estimate online, switch late.
 
@@ -202,6 +403,9 @@ class AdaptiveRUMR(Scheduler):
     umr_method / max_rounds:
         Passed to the UMR solver for the initial plan.
     """
+
+    is_batch_dynamic = True
+    batch_supports_faults = True
 
     def __init__(
         self,
@@ -231,4 +435,26 @@ class AdaptiveRUMR(Scheduler):
             plan_rounds=rounds,
             factor=self.factor,
             min_samples=self.min_samples,
+        )
+
+    def batch_kernel(
+        self, platform: PlatformSpec, total_work: float
+    ) -> AdaptiveRUMRKernelSpec:
+        plan = solve_umr(platform, total_work, self.max_rounds, self.umr_method)
+        rounds = []
+        for row in plan.chunk_sizes:
+            if any(s > 0.0 for s in row):
+                rounds.append(tuple(s if s > 0.0 else 0.0 for s in row))
+        return AdaptiveRUMRKernelSpec(
+            n=platform.N,
+            total_work=total_work,
+            rounds=tuple(rounds),
+            factor=self.factor,
+            min_samples=self.min_samples,
+            clats=tuple(w.cLat for w in platform),
+            speeds=tuple(w.S for w in platform),
+            overhead=round_overhead(platform),
+            phase2=FactoringKernelSpec(
+                n=platform.N, total_work=0.0, factor=self.factor
+            ),
         )

@@ -251,9 +251,12 @@ class Scheduler:
     #: Whether the batch engines (static or lockstep-dynamic) implement the
     #: fault semantics for this scheduler.  The sweep runner only routes a
     #: fault cell through a batch path when this is true; otherwise the
-    #: cell falls back to the scalar engine.  Declining is the default —
-    #: the flag exists so the decision is explicit and testable, mirroring
-    #: :attr:`is_batch_dynamic`.
+    #: cell falls back to the scalar engine.  Every in-tree scheduler now
+    #: opts in — the static grid pass replays plans obliviously, and the
+    #: lockstep engine either handles crashes in-kernel (Factoring, FSC)
+    #: or defers crash rows to the scalar engine internally — but the
+    #: default stays ``False`` so a new scheduler must make the claim
+    #: explicitly, mirroring :attr:`is_batch_dynamic`.
     batch_supports_faults: bool = False
 
     def create_source(self, platform: PlatformSpec, total_work: float) -> DispatchSource:

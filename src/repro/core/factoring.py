@@ -28,6 +28,7 @@ from repro.core.base import WAIT, Dispatch, DispatchSource, MasterView, Schedule
 from repro.core.lockstep import (
     DISPATCH,
     DONE,
+    PAD_PENDING,
     WAIT_FOR_COMPLETION,
     KernelSpec,
     LockstepKernel,
@@ -162,6 +163,7 @@ class FactoringKernelSpec(KernelSpec):
     lookahead: int = 1
 
     group_key = ("factoring",)
+    handles_crashes = True
 
     def make_kernel(self, specs, reps, n_max):
         return FactoringKernel(specs, reps, n_max)
@@ -174,6 +176,14 @@ class FactoringKernel(LockstepKernel):
     order — ``remaining / (factor · n)``, ``max(·, min_chunk)``,
     ``min(batch_size, remaining)``, ``max(0, remaining − size)`` — so a
     row's dispatch sequence is bit-identical to the scalar run's.
+
+    Fault rows follow :class:`FactoringSource`'s recovery path through
+    the step context: newly observed losses rejoin the remaining pool in
+    observation order, observed-crashed workers drop out of the starved
+    argmin (their batch share flows to survivors because the batch rule
+    divides by the live count), a drained pool waits while chunks are
+    still outstanding (they may yet be lost and need re-dispatch), and a
+    row whose workers have all crashed finishes undeliverable.
     """
 
     def __init__(self, specs, reps, n_max):
@@ -184,6 +194,7 @@ class FactoringKernel(LockstepKernel):
         self._epsilon = np.array(
             [1e-12 * max(s.total_work, 1.0) for s in specs]
         ).repeat(reps)
+        self._factor = expand_rows([s.factor for s in specs], reps, dtype=float)
         self._factor_n = expand_rows(
             [s.factor * s.n for s in specs], reps, dtype=float
         )
@@ -192,16 +203,71 @@ class FactoringKernel(LockstepKernel):
         self._batch_left = np.zeros(len(self._rows), dtype=np.int64)
         self._batch_size = np.zeros(len(self._rows))
 
-    def decide(self, counts, works, action, worker, size, mask=None):
+    def compact(self, keep) -> None:
+        self._rows = np.arange(keep.size)
+        self._n = self._n[keep]
+        self._n_float = self._n_float[keep]
+        self._remaining = self._remaining[keep]
+        self._epsilon = self._epsilon[keep]
+        self._factor = self._factor[keep]
+        self._factor_n = self._factor_n[keep]
+        self._min_chunk = self._min_chunk[keep]
+        self._lookahead = self._lookahead[keep]
+        self._batch_left = self._batch_left[keep]
+        self._batch_size = self._batch_size[keep]
+
+    def activate_row(self, row: int, total_work: float, min_chunk: float) -> None:
+        """Re-arm one row as a fresh source over ``total_work``.
+
+        AdaptiveRUMR builds its kernel around degenerate zero-workload
+        factoring rows and calls this at the moment a row's online
+        estimate triggers the switch — the lockstep equivalent of
+        constructing a new :class:`FactoringSource` mid-run.
+        """
+        self._remaining[row] = total_work
+        self._epsilon[row] = 1e-12 * max(total_work, 1.0)
+        self._min_chunk[row] = min_chunk
+        self._batch_left[row] = 0
+        self._batch_size[row] = 0.0
+
+    def decide(self, counts, works, action, worker, size, mask=None, ctx=None):
+        crashed = None
+        fault_rows = None
+        if ctx is not None:
+            for r, s in ctx.losses:
+                self._remaining[r] += s
+            crashed = ctx.crashed
+            fault_rows = ctx.fault_rows
         fin = self._remaining <= self._epsilon
         if mask is None:
             live = ~fin
         else:
             live = mask & ~fin
             fin = mask & fin
-        w = starved_argmin(counts, works)
+        drain = None
+        if fault_rows is not None:
+            # A drained pool on a fault row waits for the pending set: an
+            # outstanding chunk may still be lost and re-enter the pool.
+            pending_any = ((counts > 0) & (counts < PAD_PENDING)).any(axis=1)
+            drain = fin & fault_rows & pending_any
+            fin = fin & ~drain
+        if crashed is not None and crashed.any():
+            counts_eff = np.where(crashed, PAD_PENDING, counts)
+            n_live = self._n - crashed.sum(axis=1)
+            dead = live & (n_live == 0)
+            fin = fin | dead
+            live = live & ~dead
+            w = starved_argmin(counts_eff, works)
+            factor_n = self._factor * n_live.astype(float)
+            n_batch = n_live
+        else:
+            w = starved_argmin(counts, works)
+            factor_n = self._factor_n
+            n_batch = self._n
         wait = live & (counts[self._rows, w] >= self._lookahead)
         disp = live & ~wait
+        if drain is not None:
+            wait = wait | drain
         action[fin] = DONE
         action[wait] = WAIT_FOR_COMPLETION
         action[disp] = DISPATCH
@@ -210,10 +276,10 @@ class FactoringKernel(LockstepKernel):
         if new_batch.any():
             np.copyto(
                 self._batch_size,
-                np.maximum(self._remaining / self._factor_n, self._min_chunk),
+                np.maximum(self._remaining / factor_n, self._min_chunk),
                 where=new_batch,
             )
-            np.copyto(self._batch_left, self._n, where=new_batch)
+            np.copyto(self._batch_left, n_batch, where=new_batch)
         self._batch_left[disp] -= 1
         sz = np.minimum(self._batch_size, self._remaining)
         size[disp] = sz[disp]
@@ -234,6 +300,7 @@ class Factoring(Scheduler):
     """
 
     is_batch_dynamic = True
+    batch_supports_faults = True
 
     def __init__(self, factor: float = 2.0, min_chunk: float = 1.0):
         if factor <= 1.0:

@@ -23,12 +23,28 @@ the ablation benchmarks.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 
+import numpy as np
+
 from repro.core.base import WAIT, Dispatch, DispatchSource, MasterView, Scheduler, Wait
+from repro.core.lockstep import (
+    DISPATCH,
+    DONE,
+    WAIT_FOR_COMPLETION,
+    KernelSpec,
+    LockstepKernel,
+    expand_rows,
+)
 from repro.platform.spec import PlatformSpec
 
-__all__ = ["FixedSizeChunking", "kruskal_weiss_chunk_size"]
+__all__ = [
+    "FSCKernel",
+    "FSCKernelSpec",
+    "FixedSizeChunking",
+    "kruskal_weiss_chunk_size",
+]
 
 
 def kruskal_weiss_chunk_size(
@@ -84,6 +100,78 @@ class FixedSizeChunkingSource(DispatchSource):
         return Dispatch(worker=idle[0], size=size, phase=self._phase)
 
 
+@dataclasses.dataclass(frozen=True)
+class FSCKernelSpec(KernelSpec):
+    """Mergeable lockstep configuration for one FSC cell."""
+
+    n: int = 0
+    total_work: float = 0.0
+    chunk: float = 1.0
+
+    group_key = ("fsc",)
+    # FSC ignores faults entirely: the scalar source never re-dispatches
+    # lost work and keeps serving crashed-but-idle workers, so the
+    # oblivious kernel below already matches it decision for decision.
+    handles_crashes = True
+
+    def make_kernel(
+        self, specs: "list[FSCKernelSpec]", reps: "list[int]", n_max: int
+    ) -> "FSCKernel":
+        return FSCKernel(specs, reps, n_max)
+
+
+class FSCKernel(LockstepKernel):
+    """Row-wise FSC: serve the lowest-index idle worker an equal chunk.
+
+    Mirrors :class:`FixedSizeChunkingSource` exactly: a row is finished
+    once its undispatched remainder drops to the epsilon floor (lost
+    chunks are never re-dispatched, matching the scalar source even
+    under faults), it waits while no worker is idle, and otherwise sends
+    ``min(chunk, remaining)`` to the first idle worker.  Crashed workers
+    stay eligible — the scalar idle scan does not consult crash state.
+    """
+
+    def __init__(self, specs, reps, n_max):
+        del n_max
+        self._remaining = expand_rows([s.total_work for s in specs], reps, float)
+        self._epsilon = expand_rows(
+            [1e-12 * max(s.total_work, 1.0) for s in specs], reps, float
+        )
+        self._chunk = expand_rows([s.chunk for s in specs], reps, float)
+        self._rows = np.arange(len(self._remaining))
+
+    def compact(self, keep) -> None:
+        self._rows = np.arange(keep.size)
+        self._remaining = self._remaining[keep]
+        self._epsilon = self._epsilon[keep]
+        self._chunk = self._chunk[keep]
+
+    def decide(self, counts, works, action, worker, size, mask=None, ctx=None):
+        del works, ctx
+        fin = self._remaining <= self._epsilon
+        if mask is not None:
+            fin = fin & mask
+            live = ~fin & mask
+        else:
+            live = ~fin
+        action[fin] = DONE
+        idle = counts == 0
+        w = idle.argmax(axis=1)
+        has_idle = idle.any(axis=1)
+        wait = live & ~has_idle
+        disp = live & has_idle
+        action[wait] = WAIT_FOR_COMPLETION
+        action[disp] = DISPATCH
+        worker[disp] = w[disp]
+        sz = np.minimum(self._chunk, self._remaining)
+        size[disp] = sz[disp]
+        np.copyto(
+            self._remaining,
+            np.maximum(0.0, self._remaining - sz),
+            where=disp,
+        )
+
+
 class FixedSizeChunking(Scheduler):
     """FSC scheduler.
 
@@ -99,6 +187,9 @@ class FixedSizeChunking(Scheduler):
         Floor applied to the computed size (default 1 workload unit).
     """
 
+    is_batch_dynamic = True
+    batch_supports_faults = True
+
     def __init__(
         self,
         chunk_size: float | None = None,
@@ -112,7 +203,7 @@ class FixedSizeChunking(Scheduler):
         self.min_chunk = min_chunk
         self.name = "FSC"
 
-    def create_source(self, platform: PlatformSpec, total_work: float) -> FixedSizeChunkingSource:
+    def _chunk_for(self, platform: PlatformSpec, total_work: float) -> float:
         if self.chunk_size is not None:
             chunk = self.chunk_size
         else:
@@ -123,5 +214,15 @@ class FixedSizeChunking(Scheduler):
             sigma = self.known_error / mean_s
             chunk = kruskal_weiss_chunk_size(total_work, n, overhead, sigma)
         chunk = max(chunk, self.min_chunk)
-        chunk = min(chunk, total_work)
+        return min(chunk, total_work)
+
+    def create_source(self, platform: PlatformSpec, total_work: float) -> FixedSizeChunkingSource:
+        chunk = self._chunk_for(platform, total_work)
         return FixedSizeChunkingSource(platform.N, total_work, chunk)
+
+    def batch_kernel(self, platform: PlatformSpec, total_work: float) -> FSCKernelSpec:
+        return FSCKernelSpec(
+            n=platform.N,
+            total_work=total_work,
+            chunk=self._chunk_for(platform, total_work),
+        )

@@ -10,14 +10,14 @@ different rounds, batches, or phases — the kernel merely evaluates all of
 their next decisions in one pass of NumPy arithmetic.
 
 This is possible because the batchable dynamic schedulers (Factoring,
-WeightedFactoring, RUMR) decide from pure arithmetic over master state:
-no data-dependent control flow survives except per-row branches, which
-become masks.  The contract mirrors the scalar sources bit-for-bit: the
-same tie-breaks (fewest pending chunks, then least pending work, then
-lowest index), the same batch/size formulas evaluated with the same
-operation order and associativity, so a lockstep row reproduces the
-scalar engine's trajectory exactly when fed the same perturbation
-factors.
+WeightedFactoring, FSC, RUMR, AdaptiveRUMR) decide from pure arithmetic
+over master state: no data-dependent control flow survives except
+per-row branches, which become masks.  The contract mirrors the scalar
+sources bit-for-bit: the same tie-breaks (fewest pending chunks, then
+least pending work, then lowest index), the same batch/size formulas
+evaluated with the same operation order and associativity, so a lockstep
+row reproduces the scalar engine's trajectory exactly when fed the same
+perturbation factors.
 
 Kernels are built from :class:`KernelSpec` objects (one per simulated
 cell) by :meth:`KernelSpec.make_kernel`; specs with equal ``group_key``
@@ -25,9 +25,22 @@ may be merged into one kernel spanning many cells, padded to a common
 worker count.  Padded worker slots must be made unselectable by the
 *caller*: the engine reports a huge pending-chunk count for them, which
 excludes them from every starved-worker argmin and idle test.
+
+Fault-aware decisions travel through a :class:`KernelStepContext`: the
+engine hands each merged group the crash state it would observe through
+the scalar :class:`~repro.core.base.MasterView` (which workers' crash
+times have passed each row's clock) plus the losses and completions that
+became observable since the previous decision, in the scalar view's
+``(time, chunk_index)`` order.  A spec advertises crash literacy with
+:attr:`KernelSpec.handles_crashes`; rows whose sampled fault schedule
+contains a crash and whose kernel does *not* handle crashes are routed
+back to the scalar engine by ``repro.sim.dynbatch`` rather than risking
+a divergent recovery trajectory.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
@@ -37,6 +50,7 @@ __all__ = [
     "DONE",
     "PAD_PENDING",
     "KernelSpec",
+    "KernelStepContext",
     "LockstepKernel",
     "expand_rows",
     "starved_argmin",
@@ -63,14 +77,41 @@ def starved_argmin(counts: np.ndarray, works: np.ndarray) -> np.ndarray:
 
     Vectorizes the scalar sources' lexicographic candidate rule: fewest
     pending chunks first, least pending work among those, lowest index as
-    the final tie-break (``argmax`` of a boolean row returns the first
-    ``True``).
+    the final tie-break (``argmin`` of the masked work row returns the
+    first index attaining the minimum).
     """
     cmin = counts.min(axis=1, keepdims=True)
-    tie = counts == cmin
-    masked = np.where(tie, works, np.inf)
-    wmin = masked.min(axis=1, keepdims=True)
-    return (tie & (masked == wmin)).argmax(axis=1)
+    masked = np.where(counts == cmin, works, np.inf)
+    return masked.argmin(axis=1)
+
+
+@dataclasses.dataclass(slots=True)
+class KernelStepContext:
+    """Observable fault/completion state for one decision step.
+
+    Built by the lockstep engine for a merged kernel group whenever any
+    of its rows carries a fault schedule or its kernel asked for
+    completion notes.  All row indices are local to the group slice.
+
+    ``crashed`` is the (R, n_max) boolean mask of workers whose crash
+    time lies at or before the row's current clock — exactly the scalar
+    view's ``crashed_workers()``.  ``losses`` lists newly observed lost
+    chunks as ``(row, size)`` and ``notes`` newly observed completions
+    as ``(row, time, worker, size)``; both are sorted by the scalar
+    observation order ``(time, chunk_index)`` within each row, and each
+    event is delivered exactly once across the run (cursor semantics,
+    mirroring ``observed_losses`` / ``observed_completions``).
+    """
+
+    crashed: "np.ndarray | None" = None
+    #: (R,) boolean — rows carrying any sampled fault schedule (the scalar
+    #: view's ``faults_possible``); such rows drain their pending set
+    #: before finishing because outstanding chunks may still be lost.
+    fault_rows: "np.ndarray | None" = None
+    losses: "list[tuple[int, float]]" = dataclasses.field(default_factory=list)
+    notes: "list[tuple[int, float, int, float]]" = dataclasses.field(
+        default_factory=list
+    )
 
 
 class KernelSpec:
@@ -88,6 +129,16 @@ class KernelSpec:
     group_key: tuple = ()
     #: Real worker count of this spec's platform.
     n: int = 0
+    #: Whether the kernel reproduces the scalar source's crash-recovery
+    #: trajectory.  Specs that leave this False have crash-bearing rows
+    #: routed to the scalar engine by ``repro.sim.dynbatch``; non-crash
+    #: faults (pause / slowdown / link spike) only shift observation
+    #: times and need no kernel support at all.
+    handles_crashes: bool = False
+    #: Whether the kernel consumes completion notes
+    #: (:attr:`KernelStepContext.notes`) even on fault-free rows —
+    #: AdaptiveRUMR's online error estimator needs them.
+    wants_notes: bool = False
 
     def make_kernel(
         self, specs: "list[KernelSpec]", reps: "list[int]", n_max: int
@@ -106,6 +157,7 @@ class LockstepKernel:
         worker: np.ndarray,
         size: np.ndarray,
         mask: "np.ndarray | None" = None,
+        ctx: "KernelStepContext | None" = None,
     ) -> None:
         """Write each row's next decision into the output arrays.
 
@@ -114,7 +166,21 @@ class LockstepKernel:
         With ``mask`` (boolean (R,)), only masked rows are decided and
         mutated — used by composite kernels (RUMR's phase-2 tail) to
         delegate a row subset; rows outside the mask are left untouched.
-        Rows whose workload is exhausted write :data:`DONE` and must keep
-        doing so on every later call (finished rows stay frozen).
+        ``ctx`` carries crash masks and newly observed losses /
+        completions when the engine simulates fault cells (or the spec
+        set :attr:`KernelSpec.wants_notes`); fault-oblivious kernels may
+        ignore it.  Rows whose workload is exhausted write :data:`DONE`
+        and must keep doing so on every later call (finished rows stay
+        frozen).
+        """
+        raise NotImplementedError
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop every row not in ``keep`` (sorted local row indices).
+
+        The lockstep engine periodically compacts finished rows out of
+        its state so late iterations stop paying for them; kernels must
+        re-index all per-row state the same way.  Kernels that do not
+        implement this simply opt their groups out of compaction.
         """
         raise NotImplementedError

@@ -72,8 +72,9 @@ def is_static_algorithm(name: str) -> bool:
 def is_batch_dynamic_algorithm(name: str) -> bool:
     """Whether the named algorithm has a lockstep batch kernel.
 
-    Batch-dynamic algorithms (Factoring, WeightedFactoring, the RUMR
-    variants) decide from pure arithmetic over master-observable state, so
+    Batch-dynamic algorithms (Factoring, WeightedFactoring, FSC, the RUMR
+    variants, AdaptiveRUMR — every in-tree dynamic scheduler) decide from
+    pure arithmetic over master-observable state, so
     the sweep can advance all repetitions of a cell in lockstep through
     :func:`repro.sim.dynbatch.simulate_dynamic_cells`.  Like
     :func:`is_static_algorithm` this is a property of the algorithm

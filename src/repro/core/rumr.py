@@ -317,6 +317,13 @@ class RUMRKernel(LockstepKernel):
     cursor advances; past the last round the row is delegated to the
     embedded phase-2 kernel (whose rows with zero workload answer DONE
     immediately — the skipped-phase-2 case).
+
+    Crash recovery (replanning on survivors, mid-phase-1 fallback tails)
+    is *not* kernelized: the spec leaves ``handles_crashes`` False and
+    the lockstep engine routes crash-bearing rows to the scalar
+    :class:`RUMRSource` instead.  Non-crash fault rows stay in the
+    kernel — pause/slowdown/link-spike faults only shift observation
+    times, which the engine already simulates exactly.
     """
 
     def __init__(self, specs, reps, n_max):
@@ -338,7 +345,16 @@ class RUMRKernel(LockstepKernel):
             [s.phase2 for s in specs], reps, n_max
         )
 
-    def decide(self, counts, works, action, worker, size, mask=None):
+    def compact(self, keep) -> None:
+        self._sizes = self._sizes[keep]
+        self._avail = self._avail[keep]
+        self._num_rounds = self._num_rounds[keep]
+        self._ooo = self._ooo[keep]
+        self._any_ooo = bool(self._ooo.any())
+        self._cursor = self._cursor[keep]
+        self._phase2.compact(keep)
+
+    def decide(self, counts, works, action, worker, size, mask=None, ctx=None):
         in_p1 = self._cursor < self._num_rounds
         if mask is None:
             p2_mask = ~in_p1
@@ -361,7 +377,9 @@ class RUMRKernel(LockstepKernel):
             exhausted = ~self._avail[rows, cur].any(axis=1)
             self._cursor[rows[exhausted]] += 1
         if p2_mask.any():
-            self._phase2.decide(counts, works, action, worker, size, mask=p2_mask)
+            self._phase2.decide(
+                counts, works, action, worker, size, mask=p2_mask, ctx=ctx
+            )
 
 
 class RUMR(Scheduler):
@@ -392,6 +410,7 @@ class RUMR(Scheduler):
     """
 
     is_batch_dynamic = True
+    batch_supports_faults = True
 
     def __init__(
         self,

@@ -33,6 +33,7 @@ from repro.core.base import WAIT, Dispatch, DispatchSource, MasterView, Schedule
 from repro.core.lockstep import (
     DISPATCH,
     DONE,
+    PAD_PENDING,
     WAIT_FOR_COMPLETION,
     KernelSpec,
     LockstepKernel,
@@ -162,6 +163,13 @@ class WeightedFactoringKernel(LockstepKernel):
     ``min(max(share, floor), remaining)``.  Padded worker slots carry
     weight 0 and are never selected (the caller reports them as
     maximally pending).
+
+    Crash rows are *not* kernelized (the survivor-weight renormalization
+    is a sequential sum the vector path cannot reproduce bitwise);
+    :class:`WeightedFactoringKernelSpec` leaves ``handles_crashes``
+    False, so the engine routes crash-bearing rows to the scalar source.
+    Non-crash fault rows only need the scalar drain rule: once the pool
+    is empty, wait out the pending set instead of finishing.
     """
 
     def __init__(self, specs, reps, n_max):
@@ -180,16 +188,33 @@ class WeightedFactoringKernel(LockstepKernel):
             padded[i, : s.n] = s.weights
         self._weights = np.repeat(padded, reps, axis=0)
 
-    def decide(self, counts, works, action, worker, size, mask=None):
+    def compact(self, keep) -> None:
+        self._rows = np.arange(keep.size)
+        self._n_float = self._n_float[keep]
+        self._remaining = self._remaining[keep]
+        self._epsilon = self._epsilon[keep]
+        self._factor = self._factor[keep]
+        self._min_chunk = self._min_chunk[keep]
+        self._lookahead = self._lookahead[keep]
+        self._weights = self._weights[keep]
+
+    def decide(self, counts, works, action, worker, size, mask=None, ctx=None):
         fin = self._remaining <= self._epsilon
         if mask is None:
             live = ~fin
         else:
             live = mask & ~fin
             fin = mask & fin
+        drain = None
+        if ctx is not None and ctx.fault_rows is not None:
+            pending_any = ((counts > 0) & (counts < PAD_PENDING)).any(axis=1)
+            drain = fin & ctx.fault_rows & pending_any
+            fin = fin & ~drain
         w = starved_argmin(counts, works)
         wait = live & (counts[self._rows, w] >= self._lookahead)
         disp = live & ~wait
+        if drain is not None:
+            wait = wait | drain
         action[fin] = DONE
         action[wait] = WAIT_FOR_COMPLETION
         action[disp] = DISPATCH
@@ -208,6 +233,7 @@ class WeightedFactoring(Scheduler):
     """Weighted Factoring scheduler (see module docstring)."""
 
     is_batch_dynamic = True
+    batch_supports_faults = True
 
     def __init__(self, factor: float = 2.0, min_chunk: float = 1.0):
         if factor <= 1.0:

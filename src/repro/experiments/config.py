@@ -19,6 +19,7 @@ algorithm — far beyond a single-core reproduction run, hence the presets.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import json
 import typing
@@ -32,6 +33,7 @@ __all__ = [
     "paper_sample_grid",
     "small_grid",
     "smoke_grid",
+    "bench_grid",
     "preset_grid",
     "sweep_key",
     "PAPER_ALGORITHMS",
@@ -52,18 +54,28 @@ class PlatformPoint:
     S: float = 1.0
 
     def build(self) -> PlatformSpec:
-        """Materialize the :class:`~repro.platform.spec.PlatformSpec`."""
-        return homogeneous_platform(
-            self.N,
-            S=self.S,
-            bandwidth_factor=self.bandwidth_factor,
-            cLat=self.cLat,
-            nLat=self.nLat,
-        )
+        """Materialize the :class:`~repro.platform.spec.PlatformSpec`.
+
+        Memoized: equal points return the *same* (immutable) spec object,
+        so downstream identity-keyed caches — the lru-cached plan solvers
+        and the compiled-plan cache — hit across repeated sweeps.
+        """
+        return _build_platform(self)
 
     def as_dict(self) -> dict:
         """JSON-friendly representation."""
         return dataclasses.asdict(self)
+
+
+@functools.lru_cache(maxsize=4096)
+def _build_platform(point: "PlatformPoint") -> PlatformSpec:
+    return homogeneous_platform(
+        point.N,
+        S=point.S,
+        bandwidth_factor=point.bandwidth_factor,
+        cLat=point.cLat,
+        nLat=point.nLat,
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -243,6 +255,19 @@ def smoke_grid() -> ExperimentGrid:
     )
 
 
+def bench_grid() -> ExperimentGrid:
+    """The smoke axes at paper-scale repetitions, for benchmarking.
+
+    The smoke grid's 3 repetitions are fine for correctness checks but
+    understate the batch engines badly: a lockstep pass costs nearly the
+    same wall time at 3 repetitions as at 20 (its per-iteration cost is
+    dominated by fixed per-array-op overhead, not element count), while
+    the scalar engine scales linearly.  Benchmarking at 20 repetitions —
+    half the paper's 40 — measures the regime sweeps actually run in.
+    """
+    return dataclasses.replace(smoke_grid(), name="bench", repetitions=20)
+
+
 def paper_sample_grid(platforms: int = 150, repetitions: int = 15) -> ExperimentGrid:
     """A uniform random sample of the *full* Table-1 cross product.
 
@@ -262,14 +287,16 @@ def paper_sample_grid(platforms: int = 150, repetitions: int = 15) -> Experiment
 def preset_grid(name: str) -> ExperimentGrid:
     """Look up a preset grid by name.
 
-    ``smoke`` (seconds), ``small`` (minutes, decimated axes), ``paper``
-    (the full cross product, hours), ``paper-sample`` (a 150-platform
-    uniform sample of the full cross product, tens of minutes).
+    ``smoke`` (seconds), ``bench`` (the smoke axes at 20 repetitions, for
+    benchmarking), ``small`` (minutes, decimated axes), ``paper`` (the
+    full cross product, hours), ``paper-sample`` (a 150-platform uniform
+    sample of the full cross product, tens of minutes).
     """
     presets = {
         "paper": paper_grid,
         "small": small_grid,
         "smoke": smoke_grid,
+        "bench": bench_grid,
         "paper-sample": paper_sample_grid,
     }
     try:

@@ -6,23 +6,28 @@ random numbers) — the same trick the paper needs for its paired
 "percentage of experiments where RUMR outperforms X" statistics.
 
 Fast path: algorithms that declare :attr:`~repro.core.base.Scheduler.
-is_static` (UMR, MI-x, one-round) have a fixed dispatch sequence, so each
-(platform, error) cell's whole repetition axis collapses into one
-:func:`~repro.sim.batch.simulate_static_batch` call — NumPy array math
-instead of the per-run Python loop, two orders of magnitude faster.  The
-plan is solved once per platform and shared across every error level and
-repetition.  Batch-dynamic algorithms (RUMR and its variants, Factoring,
-WeightedFactoring) have no fixed plan but a pure-arithmetic decision
-rule, so *their* repetition axes advance in lockstep through
+is_static` (UMR, MI-x, one-round) have a fixed dispatch sequence, so
+*every* one of their cells — the whole (platform × error × repetition)
+grid — stacks into a single :func:`~repro.sim.batch.simulate_static_cells`
+pass: one (rows × chunks) tensor, NumPy array math instead of the
+per-run Python loop, two orders of magnitude faster.  Each plan is
+solved once per platform and shared across every error level and
+repetition.  Batch-dynamic algorithms — every in-tree dynamic scheduler:
+Factoring, WeightedFactoring, FSC, RUMR and its variants, AdaptiveRUMR —
+have no fixed plan but a pure-arithmetic decision rule, so *their*
+repetition axes advance in lockstep through
 :func:`~repro.sim.dynbatch.simulate_dynamic_cells` — one global pass
-merging every (platform, error) cell, run after the per-platform loop.
-The remaining dynamic algorithms (FSC, AdaptiveRUMR) keep the scalar
-engine in makespan-only mode.  All paths use *the same per-cell seeds*,
-so the cross-algorithm pairing is untouched.  At ``error = 0`` the batch
-paths agree with the scalar engine bit-for-bit; at ``error > 0`` their
-makespans are distributionally identical but not bitwise (see
-``repro.sim.batch`` / ``repro.sim.dynbatch``).  ``batch_static=False``
-(CLI ``--no-batch``) forces everything through the scalar engine.
+merging every (platform, error) cell, reusing one grow-only
+:class:`~repro.sim.dynbatch.BatchArena` across the merged calls.  Fault
+grids ride the same passes: both batch engines realize per-repetition
+fault schedules with the scalar engine's exact semantics, gated per
+scheduler by :attr:`~repro.core.base.Scheduler.batch_supports_faults`.
+All paths use *the same per-cell seeds*, so the cross-algorithm pairing
+is untouched.  At ``error = 0`` the batch paths agree with the scalar
+engine bit-for-bit; at ``error > 0`` their makespans are
+distributionally identical but not bitwise (see ``repro.sim.batch`` /
+``repro.sim.dynbatch``).  ``batch_static=False`` (CLI ``--no-batch``)
+forces everything through the scalar engine.
 
 Resilience: every cell executes under a
 :class:`~repro.experiments.resilient.CellSupervisor` — retried per the
@@ -54,6 +59,7 @@ import os
 import pathlib
 import time
 import typing
+from functools import lru_cache
 
 import numpy as np
 
@@ -74,11 +80,11 @@ from repro.experiments.resilient import (
     RetryPolicy,
 )
 from repro.sim.batch import (
+    StaticCell,
     compile_static_plan,
-    draw_factor_matrices,
-    simulate_static_batch,
+    simulate_static_cells,
 )
-from repro.sim.dynbatch import DynamicCell, simulate_dynamic_cells
+from repro.sim.dynbatch import BatchArena, DynamicCell, simulate_dynamic_cells
 from repro.sim.fastsim import simulate_fast
 
 __all__ = ["SweepResults", "run_sweep", "run_fault_sweep", "FaultSweepResults"]
@@ -146,8 +152,9 @@ def _batch_eligible(grid: ExperimentGrid, scheduler) -> bool:
 
     Fault grids additionally require the scheduler to declare
     :attr:`~repro.core.base.Scheduler.batch_supports_faults` — the explicit
-    opt-in mirroring ``is_batch_dynamic``.  No in-tree scheduler sets it
-    yet, so every fault cell currently routes through the scalar engine.
+    opt-in mirroring ``is_batch_dynamic``.  Every in-tree scheduler sets
+    it, so fault cells normally batch; the gate still guards third-party
+    schedulers that have not made the claim.
     """
     return not grid.has_faults or scheduler.batch_supports_faults
 
@@ -157,12 +164,22 @@ def _cell_seeds(grid: ExperimentGrid, p_idx: int, e_idx: int) -> list[int]:
 
     One seed per repetition, shared by all algorithms (paired comparisons)
     and by both engines; simulate_fast and simulate_static_batch spawn the
-    same independent comm/comp streams from it.
+    same independent comm/comp streams from it.  Memoized on the grid's
+    seed coordinates — every engine path re-derives the same cell seeds,
+    and spawning the underlying PCG64 streams dominates an otherwise
+    cheap lookup.
     """
-    return [
-        int(stream_for(grid.seed, p_idx, e_idx, rep).integers(0, 2**63 - 1))
-        for rep in range(grid.repetitions)
-    ]
+    return list(_cell_seeds_cached(grid.seed, grid.repetitions, p_idx, e_idx))
+
+
+@lru_cache(maxsize=4096)
+def _cell_seeds_cached(
+    grid_seed: int, repetitions: int, p_idx: int, e_idx: int
+) -> tuple[int, ...]:
+    return tuple(
+        int(stream_for(grid_seed, p_idx, e_idx, rep).integers(0, 2**63 - 1))
+        for rep in range(repetitions)
+    )
 
 
 def _scalar_cell(
@@ -199,16 +216,20 @@ def _run_platform(
     stats=None,
     supervisor: CellSupervisor | None = None,
 ) -> np.ndarray:
-    """Worker: all (error, rep, algo) simulations for one platform.
+    """Worker: the *scalar-engine* simulations for one platform.
 
     Returns an array of shape (num_errors, repetitions, num_algorithms).
-    With ``batch_dynamic`` on, batch-dynamic algorithms are *skipped*
-    here — their slots hold garbage until the caller's global lockstep
-    pass overwrites them.
+    Algorithms covered by a global batch pass — static algorithms under
+    ``batch_static`` (the grid pass) and batch-dynamic algorithms under
+    ``batch_dynamic`` (the lockstep pass) — are *skipped* here: their
+    slots hold garbage until the caller's pass overwrites them.  Because
+    every in-tree scheduler takes one of the batch paths, this loop only
+    has work when a flag is off, the grid's error model is unsupported,
+    or a third-party scheduler declines a batch contract.
 
-    Every cell runs through ``supervisor`` (retry → scalar fallback →
-    NaN quarantine; a fresh default supervisor is built when none is
-    given), so no cell failure escapes this function.  ``stats`` (a
+    Every cell runs through ``supervisor`` (retry → NaN quarantine; a
+    fresh default supervisor is built when none is given), so no cell
+    failure escapes this function.  ``stats`` (a
     :class:`repro.obs.SweepStats`) receives per-cell wall times; only the
     in-process path passes it — pool workers cannot share the parent's
     collector.
@@ -219,75 +240,22 @@ def _run_platform(
     out = np.empty((len(grid.errors), grid.repetitions, len(algorithms)))
     fault_model = make_fault_model(grid.fault) if grid.has_faults else None
 
-    # Per-platform plan cache: a static plan depends only on (platform,
-    # total_work), so it is solved and compiled exactly once here and
-    # reused across the whole (error × repetition) face instead of being
-    # re-derived inside create_source for every run.
-    static_plans: dict[int, typing.Any] = {}
     skipped: set[int] = set()
-    if batch_static and _grid_supports_batch(grid):
+    if _grid_supports_batch(grid):
         for a_idx, name in enumerate(algorithms):
             scheduler = make_scheduler(name, 0.0)
-            if scheduler.is_static and _batch_eligible(grid, scheduler):
-                try:
-                    static_plans[a_idx] = compile_static_plan(
-                        platform, scheduler.static_plan(platform, grid.total_work)
-                    )
-                except Exception:  # noqa: BLE001 — first rung of the ladder
-                    # Plan solving/compilation failed: this algorithm's
-                    # cells take the scalar engine on this platform.
-                    supervisor.count_fallback()
-    if batch_dynamic and _grid_supports_batch(grid):
-        skipped = {
-            a_idx
-            for a_idx, name in enumerate(algorithms)
-            if is_batch_dynamic_algorithm(name)
-            and _batch_eligible(grid, make_scheduler(name, 0.0))
-        }
+            if not _batch_eligible(grid, scheduler):
+                continue
+            if (batch_static and scheduler.is_static) or (
+                batch_dynamic and scheduler.is_batch_dynamic
+            ):
+                skipped.add(a_idx)
 
-    dynamic_indices = [
-        i for i in range(len(algorithms)) if i not in static_plans and i not in skipped
-    ]
-    if not static_plans and not dynamic_indices:
+    dynamic_indices = [i for i in range(len(algorithms)) if i not in skipped]
+    if not dynamic_indices:
         return out
-    max_chunks = max((p.num_chunks for p in static_plans.values()), default=0)
     for e_idx, error in enumerate(grid.errors):
         seeds = _cell_seeds(grid, p_idx, e_idx)
-        magnitude = error if grid.error_kind != "none" else 0.0
-        # One factor draw per cell, column-sliced per algorithm: the same
-        # per-seed streams the scalar engines spawn, drawn once instead of
-        # once per static algorithm.
-        factors = (
-            draw_factor_matrices(seeds, max_chunks, magnitude)
-            if static_plans and magnitude > 0.0
-            else None
-        )
-        for a_idx, plan in static_plans.items():
-            name = algorithms[a_idx]
-            t0 = time.perf_counter() if stats is not None else 0.0
-            out[e_idx, :, a_idx] = supervisor.run_cell(
-                lambda plan=plan: simulate_static_batch(
-                    platform, plan, magnitude, seeds, mode=grid.error_mode,
-                    factors=factors,
-                ),
-                fallback=lambda name=name, error=error: _scalar_cell(
-                    platform, grid, make_scheduler(name, error), error, seeds,
-                    fault_model,
-                ),
-                algorithm=name,
-                platform_index=p_idx,
-                error_index=e_idx,
-                engine="static-batch",
-                seed=seeds[0],
-                shape=(grid.repetitions,),
-            )
-            if stats is not None:
-                stats.time_cell(
-                    name, p_idx, e_idx, "static-batch",
-                    grid.repetitions, time.perf_counter() - t0,
-                )
-        if not dynamic_indices:
-            continue
         schedulers = [(i, make_scheduler(algorithms[i], error)) for i in dynamic_indices]
         for a_idx, scheduler in schedulers:
             t0 = time.perf_counter() if stats is not None else 0.0
@@ -467,19 +435,144 @@ def _supervised_pool_run(
     return remaining
 
 
+# The global batch passes share one grow-only arena across every merged
+# lockstep call (and across sweeps in the same process, e.g. the fault
+# sweep's per-scenario runs): state tensors are reused instead of
+# reallocated per cell group.  Only the parent process touches it — the
+# platform pool runs scalar cells exclusively.
+_SWEEP_ARENA = BatchArena()
+
+
+def _run_static_batch_pass(
+    grid: ExperimentGrid,
+    platforms: tuple[PlatformPoint, ...],
+    names: list[str],
+    tensors: dict[str, np.ndarray],
+    supervisor: CellSupervisor | None = None,
+    stats=None,
+) -> None:
+    """Fill the static algorithms' tensors via one whole-grid pass.
+
+    Solves and compiles each plan once per (platform, algorithm), builds
+    one :class:`~repro.sim.batch.StaticCell` per (platform, error,
+    algorithm) with the *same* per-cell seeds the scalar path would use
+    — fault model included — and hands the entire grid to
+    :func:`simulate_static_cells` as a single stacked tensor.
+
+    With a ``supervisor``, the merged pass is retried per the policy; if
+    it keeps failing, the pass degrades to per-cell grid calls — the
+    same computation, one cell per tensor — each under the full ladder
+    (retry → scalar fallback → NaN quarantine), so one poisoned cell
+    cannot take down every static result.  A plan that fails to *solve*
+    never enters the pass: its cells take the scalar engine directly,
+    counted as fallbacks.
+    """
+    fault_model = make_fault_model(grid.fault) if grid.has_faults else None
+    cells: list[StaticCell] = []
+    targets: list[tuple[str, int, int, float]] = []
+    scalar_jobs: list[tuple[str, int, int, float, typing.Any, list[int]]] = []
+    for p_idx, point in enumerate(platforms):
+        platform = point.build()
+        plans: dict[str, typing.Any] = {}
+        for name in names:
+            scheduler = make_scheduler(name, 0.0)
+            try:
+                plans[name] = compile_static_plan(
+                    platform, scheduler.static_plan(platform, grid.total_work)
+                )
+            except Exception:  # noqa: BLE001 — first rung of the ladder
+                plans[name] = None
+                if supervisor is not None:
+                    supervisor.count_fallback()
+        for e_idx, error in enumerate(grid.errors):
+            seeds = _cell_seeds(grid, p_idx, e_idx)
+            magnitude = error if grid.error_kind != "none" else 0.0
+            for name in names:
+                plan = plans[name]
+                if plan is None:
+                    scalar_jobs.append((name, p_idx, e_idx, error, platform, seeds))
+                    continue
+                cells.append(
+                    StaticCell(
+                        platform=platform,
+                        plan=plan,
+                        error=magnitude,
+                        seeds=tuple(seeds),
+                        faults=fault_model,
+                    )
+                )
+                targets.append((name, p_idx, e_idx, error))
+    if supervisor is None:
+        results = simulate_static_cells(cells, mode=grid.error_mode)
+    else:
+        results, exc = supervisor.attempt(
+            lambda: simulate_static_cells(cells, mode=grid.error_mode), grid.seed
+        )
+        if exc is not None:
+            results = [
+                supervisor.run_cell(
+                    lambda cell=cell: simulate_static_cells(
+                        [cell], mode=grid.error_mode
+                    )[0],
+                    fallback=lambda name=name, error=error, cell=cell: _scalar_cell(
+                        cell.platform, grid, make_scheduler(name, error), error,
+                        list(cell.seeds), fault_model,
+                    ),
+                    algorithm=name,
+                    platform_index=p_idx,
+                    error_index=e_idx,
+                    engine="static-batch",
+                    seed=cell.seeds[0],
+                    shape=(grid.repetitions,),
+                )
+                for cell, (name, p_idx, e_idx, error) in zip(cells, targets)
+            ]
+    for (name, p_idx, e_idx, _error), makespans in zip(targets, results):
+        tensors[name][p_idx, e_idx, :] = makespans
+    for name, p_idx, e_idx, error, platform, seeds in scalar_jobs:
+        t0 = time.perf_counter() if stats is not None else 0.0
+        cell_result = (
+            _scalar_cell(
+                platform, grid, make_scheduler(name, error), error, seeds, fault_model
+            )
+            if supervisor is None
+            else supervisor.run_cell(
+                lambda name=name, error=error, platform=platform, seeds=seeds:
+                    _scalar_cell(
+                        platform, grid, make_scheduler(name, error), error, seeds,
+                        fault_model,
+                    ),
+                algorithm=name,
+                platform_index=p_idx,
+                error_index=e_idx,
+                engine="scalar",
+                seed=seeds[0],
+                shape=(grid.repetitions,),
+            )
+        )
+        tensors[name][p_idx, e_idx, :] = cell_result
+        if stats is not None:
+            stats.time_cell(
+                name, p_idx, e_idx, "scalar",
+                grid.repetitions, time.perf_counter() - t0,
+            )
+
+
 def _run_dynamic_batch_pass(
     grid: ExperimentGrid,
     platforms: tuple[PlatformPoint, ...],
     names: list[str],
     tensors: dict[str, np.ndarray],
     supervisor: CellSupervisor | None = None,
+    arena: BatchArena | None = None,
 ) -> None:
     """Fill the batch-dynamic algorithms' tensors via one lockstep pass.
 
     Builds one :class:`~repro.sim.dynbatch.DynamicCell` per (platform,
     error, algorithm) with the *same* per-cell seeds the scalar path
-    would use, then lets :func:`simulate_dynamic_cells` merge compatible
-    cells into shared lockstep calls.
+    would use — fault model included — then lets
+    :func:`simulate_dynamic_cells` merge compatible cells into shared
+    lockstep calls drawing their state tensors from ``arena``.
 
     With a ``supervisor``, the merged pass is retried per the policy;
     if it keeps failing, the pass degrades to per-cell lockstep calls —
@@ -487,6 +580,7 @@ def _run_dynamic_batch_pass(
     (retry → scalar fallback → NaN quarantine), so one poisoned cell
     cannot take down every batch-dynamic result.
     """
+    fault_model = make_fault_model(grid.fault) if grid.has_faults else None
     cells: list[DynamicCell] = []
     targets: list[tuple[str, int, int, float]] = []
     for p_idx, point in enumerate(platforms):
@@ -502,24 +596,26 @@ def _run_dynamic_batch_pass(
                         total_work=grid.total_work,
                         error=magnitude,
                         seeds=seeds,
+                        faults=fault_model,
                     )
                 )
                 targets.append((name, p_idx, e_idx, error))
     if supervisor is None:
-        results = simulate_dynamic_cells(cells, mode=grid.error_mode)
+        results = simulate_dynamic_cells(cells, mode=grid.error_mode, arena=arena)
     else:
         results, exc = supervisor.attempt(
-            lambda: simulate_dynamic_cells(cells, mode=grid.error_mode), grid.seed
+            lambda: simulate_dynamic_cells(cells, mode=grid.error_mode, arena=arena),
+            grid.seed,
         )
         if exc is not None:
             results = [
                 supervisor.run_cell(
                     lambda cell=cell: simulate_dynamic_cells(
-                        [cell], mode=grid.error_mode
+                        [cell], mode=grid.error_mode, arena=arena
                     )[0],
                     fallback=lambda cell=cell, error=error: _scalar_cell(
                         cell.platform, grid, cell.scheduler, error,
-                        list(cell.seeds), None,
+                        list(cell.seeds), fault_model,
                     ),
                     algorithm=name,
                     platform_index=p_idx,
@@ -628,15 +724,29 @@ def run_sweep(
         else []
     )
     dyn_set = set(dyn_batch_names)
-    # Columns the per-platform loop is responsible for (the lockstep pass
-    # overwrites the rest); checkpoint shards record this mask so a shard
-    # written under different batch flags is never trusted for columns it
-    # did not actually compute.
-    loop_valid = np.array([a not in dyn_set for a in algorithms], dtype=bool)
+    static_batch_names = (
+        [
+            a
+            for a in algorithms
+            if make_scheduler(a, 0.0).is_static
+            and _batch_eligible(grid, make_scheduler(a, 0.0))
+        ]
+        if batch_static and _grid_supports_batch(grid)
+        else []
+    )
+    static_set = set(static_batch_names)
+    # Columns the per-platform loop is responsible for (the global batch
+    # passes overwrite the rest); checkpoint shards record this mask so a
+    # shard written under different batch flags is never trusted for
+    # columns it did not actually compute.
+    loop_valid = np.array(
+        [a not in dyn_set and a not in static_set for a in algorithms], dtype=bool
+    )
     loop_algo_count = int(loop_valid.sum())
-    # When the lockstep pass covers every algorithm, the per-platform loop
-    # has nothing left to do — skip it (and the pool) entirely.
-    if len(dyn_batch_names) == len(algorithms):
+    # When the global passes cover every algorithm — the normal case —
+    # the per-platform loop has nothing left to do; skip it (and the
+    # pool) entirely.
+    if len(dyn_batch_names) + len(static_batch_names) == len(algorithms):
         n_jobs = 0
 
     if stats is not None:
@@ -668,6 +778,7 @@ def run_sweep(
     )
     resumed_blocks: dict[int, np.ndarray] = {}
     lockstep_resumed: np.ndarray | None = None
+    staticgrid_resumed: np.ndarray | None = None
     if ckpt is not None and resume:
         block_shape = (len(grid.errors), grid.repetitions, len(algorithms))
         for p_idx in range(len(platforms)):
@@ -697,6 +808,19 @@ def run_sweep(
                     arr is not None and arr.shape == expected
                 ):
                     lockstep_resumed = arr
+        if static_batch_names:
+            shard = ckpt.load("staticgrid")
+            if shard is not None:
+                names = [str(n) for n in shard.get("names", np.array([]))]
+                arr = shard.get("block")
+                expected = (
+                    len(static_batch_names), len(platforms),
+                    len(grid.errors), grid.repetitions,
+                )
+                if names == list(static_batch_names) and (
+                    arr is not None and arr.shape == expected
+                ):
+                    staticgrid_resumed = arr
         if stats is not None:
             stats.cells_resumed += (
                 len(resumed_blocks) * len(grid.errors) * loop_algo_count
@@ -704,9 +828,13 @@ def run_sweep(
         # Quarantine records of resumed shards would otherwise be lost —
         # their NaNs are being reused, so their ledger entries are too.
         for entry in ckpt.load_ledger():
-            if entry.platform_index in resumed_blocks and entry.algorithm not in dyn_set:
-                ledger.add(entry)
-            elif lockstep_resumed is not None and entry.algorithm in dyn_set:
+            if entry.algorithm in dyn_set:
+                if lockstep_resumed is not None:
+                    ledger.add(entry)
+            elif entry.algorithm in static_set:
+                if staticgrid_resumed is not None:
+                    ledger.add(entry)
+            elif entry.platform_index in resumed_blocks:
                 ledger.add(entry)
 
     # -- the per-platform loop ---------------------------------------------
@@ -750,6 +878,31 @@ def run_sweep(
             )
             on_block(p_idx, block)
 
+    # -- the static whole-grid pass ----------------------------------------
+    if static_batch_names:
+        if staticgrid_resumed is not None:
+            for i, name in enumerate(static_batch_names):
+                tensors[name][...] = staticgrid_resumed[i]
+            if stats is not None:
+                stats.cells_resumed += (
+                    len(static_batch_names) * len(platforms) * len(grid.errors)
+                )
+        else:
+            t0 = time.perf_counter()
+            _run_static_batch_pass(
+                grid, platforms, static_batch_names, tensors,
+                supervisor=supervisor, stats=stats,
+            )
+            if stats is not None:
+                stats.staticgrid_wall_s += time.perf_counter() - t0
+            if ckpt is not None:
+                ckpt.save(
+                    "staticgrid",
+                    block=np.stack([tensors[n] for n in static_batch_names]),
+                    names=np.array(static_batch_names),
+                )
+                ckpt.save_ledger(ledger)
+
     # -- the merged lockstep pass ------------------------------------------
     if dyn_batch_names:
         if lockstep_resumed is not None:
@@ -762,7 +915,8 @@ def run_sweep(
         else:
             t0 = time.perf_counter()
             _run_dynamic_batch_pass(
-                grid, platforms, dyn_batch_names, tensors, supervisor=supervisor
+                grid, platforms, dyn_batch_names, tensors,
+                supervisor=supervisor, arena=_SWEEP_ARENA,
             )
             if stats is not None:
                 stats.lockstep_wall_s += time.perf_counter() - t0

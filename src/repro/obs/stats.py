@@ -57,6 +57,7 @@ class SweepStats:
     )
     cell_timings: list[CellTiming] = dataclasses.field(default_factory=list)
     lockstep_wall_s: float = 0.0
+    staticgrid_wall_s: float = 0.0
     total_wall_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -116,6 +117,8 @@ class SweepStats:
             lines.append(
                 f"  {engine:>12}: {cells:5d} cells, {runs:7d} runs ({share:5.1%})"
             )
+        if self.staticgrid_wall_s:
+            lines.append(f"static grid pass wall: {self.staticgrid_wall_s:.3f}s")
         if self.lockstep_wall_s:
             lines.append(f"lockstep pass wall: {self.lockstep_wall_s:.3f}s")
         cache_line = (
@@ -155,6 +158,7 @@ class SweepStats:
             "cells": dict(self.cells),
             "runs": dict(self.runs),
             "lockstep_wall_s": self.lockstep_wall_s,
+            "staticgrid_wall_s": self.staticgrid_wall_s,
             "total_wall_s": self.total_wall_s,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,

@@ -26,16 +26,27 @@ the same two spawned streams as the scalar engines, in chunk order, so
   the (rare) below-floor entries afterwards.  The test suite checks exact
   equality where defined and statistical agreement elsewhere.
 
+Beyond one plan at a time, :func:`simulate_static_cells` stacks a whole
+*grid* of static cells — every (platform, error, algorithm) combination,
+padded to a common chunk count — into one (rows × chunks) tensor, so the
+sequential chunk loop is amortized over every repetition of every cell
+at once.  Fault cells ride along: each row realizes its own
+:class:`~repro.errors.faults.FaultSchedule` from its seed's third
+stream, link spikes perturb the link chain before the cumsum, pause /
+slowdown windows reshape compute durations inside the chunk loop, and
+chunks outliving their worker's crash are lost (they keep the busy chain
+advancing but contribute no makespan) — the scalar engine's fault
+semantics, vectorized.
+
 Dynamic schedulers have no fixed dispatch sequence, so they cannot use
-*this* engine — but most of them (Factoring, WeightedFactoring, the RUMR
-variants) decide from pure arithmetic over master-observable state and
-batch under the *lockstep* contract instead: :mod:`repro.sim.dynbatch`
-advances all repetitions one decision at a time as row-wise array
-operations, consuming the same per-seed streams and reusing this
-module's :func:`_draw_factors`.  Only the remaining dynamics (FSC,
-AdaptiveRUMR) stay on the scalar engine.  The per-cell seeds are shared
-by every path, so the strict cross-algorithm pairing Tables 2–3 need is
-preserved throughout.
+*this* engine — but all of them (Factoring, WeightedFactoring, FSC, the
+RUMR variants, AdaptiveRUMR) decide from pure arithmetic over
+master-observable state and batch under the *lockstep* contract instead:
+:mod:`repro.sim.dynbatch` advances all repetitions one decision at a
+time as row-wise array operations, consuming the same per-seed streams
+and reusing this module's :func:`_draw_factors`.  The per-cell seeds are
+shared by every path, so the strict cross-algorithm pairing Tables 2–3
+need is preserved throughout.
 """
 
 from __future__ import annotations
@@ -46,14 +57,18 @@ import typing
 import numpy as np
 
 from repro.core.chunks import ChunkPlan
+from repro.errors.faults import FaultModel
 from repro.errors.models import MIN_RATIO
 from repro.platform.spec import PlatformSpec
 
 __all__ = [
     "CompiledStaticPlan",
+    "StaticCell",
     "compile_static_plan",
     "draw_factor_matrices",
+    "factor_stream",
     "simulate_static_batch",
+    "simulate_static_cells",
 ]
 
 
@@ -74,18 +89,60 @@ class CompiledStaticPlan:
     tlat: np.ndarray          # (K,) pipeline latency per chunk
     sizes: "np.ndarray | None" = None   # (K,) chunk sizes (tracing only)
     phases: tuple[str, ...] = ()        # (K,) plan-derived phase labels
+    #: (N, depth) chunk columns per worker in dispatch order, -1-padded —
+    #: the layout the depth-major compute recurrence iterates over.
+    by_worker: "np.ndarray | None" = None
 
     @property
     def num_chunks(self) -> int:
         return len(self.workers)
 
+    @property
+    def worker_layout(self) -> np.ndarray:
+        """The per-worker chunk layout, derived on demand if not stored."""
+        if self.by_worker is not None:
+            return self.by_worker
+        return _worker_layout(self.workers, self.num_workers)
+
+
+def _worker_layout(workers: np.ndarray, n: int) -> np.ndarray:
+    """(n, depth) chunk columns per worker in dispatch order, -1-padded.
+
+    Each worker's compute chain ``end_k = max(arrival_k, end_{k-1}) +
+    dur_k`` depends only on its *own* previous chunk, so the batch
+    engines iterate the recurrence depth-major: one step per chunk
+    position within a worker (``depth`` steps total) instead of one per
+    chunk (``K`` steps), with all workers of all rows advancing together.
+    """
+    counts = np.bincount(workers, minlength=n) if len(workers) else np.zeros(n, int)
+    depth = int(counts.max()) if len(workers) else 0
+    out = np.full((n, max(depth, 1)), -1, dtype=np.intp)
+    pos = np.zeros(n, dtype=np.intp)
+    for j, w in enumerate(workers):
+        out[w, pos[w]] = j
+        pos[w] += 1
+    return out
+
+
+#: Identity-keyed memo for :func:`compile_static_plan`.  Solvers are
+#: lru-cached, so a sweep re-presents the *same* platform and plan
+#: objects every time it revisits a cell; keeping strong references in
+#: the value makes the ``id()`` key safe (no recycled ids while cached).
+_COMPILE_CACHE: dict = {}
+_COMPILE_CACHE_MAX = 1024
+
 
 def compile_static_plan(platform: PlatformSpec, plan: ChunkPlan) -> CompiledStaticPlan:
     """Lower a :class:`ChunkPlan` for repeated batch simulation."""
+    key = (id(platform), id(plan))
+    hit = _COMPILE_CACHE.get(key)
+    if hit is not None and hit[0] is platform and hit[1] is plan:
+        return hit[2]
     chunks = list(plan)
-    return CompiledStaticPlan(
+    workers = np.array([c.worker for c in chunks], dtype=np.intp)
+    compiled = CompiledStaticPlan(
         num_workers=platform.N,
-        workers=np.array([c.worker for c in chunks], dtype=np.intp),
+        workers=workers,
         link_pred=np.array([platform[c.worker].link_time(c.size) for c in chunks]),
         comp_pred=np.array([platform[c.worker].compute_time(c.size) for c in chunks]),
         tlat=np.array([platform[c.worker].tLat for c in chunks]),
@@ -93,7 +150,12 @@ def compile_static_plan(platform: PlatformSpec, plan: ChunkPlan) -> CompiledStat
         phases=tuple(
             f"round{c.round_index}" if c.round_index >= 0 else "" for c in chunks
         ),
+        by_worker=_worker_layout(workers, platform.N),
     )
+    if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
+        _COMPILE_CACHE.pop(next(iter(_COMPILE_CACHE)))
+    _COMPILE_CACHE[key] = (platform, plan, compiled)
+    return compiled
 
 
 def _draw_factors(
@@ -110,6 +172,75 @@ def _draw_factors(
     return x
 
 
+class _FactorStream:
+    """One seed's (comm, comp) factor columns, grown by continuation.
+
+    The generators persist with the drawn columns, so extending the
+    column count continues the *same* stream — an entry's prefix never
+    changes once drawn, which keeps repeated identical sweeps bitwise
+    reproducible regardless of cache state.  Factors are stored raw
+    (multiply-mode); consumers apply the ``divide`` inversion themselves.
+    """
+
+    __slots__ = ("comm", "comp", "_gen_comm", "_gen_comp", "_magnitude", "_min_ratio")
+
+    def __init__(self, seed: int, magnitude: float, min_ratio: float):
+        comm_seq, comp_seq = np.random.SeedSequence(int(seed)).spawn(2)
+        self._gen_comm = np.random.Generator(np.random.PCG64(comm_seq))
+        self._gen_comp = np.random.Generator(np.random.PCG64(comp_seq))
+        self._magnitude = magnitude
+        self._min_ratio = min_ratio
+        self.comm = np.empty(0)
+        self.comp = np.empty(0)
+
+    def ensure(self, cols: int) -> None:
+        have = len(self.comm)
+        if cols <= have:
+            return
+        target = max(cols, 2 * have, 64)
+        extra = target - have
+        self.comm = np.concatenate(
+            [self.comm, _draw_factors(self._gen_comm, extra, self._magnitude,
+                                      self._min_ratio)]
+        )
+        self.comp = np.concatenate(
+            [self.comp, _draw_factors(self._gen_comp, extra, self._magnitude,
+                                      self._min_ratio)]
+        )
+
+
+#: Bounded FIFO cache of factor streams keyed by (seed, magnitude,
+#: min_ratio).  Sweeps revisit the same per-cell seeds constantly — all
+#: algorithms share a cell's streams (paired comparisons), fault-scenario
+#: sweeps re-run the same cells, and benchmark/retry paths repeat whole
+#: grids — so the spawn-and-draw cost is paid once per seed, not once
+#: per visit.  Entries are never mutated after growth (prefix-stable),
+#: so consumers may slice but must not write into the returned rows.
+_FACTOR_STREAMS: dict = {}
+_FACTOR_STREAMS_MAX = 4096
+
+
+def factor_stream(
+    seed: int, magnitude: float, cols: int, min_ratio: float = MIN_RATIO
+) -> _FactorStream:
+    """The cached factor stream for ``seed``, grown to ``cols`` columns.
+
+    Requires ``magnitude > 0`` (zero-magnitude rows are exact ones and
+    need no stream at all).  The returned entry's ``comm``/``comp``
+    arrays have at least ``cols`` columns; callers slice a prefix and
+    must treat the arrays as read-only.
+    """
+    key = (int(seed), float(magnitude), float(min_ratio))
+    entry = _FACTOR_STREAMS.get(key)
+    if entry is None:
+        if len(_FACTOR_STREAMS) >= _FACTOR_STREAMS_MAX:
+            _FACTOR_STREAMS.pop(next(iter(_FACTOR_STREAMS)))
+        entry = _FactorStream(seed, magnitude, min_ratio)
+        _FACTOR_STREAMS[key] = entry
+    entry.ensure(cols)
+    return entry
+
+
 def draw_factor_matrices(
     seeds: "np.ndarray | list[int]",
     k: int,
@@ -121,9 +252,9 @@ def draw_factor_matrices(
     Stream identity with the scalar engines is preserved: seed ``s`` feeds
     ``SeedSequence(s).spawn(2)`` exactly like
     :func:`repro.errors.rng.spawn_rngs`, and factors come out in chunk
-    order.  The spawning itself is batched — all ``2·R`` child sequences
-    and bit generators are built in one pass before any drawing — rather
-    than interleaving spawn/draw per seed.
+    order.  Draws come from the per-seed :func:`factor_stream` cache, so
+    repeated calls under the same seeds — every algorithm of a cell, every
+    fault scenario of a grid, every retry — reuse one spawn-and-draw.
 
     Because every stream emits factors in chunk order, a matrix drawn for
     the *largest* chunk count can be column-sliced and reused for any
@@ -131,19 +262,245 @@ def draw_factor_matrices(
     matrix pair per (platform, error) cell and shares it across all static
     algorithms, exactly as the scalar engines share the per-cell streams.
     """
-    children = [
-        child
-        for seed in seeds
-        for child in np.random.SeedSequence(int(seed)).spawn(2)
-    ]
-    generators = [np.random.Generator(np.random.PCG64(c)) for c in children]
     r = len(seeds)
     comm = np.empty((r, k))
     comp = np.empty((r, k))
-    for i in range(r):
-        comm[i] = _draw_factors(generators[2 * i], k, error, min_ratio)
-        comp[i] = _draw_factors(generators[2 * i + 1], k, error, min_ratio)
+    if error == 0.0:
+        comm[...] = 1.0
+        comp[...] = 1.0
+        return comm, comp
+    for i, seed in enumerate(seeds):
+        stream = factor_stream(int(seed), error, k, min_ratio)
+        comm[i] = stream.comm[:k]
+        comp[i] = stream.comp[:k]
     return comm, comp
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticCell:
+    """One static (platform, plan, error) cell and its repetition seeds.
+
+    The grid-stacking unit of :func:`simulate_static_cells`.  ``faults``
+    optionally injects a fault scenario: each repetition row samples its
+    own schedule from the seed's third spawned stream, exactly like the
+    scalar engine.
+    """
+
+    platform: PlatformSpec
+    plan: CompiledStaticPlan
+    error: float
+    seeds: tuple
+    faults: "FaultModel | None" = None
+
+    def __post_init__(self) -> None:
+        if self.error < 0:
+            raise ValueError(f"error magnitude must be >= 0, got {self.error}")
+        if len(self.seeds) == 0:
+            raise ValueError("a cell needs at least one seed")
+
+
+def simulate_static_cells(
+    cells: "typing.Sequence[StaticCell]",
+    mode: str = "multiply",
+    min_ratio: float = MIN_RATIO,
+) -> list:
+    """Simulate a whole grid of static cells in one stacked pass.
+
+    Every repetition of every cell becomes one row of a shared
+    (rows × chunks) tensor, padded to the longest plan; the sequential
+    chunk loop — the only per-chunk Python cost — then runs *once* for
+    the entire grid instead of once per (platform, error, algorithm)
+    cell.  Factor draws are deduplicated by ``(seed, error)``: rows
+    sharing a seed and magnitude (the same cell simulated under several
+    algorithms — the paired-comparison discipline) reuse one draw, like
+    the scalar engines re-deriving identical streams from the seed.
+
+    Deterministic fault-free cells (``error == 0`` and no faults)
+    collapse to a single simulated row broadcast over their seeds,
+    mirroring :func:`simulate_static_batch`'s shortcut.  Fault cells
+    keep one row per seed — their schedules differ — and follow the
+    scalar fault semantics vectorized (see the module docstring).
+
+    Returns one makespan array per cell, in input order, each of shape
+    ``(len(cell.seeds),)``.
+    """
+    if mode not in ("multiply", "divide"):
+        raise ValueError(f"unknown perturbation mode {mode!r}")
+    cells = list(cells)
+    if not cells:
+        return []
+    # Clean deterministic cells need only one representative row.
+    row_counts = [
+        1 if (c.error == 0.0 and c.faults is None) else len(c.seeds) for c in cells
+    ]
+    offsets = np.cumsum([0] + row_counts)
+    rows = int(offsets[-1])
+    k_max = max(c.plan.num_chunks for c in cells)
+    n_max = max(c.plan.num_workers for c in cells)
+    if k_max == 0:
+        return [np.zeros(len(c.seeds)) for c in cells]
+
+    # Per-cell padded prediction arrays, row-expanded over repetitions.
+    link_pred = np.zeros((len(cells), k_max))
+    comp_pred = np.zeros((len(cells), k_max))
+    tlat = np.zeros((len(cells), k_max))
+    for i, c in enumerate(cells):
+        k = c.plan.num_chunks
+        link_pred[i, :k] = c.plan.link_pred
+        comp_pred[i, :k] = c.plan.comp_pred
+        tlat[i, :k] = c.plan.tlat
+    rep = lambda a: np.repeat(a, row_counts, axis=0)  # noqa: E731
+    link_pred, comp_pred, tlat = map(rep, (link_pred, comp_pred, tlat))
+
+    # Factor matrices: one cached stream per distinct (seed, error) — see
+    # :func:`factor_stream` — k_max columns so any plan in the grid can
+    # consume its prefix.
+    comm = np.empty((rows, k_max))
+    comp = np.empty((rows, k_max))
+    r = 0
+    for c, count in zip(cells, row_counts):
+        for seed in c.seeds[:count]:
+            if c.error > 0.0:
+                stream = factor_stream(int(seed), c.error, k_max, min_ratio)
+                comm[r] = stream.comm[:k_max]
+                comp[r] = stream.comp[:k_max]
+            else:
+                comm[r] = 1.0
+                comp[r] = 1.0
+            r += 1
+    if mode == "divide":
+        np.divide(1.0, comm, out=comm)
+        np.divide(1.0, comp, out=comp)
+
+    # Fault realization: per-row schedules from each seed's third stream
+    # (neutral defaults keep the transforms bitwise no-ops on clean rows).
+    fault_mode = any(c.faults is not None for c in cells)
+    if fault_mode:
+        spike_rows: list = []
+        crash_t = np.full((rows, n_max), np.inf)
+        pause_s = np.zeros((rows, n_max))
+        pause_l = np.zeros((rows, n_max))
+        slow_s = np.zeros((rows, n_max))
+        slow_f = np.ones((rows, n_max))
+        r = 0
+        for c, count in zip(cells, row_counts):
+            for seed in c.seeds[:count]:
+                if c.faults is not None:
+                    rng_fault = np.random.Generator(
+                        np.random.PCG64(np.random.SeedSequence(int(seed)).spawn(3)[2])
+                    )
+                    schedule = c.faults.sample(c.platform, rng_fault)
+                    if schedule.any_faults:
+                        n = schedule.num_workers
+                        crash_t[r, :n] = schedule.crash_times
+                        pp = np.asarray(schedule.pauses)
+                        pause_s[r, :n] = pp[:, 0]
+                        pause_l[r, :n] = pp[:, 1]
+                        ss = np.asarray(schedule.slowdowns)
+                        slow_s[r, :n] = ss[:, 0]
+                        slow_f[r, :n] = ss[:, 1]
+                        if schedule.spike_prob > 0.0:
+                            # One uniform draw per dispatch, in dispatch
+                            # order — Generator.random(k) consumes the
+                            # stream exactly like k scalar calls.
+                            kc = c.plan.num_chunks
+                            draws = rng_fault.random(kc)
+                            # The scalar engine adds the spike *after*
+                            # perturbing, so it becomes an additive term
+                            # folded into link_eff below.
+                            spikes = np.where(
+                                draws < schedule.spike_prob,
+                                schedule.spike_delay,
+                                0.0,
+                            )
+                            spike_rows.append((r, kc, spikes))
+                r += 1
+
+    link_eff = link_pred * comm
+    if fault_mode and spike_rows:
+        for r, kc, spikes in spike_rows:
+            link_eff[r, :kc] += spikes
+    # arrival/duration carry the sentinel column in-place (computed into
+    # the padded allocation directly — no concatenate copies).
+    arr_pad = np.empty((rows, k_max + 1))
+    dur_pad = np.empty((rows, k_max + 1))
+    arrival = arr_pad[:, :k_max]
+    comp_dur = dur_pad[:, :k_max]
+    np.cumsum(link_eff, axis=1, out=arrival)
+    arrival += tlat
+    arr_pad[:, k_max] = -np.inf
+    np.multiply(comp_pred, comp, out=comp_dur)
+    dur_pad[:, k_max] = 0.0
+
+    # Depth-major compute recurrence (see :func:`_worker_layout`): gather
+    # each chunk's arrival/duration into (rows, workers, depth) position,
+    # then advance every worker chain of every row one chunk per step.
+    # Pad slots gather the appended sentinel column (arrival -inf, dur 0),
+    # making ``max(busy, -inf) + 0`` an exact no-op on the busy chain.
+    d_max = max(c.plan.worker_layout.shape[1] for c in cells)
+    gidx = np.full((len(cells), n_max, d_max), k_max, dtype=np.intp)
+    for i, c in enumerate(cells):
+        bw = c.plan.worker_layout
+        n, d = bw.shape
+        np.copyto(gidx[i, :n, :d], bw, where=bw >= 0)
+    gidx = rep(gidx.reshape(len(cells), n_max * d_max))
+    arr_g = np.take_along_axis(arr_pad, gidx, axis=1).reshape(rows, n_max, d_max)
+    dur_g = np.take_along_axis(dur_pad, gidx, axis=1).reshape(rows, n_max, d_max)
+
+    busy = np.zeros((rows, n_max))
+    if not fault_mode:
+        for d in range(d_max):
+            np.maximum(busy, arr_g[:, :, d], out=busy)
+            busy += dur_g[:, :, d]
+        # Worker chain ends are monotone, so the final busy time per
+        # worker is its chain maximum and the row max is the makespan.
+        mspan = busy.max(axis=1)
+    else:
+        vmask = (gidx != k_max).reshape(rows, n_max, d_max)
+        mspan_w = np.zeros((rows, n_max))
+        for d in range(d_max):
+            v = vmask[:, :, d]
+            start = np.maximum(busy, arr_g[:, :, d])
+            dur = dur_g[:, :, d]
+            # Pause window first, then slowdown onset — the scalar
+            # compute_duration order, with its exact associativity.
+            in_window = (pause_l > 0.0) & (start < pause_s + pause_l)
+            if in_window.any():
+                inside = in_window & (start >= pause_s)
+                straddle = in_window & ~inside & (start + dur > pause_s)
+                dur = np.where(
+                    inside,
+                    (pause_s + pause_l + dur) - start,
+                    np.where(straddle, dur + pause_l, dur),
+                )
+            slowed = (slow_f > 1.0) & (start + dur > slow_s)
+            if slowed.any():
+                after = slowed & (start >= slow_s)
+                partial = slowed & ~after
+                done_part = slow_s - start
+                dur = np.where(
+                    after,
+                    dur * slow_f,
+                    np.where(
+                        partial, done_part + (dur - done_part) * slow_f, dur
+                    ),
+                )
+            end = start + dur
+            busy = np.where(v, end, busy)
+            # Lost chunks (computation outlives the crash) keep the busy
+            # chain advancing but never extend the makespan.
+            delivered = v & ~(end > crash_t)
+            np.maximum(mspan_w, np.where(delivered, end, 0.0), out=mspan_w)
+        mspan = mspan_w.max(axis=1)
+
+    out = []
+    for i, c in enumerate(cells):
+        part = mspan[offsets[i] : offsets[i + 1]]
+        if row_counts[i] == 1 and len(c.seeds) != 1:
+            out.append(np.full(len(c.seeds), part[0]))
+        else:
+            out.append(part.copy())
+    return out
 
 
 def simulate_static_batch(
@@ -155,6 +512,7 @@ def simulate_static_batch(
     mode: str = "multiply",
     factors: tuple[np.ndarray, np.ndarray] | None = None,
     tracers: "typing.Sequence | None" = None,
+    faults: "FaultModel | None" = None,
 ) -> np.ndarray:
     """Makespans of one static plan under R independent error draws.
 
@@ -186,6 +544,12 @@ def simulate_static_batch(
         (``"round{r}"``) rather than scheduler-specific names, and timeline
         values are extracted from the batch arrays only for traced rows —
         the untraced path allocates nothing extra.
+    faults:
+        Optional fault model; the call is delegated to
+        :func:`simulate_static_cells` as a one-cell grid (so each seed
+        realizes its own schedule from its third spawned stream, exactly
+        like the scalar engine).  Incompatible with ``factors`` and
+        ``tracers``.
 
     Returns
     -------
@@ -196,6 +560,26 @@ def simulate_static_batch(
         raise ValueError(f"unknown perturbation mode {mode!r}")
     if not isinstance(plan, CompiledStaticPlan):
         plan = compile_static_plan(platform, plan)
+    if faults is not None:
+        if factors is not None:
+            raise ValueError(
+                "faults= cannot be combined with shared factor matrices: "
+                "fault cells are never factor-shared (each row's schedule "
+                "realization is seed-specific)"
+            )
+        if tracers is not None and any(t is not None for t in tracers):
+            raise ValueError(
+                "faults= does not support tracing; use the scalar engine "
+                "for traced fault runs"
+            )
+        cell = StaticCell(
+            platform=platform,
+            plan=plan,
+            error=error,
+            seeds=tuple(int(s) for s in seeds),
+            faults=faults,
+        )
+        return simulate_static_cells([cell], mode=mode, min_ratio=min_ratio)[0]
     k = plan.num_chunks
     if k == 0:
         return np.zeros(len(seeds))
@@ -242,16 +626,27 @@ def simulate_static_batch(
     comp_dur = comp_pred[None, :] * comp_factors
 
     busy = np.zeros((r, plan.num_workers))
-    makespan = np.zeros(r)
-    comp_starts = np.empty((r, k)) if tracing else None
-    for j in range(k):
-        w = workers[j]
-        start = np.maximum(arrival[:, j], busy[:, w])
-        end = start + comp_dur[:, j]
-        busy[:, w] = end
-        np.maximum(makespan, end, out=makespan)
-        if tracing:
+    if tracing:
+        makespan = np.zeros(r)
+        comp_starts = np.empty((r, k))
+        for j in range(k):
+            w = workers[j]
+            start = np.maximum(arrival[:, j], busy[:, w])
+            end = start + comp_dur[:, j]
+            busy[:, w] = end
+            np.maximum(makespan, end, out=makespan)
             comp_starts[:, j] = start
+    else:
+        # Depth-major recurrence (see _worker_layout): worker chains are
+        # independent, so the loop needs only max-chunks-per-worker steps.
+        bw = plan.worker_layout
+        idx = np.where(bw >= 0, bw, k)
+        arr_g = np.concatenate([arrival, np.full((r, 1), -np.inf)], axis=1)[:, idx]
+        dur_g = np.concatenate([comp_dur, np.zeros((r, 1))], axis=1)[:, idx]
+        for d in range(bw.shape[1]):
+            np.maximum(busy, arr_g[:, :, d], out=busy)
+            busy += dur_g[:, :, d]
+        makespan = busy.max(axis=1)
 
     if tracing:
         # send_start_j is exactly send_end_{j-1} (the scalar engines' link

@@ -3,12 +3,13 @@
 The static batch engine (:mod:`repro.sim.batch`) collapses a repetition
 axis because the dispatch sequence is fixed up front.  Dynamic schedulers
 have no fixed sequence — but the batchable ones (Factoring,
-WeightedFactoring, RUMR) *decide* from pure arithmetic over
-master-observable state, so R independent runs can advance in lockstep:
-one iteration evaluates every run's next action (dispatch / wait / done)
-as row-wise NumPy operations, then applies all dispatches and wait
-wake-ups at once.  Rows follow their own trajectories — each has its own
-clock, queue state, and decision state — only the *stepping* is shared.
+WeightedFactoring, FSC, RUMR, AdaptiveRUMR) *decide* from pure arithmetic
+over master-observable state, so R independent runs can advance in
+lockstep: one iteration evaluates every run's next action (dispatch /
+wait / done) as row-wise NumPy operations, then applies all dispatches
+and wait wake-ups at once.  Rows follow their own trajectories — each has
+its own clock, queue state, and decision state — only the *stepping* is
+shared.
 
 Per iteration:
 
@@ -33,32 +34,72 @@ results are distributionally identical, diverging bitwise only where
 truncation resampling fires or a zero-cost transfer (``nLat = 0`` with
 infinite bandwidth) skips a scalar draw.
 
+Fault cells (:attr:`DynamicCell.faults`) run in the same pass.  Each row
+realizes its own :class:`~repro.errors.faults.FaultSchedule` from the
+third spawned stream of its seed — exactly like the scalar engine, so
+the first two streams keep their draws — and the scalar fault semantics
+become vectorized timeline transforms with the same associativity: pause
+windows and slowdown onsets reshape the effective compute duration
+(pause first, then slowdown), link spikes add per-dispatch draws from
+the row's own fault stream, and a chunk whose computation outlives its
+worker's crash is *lost* — it leaves the pending set at
+``max(crash_time, arrival)``, delivers no work, and never extends the
+makespan.  Kernels observe faults through a
+:class:`~repro.core.lockstep.KernelStepContext`: per-row crash masks
+plus newly observed losses and completions in the scalar view's
+``(time, chunk_index)`` order.  Rows whose sampled schedule contains a
+crash but whose kernel does not implement crash recovery
+(:attr:`~repro.core.lockstep.KernelSpec.handles_crashes` is False) are
+simulated by the scalar engine *inside the same call* — trivially
+bit-identical — so callers may route every cell of a fault grid here
+without inspecting the draws.
+
 Cells from *different* platforms, error levels, and scheduler parameters
 are merged into shared calls — grouped by kernel family and padded to a
 common worker count — because lockstep efficiency comes from row count:
 the per-iteration NumPy overhead is amortized over every row that is
-still running.  Only the truncated-normal (``"normal"``/``"none"``)
-error model is supported; other kinds stay on the scalar engine.
+still running.  A :class:`BatchArena` lets consecutive calls reuse the
+dense state buffers instead of reallocating them.  Only the
+truncated-normal (``"normal"``/``"none"``) error model is supported;
+other kinds stay on the scalar engine.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 
 import numpy as np
 
 from repro.core.base import DeadlockError, Scheduler
-from repro.core.lockstep import DISPATCH, DONE, PAD_PENDING, WAIT_FOR_COMPLETION
-from repro.errors.models import MIN_RATIO
+from repro.core.lockstep import (
+    DISPATCH,
+    DONE,
+    PAD_PENDING,
+    WAIT_FOR_COMPLETION,
+    KernelStepContext,
+    LockstepKernel,
+)
+from repro.errors.faults import FaultModel
+from repro.errors.models import MIN_RATIO, make_error_model
 from repro.platform.spec import PlatformSpec
-from repro.sim.batch import _draw_factors
+from repro.sim.batch import factor_stream
+from repro.sim.fastsim import simulate_fast
 
-__all__ = ["DynamicCell", "simulate_dynamic_batch", "simulate_dynamic_cells"]
+__all__ = [
+    "BatchArena",
+    "DynamicCell",
+    "simulate_dynamic_batch",
+    "simulate_dynamic_cells",
+]
 
 #: Row cap per lockstep call: bounds peak memory (queues are dense
 #: (rows × workers × capacity) arrays) while keeping calls wide enough
-#: to amortize the per-iteration overhead.
-MAX_ROWS = 1024
+#: to amortize the per-iteration overhead.  At N = 50 workers and the
+#: initial capacity of 8 slots the dense queues cost ~13 MB per float
+#: array at this cap — wide enough that a paper-scale (platform × error)
+#: sweep merges into a single pass per scheduler family.
+MAX_ROWS = 4096
 
 #: Initial factor-bank column capacity; grown by doubling on demand.
 _INITIAL_COLUMNS = 160
@@ -66,19 +107,31 @@ _INITIAL_COLUMNS = 160
 
 @dataclasses.dataclass(frozen=True)
 class DynamicCell:
-    """One (platform, scheduler, error) cell and its repetition seeds."""
+    """One (platform, scheduler, error) cell and its repetition seeds.
+
+    ``faults`` optionally injects a fault scenario: every repetition row
+    samples its own schedule from the seed's third spawned stream,
+    matching the scalar engine's contract.  The scheduler must declare
+    ``batch_supports_faults`` for such cells.
+    """
 
     platform: PlatformSpec
     scheduler: Scheduler
     total_work: float
     error: float
     seeds: tuple
+    faults: "FaultModel | None" = None
 
     def __post_init__(self) -> None:
         if not self.scheduler.is_batch_dynamic:
             raise TypeError(
                 f"{self.scheduler.name} is not batch-dynamic; run it through "
                 "the scalar engine instead"
+            )
+        if self.faults is not None and not self.scheduler.batch_supports_faults:
+            raise TypeError(
+                f"{self.scheduler.name} does not declare batch fault support; "
+                "route its fault cells through the scalar engine instead"
             )
         if self.error < 0:
             raise ValueError(f"error magnitude must be >= 0, got {self.error}")
@@ -88,56 +141,97 @@ class DynamicCell:
             raise ValueError("a cell needs at least one seed")
 
 
+class BatchArena:
+    """Reusable backing buffers for the lockstep engine's state arrays.
+
+    A sweep makes many lockstep calls — one per merged batch per grid
+    pass — and without reuse each call allocates ~20 dense arrays (the
+    (rows × workers × capacity) queue slabs dominating) only to free
+    them microseconds later.  The arena keeps one growable buffer per
+    array role and hands out views that are re-initialized *in full*
+    before use, so calls through one arena are pure: results depend only
+    on the call's arguments, never on what a previous call left behind
+    (property-tested in ``tests/properties/test_properties_dynbatch.py``).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict = {}
+
+    def take(self, name: str, shape: tuple, dtype=np.float64, fill=None) -> np.ndarray:
+        """Return a ``shape``-sized view of buffer ``name``, refilled.
+
+        The backing buffer grows monotonically (element-wise max of every
+        requested shape); ``fill`` overwrites the whole view so no state
+        leaks between calls.
+        """
+        buf = self._buffers.get(name)
+        if buf is None or buf.ndim != len(shape) or buf.dtype != np.dtype(dtype):
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+        elif any(have < want for have, want in zip(buf.shape, shape)):
+            grown = tuple(max(have, want) for have, want in zip(buf.shape, shape))
+            buf = np.empty(grown, dtype=dtype)
+            self._buffers[name] = buf
+        view = buf[tuple(slice(0, s) for s in shape)]
+        if fill is not None:
+            view[...] = fill
+        return view
+
+
 class _FactorBank:
-    """Per-row (comm, comp) perturbation factor columns, drawn lazily.
+    """Per-row (comm, comp) perturbation factor columns, fetched lazily.
 
     Column ``k`` of row ``r`` perturbs row ``r``'s ``k``-th dispatch.
-    Streams are spawned exactly like :func:`repro.errors.rng.spawn_rngs`
-    and block-drawn with mask resampling (:func:`repro.sim.batch.
-    _draw_factors`), so the consumption is bit-identical to the scalar
-    engine's chunk-order draws whenever no resample fires.  Rows with
-    zero magnitude hold exact ones and spawn no generators at all.
+    Rows draw from the shared per-seed stream cache
+    (:func:`repro.sim.batch.factor_stream` — spawned exactly like
+    :func:`repro.errors.rng.spawn_rngs`, block-drawn with mask
+    resampling), so the consumption is bit-identical to the scalar
+    engine's chunk-order draws whenever no resample fires, and rows
+    revisited by a later sweep reuse the already-drawn columns.  Rows
+    with zero magnitude hold exact ones and touch no stream at all.
     """
 
     def __init__(self, seeds, sigmas, mode: str, min_ratio: float):
-        self._sigmas = sigmas
         self._mode = mode
         self._min_ratio = min_ratio
-        self._gens: list = []
-        for seed, sigma in zip(seeds, sigmas):
-            if sigma > 0.0:
-                comm_seq, comp_seq = np.random.SeedSequence(int(seed)).spawn(2)
-                self._gens.append(
-                    (
-                        np.random.Generator(np.random.PCG64(comm_seq)),
-                        np.random.Generator(np.random.PCG64(comp_seq)),
-                    )
-                )
-            else:
-                self._gens.append(None)
-        rows = len(self._gens)
+        self._keys: list = [
+            (int(seed), float(sigma)) if sigma > 0.0 else None
+            for seed, sigma in zip(seeds, sigmas)
+        ]
+        rows = len(self._keys)
         self.comm = np.ones((rows, 0))
         self.comp = np.ones((rows, 0))
         self._cols = 0
 
+    def mute_row(self, row: int) -> None:
+        """Stop drawing for one row (it is simulated elsewhere)."""
+        self._keys[row] = None
+
+    def compact(self, keep) -> None:
+        """Drop every row not in ``keep`` (sorted row indices)."""
+        self._keys = [self._keys[int(r)] for r in keep]
+        self.comm = self.comm[keep]
+        self.comp = self.comp[keep]
+
     def ensure(self, cols: int) -> None:
-        """Guarantee at least ``cols`` drawn columns."""
+        """Guarantee at least ``cols`` materialized columns."""
         if cols <= self._cols:
             return
         target = max(cols, 2 * self._cols, _INITIAL_COLUMNS)
-        extra = target - self._cols
-        comm_new = np.ones((self.comm.shape[0], extra))
-        comp_new = np.ones((self.comm.shape[0], extra))
-        for i, pair in enumerate(self._gens):
-            if pair is None:
+        rows = len(self._keys)
+        comm = np.ones((rows, target))
+        comp = np.ones((rows, target))
+        for i, key in enumerate(self._keys):
+            if key is None:
                 continue
-            comm_new[i] = _draw_factors(pair[0], extra, self._sigmas[i], self._min_ratio)
-            comp_new[i] = _draw_factors(pair[1], extra, self._sigmas[i], self._min_ratio)
+            stream = factor_stream(key[0], key[1], target, self._min_ratio)
+            comm[i] = stream.comm[:target]
+            comp[i] = stream.comp[:target]
         if self._mode == "divide":
-            np.divide(1.0, comm_new, out=comm_new)
-            np.divide(1.0, comp_new, out=comp_new)
-        self.comm = np.concatenate([self.comm, comm_new], axis=1)
-        self.comp = np.concatenate([self.comp, comp_new], axis=1)
+            np.divide(1.0, comm, out=comm)
+            np.divide(1.0, comp, out=comp)
+        self.comm = comm
+        self.comp = comp
         self._cols = target
 
 
@@ -160,7 +254,9 @@ def _worker_arrays(cells, reps, n_max):
     return rep(S), rep(B), rep(cl), rep(nl), rep(tl)
 
 
-def _simulate_rows(cells, specs, mode: str, min_ratio: float, row_tracers=None) -> list:
+def _simulate_rows(
+    cells, specs, mode: str, min_ratio: float, row_tracers=None, arena=None
+) -> list:
     """Run one merged batch of cells to completion; makespans per cell.
 
     ``cells``/``specs`` must be ordered so that equal ``group_key`` runs
@@ -169,17 +265,30 @@ def _simulate_rows(cells, specs, mode: str, min_ratio: float, row_tracers=None) 
     is shared across all rows — one iteration advances every still-active
     row of every family.
 
+    Fault cells ride along: their rows carry per-worker crash / pause /
+    slowdown parameters whose neutral defaults (``inf`` crash,
+    zero-length pause, factor-1 slowdown, zero spike probability) make
+    the fault transforms bitwise no-ops for clean rows sharing the
+    batch.  Rows whose sampled schedule crashes a worker but whose
+    kernel spec leaves ``handles_crashes`` False are simulated by
+    :func:`repro.sim.fastsim.simulate_fast` up front and excluded from
+    the lockstep state.
+
     ``row_tracers`` is one :class:`repro.obs.Tracer` (or ``None``) per
     repetition row; traced rows have their dispatch timelines extracted
     from the batch arrays as they are applied (phase labels are not
     available here — lockstep kernels carry no scheduler phase — so traced
-    events use ``phase=""`` and emit no ``round_boundary``).
+    events use ``phase=""``, emit no ``round_boundary``, and fault rows
+    emit no ``recovery_decision``).
     """
     reps = [len(c.seeds) for c in cells]
     offsets = np.cumsum([0] + reps)
     rows = int(offsets[-1])
     n_max = max(c.platform.N for c in cells)
+    if arena is None:
+        arena = BatchArena()
 
+    # (kernel, row slice, wants_notes) per contiguous group-key run.
     kernels = []
     i = 0
     while i < len(cells):
@@ -190,6 +299,7 @@ def _simulate_rows(cells, specs, mode: str, min_ratio: float, row_tracers=None) 
             (
                 specs[i].make_kernel(specs[i:j], reps[i:j], n_max),
                 slice(int(offsets[i]), int(offsets[j])),
+                specs[i].wants_notes,
             )
         )
         i = j
@@ -202,69 +312,338 @@ def _simulate_rows(cells, specs, mode: str, min_ratio: float, row_tracers=None) 
     bank = _FactorBank(seeds, sigmas, mode, min_ratio)
     cell_of_row = np.repeat(np.arange(len(cells)), reps)
 
+    # Realize fault schedules row by row from each seed's third stream,
+    # exactly like the scalar engine (streams 0/1 stay with the factor
+    # bank).  The generator survives sampling only for rows that need
+    # per-dispatch link-spike draws.
+    notes_mode = any(s.wants_notes for s in specs)
+    fault_mode = False
+    schedules: list = [None] * rows
+    fault_rngs: list = [None] * rows
+    r = 0
+    for cell in cells:
+        for seed in cell.seeds:
+            if cell.faults is not None:
+                rng_fault = np.random.Generator(
+                    np.random.PCG64(np.random.SeedSequence(int(seed)).spawn(3)[2])
+                )
+                schedule = cell.faults.sample(cell.platform, rng_fault)
+                if schedule.any_faults:
+                    schedules[r] = schedule
+                    fault_mode = True
+                    if schedule.spike_prob > 0.0:
+                        fault_rngs[r] = rng_fault
+            r += 1
+    collect = fault_mode or notes_mode
+
+    active = arena.take("active", (rows,), dtype=bool, fill=True)
+
+    spike_any = False
+    deferred: list = []
+    defer_makespans: dict = {}
+    if fault_mode:
+        crash_t = arena.take("crash_t", (rows, n_max), fill=np.inf)
+        pause_s = arena.take("pause_s", (rows, n_max), fill=0.0)
+        pause_l = arena.take("pause_l", (rows, n_max), fill=0.0)
+        slow_s = arena.take("slow_s", (rows, n_max), fill=0.0)
+        slow_f = arena.take("slow_f", (rows, n_max), fill=1.0)
+        spike_p = arena.take("spike_p", (rows,), fill=0.0)
+        spike_d = arena.take("spike_d", (rows,), fill=0.0)
+        fault_row = arena.take("fault_row", (rows,), dtype=bool, fill=False)
+        mspan = arena.take("mspan", (rows,), fill=0.0)
+        for r, schedule in enumerate(schedules):
+            if schedule is None:
+                continue
+            spec = specs[int(cell_of_row[r])]
+            if not spec.handles_crashes and any(
+                t != math.inf for t in schedule.crash_times
+            ):
+                # Crash recovery this kernel cannot replay bitwise: the
+                # row runs on the scalar engine (the reference
+                # semantics) and its lockstep slot is frozen.
+                deferred.append(r)
+                schedules[r] = None
+                fault_rngs[r] = None
+                bank.mute_row(r)
+                continue
+            n = schedule.num_workers
+            fault_row[r] = True
+            crash_t[r, :n] = schedule.crash_times
+            pp = np.asarray(schedule.pauses)
+            pause_s[r, :n] = pp[:, 0]
+            pause_l[r, :n] = pp[:, 1]
+            ss = np.asarray(schedule.slowdowns)
+            slow_s[r, :n] = ss[:, 0]
+            slow_f[r, :n] = ss[:, 1]
+            spike_p[r] = schedule.spike_prob
+            spike_d[r] = schedule.spike_delay
+        spike_any = any(g is not None for g in fault_rngs)
+        for r in deferred:
+            cell = cells[int(cell_of_row[r])]
+            result = simulate_fast(
+                cell.platform,
+                cell.total_work,
+                cell.scheduler,
+                make_error_model("normal", cell.error, min_ratio=min_ratio, mode=mode),
+                seeds[r],
+                collect_records=False,
+                faults=cell.faults,
+                tracer=None if row_tracers is None else row_tracers[r],
+            )
+            defer_makespans[r] = result.makespan
+            active[r] = False
+        if row_tracers is not None:
+            # Crash instants are known once the schedule is realized;
+            # emitting them upfront matches the scalar engine's stream
+            # (deferred rows already emitted theirs inside simulate_fast).
+            for r, schedule in enumerate(schedules):
+                tracer = row_tracers[r]
+                if tracer is not None and schedule is not None:
+                    for wi, ct in enumerate(schedule.crash_times):
+                        if ct != math.inf:
+                            tracer.emit(ct, "fault", wi, detail="crash")
+    need_mask = bool(deferred)
+
     # Append-only FIFO queues of realized completions, one per
     # (row, worker), with the head element mirrored into dense
     # ``head_end``/``head_size`` arrays (inf/0 for an empty queue) so the
     # observe step never gathers from the 3-d slot arrays.
     cap = 8
-    q_end = np.full((rows, n_max, cap), np.inf)
-    q_size = np.zeros((rows, n_max, cap))
-    q_head = np.zeros((rows, n_max), dtype=np.int64)
-    q_tail = np.zeros((rows, n_max), dtype=np.int64)
-    head_end = np.full((rows, n_max), np.inf)
-    head_size = np.zeros((rows, n_max))
+    q_end = arena.take("q_end", (rows, n_max, cap), fill=np.inf)
+    q_size = arena.take("q_size", (rows, n_max, cap), fill=0.0)
+    q_head = arena.take("q_head", (rows, n_max), dtype=np.int64, fill=0)
+    q_tail = arena.take("q_tail", (rows, n_max), dtype=np.int64, fill=0)
+    head_end = arena.take("head_end", (rows, n_max), fill=np.inf)
+    head_size = arena.take("head_size", (rows, n_max), fill=0.0)
+    # Each row's earliest outstanding completion, maintained incrementally
+    # so the observe step and wait wake-ups are O(rows) instead of
+    # scanning the full (rows × workers) head matrix every iteration.
+    head_min = arena.take("head_min", (rows,), fill=np.inf)
+    kernel_of_row = np.empty(rows, dtype=np.int64)
+    for ki, (_, sl, _) in enumerate(kernels):
+        kernel_of_row[sl] = ki
+    if collect:
+        # Chunk indices give the scalar (time, chunk_index) event order;
+        # loss flags mark entries announcing a LossNote instead of a
+        # completion.
+        q_idx = arena.take("q_idx", (rows, n_max, cap), dtype=np.int64, fill=0)
+        q_lost = arena.take("q_lost", (rows, n_max, cap), dtype=bool, fill=False)
+        head_idx = arena.take("head_idx", (rows, n_max), dtype=np.int64, fill=0)
+        head_lost = arena.take("head_lost", (rows, n_max), dtype=bool, fill=False)
+        wants_row = np.zeros(rows, dtype=bool)
+        for ki, (_, sl, wants) in enumerate(kernels):
+            if wants:
+                wants_row[sl] = True
 
     # Pending chunk counts are maintained incrementally (integers, so the
     # running value is exact); pending work stays a sent − done difference
     # because that is bitwise-identical to the scalar view's bookkeeping.
-    counts = np.zeros((rows, n_max), dtype=np.int64)
-    sent_work = np.zeros((rows, n_max))
-    done_work = np.zeros((rows, n_max))
+    counts = arena.take("counts", (rows, n_max), dtype=np.int64, fill=0)
+    sent_work = arena.take("sent_work", (rows, n_max), fill=0.0)
+    done_work = arena.take("done_work", (rows, n_max), fill=0.0)
     # Padded worker slots report a huge pending count so no kernel ever
     # selects them or sees them idle.
     n_per_row = np.repeat([c.platform.N for c in cells], reps)
     counts[np.arange(n_max)[None, :] >= n_per_row[:, None]] = PAD_PENDING
 
-    busy = np.zeros((rows, n_max))
-    now = np.zeros(rows)
-    kdisp = np.zeros(rows, dtype=np.int64)
-    active = np.ones(rows, dtype=bool)
-    action = np.empty(rows, dtype=np.int64)
-    worker = np.zeros(rows, dtype=np.int64)
-    size = np.zeros(rows)
+    busy = arena.take("busy", (rows, n_max), fill=0.0)
+    now = arena.take("now", (rows,), fill=0.0)
+    kdisp = arena.take("kdisp", (rows,), dtype=np.int64, fill=0)
+    action = arena.take("action", (rows,), dtype=np.int64, fill=DONE)
+    worker = arena.take("worker", (rows,), dtype=np.int64, fill=0)
+    size = arena.take("size", (rows,), fill=0.0)
+    # Reused difference buffer for the kernels' pending-work view.
+    works = arena.take("works", (rows, n_max), fill=0.0)
 
-    while active.any():
+    # Liveness as integer counters (global and per kernel group): the loop
+    # condition and the per-group decide guards then cost O(1) instead of
+    # re-reducing the ``active`` mask every iteration.
+    n_active = int(active.sum())
+    group_alive = [int(active[sl].sum()) for _, sl, _ in kernels]
+
+    # Rows finish at very different iteration counts (platform size and
+    # error level set the dispatch count), so late iterations would pay
+    # full-width array ops for mostly-dead rows.  Instead each finished
+    # row's makespan is harvested the moment it turns DONE (its state is
+    # final), and once at most half the rows remain alive the engine
+    # compacts every per-row array — and each kernel's state — down to
+    # the survivors.  Compaction only re-indexes rows (their relative
+    # order is preserved), so every remaining trajectory is bitwise
+    # unchanged.
+    final = np.empty(rows)
+    orig = np.arange(rows)
+    can_compact = all(
+        type(k).compact is not LockstepKernel.compact for k, _, _ in kernels
+    )
+
+    while n_active:
         # 1. Observe: pop queue heads whose completion has passed each
-        # row's clock.  One head per (row, worker) per pass, in FIFO
-        # order, so done_work accumulates exactly like the scalar view's
-        # completed-work prefix sums.
-        while True:
-            ready = head_end <= now[:, None]
-            if not ready.any():
+        # row's clock — only rows whose earliest outstanding completion
+        # (head_min) is due participate.  One head per (row, worker) per
+        # pass, in FIFO order, so done_work accumulates exactly like the
+        # scalar view's completed-work prefix sums.
+        pops: list = []
+        rdy = np.flatnonzero(head_min <= now)
+        while rdy.size:
+            ready = head_end[rdy] <= now[rdy, None]
+            lr, ww = np.nonzero(ready)
+            if lr.size == 0:
                 break
-            rr, ww = np.nonzero(ready)
+            rr = rdy[lr]
             counts[rr, ww] -= 1
             done_work[rr, ww] += head_size[rr, ww]
+            if collect:
+                pops.append(
+                    (
+                        rr,
+                        ww,
+                        head_end[rr, ww],
+                        head_size[rr, ww],
+                        head_lost[rr, ww],
+                        head_idx[rr, ww],
+                    )
+                )
             nh = q_head[rr, ww] + 1
             q_head[rr, ww] = nh
             has_more = nh < q_tail[rr, ww]
             idx = np.minimum(nh, q_end.shape[2] - 1)
             head_end[rr, ww] = np.where(has_more, q_end[rr, ww, idx], np.inf)
             head_size[rr, ww] = np.where(has_more, q_size[rr, ww, idx], 0.0)
+            if collect:
+                head_lost[rr, ww] = np.where(has_more, q_lost[rr, ww, idx], False)
+                head_idx[rr, ww] = np.where(has_more, q_idx[rr, ww, idx], 0)
+        if rdy.size:
+            head_min[rdy] = head_end[rdy].min(axis=1)
+
+        # 1b. Build each group's step context: the crash state a scalar
+        # view would report at the row's clock, plus the losses and
+        # completions that just became observable, delivered in scalar
+        # (time, chunk_index) order per row.
+        ctxs = None
+        if collect:
+            crashed_now = (crash_t <= now[:, None]) if fault_mode else None
+            ctxs = [None] * len(kernels)
+            for ki, (_, sl, wants) in enumerate(kernels):
+                if fault_mode or wants:
+                    ctxs[ki] = KernelStepContext(
+                        crashed=None if crashed_now is None else crashed_now[sl],
+                        fault_rows=None if not fault_mode else fault_row[sl],
+                    )
+            if pops:
+                prr = np.concatenate([p[0] for p in pops])
+                pww = np.concatenate([p[1] for p in pops])
+                pend = np.concatenate([p[2] for p in pops])
+                psz = np.concatenate([p[3] for p in pops])
+                plost = np.concatenate([p[4] for p in pops])
+                pidx = np.concatenate([p[5] for p in pops])
+                keep = plost | wants_row[prr]
+                if keep.any():
+                    order = np.lexsort((pidx, pend, prr))
+                    for pos in order[keep[order]]:
+                        row = int(prr[pos])
+                        ki = int(kernel_of_row[row])
+                        ctx = ctxs[ki]
+                        if ctx is None:
+                            continue
+                        local = row - kernels[ki][1].start
+                        if plost[pos]:
+                            ctx.losses.append((local, float(psz[pos])))
+                        else:
+                            ctx.notes.append(
+                                (
+                                    local,
+                                    float(pend[pos]),
+                                    int(pww[pos]),
+                                    float(psz[pos]),
+                                )
+                            )
 
         # 2. Decide: each family's kernel fills its contiguous row slice.
-        works = sent_work - done_work
-        for kernel, sl in kernels:
-            if active[sl].any():
+        for ki, (kernel, sl, _) in enumerate(kernels):
+            if group_alive[ki]:
+                np.subtract(sent_work[sl], done_work[sl], out=works[sl])
                 kernel.decide(
-                    counts[sl], works[sl], action[sl], worker[sl], size[sl]
+                    counts[sl],
+                    works[sl],
+                    action[sl],
+                    worker[sl],
+                    size[sl],
+                    mask=active[sl] if need_mask else None,
+                    ctx=None if ctxs is None else ctxs[ki],
                 )
 
-        newly_done = active & (action == DONE)
-        if newly_done.any():
-            active &= ~newly_done
-            if not active.any():
+        done_rows = np.flatnonzero(active & (action == DONE))
+        if done_rows.size:
+            if fault_mode:
+                final[orig[done_rows]] = mspan[done_rows]
+            else:
+                final[orig[done_rows]] = busy[done_rows].max(axis=1)
+            active[done_rows] = False
+            n_active -= int(done_rows.size)
+            for ki in kernel_of_row[done_rows]:
+                group_alive[ki] -= 1
+            if n_active == 0:
                 break
+            if can_compact and rows - n_active >= 128 and n_active <= rows // 2:
+                keep = np.flatnonzero(active)
+                new_kernels = []
+                start = 0
+                for ki, (kernel, sl, wants) in enumerate(kernels):
+                    loc = keep[(keep >= sl.start) & (keep < sl.stop)] - sl.start
+                    kernel.compact(loc)
+                    new_kernels.append(
+                        (kernel, slice(start, start + loc.size), wants)
+                    )
+                    group_alive[ki] = int(loc.size)
+                    start += loc.size
+                kernels = new_kernels
+                orig = orig[keep]
+                counts = counts[keep]
+                sent_work = sent_work[keep]
+                done_work = done_work[keep]
+                busy = busy[keep]
+                now = now[keep]
+                kdisp = kdisp[keep]
+                action = action[keep]
+                worker = worker[keep]
+                size = size[keep]
+                works = works[: keep.size]
+                q_end = q_end[keep]
+                q_size = q_size[keep]
+                q_head = q_head[keep]
+                q_tail = q_tail[keep]
+                head_end = head_end[keep]
+                head_size = head_size[keep]
+                head_min = head_min[keep]
+                wp = wp[:, keep]
+                bank.compact(keep)
+                kernel_of_row = kernel_of_row[keep]
+                cell_of_row = cell_of_row[keep]
+                active = active[keep]
+                if collect:
+                    q_idx = q_idx[keep]
+                    q_lost = q_lost[keep]
+                    head_idx = head_idx[keep]
+                    head_lost = head_lost[keep]
+                    wants_row = wants_row[keep]
+                if fault_mode:
+                    crash_t = crash_t[keep]
+                    pause_s = pause_s[keep]
+                    pause_l = pause_l[keep]
+                    slow_s = slow_s[keep]
+                    slow_f = slow_f[keep]
+                    spike_p = spike_p[keep]
+                    spike_d = spike_d[keep]
+                    fault_row = fault_row[keep]
+                    mspan = mspan[keep]
+                    fault_rngs = [fault_rngs[int(r)] for r in keep]
+                    spike_any = any(g is not None for g in fault_rngs)
+                if row_tracers is not None:
+                    row_tracers = [row_tracers[int(r)] for r in keep]
+                # Deferred rows were inactive from the start, so the
+                # survivors are all live: the mask is no longer needed.
+                need_mask = False
+                rows = int(keep.size)
 
         # 3a. Apply dispatches.
         disp = np.flatnonzero(active & (action == DISPATCH))
@@ -278,12 +657,65 @@ def _simulate_rows(cells, specs, mode: str, min_ratio: float, row_tracers=None) 
             # branch bit for bit; multiplying by an exact 1.0 factor (the
             # zero-error rows) is also a bitwise no-op.
             link_eff = (w_nl + sz / w_b) * bank.comm[disp, k]
+            if spike_any:
+                # Per-dispatch spike draws from each row's own fault
+                # stream, consumed in dispatch order; the stream position
+                # never depends on the outcome, like the scalar engine.
+                for pos, row in enumerate(disp):
+                    rng = fault_rngs[row]
+                    if rng is not None and rng.random() < spike_p[row]:
+                        link_eff[pos] += spike_d[row]
             send_end = now[disp] + link_eff
             arrival = send_end + w_tl
             comp_start = np.maximum(arrival, busy[disp, w])
             comp_eff = (w_cl + sz / w_s) * bank.comp[disp, k]
+            if fault_mode:
+                # Pause window first, then slowdown onset — the scalar
+                # compute_duration order, with its exact associativity.
+                ps = pause_s[disp, w]
+                pl = pause_l[disp, w]
+                in_window = (pl > 0.0) & (comp_start < ps + pl)
+                if in_window.any():
+                    inside = in_window & (comp_start >= ps)
+                    straddle = in_window & ~inside & (comp_start + comp_eff > ps)
+                    comp_eff = np.where(
+                        inside,
+                        (ps + pl + comp_eff) - comp_start,
+                        np.where(straddle, comp_eff + pl, comp_eff),
+                    )
+                so = slow_s[disp, w]
+                sf = slow_f[disp, w]
+                slowed = (sf > 1.0) & (comp_start + comp_eff > so)
+                if slowed.any():
+                    after = slowed & (comp_start >= so)
+                    partial = slowed & ~after
+                    done_part = so - comp_start
+                    comp_eff = np.where(
+                        after,
+                        comp_eff * sf,
+                        np.where(
+                            partial,
+                            done_part + (comp_eff - done_part) * sf,
+                            comp_eff,
+                        ),
+                    )
             comp_end = comp_start + comp_eff
             busy[disp, w] = comp_end
+
+            if fault_mode:
+                # A chunk outliving its worker's crash is lost: the
+                # master observes it leave the pending set at
+                # max(crash, arrival) and it contributes neither work nor
+                # makespan.  The busy chain still advances (fictitious
+                # timeline), so every later chunk on that worker is lost
+                # too — matching the scalar engine.
+                cw = crash_t[disp, w]
+                lost = comp_end > cw
+                end_q = np.where(lost, np.maximum(cw, arrival), comp_end)
+                mspan[disp] = np.maximum(mspan[disp], np.where(lost, 0.0, comp_end))
+            else:
+                lost = None
+                end_q = comp_end
 
             tail = q_tail[disp, w]
             if int(tail.max()) >= q_end.shape[2]:
@@ -294,11 +726,29 @@ def _simulate_rows(cells, specs, mode: str, min_ratio: float, row_tracers=None) 
                 q_size = np.concatenate(
                     [q_size, np.zeros((rows, n_max, grow))], axis=2
                 )
-            q_end[disp, w, tail] = comp_end
+                if collect:
+                    q_idx = np.concatenate(
+                        [q_idx, np.zeros((rows, n_max, grow), dtype=np.int64)],
+                        axis=2,
+                    )
+                    q_lost = np.concatenate(
+                        [q_lost, np.zeros((rows, n_max, grow), dtype=bool)],
+                        axis=2,
+                    )
+            q_end[disp, w, tail] = end_q
             q_size[disp, w, tail] = sz
             was_empty = tail == q_head[disp, w]
-            head_end[disp, w] = np.where(was_empty, comp_end, head_end[disp, w])
+            head_end[disp, w] = np.where(was_empty, end_q, head_end[disp, w])
             head_size[disp, w] = np.where(was_empty, sz, head_size[disp, w])
+            # A dispatch can only lower a row's earliest completion, and
+            # only through the head it may have just installed.
+            head_min[disp] = np.minimum(head_min[disp], head_end[disp, w])
+            if collect:
+                q_idx[disp, w, tail] = k
+                head_idx[disp, w] = np.where(was_empty, k, head_idx[disp, w])
+                if fault_mode:
+                    q_lost[disp, w, tail] = lost
+                    head_lost[disp, w] = np.where(was_empty, lost, head_lost[disp, w])
             if row_tracers is not None:
                 for pos, row in enumerate(disp):
                     tracer = row_tracers[row]
@@ -313,12 +763,20 @@ def _simulate_rows(cells, specs, mode: str, min_ratio: float, row_tracers=None) 
                     tracer.emit(
                         float(send_end[pos]), "dispatch_end", wi, chunk=ci, size=szi
                     )
-                    tracer.emit(
-                        float(comp_start[pos]), "comp_start", wi, chunk=ci, size=szi
-                    )
-                    tracer.emit(
-                        float(comp_end[pos]), "comp_end", wi, chunk=ci, size=szi
-                    )
+                    if lost is not None and lost[pos]:
+                        tracer.emit(
+                            float(end_q[pos]), "fault", wi,
+                            chunk=ci, size=szi, detail="loss",
+                        )
+                    else:
+                        tracer.emit(
+                            float(comp_start[pos]), "comp_start", wi,
+                            chunk=ci, size=szi,
+                        )
+                        tracer.emit(
+                            float(comp_end[pos]), "comp_end", wi,
+                            chunk=ci, size=szi,
+                        )
 
             q_tail[disp, w] += 1
             counts[disp, w] += 1
@@ -326,10 +784,11 @@ def _simulate_rows(cells, specs, mode: str, min_ratio: float, row_tracers=None) 
             kdisp[disp] += 1
             now[disp] = send_end
 
-        # 3b. Apply waits: jump to the earliest outstanding completion.
+        # 3b. Apply waits: jump to the earliest outstanding completion
+        # (for fault rows that includes pending loss announcements).
         waiting = np.flatnonzero(active & (action == WAIT_FOR_COMPLETION))
         if waiting.size:
-            wake = head_end[waiting].min(axis=1)
+            wake = head_min[waiting]
             stuck = np.isinf(wake)
             if stuck.any():
                 row = int(waiting[np.flatnonzero(stuck)[0]])
@@ -340,10 +799,15 @@ def _simulate_rows(cells, specs, mode: str, min_ratio: float, row_tracers=None) 
                 )
             now[waiting] = wake
 
-    # Each worker's busy time is its last chunk's completion, so the
-    # row makespan is simply the max over workers (pad slots stay 0).
-    makespan = busy.max(axis=1)
-    return [makespan[offsets[i] : offsets[i + 1]].copy() for i in range(len(cells))]
+    # Each worker's busy time is its last chunk's completion, so a clean
+    # row's makespan — harvested the moment the row turned DONE — is
+    # simply the max over workers (pad slots stay 0).  Fault rows instead
+    # keep a running maximum over *delivered* completions — a lost
+    # chunk's busy entry must not count — which agrees bitwise with the
+    # busy max on rows that lost nothing.
+    for r in deferred:
+        final[r] = defer_makespans[r]
+    return [final[offsets[i] : offsets[i + 1]].copy() for i in range(len(cells))]
 
 
 def simulate_dynamic_cells(
@@ -352,6 +816,7 @@ def simulate_dynamic_cells(
     min_ratio: float = MIN_RATIO,
     max_rows: int = MAX_ROWS,
     tracers=None,
+    arena=None,
 ) -> list:
     """Simulate many dynamic cells, merging compatible ones per call.
 
@@ -359,12 +824,15 @@ def simulate_dynamic_cells(
     (decision-rule family) so each lockstep call — chunked to at most
     ``max_rows`` repetition rows — holds contiguous family runs, each
     driven by one merged kernel while the engine state is shared across
-    all of them.  Returns one makespan array per cell, in input order,
-    each of shape ``(len(cell.seeds),)``.
+    all of them.  Fault cells mix freely with clean ones (see
+    :func:`_simulate_rows`).  Returns one makespan array per cell, in
+    input order, each of shape ``(len(cell.seeds),)``.
 
     ``tracers``, when given, parallels ``cells``: each entry is ``None``
     or a sequence of one :class:`repro.obs.Tracer` (or ``None``) per seed
-    of that cell (see :func:`_simulate_rows`).
+    of that cell (see :func:`_simulate_rows`).  ``arena`` (a
+    :class:`BatchArena`) lets a long-running caller — e.g. a whole-grid
+    sweep — reuse the engine's state buffers across every call it makes.
     """
     if mode not in ("multiply", "divide"):
         raise ValueError(f"unknown perturbation mode {mode!r}")
@@ -372,6 +840,8 @@ def simulate_dynamic_cells(
         raise ValueError(f"max_rows must be >= 1, got {max_rows}")
     cells = list(cells)
     outputs: list = [None] * len(cells)
+    if arena is None:
+        arena = BatchArena()
 
     groups: dict = {}
     for idx, cell in enumerate(cells):
@@ -399,6 +869,7 @@ def simulate_dynamic_cells(
                 mode,
                 min_ratio,
                 row_tracers,
+                arena,
             )
             for (i, _), res in zip(batch, results):
                 outputs[i] = res
@@ -418,13 +889,15 @@ def simulate_dynamic_batch(
     mode: str = "multiply",
     min_ratio: float = MIN_RATIO,
     tracers=None,
+    faults: "FaultModel | None" = None,
 ) -> np.ndarray:
     """Makespans of one batch-dynamic scheduler under R paired error draws.
 
     The single-cell entry point: one (platform, error) cell, one seed per
     repetition, same stream contract as the scalar engine (see the module
     docstring).  ``tracers`` is one :class:`repro.obs.Tracer` (or ``None``)
-    per seed.  Returns an array of shape ``(len(seeds),)``.
+    per seed; ``faults`` injects a fault scenario into every repetition.
+    Returns an array of shape ``(len(seeds),)``.
     """
     cell = DynamicCell(
         platform=platform,
@@ -432,6 +905,7 @@ def simulate_dynamic_batch(
         total_work=total_work,
         error=error,
         seeds=tuple(int(s) for s in seeds),
+        faults=faults,
     )
     return simulate_dynamic_cells(
         [cell],

@@ -1,9 +1,10 @@
 """Tests for the fault axis of the experiment layer.
 
 The fault spec is part of the grid identity (cache keys must split on it),
-fault cells must route through the scalar engines (no batch kernel claims
-fault support), and the fault-sweep/degradation/figure chain must hold
-together end to end.
+fault cells route through the batch engines (every in-tree scheduler
+declares ``batch_supports_faults``) and must agree with the scalar engine
+bitwise at error 0, and the fault-sweep/degradation/figure chain must
+hold together end to end.
 """
 
 import numpy as np
@@ -62,15 +63,30 @@ class TestFaultSweep:
             faulty.makespans["Factoring"].mean() > clean.makespans["Factoring"].mean()
         )
 
-    def test_fault_cells_bypass_batch_engines(self):
-        # No batch kernel advertises fault support, so batch on/off must be
-        # bit-identical under faults — for static plans and lockstep
-        # dynamics alike.
+    def test_fault_cells_stay_on_batch_engines(self):
+        # Every in-tree scheduler declares batch_supports_faults, so a
+        # fault grid routes zero cells to the scalar engine.
+        from repro.obs import SweepStats
+
+        stats = SweepStats()
+        run_sweep(tiny_grid(fault=CRASH), algorithms=ALGOS, stats=stats)
+        assert stats.cells["scalar"] == 0
+        assert stats.cells["static-batch"] > 0
+        assert stats.cells["dynbatch"] > 0
+
+    def test_batched_fault_cells_match_scalar(self):
+        # Batch on/off under faults: bit-identical at error 0 (the batch
+        # engines reproduce the scalar fault semantics exactly), and
+        # statistically indistinguishable at error > 0 (the static grid
+        # pass may interleave truncation resampling differently).
         grid = tiny_grid(fault=CRASH)
         batched = run_sweep(grid, algorithms=ALGOS, batch_static=True)
         scalar = run_sweep(grid, algorithms=ALGOS, batch_static=False)
+        e0 = grid.errors.index(0.0)
         for algo in ALGOS:
-            assert np.array_equal(batched.makespans[algo], scalar.makespans[algo])
+            b, s = batched.makespans[algo], scalar.makespans[algo]
+            assert np.array_equal(b[:, e0, :], s[:, e0, :]), algo
+            assert np.allclose(b.mean(), s.mean(), rtol=0.1), algo
 
     def test_faulty_sweep_reproducible(self):
         grid = tiny_grid(fault="crash:p=0.5,tmax=100")

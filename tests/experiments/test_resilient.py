@@ -75,6 +75,20 @@ def baseline():
     return run_sweep(chaos_grid(), ALGOS)
 
 
+@pytest.fixture(scope="module")
+def scalar_baseline():
+    """The all-scalar run the loop-and-pool chaos tests perturb.
+
+    With every in-tree algorithm covered by a global batch pass, the
+    per-platform loop (and therefore the process pool and the platform
+    checkpoint shards) only has work when the batch flags are off — so
+    the chaos aimed at that machinery runs with both flags off and
+    compares against this baseline.
+    """
+    return run_sweep(chaos_grid(), ALGOS, batch_static=False,
+                     batch_dynamic=False)
+
+
 def assert_tensors_equal(a, b):
     for algo in ALGOS:
         assert np.array_equal(a.makespans[algo], b.makespans[algo]), algo
@@ -290,20 +304,20 @@ class TestCheckpointStore:
 
 class TestChaosSweeps:
     def test_flaky_cells_heal_bitwise(self, baseline, monkeypatch):
-        """Cells failing twice then succeeding leave no trace in the tensor."""
+        """A merged static pass failing twice then succeeding leaves no
+        trace in the tensor — retries re-run the same seeded pass."""
         grid = chaos_grid()
-        real = runner_mod.simulate_static_batch
-        counts: dict = {}
+        real = runner_mod.simulate_static_cells
+        calls = {"n": 0}
 
-        def flaky(platform, plan, magnitude, seeds, **kw):
-            key = (id(plan), tuple(seeds))
-            if chaos_selected(seeds[0], fraction=0.5):
-                counts[key] = counts.get(key, 0) + 1
-                if counts[key] <= 2:
+        def flaky(cells, mode="multiply", **kw):
+            if len(cells) > 1:
+                calls["n"] += 1
+                if calls["n"] <= 2:
                     raise RuntimeError("chaos: transient engine failure")
-            return real(platform, plan, magnitude, seeds, **kw)
+            return real(cells, mode=mode, **kw)
 
-        monkeypatch.setattr(runner_mod, "simulate_static_batch", flaky)
+        monkeypatch.setattr(runner_mod, "simulate_static_cells", flaky)
         stats = SweepStats()
         result = run_sweep(grid, ALGOS, retry=FAST_RETRY, stats=stats)
         assert stats.retries > 0
@@ -311,14 +325,14 @@ class TestChaosSweeps:
         assert_tensors_equal(baseline, result)
 
     def test_dead_engine_falls_back_to_scalar(self, monkeypatch):
-        """A dead batch engine reroutes to scalar == a --no-batch run."""
+        """A dead static grid engine reroutes to scalar == a --no-batch run."""
         grid = chaos_grid()
         nobatch = run_sweep(grid, ALGOS, batch_static=False, batch_dynamic=True)
 
         def dead(*args, **kwargs):
             raise RuntimeError("chaos: engine down")
 
-        monkeypatch.setattr(runner_mod, "simulate_static_batch", dead)
+        monkeypatch.setattr(runner_mod, "simulate_static_cells", dead)
         stats = SweepStats()
         tracer = Tracer()
         result = run_sweep(grid, ALGOS, retry=FAST_RETRY, stats=stats,
@@ -330,23 +344,25 @@ class TestChaosSweeps:
         assert {e.kind for e in tracer.events()} == {"engine_fallback"}
 
     def test_poisoned_cell_quarantines_not_aborts(self, baseline, monkeypatch):
-        """A cell failing every rung becomes NaN + ledger, others untouched."""
+        """A poisoned cell in the static grid pass degrades the pass to
+        per-cell calls; the cell failing every rung becomes NaN + ledger,
+        and its siblings keep their merged-pass results bit for bit."""
         grid = chaos_grid()
         poison = _cell_seeds(grid, 1, 1)[0]
-        real_batch = runner_mod.simulate_static_batch
+        real_cells = runner_mod.simulate_static_cells
         real_fast = runner_mod.simulate_fast
 
-        def batch(platform, plan, magnitude, seeds, **kw):
-            if seeds[0] == poison:
+        def batch(cells, mode="multiply", **kw):
+            if any(c.seeds[0] == poison for c in cells):
                 raise RuntimeError("chaos: poisoned cell")
-            return real_batch(platform, plan, magnitude, seeds, **kw)
+            return real_cells(cells, mode=mode, **kw)
 
         def fast(platform, work, scheduler, model, **kw):
             if kw.get("seed") == poison:
                 raise RuntimeError("chaos: poisoned cell")
             return real_fast(platform, work, scheduler, model, **kw)
 
-        monkeypatch.setattr(runner_mod, "simulate_static_batch", batch)
+        monkeypatch.setattr(runner_mod, "simulate_static_cells", batch)
         monkeypatch.setattr(runner_mod, "simulate_fast", fast)
         stats = SweepStats()
         ledger = FailureLedger()
@@ -374,10 +390,10 @@ class TestChaosSweeps:
         grid = chaos_grid()
         real = runner_mod.simulate_dynamic_cells
 
-        def merged_down(cells, mode="multiply"):
+        def merged_down(cells, mode="multiply", **kw):
             if len(cells) > 1:
                 raise RuntimeError("chaos: merged pass down")
-            return real(cells, mode=mode)
+            return real(cells, mode=mode, **kw)
 
         monkeypatch.setattr(runner_mod, "simulate_dynamic_cells", merged_down)
         stats = SweepStats()
@@ -386,11 +402,42 @@ class TestChaosSweeps:
         assert stats.cells_quarantined == 0
         assert_tensors_equal(baseline, result)
 
+    def test_poisoned_dynamic_cell_preserves_siblings(self, baseline,
+                                                      monkeypatch):
+        """One poisoned lockstep cell falls down the ladder alone — every
+        sibling cell of the degraded pass keeps its merged-pass result."""
+        grid = chaos_grid()
+        poison = _cell_seeds(grid, 0, 0)[0]
+        real = runner_mod.simulate_dynamic_cells
+
+        def poisoned(cells, mode="multiply", **kw):
+            if any(c.seeds[0] == poison for c in cells):
+                raise RuntimeError("chaos: poisoned cell")
+            return real(cells, mode=mode, **kw)
+
+        monkeypatch.setattr(runner_mod, "simulate_dynamic_cells", poisoned)
+        stats = SweepStats()
+        ledger = FailureLedger()
+        result = run_sweep(grid, ALGOS, retry=FAST_RETRY, stats=stats,
+                           failures=ledger)
+        # Both dynamic algorithms' (0, 0) cells reroute to the scalar
+        # engine (which succeeds), everything else stays lockstep.
+        assert stats.engine_fallbacks == 2
+        assert stats.cells_quarantined == 0 and len(ledger) == 0
+        for algo in ALGOS:
+            got, want = result.makespans[algo], baseline.makespans[algo]
+            assert np.isfinite(got).all(), algo
+            if algo == "UMR":
+                assert np.array_equal(got, want)
+            else:
+                assert np.array_equal(got[1:], want[1:]), algo
+                assert np.array_equal(got[0, 1:], want[0, 1:]), algo
+
     def test_scalar_engine_chaos_heals(self, monkeypatch):
-        """Retries also guard the scalar engine (FSC routes there)."""
+        """Retries also guard the scalar engine (the --no-batch path)."""
         grid = chaos_grid()
         algos = ("FSC",)
-        base = run_sweep(grid, algos)
+        base = run_sweep(grid, algos, batch_static=False, batch_dynamic=False)
         real = runner_mod.simulate_fast
         counts: dict = {}
 
@@ -408,7 +455,7 @@ class TestChaosSweeps:
         # k chaos-hit repetition seeds needs k+1 attempts: budget for all
         # three repetitions failing once each.
         result = run_sweep(
-            grid, algos, stats=stats,
+            grid, algos, stats=stats, batch_static=False, batch_dynamic=False,
             retry=RetryPolicy(max_attempts=4, backoff_base_s=0.0),
         )
         assert np.array_equal(base.makespans["FSC"], result.makespans["FSC"])
@@ -424,8 +471,8 @@ class _Interrupt(KeyboardInterrupt):
 
 
 class TestCheckpointsAndResume:
-    def test_interrupted_sweep_resumes_remainder_only(self, baseline, tmp_path,
-                                                      monkeypatch):
+    def test_interrupted_sweep_resumes_remainder_only(self, scalar_baseline,
+                                                      tmp_path, monkeypatch):
         grid = chaos_grid()
 
         def interrupting(done, total):
@@ -433,7 +480,9 @@ class TestCheckpointsAndResume:
                 raise _Interrupt()
 
         with pytest.raises(_Interrupt):
-            run_sweep(grid, ALGOS, checkpoint_dir=tmp_path, progress=interrupting)
+            run_sweep(grid, ALGOS, checkpoint_dir=tmp_path,
+                      batch_static=False, batch_dynamic=False,
+                      progress=interrupting)
         shards = list(tmp_path.glob("partial/*/platform-*.npz"))
         assert len(shards) == 2
 
@@ -449,12 +498,13 @@ class TestCheckpointsAndResume:
         calls = []
         result = run_sweep(
             grid, ALGOS, checkpoint_dir=tmp_path, resume=True, stats=stats,
+            batch_static=False, batch_dynamic=False,
             progress=lambda done, total: calls.append((done, total)),
         )
-        assert_tensors_equal(baseline, result)
+        assert_tensors_equal(scalar_baseline, result)
         assert sorted(recomputed) == [2, 3]
-        # 2 shards × 2 errors × 1 loop algorithm (UMR).
-        assert stats.cells_resumed == 4
+        # 2 shards × 2 errors × 3 loop algorithms (no batch passes).
+        assert stats.cells_resumed == 12
         total_cells = 4 * 2 * len(ALGOS)
         assert stats.cells_resumed < total_cells
         # Progress stays monotone and completes; resumed shards are
@@ -464,7 +514,7 @@ class TestCheckpointsAndResume:
         # Clean completion clears the partial directory.
         assert not list(tmp_path.glob("partial/*/platform-*.npz"))
 
-    def test_corrupt_shard_is_recomputed(self, baseline, tmp_path):
+    def test_corrupt_shard_is_recomputed(self, scalar_baseline, tmp_path):
         grid = chaos_grid()
 
         def interrupting(done, total):
@@ -472,15 +522,17 @@ class TestCheckpointsAndResume:
                 raise _Interrupt()
 
         with pytest.raises(_Interrupt):
-            run_sweep(grid, ALGOS, checkpoint_dir=tmp_path, progress=interrupting)
+            run_sweep(grid, ALGOS, checkpoint_dir=tmp_path,
+                      batch_static=False, batch_dynamic=False,
+                      progress=interrupting)
         shards = sorted(tmp_path.glob("partial/*/platform-*.npz"))
         shards[0].write_bytes(b"\x00garbage\x00" * 64)
 
         stats = SweepStats()
         result = run_sweep(grid, ALGOS, checkpoint_dir=tmp_path, resume=True,
-                           stats=stats)
-        assert_tensors_equal(baseline, result)
-        assert stats.cells_resumed == 2  # only the intact shard survived
+                           batch_static=False, batch_dynamic=False, stats=stats)
+        assert_tensors_equal(scalar_baseline, result)
+        assert stats.cells_resumed == 6  # only the intact shard survived
 
     def test_resume_without_checkpoints_runs_cold(self, baseline, tmp_path):
         stats = SweepStats()
@@ -491,46 +543,61 @@ class TestCheckpointsAndResume:
 
     def test_resumed_shard_restores_quarantine_ledger(self, tmp_path,
                                                       monkeypatch):
-        """NaNs inherited from a resumed shard keep their ledger entries."""
+        """NaNs inherited from a resumed static grid shard keep their
+        ledger entries.
+
+        The poisoned static pass quarantines UMR's (0, 0) cell and
+        flushes the ``staticgrid`` shard + ledger; the sweep then dies
+        in the lockstep pass.  The resume trusts the shard, replays the
+        ledger entry, and recomputes only the lockstep pass.
+        """
         grid = chaos_grid()
         poison = _cell_seeds(grid, 0, 0)[0]
-        real_batch = runner_mod.simulate_static_batch
+        real_cells = runner_mod.simulate_static_cells
         real_fast = runner_mod.simulate_fast
+        real_dyn = runner_mod.simulate_dynamic_cells
 
-        def batch(platform, plan, magnitude, seeds, **kw):
-            if seeds[0] == poison:
+        def batch(cells, mode="multiply", **kw):
+            if any(c.seeds[0] == poison for c in cells):
                 raise RuntimeError("chaos: poisoned cell")
-            return real_batch(platform, plan, magnitude, seeds, **kw)
+            return real_cells(cells, mode=mode, **kw)
 
         def fast(platform, work, scheduler, model, **kw):
             if kw.get("seed") == poison:
                 raise RuntimeError("chaos: poisoned cell")
             return real_fast(platform, work, scheduler, model, **kw)
 
-        monkeypatch.setattr(runner_mod, "simulate_static_batch", batch)
-        monkeypatch.setattr(runner_mod, "simulate_fast", fast)
+        def interrupt(cells, mode="multiply", **kw):
+            raise _Interrupt()
 
-        def interrupting(done, total):
-            if done == 2:
-                raise _Interrupt()
+        monkeypatch.setattr(runner_mod, "simulate_static_cells", batch)
+        monkeypatch.setattr(runner_mod, "simulate_fast", fast)
+        monkeypatch.setattr(runner_mod, "simulate_dynamic_cells", interrupt)
 
         with pytest.raises(_Interrupt):
-            run_sweep(grid, ALGOS, retry=FAST_RETRY, checkpoint_dir=tmp_path,
-                      progress=interrupting)
-        monkeypatch.setattr(runner_mod, "simulate_static_batch", real_batch)
+            run_sweep(grid, ALGOS, retry=FAST_RETRY, checkpoint_dir=tmp_path)
+        monkeypatch.setattr(runner_mod, "simulate_static_cells", real_cells)
         monkeypatch.setattr(runner_mod, "simulate_fast", real_fast)
+        monkeypatch.setattr(runner_mod, "simulate_dynamic_cells", real_dyn)
 
+        stats = SweepStats()
         ledger = FailureLedger()
         result = run_sweep(grid, ALGOS, checkpoint_dir=tmp_path, resume=True,
-                           failures=ledger)
+                           stats=stats, failures=ledger)
         assert np.isnan(result.makespans["UMR"][0, 0]).all()
         assert [(e.algorithm, e.platform_index, e.error_index)
                 for e in ledger] == [("UMR", 0, 0)]
+        (entry,) = ledger.entries
+        assert entry.engine == "static-batch"
+        assert entry.fallback_engine == "scalar"
+        # The whole static grid came back from the shard: 4 platforms ×
+        # 2 errors × 1 static algorithm.
+        assert stats.cells_resumed == 8
         # The completed sweep persists the ledger next to the cache files.
         (ledger_file,) = tmp_path.glob("failures-sweep-*.json")
         assert len(FailureLedger.from_json(ledger_file.read_text())) == 1
 
-    def test_sigkill_and_resume(self, baseline, tmp_path):
+    def test_sigkill_and_resume(self, scalar_baseline, tmp_path):
         """SIGKILL a sweep subprocess mid-run; resume recomputes only the
         unfinished shards and reproduces the tensor bitwise."""
         src = pathlib.Path(__file__).resolve().parents[2] / "src"
@@ -549,7 +616,8 @@ def slow(done, total):
     print(f"shard {{done}}/{{total}}", flush=True)
     time.sleep(0.5)
 
-run_sweep(grid, {ALGOS!r}, checkpoint_dir={str(tmp_path)!r}, progress=slow)
+run_sweep(grid, {ALGOS!r}, checkpoint_dir={str(tmp_path)!r},
+          batch_static=False, batch_dynamic=False, progress=slow)
 """
         proc = subprocess.Popen(
             [sys.executable, "-c", script], stdout=subprocess.DEVNULL,
@@ -573,8 +641,9 @@ run_sweep(grid, {ALGOS!r}, checkpoint_dir={str(tmp_path)!r}, progress=slow)
 
         stats = SweepStats()
         result = run_sweep(chaos_grid(), ALGOS, checkpoint_dir=tmp_path,
-                           resume=True, stats=stats)
-        assert_tensors_equal(baseline, result)
+                           resume=True, batch_static=False,
+                           batch_dynamic=False, stats=stats)
+        assert_tensors_equal(scalar_baseline, result)
         assert 0 < stats.cells_resumed
         assert stats.cells_resumed < 4 * 2 * len(ALGOS)
 
@@ -585,87 +654,87 @@ run_sweep(grid, {ALGOS!r}, checkpoint_dir={str(tmp_path)!r}, progress=slow)
 
 @fork_only
 class TestPoolSupervision:
-    def test_broken_pool_restarts_once(self, baseline, tmp_path, monkeypatch):
-        real = runner_mod.simulate_static_batch
+    def test_broken_pool_restarts_once(self, scalar_baseline, tmp_path,
+                                       monkeypatch):
+        real = runner_mod.simulate_fast
         parent = os.getpid()
         flag = tmp_path / "died-once"
 
-        def die_once(platform, plan, magnitude, seeds, **kw):
+        def die_once(platform, work, scheduler, model, **kw):
             if os.getpid() != parent and not flag.exists():
                 flag.touch()
                 os._exit(1)
-            return real(platform, plan, magnitude, seeds, **kw)
+            return real(platform, work, scheduler, model, **kw)
 
-        monkeypatch.setattr(runner_mod, "simulate_static_batch", die_once)
+        monkeypatch.setattr(runner_mod, "simulate_fast", die_once)
         stats = SweepStats()
-        result = run_sweep(chaos_grid(), ALGOS, n_jobs=2, stats=stats)
-        assert_tensors_equal(baseline, result)
+        result = run_sweep(chaos_grid(), ALGOS, n_jobs=2, stats=stats,
+                           batch_static=False, batch_dynamic=False)
+        assert_tensors_equal(scalar_baseline, result)
         assert stats.pool_restarts == 1
         assert stats.pool_degradations == 0
 
-    def test_persistently_broken_pool_degrades_to_serial(self, baseline,
+    def test_persistently_broken_pool_degrades_to_serial(self, scalar_baseline,
                                                          monkeypatch):
-        real = runner_mod.simulate_static_batch
+        real = runner_mod.simulate_fast
         parent = os.getpid()
 
-        def die(platform, plan, magnitude, seeds, **kw):
+        def die(platform, work, scheduler, model, **kw):
             if os.getpid() != parent:
                 os._exit(1)
-            return real(platform, plan, magnitude, seeds, **kw)
+            return real(platform, work, scheduler, model, **kw)
 
-        monkeypatch.setattr(runner_mod, "simulate_static_batch", die)
+        monkeypatch.setattr(runner_mod, "simulate_fast", die)
         stats = SweepStats()
-        result = run_sweep(chaos_grid(), ALGOS, n_jobs=2, stats=stats)
-        assert_tensors_equal(baseline, result)
+        result = run_sweep(chaos_grid(), ALGOS, n_jobs=2, stats=stats,
+                           batch_static=False, batch_dynamic=False)
+        assert_tensors_equal(scalar_baseline, result)
         assert stats.pool_restarts == 1
         assert stats.pool_degradations == 1
 
-    def test_hung_shard_times_out_and_recomputes(self, baseline, monkeypatch):
-        real = runner_mod.simulate_static_batch
+    def test_hung_shard_times_out_and_recomputes(self, scalar_baseline,
+                                                 monkeypatch):
+        real = runner_mod.simulate_fast
         parent = os.getpid()
 
-        def hang(platform, plan, magnitude, seeds, **kw):
+        def hang(platform, work, scheduler, model, **kw):
             if os.getpid() != parent:
                 time.sleep(60)
-            return real(platform, plan, magnitude, seeds, **kw)
+            return real(platform, work, scheduler, model, **kw)
 
-        monkeypatch.setattr(runner_mod, "simulate_static_batch", hang)
+        monkeypatch.setattr(runner_mod, "simulate_fast", hang)
         stats = SweepStats()
         t0 = time.monotonic()
         result = run_sweep(
             chaos_grid(), ALGOS, n_jobs=2, stats=stats,
+            batch_static=False, batch_dynamic=False,
             retry=RetryPolicy(backoff_base_s=0.0, cell_timeout_s=1.0),
         )
         assert time.monotonic() - t0 < 30.0
-        assert_tensors_equal(baseline, result)
+        assert_tensors_equal(scalar_baseline, result)
         assert stats.pool_timeouts == 1
 
     def test_pool_worker_quarantines_ship_back(self, monkeypatch):
         grid = chaos_grid()
         poison = _cell_seeds(grid, 1, 0)[0]
-        real_batch = runner_mod.simulate_static_batch
         real_fast = runner_mod.simulate_fast
 
-        def batch(platform, plan, magnitude, seeds, **kw):
-            if seeds[0] == poison:
-                raise RuntimeError("chaos: poisoned cell")
-            return real_batch(platform, plan, magnitude, seeds, **kw)
-
         def fast(platform, work, scheduler, model, **kw):
-            if kw.get("seed") == poison:
+            if kw.get("seed") == poison and scheduler.name == "UMR":
                 raise RuntimeError("chaos: poisoned cell")
             return real_fast(platform, work, scheduler, model, **kw)
 
-        monkeypatch.setattr(runner_mod, "simulate_static_batch", batch)
         monkeypatch.setattr(runner_mod, "simulate_fast", fast)
         stats = SweepStats()
         ledger = FailureLedger()
         result = run_sweep(grid, ALGOS, n_jobs=2, retry=FAST_RETRY,
-                           stats=stats, failures=ledger)
-        assert stats.cells_quarantined == 1 and stats.engine_fallbacks >= 1
+                           stats=stats, failures=ledger,
+                           batch_static=False, batch_dynamic=False)
+        assert stats.cells_quarantined == 1
         assert np.isnan(result.makespans["UMR"][1, 0]).all()
         (entry,) = ledger.entries
         assert (entry.algorithm, entry.platform_index) == ("UMR", 1)
+        assert entry.engine == "scalar" and entry.fallback_engine is None
 
 
 # ---------------------------------------------------------------------------
@@ -675,19 +744,22 @@ class TestPoolSupervision:
 class TestProgress:
     def test_progress_monotone_under_retries(self, monkeypatch):
         grid = chaos_grid()
-        real = runner_mod.simulate_static_batch
+        real = runner_mod.simulate_fast
         counts: dict = {}
 
-        def flaky(platform, plan, magnitude, seeds, **kw):
-            key = (id(plan), tuple(seeds))
+        def flaky(platform, work, scheduler, model, **kw):
+            key = (scheduler.name, kw.get("seed"))
             counts[key] = counts.get(key, 0) + 1
             if counts[key] <= 1:
                 raise RuntimeError("chaos")
-            return real(platform, plan, magnitude, seeds, **kw)
+            return real(platform, work, scheduler, model, **kw)
 
-        monkeypatch.setattr(runner_mod, "simulate_static_batch", flaky)
+        monkeypatch.setattr(runner_mod, "simulate_fast", flaky)
         calls = []
-        run_sweep(grid, ALGOS, retry=FAST_RETRY,
+        # Each repetition seed fails once and a retry restarts the cell
+        # at repetition 0, so a 3-repetition cell needs 4 attempts.
+        run_sweep(grid, ALGOS, batch_static=False, batch_dynamic=False,
+                  retry=RetryPolicy(max_attempts=4, backoff_base_s=0.0),
                   progress=lambda d, t: calls.append((d, t)))
         assert calls[-1] == (4, 4)
         dones = [d for d, _ in calls]

@@ -51,11 +51,19 @@ class TestRunSweepStats:
         run_sweep(grid, algorithms=ALGOS, stats=stats)
         assert stats.total_wall_s > 0.0
         assert stats.lockstep_wall_s > 0.0  # RUMR/Factoring lockstep pass
-        assert stats.cell_timings, "static batch cells must be timed"
+        assert stats.staticgrid_wall_s > 0.0  # UMR/MI-2 whole-grid pass
+        # Both batch passes report aggregate wall times; per-cell timings
+        # only appear for scalar cells, of which this grid has none.
+        assert stats.cell_timings == []
+
+    def test_scalar_cells_are_timed_when_batching_disabled(self, grid):
+        stats = SweepStats()
+        run_sweep(grid, algorithms=ALGOS, batch_static=False,
+                  batch_dynamic=False, stats=stats)
+        assert stats.cell_timings, "scalar cells must be timed"
         assert all(t.wall_s >= 0.0 for t in stats.cell_timings)
-        timed_static = {t.algorithm for t in stats.cell_timings
-                        if t.engine == "static-batch"}
-        assert timed_static == {a for a in ALGOS if is_static_algorithm(a)}
+        assert {t.engine for t in stats.cell_timings} == {"scalar"}
+        assert {t.algorithm for t in stats.cell_timings} == set(ALGOS)
 
     def test_stats_do_not_perturb_results(self, grid):
         plain = run_sweep(grid, algorithms=ALGOS)

@@ -19,14 +19,23 @@ from repro.core.factoring import Factoring
 from repro.core.rumr import RUMR, phase2_workload
 from repro.core.weighted_factoring import WeightedFactoring
 from repro.errors import make_error_model
+from repro.errors.faults import make_fault_model
 from repro.platform import homogeneous_platform
-from repro.sim.dynbatch import simulate_dynamic_batch
+from repro.sim.dynbatch import (
+    BatchArena,
+    DynamicCell,
+    simulate_dynamic_batch,
+    simulate_dynamic_cells,
+)
 from repro.sim.fastsim import simulate_fast
 from tests.properties.strategies import finite, homogeneous_platforms, workloads as make_workloads
 
 pytestmark = pytest.mark.property
 
 platforms = homogeneous_platforms(max_workers=12)
+
+# Crash properties pin worker 0's death, so someone else must survive.
+crash_platforms = homogeneous_platforms(min_workers=2, max_workers=12)
 
 workloads = make_workloads(min_work=50.0, max_work=5000.0)
 
@@ -122,6 +131,100 @@ class TestRUMRPhaseCoverage:
         )
         batch = simulate_dynamic_batch(platform, scheduler, work, error, seeds)
         assert np.array_equal(scalar, batch)
+
+
+class TestGridPassContract:
+    """Properties of the whole-grid lockstep pass (PR 6).
+
+    The runner merges every (platform, error) cell of a sweep into one
+    ``simulate_dynamic_cells`` call drawing state from a shared
+    :class:`BatchArena`.  Its resilience ladder degrades a failed merged
+    pass to per-cell calls, and its arena is reused across sweeps — both
+    are only sound if merging and arena reuse never change a single bit.
+    """
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        platform=platforms,
+        work=workloads,
+        factories=st.lists(dynamic_schedulers, min_size=2, max_size=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_merged_pass_bitwise_equals_per_cell(self, platform, work,
+                                                 factories, seed):
+        cells = [
+            DynamicCell(
+                platform=platform,
+                scheduler=factory(0.0),
+                total_work=work,
+                error=0.0,
+                seeds=(seed, seed + 1),
+            )
+            for factory in factories
+        ]
+        merged = simulate_dynamic_cells(cells)
+        solo = [simulate_dynamic_cells([cell])[0] for cell in cells]
+        for m, s in zip(merged, solo):
+            assert np.array_equal(m, s)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        platform=platforms,
+        work=workloads,
+        factory=dynamic_schedulers,
+        error=st.floats(min_value=0.0, max_value=0.2, **finite),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_arena_reuse_is_pure(self, platform, work, factory, error, seed):
+        # The sweep runner funnels every merged pass through one grow-only
+        # arena; stale state leaking between takes would poison later
+        # sweeps.  A reused arena must reproduce a fresh run bit for bit.
+        cells = [
+            DynamicCell(
+                platform=platform,
+                scheduler=factory(error),
+                total_work=work,
+                error=error,
+                seeds=(seed, seed + 1),
+            )
+        ]
+        arena = BatchArena()
+        fresh = simulate_dynamic_cells(cells, arena=arena)
+        reused = simulate_dynamic_cells(cells, arena=arena)
+        unshared = simulate_dynamic_cells(cells)
+        assert np.array_equal(fresh[0], reused[0])
+        assert np.array_equal(fresh[0], unshared[0])
+
+
+class TestBatchedFaultProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        platform=crash_platforms,
+        work=workloads,
+        factory=dynamic_schedulers,
+        at=st.floats(min_value=1.0, max_value=200.0, **finite),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_work_conservation_under_faults(self, platform, work, factory,
+                                            at, seed):
+        """A crashed worker's lost chunks are re-dispatched to survivors —
+        no work vanishes — and the lockstep engine reproduces the scalar
+        fault trajectory bitwise at error 0."""
+        scheduler = factory(0.0)
+        faults = make_fault_model(f"crash:worker=0,at={at!r}")
+        model = make_error_model("normal", 0.0)
+        result = simulate_fast(
+            platform, work, scheduler, model, seed=seed, faults=faults
+        )
+        lost = sum(r.size for r in result.records if r.lost)
+        # Dynamic schedulers observe every loss and re-cover it from the
+        # surviving workers: delivered work conserves the full workload.
+        assert result.delivered_work == pytest.approx(work)
+        assert result.work_lost == pytest.approx(lost)
+        batch = simulate_dynamic_batch(
+            platform, scheduler, work, 0.0, [seed], faults=faults
+        )
+        assert batch[0] == result.makespan
 
 
 class TestStatisticalConsistency:

@@ -237,6 +237,80 @@ def test_engines_identical_faults_heterogeneous(hetero_platform):
 
 
 # ---------------------------------------------------------------------------
+# Batched fault configurations: the batch engines vs the DES engine.
+#
+# At error 0 the batch engines reproduce the scalar engine's fault
+# semantics bit for bit, and the scalar engine is trajectory-identical to
+# the DES engine — so the whole chain must agree exactly.  Selected in CI
+# with ``pytest -k batched_fault``.
+# ---------------------------------------------------------------------------
+
+from repro.core import AdaptiveRUMR  # noqa: E402 — grouped with its tests
+from repro.errors.faults import make_fault_model  # noqa: E402
+from repro.sim.batch import simulate_static_batch  # noqa: E402
+from repro.sim.dynbatch import simulate_dynamic_batch  # noqa: E402
+
+BATCH_FAULT_SPECS = (
+    "crash:worker=1,at=25",
+    "crash:p=0.5,tmax=120",
+    "pause:p=0.6,tmax=120,dur=30",
+    "slow:p=0.6,tmax=120,factor=2.5",
+    "spike:p=0.25,delay=4",
+)
+
+BATCH_SEEDS = tuple(range(40, 46))
+
+
+def _des_makespans(platform, scheduler, fault, seeds, work=W):
+    return np.array(
+        [
+            simulate(
+                platform, work, scheduler, NoError(), seed=s, engine="des",
+                faults=fault,
+            ).makespan
+            for s in seeds
+        ]
+    )
+
+
+@pytest.mark.parametrize("fault", BATCH_FAULT_SPECS)
+@pytest.mark.parametrize(
+    "scheduler",
+    [UMR(), MultiInstallment(2), OneRound(), EqualSplit()],
+    ids=lambda s: s.name,
+)
+def test_batched_fault_static_grid_matches_des(scheduler, fault, small_platform):
+    plan = scheduler.static_plan(small_platform, W)
+    batch = simulate_static_batch(
+        small_platform, plan, 0.0, seeds=BATCH_SEEDS,
+        faults=make_fault_model(fault),
+    )
+    des = _des_makespans(small_platform, scheduler, fault, BATCH_SEEDS)
+    assert np.array_equal(batch, des)
+
+
+@pytest.mark.parametrize("fault", BATCH_FAULT_SPECS)
+@pytest.mark.parametrize(
+    "scheduler",
+    [
+        Factoring(),
+        WeightedFactoring(),
+        RUMR(known_error=0.3),
+        FixedSizeChunking(known_error=0.3),
+        AdaptiveRUMR(),
+    ],
+    ids=lambda s: s.name,
+)
+def test_batched_fault_lockstep_matches_des(scheduler, fault, small_platform):
+    batch = simulate_dynamic_batch(
+        small_platform, scheduler, W, 0.0, BATCH_SEEDS,
+        faults=make_fault_model(fault),
+    )
+    des = _des_makespans(small_platform, scheduler, fault, BATCH_SEEDS)
+    assert np.array_equal(batch, des)
+
+
+# ---------------------------------------------------------------------------
 # Randomized differential harness.
 # ---------------------------------------------------------------------------
 

@@ -17,7 +17,10 @@ from repro.sim.fastsim import simulate_fast
 W = 1000.0
 SEEDS = tuple(range(20, 26))
 
-BATCHABLE = ("Factoring", "WeightedFactoring", "RUMR", "RUMR-plain", "RUMR_70")
+BATCHABLE = (
+    "Factoring", "WeightedFactoring", "RUMR", "RUMR-plain", "RUMR_70",
+    "FSC", "AdaptiveRUMR",
+)
 
 
 def scalar_makespans(platform, scheduler, error, seeds):
@@ -79,8 +82,14 @@ class TestExactAgreement:
     def test_registry_flags(self):
         for name in BATCHABLE:
             assert is_batch_dynamic_algorithm(name)
-        for name in ("UMR", "MI-2", "FSC", "AdaptiveRUMR", "OneRound"):
+        for name in ("UMR", "MI-2", "OneRound", "EqualSplit"):
             assert not is_batch_dynamic_algorithm(name)
+
+    def test_all_schedulers_support_batched_faults(self):
+        from repro.core.registry import available_schedulers
+
+        for name in available_schedulers():
+            assert make_scheduler(name, 0.0).batch_supports_faults, name
 
 
 class TestStatisticalAgreement:
@@ -140,7 +149,7 @@ class TestValidation:
         with pytest.raises(TypeError, match="not batch-dynamic"):
             DynamicCell(
                 platform=hom_platform,
-                scheduler=make_scheduler("FSC", 0.1),
+                scheduler=make_scheduler("UMR", 0.1),
                 total_work=W,
                 error=0.1,
                 seeds=SEEDS,
