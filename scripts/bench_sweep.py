@@ -5,10 +5,12 @@ Times four slices of a preset grid through both engines
 (``run_sweep(batch_static=True)`` vs ``batch_static=False``): the
 static-algorithm portion (whole-grid vectorized plan replay), the
 batch-dynamic portion (lockstep engine for every in-tree dynamic
-scheduler), the full paper algorithm list, and the same full list on a
-*fault* grid (worker crashes threaded through the batch engines), and
-writes the numbers to a JSON file (default ``BENCH_sweep.json`` in the
-repository root) so the perf trajectory is tracked across PRs.
+scheduler), the full paper algorithm list, and the same full list on one
+*fault* grid per fault kind — crash, pause, slowdown, link-spike — each
+realized as a vectorized :class:`~repro.errors.faults.FaultPlane` inside
+the batch engines, and writes the numbers to a JSON file (default
+``BENCH_sweep.json`` in the repository root) so the perf trajectory is
+tracked across PRs.
 
 The equivalence contract is asserted while benchmarking: at ``error = 0``
 both fast paths must agree with the scalar engine bit-for-bit for every
@@ -77,13 +79,23 @@ def _time_sweep(grid, algorithms, batch_static: bool, repeats: int):
 #: and replay per-repetition crash schedules.
 FAULT_SPEC = "crash:p=0.5,tmax=100"
 
+#: One scenario per fault kind for the ``fault_portions`` section, so a
+#: regression in any single vectorized transform (crash loss rule, pause
+#: stretch, slowdown stretch, per-dispatch link spikes) shows up as its
+#: own speedup number instead of hiding in a crash-only aggregate.
+FAULT_SPECS = {
+    "crash": FAULT_SPEC,
+    "pause": "pause:p=0.5,tmax=100,dur=30",
+    "slowdown": "slow:p=0.5,tmax=100,factor=2",
+    "link-spike": "spike:p=0.2,delay=5",
+}
+
 
 def bench(preset: str = "smoke", repeats: int = 3) -> dict:
     """Run the benchmark and return the report dict."""
     if repeats < 1:
         raise ValueError(f"--repeats must be >= 1, got {repeats}")
     grid = preset_grid(preset)
-    fault_grid = grid.restrict(fault=FAULT_SPEC)
     static_algos = tuple(a for a in PAPER_ALGORITHMS if is_static_algorithm(a))
     dynamic_algos = tuple(a for a in PAPER_ALGORITHMS if not is_static_algorithm(a))
     dyn_batch_algos = tuple(a for a in dynamic_algos if is_batch_dynamic_algorithm(a))
@@ -116,8 +128,11 @@ def bench(preset: str = "smoke", repeats: int = 3) -> dict:
     static_portion = _portion(static_algos)
     dynamic_portion = _portion(dyn_batch_algos)
     full_sweep = _portion(PAPER_ALGORITHMS)
-    fault_portion = _portion(PAPER_ALGORITHMS, fault_grid)
-    fault_portion["fault"] = FAULT_SPEC
+    fault_portions = {}
+    for kind, spec in FAULT_SPECS.items():
+        portion = _portion(PAPER_ALGORITHMS, grid.restrict(fault=spec))
+        portion["fault"] = spec
+        fault_portions[kind] = portion
 
     return {
         "preset": preset,
@@ -127,7 +142,10 @@ def bench(preset: str = "smoke", repeats: int = 3) -> dict:
         "batch_dynamic_algorithms": list(dyn_batch_algos),
         "static_portion": static_portion,
         "dynamic_portion": dynamic_portion,
-        "fault_portion": fault_portion,
+        # Kept as the crash scenario for baseline continuity; the
+        # per-kind breakdown lives in ``fault_portions``.
+        "fault_portion": fault_portions["crash"],
+        "fault_portions": fault_portions,
         "full_sweep": full_sweep,
     }
 
@@ -152,8 +170,9 @@ def main(argv: list[str] | None = None) -> int:
         "--min-fault-speedup",
         type=float,
         default=None,
-        help="exit non-zero if the fault-portion speedup falls below "
-        "this (fault grids ride the batch engines since PR 6)",
+        help="exit non-zero if any per-kind fault-portion speedup falls "
+        "below this (fault schedules are realized and replayed as "
+        "vectorized fault planes inside the batch engines)",
     )
     parser.add_argument(
         "--min-full-speedup",
@@ -204,12 +223,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{dp['batched_wall_s']:.3f}s ({dp['batched_us_per_run']:.0f} us/run), "
         f"{dp['speedup']:.1f}x"
     )
-    fp = report["fault_portion"]
-    print(
-        f"fault portion ({fp['fault']}, {len(PAPER_ALGORITHMS)} algos, "
-        f"{fp['num_simulations']} runs): scalar {fp['scalar_wall_s']:.3f}s "
-        f"-> batched {fp['batched_wall_s']:.3f}s, {fp['speedup']:.1f}x"
-    )
+    for kind, fp in report["fault_portions"].items():
+        print(
+            f"fault portion [{kind}] ({fp['fault']}, {len(PAPER_ALGORITHMS)} "
+            f"algos, {fp['num_simulations']} runs): scalar "
+            f"{fp['scalar_wall_s']:.3f}s -> batched {fp['batched_wall_s']:.3f}s, "
+            f"{fp['speedup']:.1f}x"
+        )
     fs = report["full_sweep"]
     print(
         f"full sweep ({len(PAPER_ALGORITHMS)} algos, {fs['num_simulations']} runs): "
@@ -240,8 +260,10 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             failed = True
-    for label, portion in (("static", sp), ("dynamic", dp), ("fault", fp),
-                           ("full-sweep", fs)):
+    portions = [("static", sp), ("dynamic", dp), ("full-sweep", fs)] + [
+        (f"fault[{kind}]", fp) for kind, fp in report["fault_portions"].items()
+    ]
+    for label, portion in portions:
         if not portion["equal_at_zero_error"]:
             print(
                 f"ERROR: batched {label} path diverges from scalar path at error=0",
@@ -256,13 +278,15 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             failed = True
-    if args.min_fault_speedup is not None and fp["speedup"] < args.min_fault_speedup:
-        print(
-            f"ERROR: fault-portion speedup {fp['speedup']}x < "
-            f"required {args.min_fault_speedup}x",
-            file=sys.stderr,
-        )
-        failed = True
+    if args.min_fault_speedup is not None:
+        for kind, fp in report["fault_portions"].items():
+            if fp["speedup"] < args.min_fault_speedup:
+                print(
+                    f"ERROR: fault-portion [{kind}] speedup {fp['speedup']}x < "
+                    f"required {args.min_fault_speedup}x",
+                    file=sys.stderr,
+                )
+                failed = True
     if args.min_full_speedup is not None and fs["speedup"] < args.min_full_speedup:
         print(
             f"ERROR: full-sweep speedup {fs['speedup']}x < "

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Attribute batched fault-sweep time: fault transforms vs kernel steps.
+
+Runs one fault grid per kind — crash, pause, slowdown, link-spike
+(plus the fault-free baseline) — through the batch engines with a
+:class:`~repro.obs.SweepStats` collector attached, and tabulates where
+the batched wall time goes:
+
+* the **fault-attributed** portion, split by bucket — plane realization
+  (``sample``), scalar replays of deferred rows (``defer``), and the
+  per-dispatch timeline transforms (``crash`` / ``pause`` / ``slow`` /
+  ``spike``);
+* the **remainder** — kernel decides, dispatch arithmetic, observe/
+  apply bookkeeping — obtained by subtraction from the batch-pass wall
+  time (static grid pass + lockstep pass).
+
+This is the first stop when a fault-portion speedup in
+``BENCH_sweep.json`` regresses: if the fault share grew, the transforms
+(or the sampling, or a deferral storm — check ``rows deferred``) are to
+blame; if the remainder grew, the regression is in the kernels or the
+engine core and faults are innocent.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_fault_pass.py
+        [--preset smoke] [--repeats 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.config import PAPER_ALGORITHMS, preset_grid  # noqa: E402
+from repro.experiments.runner import run_sweep  # noqa: E402
+from repro.obs import SweepStats  # noqa: E402
+
+#: One scenario per fault kind, matching ``scripts/bench_sweep.py``'s
+#: ``fault_portions`` section so the two reports line up.
+FAULT_SPECS = {
+    "none": "none",
+    "crash": "crash:p=0.5,tmax=100",
+    "pause": "pause:p=0.5,tmax=100,dur=30",
+    "slowdown": "slow:p=0.5,tmax=100,factor=2",
+    "link-spike": "spike:p=0.2,delay=5",
+}
+
+
+def profile(preset: str = "smoke", repeats: int = 1) -> list[dict]:
+    """One row per fault kind: batch-pass wall vs fault-attributed time."""
+    grid = preset_grid(preset)
+    # Warm the lru-cached plan solvers so the first row is not billed
+    # for one-time solver work the others skip.
+    run_sweep(grid, algorithms=PAPER_ALGORITHMS)
+
+    rows = []
+    for kind, spec in FAULT_SPECS.items():
+        g = grid if spec == "none" else grid.restrict(fault=spec)
+        best = None
+        for _ in range(repeats):
+            stats = SweepStats()
+            run_sweep(g, algorithms=PAPER_ALGORITHMS, stats=stats)
+            pass_wall = stats.staticgrid_wall_s + stats.lockstep_wall_s
+            if best is None or pass_wall < best["pass_wall_s"]:
+                best = {
+                    "kind": kind,
+                    "fault": spec,
+                    "pass_wall_s": pass_wall,
+                    "fault_wall_s": dict(stats.fault_wall_s),
+                    "rows_deferred_scalar": stats.rows_deferred_scalar,
+                }
+        rows.append(best)
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", default="smoke", help="grid preset (default: smoke)")
+    parser.add_argument("--repeats", type=int, default=1, help="best-of repeats")
+    args = parser.parse_args(argv)
+
+    rows = profile(args.preset, args.repeats)
+    buckets = list(rows[0]["fault_wall_s"])
+    header = (
+        f"{'kind':<10} {'batch pass':>10} {'fault':>8} {'share':>6} "
+        + " ".join(f"{b:>8}" for b in buckets)
+        + f" {'deferred':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        fault_total = sum(row["fault_wall_s"].values())
+        share = fault_total / row["pass_wall_s"] if row["pass_wall_s"] else 0.0
+        print(
+            f"{row['kind']:<10} {row['pass_wall_s'] * 1e3:>8.1f}ms "
+            f"{fault_total * 1e3:>6.1f}ms {share:>6.1%} "
+            + " ".join(
+                f"{row['fault_wall_s'][b] * 1e3:>6.1f}ms" for b in buckets
+            )
+            + f" {row['rows_deferred_scalar']:>8d}"
+        )
+    print(
+        "\nbatch pass = static grid pass + lockstep pass wall; fault = sum "
+        "of the bucket columns;\nremainder (kernel decides, dispatch "
+        "arithmetic) = batch pass - fault."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -229,6 +229,7 @@ class AdaptiveRUMRKernelSpec(KernelSpec):
 
     group_key = ("adaptive-rumr",)
     wants_notes = True
+    handles_crashes = True
 
     def make_kernel(self, specs, reps, n_max):
         return AdaptiveRUMRKernel(specs, reps, n_max)
@@ -247,10 +248,17 @@ class AdaptiveRUMRKernel(LockstepKernel):
     kernel over exactly the undispatched remainder, with the chunk floor
     evaluated at the estimate — and never consumes notes again.
 
-    Crash recovery is not kernelized (``handles_crashes`` stays False;
-    the engine defers crash-bearing rows to the scalar source); the
-    estimator itself is timing-based and follows pause/slowdown/spike
-    faults through the engine's shifted completion times.
+    Crash behaviour mirrors the scalar source exactly: phase 1 ignores
+    crashes outright (the plan keeps dispatching, and a row that
+    exhausts it unswitched finishes even with chunks outstanding), so
+    losses observed before the switch are *queued* per row and replayed
+    into the factoring slot at switch time — the scalar equivalent is
+    the fresh :class:`FactoringSource`, whose loss cursor starts at zero
+    and therefore absorbs every loss observed since the run began.
+    Post-switch rows inherit :class:`FactoringKernel`'s full recovery
+    path.  The estimator itself is timing-based and follows pause /
+    slowdown / spike faults through the engine's shifted completion
+    times.
     """
 
     _OUTLIER_FACTOR = 3.0
@@ -287,6 +295,10 @@ class AdaptiveRUMRKernel(LockstepKernel):
         self._est_m2 = np.zeros(rows)
         self._last_time = np.full((rows, n_max), np.nan)
         self._switched = np.zeros(rows, dtype=bool)
+        # Losses observed while a row is still on the plan (which ignores
+        # them, like the scalar phase 1); replayed in observation order
+        # into the factoring slot if and when the row switches.
+        self._queued_losses: dict[int, list[float]] = {}
         self._phase2 = specs[0].phase2.make_kernel(
             [s.phase2 for s in specs], reps, n_max
         )
@@ -308,6 +320,13 @@ class AdaptiveRUMRKernel(LockstepKernel):
         self._est_m2 = self._est_m2[keep]
         self._last_time = self._last_time[keep]
         self._switched = self._switched[keep]
+        if self._queued_losses:
+            remap = {int(old): new for new, old in enumerate(keep)}
+            self._queued_losses = {
+                remap[r]: sizes
+                for r, sizes in self._queued_losses.items()
+                if r in remap
+            }
         self._phase2.compact(keep)
 
     def _consume_notes(self, notes) -> None:
@@ -339,6 +358,17 @@ class AdaptiveRUMRKernel(LockstepKernel):
     def decide(self, counts, works, action, worker, size, mask=None, ctx=None):
         if ctx is not None and ctx.notes:
             self._consume_notes(ctx.notes)
+        if ctx is not None and ctx.losses:
+            # The plan ignores losses; hold them back from the factoring
+            # slots (whose absorption is unmasked) and replay at switch
+            # time.  Losses of already-switched rows pass through.
+            kept = []
+            for r, s in ctx.losses:
+                if self._switched[r]:
+                    kept.append((r, s))
+                else:
+                    self._queued_losses.setdefault(int(r), []).append(s)
+            ctx.losses = kept
         p1 = ~self._switched
         if mask is not None:
             p1 = p1 & mask
@@ -363,6 +393,11 @@ class AdaptiveRUMRKernel(LockstepKernel):
                 floor = self._overhead[r] / estimate
                 floor = min(floor, pool / self._n_float[r])
                 self._phase2.activate_row(r, pool, max(floor, 1.0))
+                # The scalar switch builds a fresh FactoringSource whose
+                # loss cursor starts at zero: every loss observed since
+                # the run began rejoins the pool, in observation order.
+                for s in self._queued_losses.pop(int(r), ()):
+                    self._phase2.absorb_loss(int(r), s)
             self._switched |= switch
             p1 = p1 & ~switch
             act = p1 & (self._cursor < self._num_rounds)

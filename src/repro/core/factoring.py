@@ -230,6 +230,16 @@ class FactoringKernel(LockstepKernel):
         self._batch_left[row] = 0
         self._batch_size[row] = 0.0
 
+    def absorb_loss(self, row: int, size: float) -> None:
+        """Return one lost chunk to a row's pool (scalar ``+=`` order).
+
+        Composite kernels that withhold losses from the step context —
+        AdaptiveRUMR's plan phase ignores them until its switch — replay
+        them through this, one at a time in observation order, so the
+        left fold matches the scalar loss cursor bitwise.
+        """
+        self._remaining[row] += size
+
     def decide(self, counts, works, action, worker, size, mask=None, ctx=None):
         crashed = None
         fault_rows = None

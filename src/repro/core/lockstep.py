@@ -145,6 +145,21 @@ class KernelSpec:
     ) -> "LockstepKernel":
         raise NotImplementedError
 
+    def deferred_rows(self, crash_time: np.ndarray) -> "np.ndarray | None":
+        """Rows the kernel cannot replay bitwise, given realized crashes.
+
+        ``crash_time`` is this cell's ``(reps, n)`` slice of the fault
+        plane (``inf`` = never).  The returned boolean mask selects rows
+        the engine must hand to the scalar reference engine instead; the
+        default defers every crash-bearing row when the spec lacks crash
+        support and nothing otherwise.  Specs whose kernel covers *some*
+        crash patterns override this to shrink the deferral to the
+        genuinely inexpressible rows (see ``RUMRKernelSpec``).
+        """
+        if self.handles_crashes:
+            return None
+        return np.isfinite(crash_time).any(axis=1)
+
 
 class LockstepKernel:
     """Per-row decision state for one merged group of cells."""

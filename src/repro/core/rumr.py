@@ -292,16 +292,45 @@ class RUMRKernelSpec(KernelSpec):
     (zeros for workers with nothing in that round); ``phase2`` is always
     present — a zero-workload factoring spec stands in for a skipped
     phase 2, so the skip condition does not fracture the group.
+    ``total_work`` / ``clats`` / ``nlats`` / ``known_error`` carry the
+    scheduler binding the scalar source uses for crash recovery (the
+    undispatched pool and the survivor-platform chunk floor).
     """
 
     n: int = 0
     rounds: tuple = ()
     out_of_order: bool = True
     phase2: "KernelSpec | None" = None
+    total_work: float = 0.0
+    clats: tuple = ()
+    nlats: tuple = ()
+    known_error: "float | None" = None
 
     @property
     def group_key(self):
         return ("rumr", self.phase2.group_key)
+
+    @property
+    def handles_crashes(self):
+        # The kernelized recovery re-arms the embedded phase-2 rows as
+        # plain factoring tails — exactly what the scalar source builds.
+        # A weighted phase 2 cannot be re-armed that way, so its crash
+        # rows still defer to the scalar engine.
+        return isinstance(self.phase2, FactoringKernelSpec)
+
+    def deferred_rows(self, crash_time):
+        if not self.handles_crashes:
+            return np.isfinite(crash_time).any(axis=1)
+        if not self.rounds:
+            # No phase 1: every crash lands in the factoring tail, which
+            # the embedded kernel replays exactly.
+            return None
+        # A crash already observable at the first decision (t = 0) hits
+        # the scalar source's replan-from-scratch path (nothing was
+        # dispatched yet): a fresh UMR solve on the survivors, which is
+        # per-row by nature — defer those rows.
+        defer = crash_time.min(axis=1) <= 0.0
+        return defer if defer.any() else None
 
     def make_kernel(self, specs, reps, n_max):
         return RUMRKernel(specs, reps, n_max)
@@ -318,12 +347,19 @@ class RUMRKernel(LockstepKernel):
     embedded phase-2 kernel (whose rows with zero workload answer DONE
     immediately — the skipped-phase-2 case).
 
-    Crash recovery (replanning on survivors, mid-phase-1 fallback tails)
-    is *not* kernelized: the spec leaves ``handles_crashes`` False and
-    the lockstep engine routes crash-bearing rows to the scalar
-    :class:`RUMRSource` instead.  Non-crash fault rows stay in the
-    kernel — pause/slowdown/link-spike faults only shift observation
-    times, which the engine already simulates exactly.
+    Crash recovery follows :class:`RUMRSource` bit for bit on the paths
+    a merged group can express.  A crash observed mid-phase-1 abandons
+    the row's remaining rounds and re-arms its slot in the embedded
+    factoring kernel over everything not yet dispatched, with the chunk
+    floor evaluated on the surviving sub-platform — the scalar source's
+    fallback tail, built through :meth:`FactoringKernel.activate_row`.
+    A fault row that outlives a pure-UMR plan arms the same tail with a
+    zero pool, so work lost after the last planned dispatch is still
+    re-dispatched.  Only the replan-from-scratch path (a crash already
+    observable at ``t = 0``) stays per-row: the spec's
+    :meth:`~RUMRKernelSpec.deferred_rows` routes those rows to the
+    scalar engine.  Non-crash fault rows only shift observation times,
+    which the engine already simulates exactly.
     """
 
     def __init__(self, specs, reps, n_max):
@@ -341,6 +377,17 @@ class RUMRKernel(LockstepKernel):
         self._ooo = expand_rows([s.out_of_order for s in specs], reps, dtype=bool)
         self._any_ooo = bool(self._ooo.any())
         self._cursor = np.zeros(rows, dtype=np.int64)
+        self._specs = list(specs)
+        self._spec_of = np.repeat(np.arange(len(specs)), reps)
+        self._total = expand_rows([s.total_work for s in specs], reps, dtype=float)
+        self._zero_p2 = expand_rows(
+            [s.phase2.total_work <= 0.0 for s in specs], reps, dtype=bool
+        )
+        # Gross phase-1 dispatch per row (delivered or lost), the scalar
+        # source's ``_dispatched_gross`` at any point where it is read.
+        self._gross = np.zeros(rows)
+        # Rows whose factoring slot was re-armed as a recovery tail.
+        self._armed = np.zeros(rows, dtype=bool)
         self._phase2 = specs[0].phase2.make_kernel(
             [s.phase2 for s in specs], reps, n_max
         )
@@ -352,15 +399,72 @@ class RUMRKernel(LockstepKernel):
         self._ooo = self._ooo[keep]
         self._any_ooo = bool(self._ooo.any())
         self._cursor = self._cursor[keep]
+        self._spec_of = self._spec_of[keep]
+        self._total = self._total[keep]
+        self._zero_p2 = self._zero_p2[keep]
+        self._gross = self._gross[keep]
+        self._armed = self._armed[keep]
         self._phase2.compact(keep)
 
+    def _recovery_min_chunk(self, r, crashed_row, pool):
+        """``phase2_min_chunk`` on the survivors, scalar operation order.
+
+        Reproduces ``RUMRSource._make_recovery_tail``'s floor: the round
+        overhead of ``platform.subset(live)`` (the full platform when
+        every worker is gone), divided by the known error when given,
+        capped at the per-survivor pool share when ``pool`` is positive.
+        """
+        spec = self._specs[self._spec_of[r]]
+        live = [
+            j for j in range(spec.n) if crashed_row is None or not crashed_row[j]
+        ]
+        idxs = live if live else range(spec.n)
+        n_sub = len(live) if live else spec.n
+        mean_clat = sum(spec.clats[j] for j in idxs) / n_sub
+        overhead = mean_clat + sum(spec.nlats[j] for j in idxs)
+        e = spec.known_error
+        floor = overhead / e if (e is not None and e > 0) else overhead
+        if pool is not None and pool > 0:
+            floor = min(floor, pool / n_sub)
+        return max(floor, 1.0)
+
     def decide(self, counts, works, action, worker, size, mask=None, ctx=None):
+        if ctx is not None and ctx.crashed is not None and ctx.crashed.any():
+            # Mid-phase-1 crash: abandon the remaining rounds and fall
+            # back to factoring over everything not yet dispatched —
+            # the scalar source's recovery tail, observed at the same
+            # decision point with the same survivor set.
+            hit = (self._cursor < self._num_rounds) & ctx.crashed.any(axis=1)
+            if mask is not None:
+                hit &= mask
+            for r in np.flatnonzero(hit):
+                pool = max(0.0, float(self._total[r]) - float(self._gross[r]))
+                mc = self._recovery_min_chunk(
+                    r, ctx.crashed[r], pool if pool > 0 else None
+                )
+                self._phase2.activate_row(int(r), pool, mc)
+                self._cursor[r] = self._num_rounds[r]
+                self._armed[r] = True
         in_p1 = self._cursor < self._num_rounds
         if mask is None:
             p2_mask = ~in_p1
         else:
             p2_mask = mask & ~in_p1
             in_p1 = mask & in_p1
+        if ctx is not None and ctx.fault_rows is not None:
+            # Pure-UMR tail under faults: the scalar source keeps a
+            # zero-pool recovery tail alive past the last planned
+            # dispatch, so late losses are re-dispatched (with the chunk
+            # floor of the then-surviving sub-platform) instead of
+            # abandoned.  Armed exactly once, like the scalar source.
+            arm = p2_mask & ctx.fault_rows & self._zero_p2 & ~self._armed
+            if arm.any():
+                crashed = ctx.crashed
+                for r in np.flatnonzero(arm):
+                    row = crashed[r] if crashed is not None else None
+                    mc = self._recovery_min_chunk(r, row, None)
+                    self._phase2.activate_row(int(r), 0.0, mc)
+                    self._armed[r] = True
         if in_p1.any():
             rows = np.flatnonzero(in_p1)
             cur = self._cursor[rows]
@@ -372,11 +476,13 @@ class RUMRKernel(LockstepKernel):
                 pick = np.where(use_idle, idle.argmax(axis=1), pick)
             action[rows] = DISPATCH
             worker[rows] = pick
-            size[rows] = self._sizes[rows, cur, pick]
+            sz = self._sizes[rows, cur, pick]
+            size[rows] = sz
+            self._gross[rows] += sz
             self._avail[rows, cur, pick] = False
             exhausted = ~self._avail[rows, cur].any(axis=1)
             self._cursor[rows[exhausted]] += 1
-        if p2_mask.any():
+        if p2_mask.any() or (ctx is not None and ctx.losses):
             self._phase2.decide(
                 counts, works, action, worker, size, mask=p2_mask, ctx=ctx
             )
@@ -535,10 +641,19 @@ class RUMR(Scheduler):
                     lookahead=1,
                 )
         else:
-            phase2 = FactoringKernelSpec(n=platform.N, total_work=0.0)
+            # Skipped phase 2: a zero-workload factoring slot that crash
+            # recovery can re-arm as the scalar source's fallback tail —
+            # it must carry the scheduler's factor for that.
+            phase2 = FactoringKernelSpec(
+                n=platform.N, total_work=0.0, factor=self.factor
+            )
         return RUMRKernelSpec(
             n=platform.N,
             rounds=tuple(rounds),
             out_of_order=self.out_of_order,
             phase2=phase2,
+            total_work=total_work,
+            clats=tuple(w.cLat for w in platform),
+            nlats=tuple(w.nLat for w in platform),
+            known_error=self.known_error,
         )

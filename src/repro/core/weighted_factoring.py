@@ -150,6 +150,7 @@ class WeightedFactoringKernelSpec(KernelSpec):
     weights: tuple = ()
 
     group_key = ("weighted-factoring",)
+    handles_crashes = True
 
     def make_kernel(self, specs, reps, n_max):
         return WeightedFactoringKernel(specs, reps, n_max)
@@ -164,12 +165,15 @@ class WeightedFactoringKernel(LockstepKernel):
     weight 0 and are never selected (the caller reports them as
     maximally pending).
 
-    Crash rows are *not* kernelized (the survivor-weight renormalization
-    is a sequential sum the vector path cannot reproduce bitwise);
-    :class:`WeightedFactoringKernelSpec` leaves ``handles_crashes``
-    False, so the engine routes crash-bearing rows to the scalar source.
-    Non-crash fault rows only need the scalar drain rule: once the pool
-    is empty, wait out the pending set instead of finishing.
+    Crash recovery mirrors :class:`WeightedFactoringSource` bit for bit:
+    observed losses are re-absorbed into the pool *before* the finished
+    test, observed-crashed workers are excluded from the starved-worker
+    scan (their pending count is forced to the pad sentinel), the speed
+    weights are renormalized over the survivors — summed worker 0..n-1
+    like the scalar ``sum`` so the float is identical — and a row whose
+    workers all crashed finishes immediately.  Non-crash fault rows only
+    need the scalar drain rule: once the pool is empty, wait out the
+    pending set instead of finishing.
     """
 
     def __init__(self, specs, reps, n_max):
@@ -199,6 +203,13 @@ class WeightedFactoringKernel(LockstepKernel):
         self._weights = self._weights[keep]
 
     def decide(self, counts, works, action, worker, size, mask=None, ctx=None):
+        if ctx is not None:
+            # Observed losses re-enter the pool before anything else, in
+            # the scalar observation order (the engine delivers them
+            # per-row sorted by (time, chunk_index), and += left-folds
+            # exactly like the scalar cursor loop).
+            for r, s in ctx.losses:
+                self._remaining[r] += s
         fin = self._remaining <= self._epsilon
         if mask is None:
             live = ~fin
@@ -210,8 +221,24 @@ class WeightedFactoringKernel(LockstepKernel):
             pending_any = ((counts > 0) & (counts < PAD_PENDING)).any(axis=1)
             drain = fin & ctx.fault_rows & pending_any
             fin = fin & ~drain
-        w = starved_argmin(counts, works)
-        wait = live & (counts[self._rows, w] >= self._lookahead)
+        counts_eff = counts
+        crashed = ctx.crashed if ctx is not None else None
+        has_crash = None
+        n_live = None
+        if crashed is not None and crashed.any():
+            # Crashed workers leave the candidate set exactly like the
+            # scalar live-list scan: a pad-sized pending count can never
+            # win the argmin nor look below the lookahead.
+            counts_eff = np.where(crashed, PAD_PENDING, counts)
+            n_live = self._n_float - crashed.sum(axis=1)
+            has_crash = live & crashed.any(axis=1)
+            dead = has_crash & (n_live <= 0.0)
+            if dead.any():
+                live = live & ~dead
+                has_crash = has_crash & ~dead
+                action[dead] = DONE
+        w = starved_argmin(counts_eff, works)
+        wait = live & (counts_eff[self._rows, w] >= self._lookahead)
         disp = live & ~wait
         if drain is not None:
             wait = wait | drain
@@ -220,8 +247,20 @@ class WeightedFactoringKernel(LockstepKernel):
         action[disp] = DISPATCH
         worker[disp] = w[disp]
         wgt = self._weights[self._rows, w]
+        n_eff = self._n_float
+        if has_crash is not None and has_crash.any():
+            # live_weight = sum of surviving weights, accumulated worker
+            # 0..n-1 — the same left fold (from +0.0) as the scalar sum,
+            # so the renormalized weight matches bitwise.  Crashed and
+            # padded slots contribute an exact +0.0.
+            lw = np.zeros(len(self._rows))
+            for j in range(self._weights.shape[1]):
+                lw = lw + np.where(crashed[:, j], 0.0, self._weights[:, j])
+            lw = np.where(lw > 0.0, lw, 1.0)
+            wgt = np.where(has_crash, wgt / lw, wgt)
+            n_eff = np.where(has_crash, n_live, self._n_float)
         share = (self._remaining / self._factor) * wgt
-        floor = self._min_chunk * wgt * self._n_float
+        floor = self._min_chunk * wgt * n_eff
         sz = np.minimum(np.maximum(share, floor), self._remaining)
         size[disp] = sz[disp]
         np.copyto(

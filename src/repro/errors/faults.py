@@ -53,6 +53,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "NO_FAULT_SPEC",
+    "FaultPlane",
     "FaultSchedule",
     "FaultModel",
     "NoFaults",
@@ -60,6 +61,7 @@ __all__ = [
     "PauseFaults",
     "SlowdownFaults",
     "LinkSpikeFaults",
+    "fault_stream",
     "make_fault_model",
 ]
 
@@ -167,6 +169,89 @@ def _clear_schedule(n: int) -> FaultSchedule:
     )
 
 
+def fault_stream(seed: int) -> np.random.Generator:
+    """The fault RNG stream for one run seed.
+
+    ``SeedSequence(seed, spawn_key=(2,))`` is the *third spawned child* of
+    the run seed — bit-identical to ``SeedSequence(seed).spawn(3)[2]``
+    (``spawn`` simply appends the child index to ``spawn_key``) — without
+    materializing the two error-stream children the engines draw
+    elsewhere.
+    """
+    return np.random.Generator(
+        np.random.PCG64(np.random.SeedSequence(int(seed), spawn_key=(2,)))
+    )
+
+
+@dataclasses.dataclass
+class FaultPlane:
+    """A stack of realized fault schedules, one row per run.
+
+    The batch engines consume faults through this plane instead of R
+    :class:`FaultSchedule` objects: every per-step transform (the pause /
+    slowdown stretch, the ``comp_end > crash`` loss rule, the spike
+    stream) then indexes dense ``(rows, workers)`` arrays.  Neutral
+    entries (``inf`` crash, zero-length pause, factor-1 slowdown, zero
+    spike probability) make every transform a bitwise no-op, so clean
+    rows stack freely with faulty ones.
+
+    ``rngs`` holds each row's fault generator *positioned after the
+    schedule draws* — retained only for rows that still need per-dispatch
+    link-spike draws (``spike_prob > 0``), ``None`` elsewhere.
+    """
+
+    crash_time: np.ndarray
+    pause_start: np.ndarray
+    pause_len: np.ndarray
+    slow_start: np.ndarray
+    slow_factor: np.ndarray
+    #: Per-row spike parameters (scalars in the schedule, so rank 1 here).
+    spike_prob: np.ndarray
+    spike_delay: np.ndarray
+    #: Per-row ``FaultSchedule.any_faults``.
+    fault_row: np.ndarray
+    rngs: list
+
+    @classmethod
+    def clear(cls, rows: int, n: int) -> "FaultPlane":
+        """An all-neutral plane (every row fault-free)."""
+        return cls(
+            crash_time=np.full((rows, n), _NEVER),
+            pause_start=np.zeros((rows, n)),
+            pause_len=np.zeros((rows, n)),
+            slow_start=np.zeros((rows, n)),
+            slow_factor=np.ones((rows, n)),
+            spike_prob=np.zeros(rows),
+            spike_delay=np.zeros(rows),
+            fault_row=np.zeros(rows, dtype=bool),
+            rngs=[None] * rows,
+        )
+
+    @property
+    def num_rows(self) -> int:
+        return self.crash_time.shape[0]
+
+    @property
+    def num_workers(self) -> int:
+        return self.crash_time.shape[1]
+
+    def schedule(self, row: int) -> FaultSchedule:
+        """Row ``row`` re-materialized as a scalar :class:`FaultSchedule`."""
+        return FaultSchedule(
+            crash_times=tuple(float(t) for t in self.crash_time[row]),
+            pauses=tuple(
+                (float(s), float(d))
+                for s, d in zip(self.pause_start[row], self.pause_len[row])
+            ),
+            slowdowns=tuple(
+                (float(s), float(f))
+                for s, f in zip(self.slow_start[row], self.slow_factor[row])
+            ),
+            spike_prob=float(self.spike_prob[row]),
+            spike_delay=float(self.spike_delay[row]),
+        )
+
+
 class FaultModel:
     """A configured fault scenario (see module docstring).
 
@@ -181,6 +266,35 @@ class FaultModel:
         """Realize one run's fault schedule from the fault RNG stream."""
         raise NotImplementedError
 
+    def sample_batch(self, platform: "PlatformSpec", seeds) -> FaultPlane:
+        """Realize one schedule per seed, stacked into a :class:`FaultPlane`.
+
+        Bit-identical to looping :meth:`sample` over per-seed
+        :func:`fault_stream` generators — the contract the batch engines
+        rely on and ``tests/properties`` enforces.  This base
+        implementation *is* that loop, so third-party models are correct
+        by construction; the in-tree models override it with batched
+        draws that decode to the same values from the same stream.
+        """
+        plane = FaultPlane.clear(len(seeds), platform.N)
+        for r, seed in enumerate(seeds):
+            rng = fault_stream(seed)
+            s = self.sample(platform, rng)
+            plane.crash_time[r] = s.crash_times
+            pp = np.asarray(s.pauses)
+            plane.pause_start[r] = pp[:, 0]
+            plane.pause_len[r] = pp[:, 1]
+            ss = np.asarray(s.slowdowns)
+            plane.slow_start[r] = ss[:, 0]
+            plane.slow_factor[r] = ss[:, 1]
+            plane.spike_prob[r] = s.spike_prob
+            plane.spike_delay[r] = s.spike_delay
+            if s.any_faults:
+                plane.fault_row[r] = True
+                if s.spike_prob > 0.0:
+                    plane.rngs[r] = rng
+        return plane
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(spec={self.spec!r})"
 
@@ -193,6 +307,10 @@ class NoFaults(FaultModel):
 
     def sample(self, platform: "PlatformSpec", rng: np.random.Generator) -> FaultSchedule:
         return _clear_schedule(platform.N)
+
+    def sample_batch(self, platform: "PlatformSpec", seeds) -> FaultPlane:
+        # Nothing is drawn, so no generator is even constructed.
+        return FaultPlane.clear(len(seeds), platform.N)
 
 
 def _draw_onsets(
@@ -210,6 +328,42 @@ def _draw_onsets(
         else:
             onsets.append(None)
     return onsets
+
+
+def _draw_onsets_batch(
+    seeds, n: int, prob: float, tmax: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """All rows' :func:`_draw_onsets` at once: ``(hit, onset)``, ``(R, n)``.
+
+    Each row's generator draws one ``2n``-uniform block (a superset of
+    what the scalar loop can consume; ``Generator.random(k)`` produces the
+    same values as ``k`` scalar calls), then a per-row position pointer
+    walks the block exactly like the scalar draw order: one hit test per
+    worker, plus one onset draw *only* after a hit.  ``uniform(0, tmax)``
+    is computed as ``tmax * u`` — bitwise what ``Generator.uniform`` does.
+    Over-drawing is safe because callers discard the generators (only the
+    spike model retains its stream, and it draws nothing at sample time).
+    """
+    rows = len(seeds)
+    hit = np.zeros((rows, n), dtype=bool)
+    onset = np.zeros((rows, n))
+    if rows == 0 or n == 0:
+        return hit, onset
+    buf = np.empty((rows, 2 * n))
+    for r, seed in enumerate(seeds):
+        buf[r] = fault_stream(seed).random(2 * n)
+    pos = np.zeros(rows, dtype=np.intp)
+    ridx = np.arange(rows)
+    for j in range(n):
+        h = buf[ridx, pos] < prob
+        # The onset, if worker j hit, is the *next* draw; pos stays at
+        # most 2j here, so pos + 1 <= 2n - 1 never overruns the block.
+        onset[:, j] = tmax * buf[ridx, pos + 1]
+        hit[:, j] = h
+        pos += 1
+        pos += h
+    onset[~hit] = 0.0
+    return hit, onset
 
 
 def _check_prob_tmax(prob: float, tmax: float) -> None:
@@ -268,6 +422,31 @@ class CrashFaults(FaultModel):
                 times[max(range(n), key=times.__getitem__)] = _NEVER
         return dataclasses.replace(_clear_schedule(n), crash_times=tuple(times))
 
+    def sample_batch(self, platform: "PlatformSpec", seeds) -> FaultPlane:
+        n = platform.N
+        plane = FaultPlane.clear(len(seeds), n)
+        if self.worker is not None:
+            if not 0 <= self.worker < n:
+                raise ValueError(
+                    f"crash worker {self.worker} outside the platform (N={n})"
+                )
+            plane.crash_time[:, self.worker] = float(self.at)
+            plane.fault_row[:] = True
+            return plane
+        hit, onset = _draw_onsets_batch(seeds, n, self.prob, self.tmax)
+        times = np.where(hit, onset, _NEVER)
+        if self.spare_one and n > 0:
+            all_hit = hit.all(axis=1)
+            if all_hit.any():
+                # argmax returns the first maximal index, like the scalar
+                # max(range(n), key=...) tie-break.
+                spare = times.argmax(axis=1)
+                rows = np.flatnonzero(all_hit)
+                times[rows, spare[rows]] = _NEVER
+        plane.crash_time[:] = times
+        plane.fault_row[:] = np.isfinite(times).any(axis=1)
+        return plane
+
 
 @dataclasses.dataclass(frozen=True, repr=False)
 class PauseFaults(FaultModel):
@@ -293,6 +472,15 @@ class PauseFaults(FaultModel):
             if onset is not None:
                 pauses[i] = (onset, self.duration)
         return dataclasses.replace(_clear_schedule(n), pauses=tuple(pauses))
+
+    def sample_batch(self, platform: "PlatformSpec", seeds) -> FaultPlane:
+        plane = FaultPlane.clear(len(seeds), platform.N)
+        hit, onset = _draw_onsets_batch(seeds, platform.N, self.prob, self.tmax)
+        plane.pause_start[:] = np.where(hit, onset, 0.0)
+        plane.pause_len[:] = np.where(hit, self.duration, 0.0)
+        # A zero-length pause never perturbs (any_faults checks dur > 0).
+        plane.fault_row[:] = hit.any(axis=1) & (self.duration > 0.0)
+        return plane
 
 
 @dataclasses.dataclass(frozen=True, repr=False)
@@ -320,6 +508,15 @@ class SlowdownFaults(FaultModel):
                 slowdowns[i] = (onset, self.factor)
         return dataclasses.replace(_clear_schedule(n), slowdowns=tuple(slowdowns))
 
+    def sample_batch(self, platform: "PlatformSpec", seeds) -> FaultPlane:
+        plane = FaultPlane.clear(len(seeds), platform.N)
+        hit, onset = _draw_onsets_batch(seeds, platform.N, self.prob, self.tmax)
+        plane.slow_start[:] = np.where(hit, onset, 0.0)
+        plane.slow_factor[:] = np.where(hit, self.factor, 1.0)
+        # A factor-1 slowdown never perturbs (any_faults checks f > 1).
+        plane.fault_row[:] = hit.any(axis=1) & (self.factor > 1.0)
+        return plane
+
 
 @dataclasses.dataclass(frozen=True, repr=False)
 class LinkSpikeFaults(FaultModel):
@@ -344,6 +541,17 @@ class LinkSpikeFaults(FaultModel):
             spike_prob=self.prob,
             spike_delay=self.delay,
         )
+
+    def sample_batch(self, platform: "PlatformSpec", seeds) -> FaultPlane:
+        plane = FaultPlane.clear(len(seeds), platform.N)
+        plane.spike_prob[:] = self.prob
+        plane.spike_delay[:] = self.delay
+        if self.prob > 0.0:
+            plane.fault_row[:] = True
+            # sample() draws nothing, so a fresh stream per row is
+            # exactly the post-sample generator state.
+            plane.rngs = [fault_stream(s) for s in seeds]
+        return plane
 
 
 def _fmt(value: float | int) -> str:

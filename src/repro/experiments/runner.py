@@ -502,11 +502,13 @@ def _run_static_batch_pass(
                     )
                 )
                 targets.append((name, p_idx, e_idx, error))
+    perf = {} if stats is not None else None
     if supervisor is None:
-        results = simulate_static_cells(cells, mode=grid.error_mode)
+        results = simulate_static_cells(cells, mode=grid.error_mode, perf=perf)
     else:
         results, exc = supervisor.attempt(
-            lambda: simulate_static_cells(cells, mode=grid.error_mode), grid.seed
+            lambda: simulate_static_cells(cells, mode=grid.error_mode, perf=perf),
+            grid.seed,
         )
         if exc is not None:
             results = [
@@ -556,6 +558,8 @@ def _run_static_batch_pass(
                 name, p_idx, e_idx, "scalar",
                 grid.repetitions, time.perf_counter() - t0,
             )
+    if stats is not None and perf:
+        stats.absorb_fault_perf(perf)
 
 
 def _run_dynamic_batch_pass(
@@ -565,6 +569,7 @@ def _run_dynamic_batch_pass(
     tensors: dict[str, np.ndarray],
     supervisor: CellSupervisor | None = None,
     arena: BatchArena | None = None,
+    stats=None,
 ) -> None:
     """Fill the batch-dynamic algorithms' tensors via one lockstep pass.
 
@@ -600,11 +605,16 @@ def _run_dynamic_batch_pass(
                     )
                 )
                 targets.append((name, p_idx, e_idx, error))
+    perf = {} if stats is not None else None
     if supervisor is None:
-        results = simulate_dynamic_cells(cells, mode=grid.error_mode, arena=arena)
+        results = simulate_dynamic_cells(
+            cells, mode=grid.error_mode, arena=arena, perf=perf
+        )
     else:
         results, exc = supervisor.attempt(
-            lambda: simulate_dynamic_cells(cells, mode=grid.error_mode, arena=arena),
+            lambda: simulate_dynamic_cells(
+                cells, mode=grid.error_mode, arena=arena, perf=perf
+            ),
             grid.seed,
         )
         if exc is not None:
@@ -628,6 +638,8 @@ def _run_dynamic_batch_pass(
             ]
     for (name, p_idx, e_idx, _error), makespans in zip(targets, results):
         tensors[name][p_idx, e_idx, :] = makespans
+    if stats is not None and perf:
+        stats.absorb_fault_perf(perf)
 
 
 def run_sweep(
@@ -916,7 +928,7 @@ def run_sweep(
             t0 = time.perf_counter()
             _run_dynamic_batch_pass(
                 grid, platforms, dyn_batch_names, tensors,
-                supervisor=supervisor, arena=_SWEEP_ARENA,
+                supervisor=supervisor, arena=_SWEEP_ARENA, stats=stats,
             )
             if stats is not None:
                 stats.lockstep_wall_s += time.perf_counter() - t0

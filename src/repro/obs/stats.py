@@ -32,6 +32,11 @@ __all__ = ["CellTiming", "SweepStats"]
 #: Engine-routing families a cell can take.
 ENGINES = ("static-batch", "dynbatch", "scalar")
 
+#: Fault-engine wall-time buckets (see the batch engines' ``perf``
+#: mappings): schedule realization, scalar-deferral replays, and the
+#: per-kind timeline transforms.
+FAULT_KINDS = ("sample", "defer", "crash", "pause", "slow", "spike")
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class CellTiming:
@@ -69,6 +74,10 @@ class SweepStats:
     pool_restarts: int = 0
     pool_timeouts: int = 0
     pool_degradations: int = 0
+    rows_deferred_scalar: int = 0
+    fault_wall_s: dict[str, float] = dataclasses.field(
+        default_factory=lambda: {k: 0.0 for k in FAULT_KINDS}
+    )
 
     # -- collection hooks ---------------------------------------------------
     def count_routing(self, engine: str, cells: int, runs_per_cell: int) -> None:
@@ -90,6 +99,16 @@ class SweepStats:
         self.cell_timings.append(
             CellTiming(algorithm, platform_index, error_index, engine, runs, wall_s)
         )
+
+    def absorb_fault_perf(self, perf: dict) -> None:
+        """Fold one batch pass's fault counters into the totals.
+
+        ``perf`` is the mutable mapping the batch engines accumulate into
+        (``rows_deferred_scalar`` plus ``fault_<kind>_s`` wall times).
+        """
+        self.rows_deferred_scalar += int(perf.get("rows_deferred_scalar", 0))
+        for kind in self.fault_wall_s:
+            self.fault_wall_s[kind] += float(perf.get(f"fault_{kind}_s", 0.0))
 
     # -- reporting ----------------------------------------------------------
     @property
@@ -121,6 +140,20 @@ class SweepStats:
             lines.append(f"static grid pass wall: {self.staticgrid_wall_s:.3f}s")
         if self.lockstep_wall_s:
             lines.append(f"lockstep pass wall: {self.lockstep_wall_s:.3f}s")
+        fault_total = sum(self.fault_wall_s.values())
+        if fault_total or self.rows_deferred_scalar:
+            parts = ", ".join(
+                f"{kind} {wall * 1e3:.1f}ms"
+                for kind, wall in self.fault_wall_s.items()
+                if wall
+            )
+            lines.append(
+                f"fault engine: {fault_total:.3f}s"
+                + (f" ({parts})" if parts else "")
+            )
+            lines.append(
+                f"rows deferred to scalar engine: {self.rows_deferred_scalar}"
+            )
         cache_line = (
             f"cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es)"
         )
@@ -170,5 +203,7 @@ class SweepStats:
             "pool_restarts": self.pool_restarts,
             "pool_timeouts": self.pool_timeouts,
             "pool_degradations": self.pool_degradations,
+            "rows_deferred_scalar": self.rows_deferred_scalar,
+            "fault_wall_s": dict(self.fault_wall_s),
             "cell_timings": [dataclasses.asdict(c) for c in self.cell_timings],
         }

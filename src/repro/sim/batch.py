@@ -30,13 +30,17 @@ Beyond one plan at a time, :func:`simulate_static_cells` stacks a whole
 *grid* of static cells — every (platform, error, algorithm) combination,
 padded to a common chunk count — into one (rows × chunks) tensor, so the
 sequential chunk loop is amortized over every repetition of every cell
-at once.  Fault cells ride along: each row realizes its own
-:class:`~repro.errors.faults.FaultSchedule` from its seed's third
-stream, link spikes perturb the link chain before the cumsum, pause /
+at once.  Fault cells ride along: each cell realizes all of its rows'
+schedules in one :meth:`~repro.errors.faults.FaultModel.sample_batch`
+call — a :class:`~repro.errors.faults.FaultPlane` of stacked arrays,
+bit-identical to sampling row by row from each seed's third stream —
+then link spikes perturb the link chain before the cumsum, pause /
 slowdown windows reshape compute durations inside the chunk loop, and
 chunks outliving their worker's crash are lost (they keep the busy chain
 advancing but contribute no makespan) — the scalar engine's fault
-semantics, vectorized.
+semantics, vectorized.  Each transform runs only when some row in the
+grid needs it: a crash-only grid skips the pause/slowdown arithmetic
+entirely, and a spike-only grid runs the clean compute recurrence.
 
 Dynamic schedulers have no fixed dispatch sequence, so they cannot use
 *this* engine — but all of them (Factoring, WeightedFactoring, FSC, the
@@ -53,6 +57,7 @@ from __future__ import annotations
 
 import dataclasses
 import typing
+from time import perf_counter
 
 import numpy as np
 
@@ -303,6 +308,7 @@ def simulate_static_cells(
     cells: "typing.Sequence[StaticCell]",
     mode: str = "multiply",
     min_ratio: float = MIN_RATIO,
+    perf=None,
 ) -> list:
     """Simulate a whole grid of static cells in one stacked pass.
 
@@ -320,6 +326,11 @@ def simulate_static_cells(
     mirroring :func:`simulate_static_batch`'s shortcut.  Fault cells
     keep one row per seed — their schedules differ — and follow the
     scalar fault semantics vectorized (see the module docstring).
+
+    ``perf``, when given, is a mutable mapping accumulating fault-engine
+    wall-time counters across calls: ``fault_sample_s`` plus the
+    per-kind transform times ``fault_crash_s`` / ``fault_pause_s`` /
+    ``fault_slow_s`` / ``fault_spike_s``.
 
     Returns one makespan array per cell, in input order, each of shape
     ``(len(cell.seeds),)``.
@@ -372,11 +383,16 @@ def simulate_static_cells(
         np.divide(1.0, comm, out=comm)
         np.divide(1.0, comp, out=comp)
 
-    # Fault realization: per-row schedules from each seed's third stream
-    # (neutral defaults keep the transforms bitwise no-ops on clean rows).
+    # Fault realization: each fault cell's rows come from one batched
+    # FaultPlane draw, block-copied into the grid arrays (neutral
+    # defaults keep the transforms bitwise no-ops on clean rows).
     fault_mode = any(c.faults is not None for c in cells)
+    any_crash = any_pause = any_slow = False
+    timing = perf is not None
+    t_crash = t_pause = t_slow = 0.0
+    spike_rows: list = []
     if fault_mode:
-        spike_rows: list = []
+        t0 = perf_counter() if timing else 0.0
         crash_t = np.full((rows, n_max), np.inf)
         pause_s = np.zeros((rows, n_max))
         pause_l = np.zeros((rows, n_max))
@@ -384,42 +400,49 @@ def simulate_static_cells(
         slow_f = np.ones((rows, n_max))
         r = 0
         for c, count in zip(cells, row_counts):
-            for seed in c.seeds[:count]:
-                if c.faults is not None:
-                    rng_fault = np.random.Generator(
-                        np.random.PCG64(np.random.SeedSequence(int(seed)).spawn(3)[2])
-                    )
-                    schedule = c.faults.sample(c.platform, rng_fault)
-                    if schedule.any_faults:
-                        n = schedule.num_workers
-                        crash_t[r, :n] = schedule.crash_times
-                        pp = np.asarray(schedule.pauses)
-                        pause_s[r, :n] = pp[:, 0]
-                        pause_l[r, :n] = pp[:, 1]
-                        ss = np.asarray(schedule.slowdowns)
-                        slow_s[r, :n] = ss[:, 0]
-                        slow_f[r, :n] = ss[:, 1]
-                        if schedule.spike_prob > 0.0:
-                            # One uniform draw per dispatch, in dispatch
-                            # order — Generator.random(k) consumes the
-                            # stream exactly like k scalar calls.
-                            kc = c.plan.num_chunks
-                            draws = rng_fault.random(kc)
-                            # The scalar engine adds the spike *after*
-                            # perturbing, so it becomes an additive term
-                            # folded into link_eff below.
-                            spikes = np.where(
-                                draws < schedule.spike_prob,
-                                schedule.spike_delay,
-                                0.0,
-                            )
-                            spike_rows.append((r, kc, spikes))
-                r += 1
+            if c.faults is None:
+                r += count
+                continue
+            plane = c.faults.sample_batch(c.platform, c.seeds[:count])
+            sl = slice(r, r + count)
+            n = plane.num_workers
+            crash_t[sl, :n] = plane.crash_time
+            pause_s[sl, :n] = plane.pause_start
+            pause_l[sl, :n] = plane.pause_len
+            slow_s[sl, :n] = plane.slow_start
+            slow_f[sl, :n] = plane.slow_factor
+            kc = c.plan.num_chunks
+            for j, rng in enumerate(plane.rngs):
+                if rng is None:
+                    continue
+                # One uniform draw per dispatch, in dispatch order —
+                # Generator.random(k) consumes the stream exactly like
+                # k scalar calls.  The scalar engine adds the spike
+                # *after* perturbing, so it becomes an additive term
+                # folded into link_eff below.
+                draws = rng.random(kc)
+                spikes = np.where(
+                    draws < plane.spike_prob[j], plane.spike_delay[j], 0.0
+                )
+                spike_rows.append((r + j, kc, spikes))
+            r += count
+        any_crash = bool(np.isfinite(crash_t).any())
+        any_pause = bool((pause_l > 0.0).any())
+        any_slow = bool((slow_f > 1.0).any())
+        if timing:
+            perf["fault_sample_s"] = (
+                perf.get("fault_sample_s", 0.0) + perf_counter() - t0
+            )
 
     link_eff = link_pred * comm
-    if fault_mode and spike_rows:
+    if spike_rows:
+        t0 = perf_counter() if timing else 0.0
         for r, kc, spikes in spike_rows:
             link_eff[r, :kc] += spikes
+        if timing:
+            perf["fault_spike_s"] = (
+                perf.get("fault_spike_s", 0.0) + perf_counter() - t0
+            )
     # arrival/duration carry the sentinel column in-place (computed into
     # the padded allocation directly — no concatenate copies).
     arr_pad = np.empty((rows, k_max + 1))
@@ -448,7 +471,11 @@ def simulate_static_cells(
     dur_g = np.take_along_axis(dur_pad, gidx, axis=1).reshape(rows, n_max, d_max)
 
     busy = np.zeros((rows, n_max))
-    if not fault_mode:
+    if not (any_crash or any_pause or any_slow):
+        # Clean recurrence — also taken by fault grids whose rows need
+        # no compute-side transform (e.g. spike-only, already folded
+        # into the link chain): nothing is lost, so the makespan over
+        # delivered chunks equals the busy-chain max bitwise.
         for d in range(d_max):
             np.maximum(busy, arr_g[:, :, d], out=busy)
             busy += dur_g[:, :, d]
@@ -462,36 +489,57 @@ def simulate_static_cells(
             v = vmask[:, :, d]
             start = np.maximum(busy, arr_g[:, :, d])
             dur = dur_g[:, :, d]
-            # Pause window first, then slowdown onset — the scalar
-            # compute_duration order, with its exact associativity.
-            in_window = (pause_l > 0.0) & (start < pause_s + pause_l)
-            if in_window.any():
-                inside = in_window & (start >= pause_s)
-                straddle = in_window & ~inside & (start + dur > pause_s)
-                dur = np.where(
-                    inside,
-                    (pause_s + pause_l + dur) - start,
-                    np.where(straddle, dur + pause_l, dur),
-                )
-            slowed = (slow_f > 1.0) & (start + dur > slow_s)
-            if slowed.any():
-                after = slowed & (start >= slow_s)
-                partial = slowed & ~after
-                done_part = slow_s - start
-                dur = np.where(
-                    after,
-                    dur * slow_f,
-                    np.where(
-                        partial, done_part + (dur - done_part) * slow_f, dur
-                    ),
-                )
+            if any_pause:
+                # Pause window first, then slowdown onset — the scalar
+                # compute_duration order, with its exact associativity.
+                if timing:
+                    t0 = perf_counter()
+                in_window = (pause_l > 0.0) & (start < pause_s + pause_l)
+                if in_window.any():
+                    inside = in_window & (start >= pause_s)
+                    straddle = in_window & ~inside & (start + dur > pause_s)
+                    dur = np.where(
+                        inside,
+                        (pause_s + pause_l + dur) - start,
+                        np.where(straddle, dur + pause_l, dur),
+                    )
+                if timing:
+                    t_pause += perf_counter() - t0
+            if any_slow:
+                if timing:
+                    t0 = perf_counter()
+                slowed = (slow_f > 1.0) & (start + dur > slow_s)
+                if slowed.any():
+                    after = slowed & (start >= slow_s)
+                    partial = slowed & ~after
+                    done_part = slow_s - start
+                    dur = np.where(
+                        after,
+                        dur * slow_f,
+                        np.where(
+                            partial, done_part + (dur - done_part) * slow_f, dur
+                        ),
+                    )
+                if timing:
+                    t_slow += perf_counter() - t0
             end = start + dur
             busy = np.where(v, end, busy)
-            # Lost chunks (computation outlives the crash) keep the busy
-            # chain advancing but never extend the makespan.
-            delivered = v & ~(end > crash_t)
-            np.maximum(mspan_w, np.where(delivered, end, 0.0), out=mspan_w)
+            if any_crash:
+                # Lost chunks (computation outlives the crash) keep the
+                # busy chain advancing but never extend the makespan.
+                if timing:
+                    t0 = perf_counter()
+                delivered = v & ~(end > crash_t)
+                np.maximum(mspan_w, np.where(delivered, end, 0.0), out=mspan_w)
+                if timing:
+                    t_crash += perf_counter() - t0
+            else:
+                np.maximum(mspan_w, np.where(v, end, 0.0), out=mspan_w)
         mspan = mspan_w.max(axis=1)
+    if timing:
+        perf["fault_crash_s"] = perf.get("fault_crash_s", 0.0) + t_crash
+        perf["fault_pause_s"] = perf.get("fault_pause_s", 0.0) + t_pause
+        perf["fault_slow_s"] = perf.get("fault_slow_s", 0.0) + t_slow
 
     out = []
     for i, c in enumerate(cells):

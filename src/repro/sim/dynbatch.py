@@ -34,25 +34,30 @@ results are distributionally identical, diverging bitwise only where
 truncation resampling fires or a zero-cost transfer (``nLat = 0`` with
 infinite bandwidth) skips a scalar draw.
 
-Fault cells (:attr:`DynamicCell.faults`) run in the same pass.  Each row
-realizes its own :class:`~repro.errors.faults.FaultSchedule` from the
-third spawned stream of its seed — exactly like the scalar engine, so
-the first two streams keep their draws — and the scalar fault semantics
-become vectorized timeline transforms with the same associativity: pause
-windows and slowdown onsets reshape the effective compute duration
-(pause first, then slowdown), link spikes add per-dispatch draws from
-the row's own fault stream, and a chunk whose computation outlives its
-worker's crash is *lost* — it leaves the pending set at
-``max(crash_time, arrival)``, delivers no work, and never extends the
-makespan.  Kernels observe faults through a
+Fault cells (:attr:`DynamicCell.faults`) run in the same pass.  Each
+cell realizes all of its rows' schedules in one shot through
+:meth:`~repro.errors.faults.FaultModel.sample_batch` — a
+:class:`~repro.errors.faults.FaultPlane` of stacked crash / pause /
+slowdown / spike arrays, bit-identical to sampling row by row from each
+seed's third spawned stream (streams 0/1 keep their draws) — and the
+scalar fault semantics become vectorized timeline transforms with the
+same associativity: pause windows and slowdown onsets reshape the
+effective compute duration (pause first, then slowdown), link spikes
+add pre-drawn per-dispatch draws from each row's own fault stream, and
+a chunk whose computation outlives its worker's crash is *lost* — it
+leaves the pending set at ``max(crash_time, arrival)``, delivers no
+work, and never extends the makespan.  Each transform runs only when
+some row in the batch needs it, over the whole row block at once.
+Kernels observe faults through a
 :class:`~repro.core.lockstep.KernelStepContext`: per-row crash masks
 plus newly observed losses and completions in the scalar view's
-``(time, chunk_index)`` order.  Rows whose sampled schedule contains a
-crash but whose kernel does not implement crash recovery
-(:attr:`~repro.core.lockstep.KernelSpec.handles_crashes` is False) are
-simulated by the scalar engine *inside the same call* — trivially
-bit-identical — so callers may route every cell of a fault grid here
-without inspecting the draws.
+``(time, chunk_index)`` order.  Every in-tree kernel family replays
+crash recovery in lockstep; the exception path is
+:meth:`~repro.core.lockstep.KernelSpec.deferred_rows`, through which a
+spec routes the rare crash patterns it cannot express (e.g. RUMR's
+replan-from-scratch on a crash at ``t = 0``) to the scalar engine
+*inside the same call* — trivially bit-identical — so callers may route
+every cell of a fault grid here without inspecting the draws.
 
 Cells from *different* platforms, error levels, and scheduler parameters
 are merged into shared calls — grouped by kernel family and padded to a
@@ -67,7 +72,7 @@ other kinds stay on the scalar engine.
 from __future__ import annotations
 
 import dataclasses
-import math
+from time import perf_counter
 
 import numpy as np
 
@@ -235,6 +240,45 @@ class _FactorBank:
         self._cols = target
 
 
+class _SpikeBank:
+    """Pre-drawn per-dispatch link-spike uniforms, one column per dispatch.
+
+    Column ``k`` of row ``r`` is the ``k``-th ``rng.random()`` call of row
+    ``r``'s fault stream (positioned after the schedule draws), so the
+    gathered draw matches the scalar engine's per-dispatch consumption
+    bitwise — ``Generator.random(k)`` produces the same values as ``k``
+    scalar calls, and the stream position never depends on outcomes.
+    Rows without a retained generator hold exact ones, which never
+    undercut a spike probability.
+    """
+
+    def __init__(self, fault_rngs):
+        self._rngs = list(fault_rngs)
+        self.draws = np.ones((len(self._rngs), 0))
+        self._cols = 0
+
+    @property
+    def any_live(self) -> bool:
+        return any(g is not None for g in self._rngs)
+
+    def ensure(self, cols: int) -> None:
+        """Guarantee at least ``cols`` materialized draw columns."""
+        if cols <= self._cols:
+            return
+        target = max(cols, 2 * self._cols, _INITIAL_COLUMNS)
+        draws = np.ones((len(self._rngs), target))
+        draws[:, : self._cols] = self.draws
+        for i, rng in enumerate(self._rngs):
+            if rng is not None:
+                draws[i, self._cols : target] = rng.random(target - self._cols)
+        self.draws = draws
+        self._cols = target
+
+    def compact(self, keep) -> None:
+        self._rngs = [self._rngs[int(r)] for r in keep]
+        self.draws = self.draws[keep]
+
+
 def _worker_arrays(cells, reps, n_max):
     """Per-row padded (S, B, cLat, nLat, tLat) matrices."""
     shape = (len(cells), n_max)
@@ -255,7 +299,8 @@ def _worker_arrays(cells, reps, n_max):
 
 
 def _simulate_rows(
-    cells, specs, mode: str, min_ratio: float, row_tracers=None, arena=None
+    cells, specs, mode: str, min_ratio: float, row_tracers=None, arena=None,
+    perf=None,
 ) -> list:
     """Run one merged batch of cells to completion; makespans per cell.
 
@@ -265,14 +310,21 @@ def _simulate_rows(
     is shared across all rows — one iteration advances every still-active
     row of every family.
 
-    Fault cells ride along: their rows carry per-worker crash / pause /
-    slowdown parameters whose neutral defaults (``inf`` crash,
-    zero-length pause, factor-1 slowdown, zero spike probability) make
-    the fault transforms bitwise no-ops for clean rows sharing the
-    batch.  Rows whose sampled schedule crashes a worker but whose
-    kernel spec leaves ``handles_crashes`` False are simulated by
-    :func:`repro.sim.fastsim.simulate_fast` up front and excluded from
-    the lockstep state.
+    Fault cells ride along: each cell's :class:`FaultPlane` is realized
+    in one :meth:`~repro.errors.faults.FaultModel.sample_batch` call and
+    block-copied into the batch's fault arrays, whose neutral defaults
+    (``inf`` crash, zero-length pause, factor-1 slowdown, zero spike
+    probability) make the fault transforms bitwise no-ops for clean rows
+    sharing the batch.  Rows the cell's kernel spec reports through
+    :meth:`~repro.core.lockstep.KernelSpec.deferred_rows` are simulated
+    by :func:`repro.sim.fastsim.simulate_fast` up front and excluded
+    from the lockstep state.
+
+    ``perf``, when given, is a mutable mapping accumulating engine
+    counters across calls: ``rows_deferred_scalar`` plus wall-time
+    buckets ``fault_sample_s`` / ``fault_defer_s`` and the per-kind
+    transform times ``fault_crash_s`` / ``fault_pause_s`` /
+    ``fault_slow_s`` / ``fault_spike_s``.
 
     ``row_tracers`` is one :class:`repro.obs.Tracer` (or ``None``) per
     repetition row; traced rows have their dispatch timelines extracted
@@ -312,36 +364,21 @@ def _simulate_rows(
     bank = _FactorBank(seeds, sigmas, mode, min_ratio)
     cell_of_row = np.repeat(np.arange(len(cells)), reps)
 
-    # Realize fault schedules row by row from each seed's third stream,
-    # exactly like the scalar engine (streams 0/1 stay with the factor
-    # bank).  The generator survives sampling only for rows that need
-    # per-dispatch link-spike draws.
+    # Realize every fault cell's schedules in one batched draw from the
+    # per-seed third streams (streams 0/1 stay with the factor bank),
+    # block-copied into the batch arrays.  Each transform's static
+    # any-flag records whether any row needs it at all, so a crash-only
+    # batch never pays for pause/slowdown arithmetic and vice versa.
     notes_mode = any(s.wants_notes for s in specs)
     fault_mode = False
-    schedules: list = [None] * rows
+    any_crash = any_pause = any_slow = spike_any = False
     fault_rngs: list = [None] * rows
-    r = 0
-    for cell in cells:
-        for seed in cell.seeds:
-            if cell.faults is not None:
-                rng_fault = np.random.Generator(
-                    np.random.PCG64(np.random.SeedSequence(int(seed)).spawn(3)[2])
-                )
-                schedule = cell.faults.sample(cell.platform, rng_fault)
-                if schedule.any_faults:
-                    schedules[r] = schedule
-                    fault_mode = True
-                    if schedule.spike_prob > 0.0:
-                        fault_rngs[r] = rng_fault
-            r += 1
-    collect = fault_mode or notes_mode
-
-    active = arena.take("active", (rows,), dtype=bool, fill=True)
-
-    spike_any = False
     deferred: list = []
     defer_makespans: dict = {}
-    if fault_mode:
+    timing = perf is not None
+    active = arena.take("active", (rows,), dtype=bool, fill=True)
+    t_sample = perf_counter() if timing else 0.0
+    if any(c.faults is not None for c in cells):
         crash_t = arena.take("crash_t", (rows, n_max), fill=np.inf)
         pause_s = arena.take("pause_s", (rows, n_max), fill=0.0)
         pause_l = arena.take("pause_l", (rows, n_max), fill=0.0)
@@ -351,33 +388,56 @@ def _simulate_rows(
         spike_d = arena.take("spike_d", (rows,), fill=0.0)
         fault_row = arena.take("fault_row", (rows,), dtype=bool, fill=False)
         mspan = arena.take("mspan", (rows,), fill=0.0)
-        for r, schedule in enumerate(schedules):
-            if schedule is None:
+        for ci, cell in enumerate(cells):
+            if cell.faults is None:
                 continue
-            spec = specs[int(cell_of_row[r])]
-            if not spec.handles_crashes and any(
-                t != math.inf for t in schedule.crash_times
-            ):
-                # Crash recovery this kernel cannot replay bitwise: the
-                # row runs on the scalar engine (the reference
-                # semantics) and its lockstep slot is frozen.
-                deferred.append(r)
-                schedules[r] = None
-                fault_rngs[r] = None
-                bank.mute_row(r)
-                continue
-            n = schedule.num_workers
-            fault_row[r] = True
-            crash_t[r, :n] = schedule.crash_times
-            pp = np.asarray(schedule.pauses)
-            pause_s[r, :n] = pp[:, 0]
-            pause_l[r, :n] = pp[:, 1]
-            ss = np.asarray(schedule.slowdowns)
-            slow_s[r, :n] = ss[:, 0]
-            slow_f[r, :n] = ss[:, 1]
-            spike_p[r] = schedule.spike_prob
-            spike_d[r] = schedule.spike_delay
+            plane = cell.faults.sample_batch(cell.platform, cell.seeds)
+            lo = int(offsets[ci])
+            sl = slice(lo, int(offsets[ci + 1]))
+            n = cell.platform.N
+            crash_t[sl, :n] = plane.crash_time
+            pause_s[sl, :n] = plane.pause_start
+            pause_l[sl, :n] = plane.pause_len
+            slow_s[sl, :n] = plane.slow_start
+            slow_f[sl, :n] = plane.slow_factor
+            spike_p[sl] = plane.spike_prob
+            spike_d[sl] = plane.spike_delay
+            fault_row[sl] = plane.fault_row
+            for j, rng in enumerate(plane.rngs):
+                if rng is not None:
+                    fault_rngs[lo + j] = rng
+            defer = specs[ci].deferred_rows(plane.crash_time)
+            if defer is not None and defer.any():
+                # Crash patterns this kernel cannot replay bitwise: the
+                # rows run on the scalar engine (the reference
+                # semantics) and their lockstep slots are frozen, with
+                # their fault entries reset to neutral.
+                for local in map(int, np.flatnonzero(defer)):
+                    r = lo + local
+                    deferred.append(r)
+                    fault_rngs[r] = None
+                    bank.mute_row(r)
+                    fault_row[r] = False
+                    crash_t[r] = np.inf
+                    pause_s[r] = 0.0
+                    pause_l[r] = 0.0
+                    slow_s[r] = 0.0
+                    slow_f[r] = 1.0
+                    spike_p[r] = 0.0
+        fault_mode = bool(fault_row.any())
+        any_crash = bool(np.isfinite(crash_t).any())
+        any_pause = bool((pause_l > 0.0).any())
+        any_slow = bool((slow_f > 1.0).any())
         spike_any = any(g is not None for g in fault_rngs)
+        if timing:
+            now_t = perf_counter()
+            perf["fault_sample_s"] = (
+                perf.get("fault_sample_s", 0.0) + now_t - t_sample
+            )
+            perf["rows_deferred_scalar"] = (
+                perf.get("rows_deferred_scalar", 0) + len(deferred)
+            )
+            t_sample = now_t
         for r in deferred:
             cell = cells[int(cell_of_row[r])]
             result = simulate_fast(
@@ -392,17 +452,29 @@ def _simulate_rows(
             )
             defer_makespans[r] = result.makespan
             active[r] = False
+        if timing and deferred:
+            perf["fault_defer_s"] = (
+                perf.get("fault_defer_s", 0.0) + perf_counter() - t_sample
+            )
         if row_tracers is not None:
-            # Crash instants are known once the schedule is realized;
+            # Crash instants are known once the plane is realized;
             # emitting them upfront matches the scalar engine's stream
             # (deferred rows already emitted theirs inside simulate_fast).
-            for r, schedule in enumerate(schedules):
+            for r in range(rows):
                 tracer = row_tracers[r]
-                if tracer is not None and schedule is not None:
-                    for wi, ct in enumerate(schedule.crash_times):
-                        if ct != math.inf:
-                            tracer.emit(ct, "fault", wi, detail="crash")
+                if tracer is not None and fault_row[r]:
+                    for wi in map(int, np.flatnonzero(np.isfinite(crash_t[r]))):
+                        tracer.emit(float(crash_t[r, wi]), "fault", wi, detail="crash")
+    # Losses exist only where crashes do: the collect machinery (chunk
+    # indices, loss flags, per-step contexts) is needed for crash rows
+    # and note-consuming kernels, not for pause/slowdown/spike rows —
+    # those kernels' end-of-run drain is makespan-neutral without
+    # losses, because the running makespan maximum is already complete
+    # at dispatch-apply time.
+    collect = any_crash or notes_mode
+    spikes = _SpikeBank(fault_rngs) if spike_any else None
     need_mask = bool(deferred)
+    t_crash = t_pause = t_slow = t_spike = 0.0
 
     # Append-only FIFO queues of realized completions, one per
     # (row, worker), with the head element mirrored into dense
@@ -521,7 +593,7 @@ def _simulate_rows(
         # (time, chunk_index) order per row.
         ctxs = None
         if collect:
-            crashed_now = (crash_t <= now[:, None]) if fault_mode else None
+            crashed_now = (crash_t <= now[:, None]) if any_crash else None
             ctxs = [None] * len(kernels)
             for ki, (_, sl, wants) in enumerate(kernels):
                 if fault_mode or wants:
@@ -636,8 +708,15 @@ def _simulate_rows(
                     spike_d = spike_d[keep]
                     fault_row = fault_row[keep]
                     mspan = mspan[keep]
-                    fault_rngs = [fault_rngs[int(r)] for r in keep]
-                    spike_any = any(g is not None for g in fault_rngs)
+                    if spikes is not None:
+                        spikes.compact(keep)
+                        spike_any = spikes.any_live
+                    # Survivors may no longer need every transform (the
+                    # rows that did may all have finished).
+                    fault_mode = bool(fault_row.any())
+                    any_crash = any_crash and bool(np.isfinite(crash_t).any())
+                    any_pause = any_pause and bool((pause_l > 0.0).any())
+                    any_slow = any_slow and bool((slow_f > 1.0).any())
                 if row_tracers is not None:
                     row_tracers = [row_tracers[int(r)] for r in keep]
                 # Deferred rows were inactive from the start, so the
@@ -658,20 +737,28 @@ def _simulate_rows(
             # zero-error rows) is also a bitwise no-op.
             link_eff = (w_nl + sz / w_b) * bank.comm[disp, k]
             if spike_any:
-                # Per-dispatch spike draws from each row's own fault
-                # stream, consumed in dispatch order; the stream position
-                # never depends on the outcome, like the scalar engine.
-                for pos, row in enumerate(disp):
-                    rng = fault_rngs[row]
-                    if rng is not None and rng.random() < spike_p[row]:
-                        link_eff[pos] += spike_d[row]
+                # Per-dispatch spike draws gathered from each row's
+                # pre-drawn fault-stream columns at the row's dispatch
+                # counter; adding an exact +0.0 to unspiked rows is a
+                # bitwise no-op.
+                if timing:
+                    t0 = perf_counter()
+                spikes.ensure(int(k.max()) + 1)
+                u = spikes.draws[disp, k]
+                link_eff = link_eff + np.where(
+                    u < spike_p[disp], spike_d[disp], 0.0
+                )
+                if timing:
+                    t_spike += perf_counter() - t0
             send_end = now[disp] + link_eff
             arrival = send_end + w_tl
             comp_start = np.maximum(arrival, busy[disp, w])
             comp_eff = (w_cl + sz / w_s) * bank.comp[disp, k]
-            if fault_mode:
+            if any_pause:
                 # Pause window first, then slowdown onset — the scalar
                 # compute_duration order, with its exact associativity.
+                if timing:
+                    t0 = perf_counter()
                 ps = pause_s[disp, w]
                 pl = pause_l[disp, w]
                 in_window = (pl > 0.0) & (comp_start < ps + pl)
@@ -683,6 +770,11 @@ def _simulate_rows(
                         (ps + pl + comp_eff) - comp_start,
                         np.where(straddle, comp_eff + pl, comp_eff),
                     )
+                if timing:
+                    t_pause += perf_counter() - t0
+            if any_slow:
+                if timing:
+                    t0 = perf_counter()
                 so = slow_s[disp, w]
                 sf = slow_f[disp, w]
                 slowed = (sf > 1.0) & (comp_start + comp_eff > so)
@@ -699,20 +791,33 @@ def _simulate_rows(
                             comp_eff,
                         ),
                     )
+                if timing:
+                    t_slow += perf_counter() - t0
             comp_end = comp_start + comp_eff
             busy[disp, w] = comp_end
 
             if fault_mode:
-                # A chunk outliving its worker's crash is lost: the
-                # master observes it leave the pending set at
-                # max(crash, arrival) and it contributes neither work nor
-                # makespan.  The busy chain still advances (fictitious
-                # timeline), so every later chunk on that worker is lost
-                # too — matching the scalar engine.
-                cw = crash_t[disp, w]
-                lost = comp_end > cw
-                end_q = np.where(lost, np.maximum(cw, arrival), comp_end)
-                mspan[disp] = np.maximum(mspan[disp], np.where(lost, 0.0, comp_end))
+                if any_crash:
+                    # A chunk outliving its worker's crash is lost: the
+                    # master observes it leave the pending set at
+                    # max(crash, arrival) and it contributes neither work
+                    # nor makespan.  The busy chain still advances
+                    # (fictitious timeline), so every later chunk on that
+                    # worker is lost too — matching the scalar engine.
+                    if timing:
+                        t0 = perf_counter()
+                    cw = crash_t[disp, w]
+                    lost = comp_end > cw
+                    end_q = np.where(lost, np.maximum(cw, arrival), comp_end)
+                    mspan[disp] = np.maximum(
+                        mspan[disp], np.where(lost, 0.0, comp_end)
+                    )
+                    if timing:
+                        t_crash += perf_counter() - t0
+                else:
+                    lost = None
+                    end_q = comp_end
+                    mspan[disp] = np.maximum(mspan[disp], comp_end)
             else:
                 lost = None
                 end_q = comp_end
@@ -746,7 +851,7 @@ def _simulate_rows(
             if collect:
                 q_idx[disp, w, tail] = k
                 head_idx[disp, w] = np.where(was_empty, k, head_idx[disp, w])
-                if fault_mode:
+                if lost is not None:
                     q_lost[disp, w, tail] = lost
                     head_lost[disp, w] = np.where(was_empty, lost, head_lost[disp, w])
             if row_tracers is not None:
@@ -807,6 +912,11 @@ def _simulate_rows(
     # busy max on rows that lost nothing.
     for r in deferred:
         final[r] = defer_makespans[r]
+    if timing:
+        perf["fault_crash_s"] = perf.get("fault_crash_s", 0.0) + t_crash
+        perf["fault_pause_s"] = perf.get("fault_pause_s", 0.0) + t_pause
+        perf["fault_slow_s"] = perf.get("fault_slow_s", 0.0) + t_slow
+        perf["fault_spike_s"] = perf.get("fault_spike_s", 0.0) + t_spike
     return [final[offsets[i] : offsets[i + 1]].copy() for i in range(len(cells))]
 
 
@@ -817,6 +927,7 @@ def simulate_dynamic_cells(
     max_rows: int = MAX_ROWS,
     tracers=None,
     arena=None,
+    perf=None,
 ) -> list:
     """Simulate many dynamic cells, merging compatible ones per call.
 
@@ -833,6 +944,8 @@ def simulate_dynamic_cells(
     of that cell (see :func:`_simulate_rows`).  ``arena`` (a
     :class:`BatchArena`) lets a long-running caller — e.g. a whole-grid
     sweep — reuse the engine's state buffers across every call it makes.
+    ``perf``, when given, is a mutable mapping accumulating the fault
+    engine's counters across calls (see :func:`_simulate_rows`).
     """
     if mode not in ("multiply", "divide"):
         raise ValueError(f"unknown perturbation mode {mode!r}")
@@ -870,6 +983,7 @@ def simulate_dynamic_cells(
                 min_ratio,
                 row_tracers,
                 arena,
+                perf,
             )
             for (i, _), res in zip(batch, results):
                 outputs[i] = res

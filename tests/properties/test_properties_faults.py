@@ -140,3 +140,96 @@ class TestMonotoneDegradation:
                     engine="fast", faults=f"pause:p=1,tmax=0,dur={d}",
                 ).makespan
             assert makespan_with(d_long) >= makespan_with(d_short) - 1e-9
+
+
+class TestSampleBatchIdentity:
+    """``FaultModel.sample_batch`` must equal looping ``sample``, bitwise.
+
+    The batch engines realize fault schedules through the plane; any
+    drift from the scalar draw order (hit test then onset, worker 0..n-1,
+    third spawned stream) would silently change every fault sweep.
+    """
+
+    @staticmethod
+    def _assert_row_identical(model, platform, plane, r, seed):
+        import numpy as np
+
+        from repro.errors.faults import fault_stream
+
+        rng = fault_stream(seed)
+        ref = model.sample(platform, rng)
+        got = plane.schedule(r)
+        # Bit-level equality: view every float through its u64 pattern so
+        # -0.0 vs 0.0 or ULP drift cannot hide behind float ==.
+        for a, b in (
+            (got.crash_times, ref.crash_times),
+            (got.pauses, ref.pauses),
+            (got.slowdowns, ref.slowdowns),
+            ((got.spike_prob, got.spike_delay), (ref.spike_prob, ref.spike_delay)),
+        ):
+            av = np.asarray(a, dtype=np.float64).view(np.uint64)
+            bv = np.asarray(b, dtype=np.float64).view(np.uint64)
+            assert np.array_equal(av, bv), (a, b)
+        assert bool(plane.fault_row[r]) == ref.any_faults
+        if ref.any_faults and ref.spike_prob > 0.0:
+            # The retained generator must sit exactly where the scalar
+            # stream sits after sampling: the next draws coincide.
+            assert plane.rngs[r] is not None
+            assert np.array_equal(plane.rngs[r].random(4), rng.random(4))
+        else:
+            assert plane.rngs[r] is None
+
+    @given(
+        platform=platforms,
+        seed0=seeds,
+        count=st.integers(min_value=1, max_value=7),
+        kind=st.sampled_from(["crash", "pause", "slow", "spike", "none", "det"]),
+        p=st.floats(min_value=0.0, max_value=1.0, **finite),
+        tmax=st.floats(min_value=0.0, max_value=200.0, **finite),
+        mag=st.floats(min_value=0.0, max_value=50.0, **finite),
+    )
+    def test_batch_matches_scalar_all_kinds(
+        self, platform, seed0, count, kind, p, tmax, mag
+    ):
+        from repro.errors.faults import make_fault_model
+
+        if kind == "crash":
+            spec = f"crash:p={p},tmax={tmax}"
+        elif kind == "pause":
+            spec = f"pause:p={p},tmax={tmax},dur={mag}"
+        elif kind == "slow":
+            spec = f"slow:p={p},tmax={tmax},factor={1.0 + mag}"
+        elif kind == "spike":
+            spec = f"spike:p={p},delay={mag}"
+        elif kind == "det":
+            spec = f"crash:worker={seed0 % platform.N},at={tmax}"
+        else:
+            spec = "none"
+        model = make_fault_model(spec)
+        seed_list = [seed0 + i for i in range(count)]
+        plane = model.sample_batch(platform, seed_list)
+        assert plane.num_rows == count
+        assert plane.num_workers == platform.N
+        for r, seed in enumerate(seed_list):
+            self._assert_row_identical(model, platform, plane, r, seed)
+
+    @given(platform=platforms, seed0=seeds,
+           count=st.integers(min_value=1, max_value=5))
+    def test_default_loop_covers_mixed_models(self, platform, seed0, count):
+        # A third-party model mixing kinds in one schedule rides the base
+        # sample_batch loop; the identity must hold there too (including
+        # the retained spike generator's position after the crash draws).
+        import dataclasses as _dc
+
+        from repro.errors.faults import CrashFaults, FaultModel
+
+        class CrashPlusSpike(FaultModel):
+            def sample(self, platform, rng):
+                s = CrashFaults(prob=0.4, tmax=60.0).sample(platform, rng)
+                return _dc.replace(s, spike_prob=0.3, spike_delay=2.5)
+
+        model = CrashPlusSpike()
+        seed_list = [seed0 + i for i in range(count)]
+        plane = model.sample_batch(platform, seed_list)
+        for r, seed in enumerate(seed_list):
+            self._assert_row_identical(model, platform, plane, r, seed)

@@ -92,6 +92,75 @@ class TestExactAgreement:
             assert make_scheduler(name, 0.0).batch_supports_faults, name
 
 
+class TestVectorizedFaultPlane:
+    """Fault rows run on the lockstep path; deferral is the exception."""
+
+    def scalar_fault_makespans(self, platform, make, fault, seeds):
+        from repro.errors.faults import make_fault_model
+
+        model = NormalErrorModel(magnitude=0.0)
+        fm = make_fault_model(fault)
+        return np.array(
+            [
+                simulate_fast(
+                    platform, W, make(), model, seed=s,
+                    collect_records=False, faults=fm,
+                ).makespan
+                for s in seeds
+            ]
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["RUMR", "RUMR-plain", "AdaptiveRUMR", "WeightedFactoring"]
+    )
+    def test_previously_deferred_kernels_run_crash_rows_in_lockstep(
+        self, hom_platform, name
+    ):
+        # These kernel families once routed every crash row to the scalar
+        # engine; they now replay crash recovery in lockstep, bitwise.
+        from repro.errors.faults import make_fault_model
+
+        fault = "crash:p=0.6,tmax=80"
+        perf: dict = {}
+        cell = DynamicCell(
+            platform=hom_platform,
+            scheduler=make_scheduler(name, 0.0),
+            total_work=W,
+            error=0.0,
+            seeds=SEEDS,
+            faults=make_fault_model(fault),
+        )
+        batch = simulate_dynamic_cells([cell], perf=perf)[0]
+        scalar = self.scalar_fault_makespans(
+            hom_platform, lambda: make_scheduler(name, 0.0), fault, SEEDS
+        )
+        assert np.array_equal(batch, scalar)
+        assert perf.get("rows_deferred_scalar", 0) == 0
+
+    def test_rumr_crash_at_zero_defers_to_scalar(self, hom_platform):
+        # A crash observable at the very first decide makes scalar RUMR
+        # replan from scratch — inexpressible in the kernel, so the row
+        # takes the documented exception path and still matches exactly.
+        from repro.errors.faults import make_fault_model
+
+        fault = "crash:worker=0,at=0"
+        perf: dict = {}
+        cell = DynamicCell(
+            platform=hom_platform,
+            scheduler=make_scheduler("RUMR", 0.0),
+            total_work=W,
+            error=0.0,
+            seeds=SEEDS,
+            faults=make_fault_model(fault),
+        )
+        batch = simulate_dynamic_cells([cell], perf=perf)[0]
+        scalar = self.scalar_fault_makespans(
+            hom_platform, lambda: make_scheduler("RUMR", 0.0), fault, SEEDS
+        )
+        assert np.array_equal(batch, scalar)
+        assert perf["rows_deferred_scalar"] == len(SEEDS)
+
+
 class TestStatisticalAgreement:
     def test_means_match_scalar_engine_at_large_error(self, hom_platform):
         # Resampling interleaves differently at error = 0.3, so compare
