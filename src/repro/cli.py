@@ -12,6 +12,8 @@ Examples
     python -m repro gantt --scheduler RUMR --error 0.3
     python -m repro figfaults --preset smoke --faults crash:p=0.3,tmax=200
     python -m repro sweep --preset smoke --fault crash:p=0.2,tmax=400
+    python -m repro multijob --arrivals poisson:rate=0.02,jobs=8,work=200
+    python -m repro multijob --policy interleaved:slices=4 --fault crash:p=0.3,tmax=100
     python -m repro hetero
     python -m repro adaptive
     python -m repro list
@@ -171,6 +173,45 @@ def _parser() -> argparse.ArgumentParser:
         "(default: trace)",
     )
 
+    m = sub.add_parser(
+        "multijob",
+        help="simulate a stream of jobs contending for the star and print "
+        "per-job queueing metrics",
+    )
+    add_scenario(m)
+    m.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="SPEC",
+        help="arrival process spec: 'poisson:rate=,jobs=,work=[,work_cv=]', "
+        "'bursty:bursts=,size=,gap=,work=[,spread=,work_cv=]' or "
+        "'trace:PATH' (default: poisson:rate=0.02,jobs=8,work=<--work>)",
+    )
+    m.add_argument(
+        "--policy",
+        default="fcfs",
+        metavar="SPEC",
+        help="inter-job policy: 'fcfs', 'partitioned[:parts=K]' or "
+        "'interleaved[:slices=S]' (default: fcfs)",
+    )
+    m.add_argument(
+        "--engine", default="fast", choices=("fast", "des"),
+        help="per-job simulation engine (default: fast)",
+    )
+    m.add_argument(
+        "--fault",
+        default=None,
+        metavar="SPEC",
+        help="worker fault scenario applied to every job "
+        "(e.g. 'crash:p=0.3,tmax=100')",
+    )
+    m.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the queueing-metrics JSON to PATH",
+    )
+
     s = sub.add_parser(
         "stats",
         help="run (or load) the main sweep and print engine-routing, "
@@ -273,6 +314,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_gantt(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "multijob":
+        return _cmd_multijob(args)
     if args.command == "hetero":
         return _cmd_hetero(args)
     if args.command == "adaptive":
@@ -466,6 +509,46 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"{scheduler.name}: {len(events)} events ({breakdown}); "
         f"makespan={result.makespan:.3f}s, work_lost={result.work_lost:g}"
     )
+    return 0
+
+
+def _cmd_multijob(args: argparse.Namespace) -> int:
+    from repro.experiments.queueing import metrics_to_json, queueing_metrics
+    from repro.platform.spec import homogeneous_platform
+    from repro.sim.multijob import simulate_stream
+
+    platform = homogeneous_platform(
+        args.n, S=1.0, bandwidth_factor=args.bandwidth_factor,
+        cLat=args.clat, nLat=args.nlat,
+    )
+    arrivals = args.arrivals or f"poisson:rate=0.02,jobs=8,work={args.work:g}"
+    stream = simulate_stream(
+        platform, arrivals, scheduler=args.scheduler, error=args.error,
+        seed=args.seed, policy=args.policy, engine=args.engine,
+        faults=args.fault,
+    )
+    print(f"{'job':>4} {'arrival':>10} {'start':>10} {'finish':>10} "
+          f"{'wait':>8} {'response':>10} {'slowdown':>9} {'work':>9}")
+    for rec in stream.jobs:
+        print(
+            f"{rec.job.job_id:>4} {rec.job.time:>10.2f} {rec.start:>10.2f} "
+            f"{rec.finish:>10.2f} {rec.wait:>8.2f} {rec.response:>10.2f} "
+            f"{rec.slowdown:>9.3f} {rec.job.work:>9.1f}"
+        )
+    metrics = queueing_metrics(stream)
+    print(
+        f"\n{stream.policy} · {stream.scheduler_name} · {stream.num_jobs} jobs: "
+        f"horizon={metrics.horizon:.2f}s, mean response={metrics.mean_response:.2f}s, "
+        f"mean slowdown={metrics.mean_slowdown:.3f}, "
+        f"utilization={metrics.utilization:.3f}, "
+        f"peak queue depth={metrics.max_queue_depth}"
+    )
+    if metrics.work_lost > 0:
+        print(f"work lost to faults: {metrics.work_lost:g} units (re-dispatched)")
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.write_text(metrics_to_json(metrics) + "\n")
+        print(f"wrote {path}")
     return 0
 
 

@@ -33,6 +33,13 @@ from repro.experiments.metrics import (
     mean_normalized_makespan,
     outperform_fraction,
 )
+from repro.experiments.queueing import (
+    QueueingMetrics,
+    QueueingSweepResults,
+    queueing_figure,
+    queueing_metrics,
+    run_queueing_sweep,
+)
 from repro.experiments.resilient import (
     CellFailure,
     CheckpointStore,
@@ -49,8 +56,13 @@ __all__ = [
     "ExperimentGrid",
     "FailureLedger",
     "PlatformPoint",
+    "QueueingMetrics",
+    "QueueingSweepResults",
     "RetryPolicy",
     "SweepResults",
+    "queueing_figure",
+    "queueing_metrics",
+    "run_queueing_sweep",
     "sweep_key",
     "error_buckets",
     "fig4a",

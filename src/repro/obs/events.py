@@ -13,6 +13,14 @@ and ``cell_quarantined`` (a cell exhausted the ladder and became NaN).
 They carry ``time=0.0`` and ``worker=-1`` — they describe the harness,
 not simulated time.
 
+Three *stream-level* kinds describe multi-job streams
+(:mod:`repro.sim.multijob`): ``job_arrival``, ``job_start`` and
+``job_done`` mark one job entering the system, receiving its first
+service grant, and completing.  They carry ``worker=-1``,
+``chunk=job_id``, ``size`` equal to the job's workload and ``phase``
+naming the inter-job policy; their times live on the stream's absolute
+timeline.
+
 Engines emit events in *engine order* (the fast engine in dispatch order,
 the DES engine in simulation-time order).  Cross-engine comparisons and
 golden files therefore use :func:`canonical_order`, a total order on
@@ -52,22 +60,31 @@ EVENT_KINDS = frozenset(
         "round_boundary",
         "engine_fallback",
         "cell_quarantined",
+        "job_arrival",
+        "job_start",
+        "job_done",
     }
 )
 
 #: Tie-break rank for events sharing a timestamp: completions and fault
 #: observations are ordered before the decisions and dispatches they
 #: enable, matching how the master observes then acts at one instant.
+#: Job-level stream events follow the same observe-then-act shape:
+#: ``job_done`` (a completion) sorts before ``job_arrival`` and
+#: ``job_start`` (the admissions it may enable) at one timestamp.
 _KIND_RANK = {
     "comp_end": 0,
     "fault": 1,
     "recovery_decision": 2,
-    "round_boundary": 3,
-    "dispatch_start": 4,
-    "dispatch_end": 5,
-    "comp_start": 6,
-    "engine_fallback": 7,
-    "cell_quarantined": 8,
+    "job_done": 3,
+    "job_arrival": 4,
+    "job_start": 5,
+    "round_boundary": 6,
+    "dispatch_start": 7,
+    "dispatch_end": 8,
+    "comp_start": 9,
+    "engine_fallback": 10,
+    "cell_quarantined": 11,
 }
 
 

@@ -20,21 +20,36 @@ Normative semantics (shared by both engines):
 * ``X_comm`` and ``X_comp`` are prediction-error perturbations drawn from
   independent streams in dispatch order (see :mod:`repro.errors`);
 * the makespan is the completion time of the last chunk.
+
+:mod:`repro.sim.multijob` layers a *stream* on top of the single-run
+engines: jobs arriving over time contend for the star under a pluggable
+inter-job policy (FCFS, partitioned, interleaved), each job still
+scheduled by the single-run stack via :func:`simulate`.
 """
 
 from repro.sim.analytic import analytic_makespan
 from repro.sim.engine import simulate_des
 from repro.sim.gantt import render_gantt, utilization_profile
 from repro.sim.fastsim import simulate_fast
+from repro.sim.multijob import (
+    JobRecord,
+    MultiJobResult,
+    make_stream_policy,
+    simulate_stream,
+)
 from repro.sim.result import SimResult, simulate, validate_schedule
 
 __all__ = [
+    "JobRecord",
+    "MultiJobResult",
     "SimResult",
     "analytic_makespan",
+    "make_stream_policy",
     "render_gantt",
     "utilization_profile",
     "simulate",
     "simulate_des",
     "simulate_fast",
+    "simulate_stream",
     "validate_schedule",
 ]

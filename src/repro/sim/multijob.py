@@ -1,0 +1,574 @@
+"""Multi-job stream simulation: divisible loads contending for one star.
+
+The single-run engines (:mod:`repro.sim.fastsim`, :mod:`repro.sim.engine`)
+schedule one divisible load on an otherwise idle platform.  This module
+layers a *stream* on top: jobs arrive over time (see
+:mod:`repro.workloads.arrivals`), contend for the same workers, and are
+measured on queueing metrics — wait, response, slowdown, queue depth —
+rather than makespan alone (:mod:`repro.experiments.queueing`).
+
+Each job's own scheduling is untouched: a job runs through the existing
+scheduler/engine stack via :func:`repro.sim.simulate`, prediction-error
+models, fault injection and all.  The *inter-job* layer decides only when
+a job gets the star and which workers it gets, through a pluggable
+:class:`StreamPolicy`:
+
+* **fcfs** — exclusive service in arrival order: a job takes the whole
+  star and the next waits.  The simplest policy, and the conformance
+  anchor: a one-job stream is *bitwise identical* to calling
+  :func:`~repro.sim.simulate` directly (same engine, same floats, same
+  RNG streams), which makes the entire layer differentially testable.
+* **partitioned:parts=k** — the star's workers are split into ``k``
+  contiguous groups, each serving its own FCFS queue; a job goes to the
+  partition that can start it earliest (ties to the lowest index).  Each
+  partition is modelled with its own master link — the multi-NIC
+  front-end assumption of the resource-sharing DLT literature.
+* **interleaved:slices=s** — round-interleaved sharing: each job's load
+  is cut into ``s`` equal slices and the master serves the *active* jobs'
+  slices round-robin, so small jobs are not stuck behind a long one
+  (head-of-line blocking is traded for per-job dilation).  ``slices=1``
+  degenerates to FCFS.
+
+Composition semantics: the star is handed over whole between consecutive
+service grants — a grant's simulation starts from an idle platform, so
+cross-grant communication/computation overlap is conservatively not
+modelled.  This is exactly what makes every per-job
+:class:`~repro.sim.result.SimResult` engine-native and bitwise
+comparable: job timelines are kept in *job-relative* time, and the
+stream-level absolute timeline lives in :class:`JobRecord`
+(``start``/``finish``/``slice_starts``).
+
+Seeding: a job runs under ``JobArrival.seed`` when set (the arrival
+processes pre-assign seeds so traces are self-contained); otherwise the
+engine derives one from its stream-level ``seed`` and the ``job_id`` via
+the same :func:`~repro.errors.rng.stream_for` discipline the sweep
+harness uses.  Multi-slice jobs derive one seed per slice from the job
+seed; a single-slice job uses the job seed unchanged (preserving the
+bitwise conformance of the degenerate cases).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.base import Scheduler
+from repro.errors.models import ErrorModel
+from repro.errors.rng import stream_for
+from repro.obs.events import SimEvent, canonical_order, events_from_result
+from repro.platform.spec import PlatformSpec
+from repro.sim.result import SimResult
+from repro.workloads.arrivals import ArrivalProcess, JobArrival, make_arrival_process
+
+__all__ = [
+    "FCFSPolicy",
+    "InterleavedPolicy",
+    "JobRecord",
+    "MultiJobResult",
+    "PartitionedPolicy",
+    "StreamPolicy",
+    "make_stream_policy",
+    "simulate_stream",
+]
+
+#: ``run_job(job, work, workers, seed) -> SimResult`` — the callback a
+#: policy uses to grant the (sub-)star to one job's slice.
+JobRunner = typing.Callable[[JobArrival, float, tuple[int, ...], "int | None"], SimResult]
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRecord:
+    """One job's stream-level outcome.
+
+    ``results`` holds the engine-native, job-relative simulation results
+    (one per service slice — FCFS and partitioned grant exactly one);
+    ``slice_starts`` places each slice on the stream's absolute timeline.
+    """
+
+    job: JobArrival
+    start: float
+    finish: float
+    workers: tuple[int, ...]
+    results: tuple[SimResult, ...]
+    slice_starts: tuple[float, ...]
+
+    # -- queueing quantities --------------------------------------------------
+    @property
+    def wait(self) -> float:
+        """Seconds between arrival and first service (head-of-line delay)."""
+        return self.start - self.job.time
+
+    @property
+    def response(self) -> float:
+        """Seconds between arrival and completion (sojourn time)."""
+        return self.finish - self.job.time
+
+    @property
+    def service(self) -> float:
+        """Pure processing time: the sum of the job's slice makespans."""
+        return sum(r.makespan for r in self.results)
+
+    @property
+    def slowdown(self) -> float:
+        """Response over service — 1.0 means the job never queued."""
+        service = self.service
+        return self.response / service if service > 0 else 1.0
+
+    # -- work accounting ------------------------------------------------------
+    @property
+    def dispatched_work(self) -> float:
+        """Workload units actually sent across all slices."""
+        return sum(r.dispatched_work for r in self.results)
+
+    @property
+    def delivered_work(self) -> float:
+        """Workload units that finished computing across all slices."""
+        return sum(r.delivered_work for r in self.results)
+
+    @property
+    def work_lost(self) -> float:
+        """Workload units lost to worker crashes across all slices."""
+        return sum(r.work_lost for r in self.results)
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiJobResult:
+    """Outcome of one simulated job stream.
+
+    ``jobs`` is ordered by service order (arrival order under every
+    in-tree policy).  Per-job engine results stay job-relative; the
+    stream-level timeline is in each :class:`JobRecord`.
+    """
+
+    platform: PlatformSpec
+    policy: str
+    scheduler_name: str
+    engine: str
+    seed: int | None
+    jobs: tuple[JobRecord, ...]
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def horizon(self) -> float:
+        """Completion time of the whole stream (last job's finish)."""
+        return max((j.finish for j in self.jobs), default=0.0)
+
+    @property
+    def total_work(self) -> float:
+        """Sum of the jobs' requested workloads."""
+        return sum(j.job.work for j in self.jobs)
+
+    @property
+    def delivered_work(self) -> float:
+        return sum(j.delivered_work for j in self.jobs)
+
+    @property
+    def dispatched_work(self) -> float:
+        return sum(j.dispatched_work for j in self.jobs)
+
+    @property
+    def work_lost(self) -> float:
+        return sum(j.work_lost for j in self.jobs)
+
+    def job_record(self, job_id: int) -> JobRecord:
+        """The record of one job by id."""
+        for rec in self.jobs:
+            if rec.job.job_id == job_id:
+                return rec
+        raise KeyError(f"no job with id {job_id}")
+
+    def max_queue_depth(self) -> int:
+        """Peak number of jobs in the system (arrived, not yet finished).
+
+        Departures at the same instant as an arrival are counted first,
+        matching the canonical event order (``job_done`` sorts before
+        ``job_arrival`` at one timestamp).
+        """
+        deltas = []
+        for rec in self.jobs:
+            deltas.append((rec.job.time, 1))
+            deltas.append((rec.finish, -1))
+        depth = peak = 0
+        for _, delta in sorted(deltas, key=lambda d: (d[0], d[1])):
+            depth += delta
+            peak = max(peak, depth)
+        return peak
+
+    def events(self, include_sim: bool = False) -> tuple[SimEvent, ...]:
+        """The stream's canonical event stream.
+
+        Always contains the three job-level kinds — ``job_arrival`` /
+        ``job_start`` / ``job_done`` at the job's absolute arrival, first
+        service and completion instants (``worker=-1``, ``chunk=job_id``,
+        ``size=work``, ``phase=policy``).  With ``include_sim=True`` the
+        per-slice engine streams are merged in, shifted onto the absolute
+        timeline, with chunk indices renumbered stream-unique and worker
+        indices mapped back to the full star's numbering — ready for
+        Chrome-trace export and the well-formedness properties.
+        """
+        events: list[SimEvent] = []
+        chunk_offset = 0
+        for rec in self.jobs:
+            job = rec.job
+            events.append(
+                SimEvent(job.time, "job_arrival", -1, chunk=job.job_id,
+                         size=job.work, phase=self.policy)
+            )
+            events.append(
+                SimEvent(rec.start, "job_start", -1, chunk=job.job_id,
+                         size=job.work, phase=self.policy)
+            )
+            events.append(
+                SimEvent(rec.finish, "job_done", -1, chunk=job.job_id,
+                         size=job.work, phase=self.policy,
+                         detail=self.scheduler_name)
+            )
+            if include_sim:
+                for offset, result in zip(rec.slice_starts, rec.results):
+                    for e in events_from_result(result):
+                        worker = rec.workers[e.worker] if e.worker >= 0 else e.worker
+                        chunk = e.chunk + chunk_offset if e.chunk >= 0 else e.chunk
+                        events.append(
+                            dataclasses.replace(
+                                e, time=e.time + offset, worker=worker, chunk=chunk
+                            )
+                        )
+                    chunk_offset += result.num_chunks
+        return canonical_order(events)
+
+
+# -- inter-job policies -------------------------------------------------------
+
+class StreamPolicy:
+    """Abstract inter-job policy: decides when and where each job runs.
+
+    A policy is configuration only.  :meth:`run` receives the arrival
+    trace sorted by ``(time, job_id)`` plus a :data:`JobRunner` callback
+    and returns one :class:`JobRecord` per job; all simulation goes
+    through the callback, so policies never touch engines directly.
+    """
+
+    #: Spec-style name (used as the ``phase`` label of job events).
+    name: str = "policy"
+
+    def run(
+        self,
+        platform: PlatformSpec,
+        jobs: tuple[JobArrival, ...],
+        run_job: JobRunner,
+        job_seed: typing.Callable[[JobArrival], "int | None"],
+    ) -> tuple[JobRecord, ...]:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class FCFSPolicy(StreamPolicy):
+    """Exclusive first-come-first-served service of the whole star."""
+
+    name = "fcfs"
+
+    def run(self, platform, jobs, run_job, job_seed):
+        workers = tuple(range(platform.N))
+        records: list[JobRecord] = []
+        free = 0.0
+        for job in jobs:
+            start = max(job.time, free)
+            result = run_job(job, job.work, workers, job_seed(job))
+            finish = start + result.makespan
+            records.append(
+                JobRecord(
+                    job=job, start=start, finish=finish, workers=workers,
+                    results=(result,), slice_starts=(start,),
+                )
+            )
+            free = finish
+        return tuple(records)
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionedPolicy(StreamPolicy):
+    """Processor-partitioned sharing: ``parts`` independent FCFS queues.
+
+    Workers are split into ``parts`` contiguous, size-balanced groups
+    (larger groups first); each job is assigned to the partition that can
+    start it earliest, ties to the lowest partition index.  ``parts=1``
+    degenerates to :class:`FCFSPolicy`.
+    """
+
+    parts: int = 2
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"partitioned:parts={self.parts}"
+
+    def __post_init__(self) -> None:
+        if self.parts < 1:
+            raise ValueError(f"parts must be >= 1, got {self.parts}")
+
+    def partitions(self, platform: PlatformSpec) -> tuple[tuple[int, ...], ...]:
+        """The contiguous worker groups (like ``numpy.array_split``)."""
+        n, k = platform.N, self.parts
+        if k > n:
+            raise ValueError(f"cannot split {n} workers into {k} partitions")
+        base, extra = divmod(n, k)
+        groups: list[tuple[int, ...]] = []
+        cursor = 0
+        for i in range(k):
+            size = base + (1 if i < extra else 0)
+            groups.append(tuple(range(cursor, cursor + size)))
+            cursor += size
+        return tuple(groups)
+
+    def run(self, platform, jobs, run_job, job_seed):
+        groups = self.partitions(platform)
+        free = [0.0] * len(groups)
+        records: list[JobRecord] = []
+        for job in jobs:
+            starts = [max(job.time, f) for f in free]
+            part = min(range(len(groups)), key=lambda i: (starts[i], i))
+            start = starts[part]
+            result = run_job(job, job.work, groups[part], job_seed(job))
+            finish = start + result.makespan
+            records.append(
+                JobRecord(
+                    job=job, start=start, finish=finish, workers=groups[part],
+                    results=(result,), slice_starts=(start,),
+                )
+            )
+            free[part] = finish
+        return tuple(records)
+
+
+@dataclasses.dataclass(frozen=True)
+class InterleavedPolicy(StreamPolicy):
+    """Round-interleaved sharing: jobs time-share the star in work slices.
+
+    Each job's load is cut into ``slices`` equal slices (the last absorbs
+    the float remainder, so the sizes sum to the job's work exactly as
+    dispatched).  The master serves the active jobs' next slices in
+    round-robin order, admitting newly arrived jobs at the back of the
+    rotation; when no job is active, time jumps to the next arrival.
+    ``slices=1`` degenerates to :class:`FCFSPolicy`.
+    """
+
+    slices: int = 4
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"interleaved:slices={self.slices}"
+
+    def __post_init__(self) -> None:
+        if self.slices < 1:
+            raise ValueError(f"slices must be >= 1, got {self.slices}")
+
+    def slice_sizes(self, work: float) -> tuple[float, ...]:
+        """Cut one job's work into slices (sizes > 0, summing to work)."""
+        if self.slices == 1:
+            return (work,)
+        per = work / self.slices
+        tail = work - per * (self.slices - 1)
+        if per <= 0 or tail <= 0:
+            return (work,)
+        return (per,) * (self.slices - 1) + (tail,)
+
+    def run(self, platform, jobs, run_job, job_seed):
+        workers = tuple(range(platform.N))
+        pending = list(jobs)  # sorted by (time, job_id)
+        # Active entry: [job, seed, remaining sizes, next slice index,
+        #                start (None until first slice), slice_starts, results]
+        active: list[list] = []
+        done: dict[int, JobRecord] = {}
+        t = 0.0
+        rr = 0
+
+        def admit(now: float) -> None:
+            while pending and pending[0].time <= now:
+                job = pending.pop(0)
+                active.append(
+                    [job, job_seed(job), list(self.slice_sizes(job.work)), 0,
+                     None, [], []]
+                )
+
+        admit(t)
+        while pending or active:
+            if not active:
+                t = max(t, pending[0].time)
+                admit(t)
+                rr = 0
+            entry = active[rr % len(active)]
+            job, seed, sizes, k, start, slice_starts, results = entry
+            size = sizes.pop(0)
+            slice_seed = seed if self.slices == 1 else _slice_seed(seed, k)
+            result = run_job(job, size, workers, slice_seed)
+            if start is None:
+                entry[4] = t
+            entry[3] = k + 1
+            slice_starts.append(t)
+            results.append(result)
+            t += result.makespan
+            idx = rr % len(active)
+            if not sizes:
+                done[job.job_id] = JobRecord(
+                    job=job, start=entry[4], finish=t, workers=workers,
+                    results=tuple(results), slice_starts=tuple(slice_starts),
+                )
+                active.pop(idx)
+                rr = idx  # the next entry slid into this slot
+            else:
+                rr = idx + 1
+            admit(t)
+        return tuple(done[job.job_id] for job in jobs)
+
+
+def _slice_seed(job_seed: "int | None", slice_index: int) -> int:
+    """Per-slice seed derived from the job seed (multi-slice jobs only)."""
+    return int(stream_for(job_seed, slice_index).integers(0, 2**63 - 1))
+
+
+def make_stream_policy(spec: "str | StreamPolicy") -> StreamPolicy:
+    """Parse a policy spec into a :class:`StreamPolicy`.
+
+    Accepted forms: ``fcfs``, ``partitioned`` / ``partitioned:parts=K``,
+    ``interleaved`` / ``interleaved:slices=S``; an already-constructed
+    policy passes through unchanged.
+    """
+    if isinstance(spec, StreamPolicy):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"policy spec must be a string, got {type(spec).__name__}")
+    kind, _, body = spec.strip().partition(":")
+    kind = kind.strip()
+    params: dict[str, int] = {}
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"malformed policy parameter {part!r} in {spec!r}")
+        try:
+            number = float(value)
+        except ValueError:
+            raise ValueError(
+                f"policy parameter {key.strip()!r} needs a number, got {value!r}"
+            ) from None
+        if number != int(number):
+            raise ValueError(f"policy parameter {key.strip()!r} must be integral")
+        params[key.strip()] = int(number)
+    if kind == "fcfs":
+        if params:
+            raise ValueError(f"fcfs takes no parameters, got {sorted(params)}")
+        return FCFSPolicy()
+    if kind == "partitioned":
+        parts = params.pop("parts", 2)
+        if params:
+            raise ValueError(f"unknown parameter(s) for partitioned: {sorted(params)}")
+        return PartitionedPolicy(parts=parts)
+    if kind == "interleaved":
+        slices = params.pop("slices", 4)
+        if params:
+            raise ValueError(f"unknown parameter(s) for interleaved: {sorted(params)}")
+        return InterleavedPolicy(slices=slices)
+    raise ValueError(
+        f"unknown stream policy {kind!r}; available: fcfs, partitioned, interleaved"
+    )
+
+
+# -- the stream front door ----------------------------------------------------
+
+def simulate_stream(
+    platform: PlatformSpec,
+    arrivals: "typing.Sequence[JobArrival] | ArrivalProcess | str",
+    scheduler: "Scheduler | str" = "RUMR",
+    error: float = 0.0,
+    seed: int | None = None,
+    policy: "StreamPolicy | str" = "fcfs",
+    engine: str = "fast",
+    faults: "typing.Any | None" = None,
+    error_model_factory: "typing.Callable[[], ErrorModel] | None" = None,
+    tracer: "typing.Any | None" = None,
+) -> MultiJobResult:
+    """Run a stream of divisible loads through the scheduler/engine stack.
+
+    Parameters
+    ----------
+    platform:
+        The shared master-worker star all jobs contend for.
+    arrivals:
+        The job stream: a sequence of :class:`~repro.workloads.arrivals.
+        JobArrival`, an :class:`~repro.workloads.arrivals.ArrivalProcess`
+        (realized with ``seed``), or an arrival spec string like
+        ``"poisson:rate=0.02,jobs=8,work=200"``.
+    scheduler:
+        Per-job divisible-load scheduler: a registry name (instantiated
+        with ``make_scheduler(name, error)``) or a configured
+        :class:`~repro.core.base.Scheduler` shared by every job.
+    error:
+        Prediction-error magnitude: each job slice runs under a fresh
+        ``make_error_model("normal", error)`` (0 keeps the exact
+        :class:`~repro.errors.NoError` legacy path), and registry
+        schedulers receive it as their error estimate.
+    seed:
+        Stream-level seed: realizes an :class:`ArrivalProcess` and
+        derives the per-job seeds of arrivals that carry ``seed=None``.
+    policy:
+        Inter-job policy (see :func:`make_stream_policy`).
+    engine / faults:
+        Forwarded verbatim to every per-job :func:`~repro.sim.simulate`
+        call — streams run under crashes, pauses, slowdowns and link
+        spikes exactly like single runs.
+    error_model_factory:
+        Override the per-slice error model construction (a zero-argument
+        callable returning a fresh :class:`~repro.errors.models.
+        ErrorModel`); takes precedence over ``error``'s model.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; receives the stream's
+        job-level events plus the merged per-slice simulation events —
+        the same stream :meth:`MultiJobResult.events` derives.
+    """
+    from repro.core.registry import make_scheduler
+    from repro.errors.models import make_error_model
+    from repro.sim.result import simulate
+
+    if isinstance(arrivals, str):
+        arrivals = make_arrival_process(arrivals)
+    if isinstance(arrivals, ArrivalProcess):
+        arrivals = arrivals.generate(seed)
+    jobs = tuple(sorted(arrivals, key=lambda a: (a.time, a.job_id)))
+    ids = [a.job_id for a in jobs]
+    if len(set(ids)) != len(ids):
+        raise ValueError("arrival stream contains duplicate job_ids")
+    sched = make_scheduler(scheduler, error) if isinstance(scheduler, str) else scheduler
+    stream_policy = make_stream_policy(policy)
+    if error_model_factory is None:
+        def error_model_factory():
+            return make_error_model("normal", error)
+
+    def run_job(job, work, workers, job_run_seed):
+        sub = platform if len(workers) == platform.N else platform.subset(workers)
+        return simulate(
+            sub, work, sched, error_model_factory(), seed=job_run_seed,
+            engine=engine, faults=faults,
+        )
+
+    def job_seed(job: JobArrival) -> "int | None":
+        if job.seed is not None:
+            return job.seed
+        return int(stream_for(seed, job.job_id).integers(0, 2**63 - 1))
+
+    records = stream_policy.run(platform, jobs, run_job, job_seed)
+    result = MultiJobResult(
+        platform=platform,
+        policy=stream_policy.name,
+        scheduler_name=sched.name,
+        engine=engine,
+        seed=seed,
+        jobs=records,
+    )
+    if tracer is not None:
+        for e in result.events(include_sim=True):
+            tracer.emit(e.time, e.kind, e.worker, e.chunk, e.size, e.phase, e.detail)
+    return result

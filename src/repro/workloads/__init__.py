@@ -14,8 +14,23 @@ as concrete :class:`~repro.workloads.base.DivisibleWorkload` objects that
   the scene") — as an empirical error magnitude usable by RUMR.
 
 The examples drive the schedulers through these models.
+
+:mod:`repro.workloads.arrivals` adds the *stream* dimension: deterministic
+seeded arrival processes (Poisson, bursty, trace replay) that emit
+:class:`~repro.workloads.arrivals.JobArrival` records for the multi-job
+engine (:mod:`repro.sim.multijob`).
 """
 
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    JobArrival,
+    PoissonArrivals,
+    TraceArrivals,
+    arrivals_from_jsonl,
+    arrivals_to_jsonl,
+    make_arrival_process,
+)
 from repro.workloads.base import DivisibleWorkload, UnitCostSample
 from repro.workloads.image import ImageFeatureExtraction
 from repro.workloads.raytracing import RayTracing
@@ -23,10 +38,18 @@ from repro.workloads.sequence import SequenceMatching
 from repro.workloads.signal import SignalScan
 
 __all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
     "DivisibleWorkload",
     "ImageFeatureExtraction",
+    "JobArrival",
+    "PoissonArrivals",
     "RayTracing",
     "SequenceMatching",
     "SignalScan",
+    "TraceArrivals",
     "UnitCostSample",
+    "arrivals_from_jsonl",
+    "arrivals_to_jsonl",
+    "make_arrival_process",
 ]

@@ -1,0 +1,144 @@
+"""Stream events: the ``job_*`` kinds obey the trace invariants.
+
+A multi-job stream's merged event stream (job-level markers plus every
+slice's engine events shifted onto the absolute timeline) must satisfy
+the same well-formedness properties the single-run traces are held to —
+balanced dispatch/compute pairs, per-worker monotonicity, canonical
+ordering — and plug into :func:`repro.obs.first_divergence` as a
+cross-run oracle exactly like engine traces do.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    EVENT_KINDS,
+    SimEvent,
+    Tracer,
+    canonical_order,
+    events_to_jsonl,
+    first_divergence,
+)
+from repro.platform import homogeneous_platform
+from repro.sim import simulate_stream
+from tests.properties.test_properties_trace import (
+    assert_balanced_pairs,
+    assert_worker_monotone,
+)
+
+pytestmark = pytest.mark.multijob
+
+ARRIVALS = "poisson:rate=0.02,jobs=5,work=120,work_cv=0.2"
+POLICIES = ("fcfs", "partitioned:parts=2", "interleaved:slices=3")
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return homogeneous_platform(4, S=1.0, bandwidth_factor=1.5, cLat=0.2, nLat=0.1)
+
+
+def test_job_kinds_are_registered():
+    assert {"job_arrival", "job_start", "job_done"} <= EVENT_KINDS
+
+
+def test_job_done_sorts_before_job_arrival_at_one_instant():
+    # Observe-then-act at a shared timestamp: a completion is ordered
+    # before the admissions it may enable.
+    done = SimEvent(10.0, "job_done", -1, chunk=0)
+    arrival = SimEvent(10.0, "job_arrival", -1, chunk=1)
+    start = SimEvent(10.0, "job_start", -1, chunk=1)
+    assert canonical_order([start, arrival, done]) == (done, arrival, start)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_job_level_stream_is_canonical_and_complete(platform, policy):
+    stream = simulate_stream(
+        platform, ARRIVALS, error=0.2, seed=11, policy=policy
+    )
+    events = stream.events()
+    assert events == canonical_order(events)
+    for kind in ("job_arrival", "job_start", "job_done"):
+        per_job = [e for e in events if e.kind == kind]
+        assert sorted(e.chunk for e in per_job) == [0, 1, 2, 3, 4]
+        assert all(e.worker == -1 for e in per_job)
+        assert all(e.phase == stream.policy for e in per_job)
+    for rec in stream.jobs:
+        times = {
+            e.kind: e.time for e in events if e.chunk == rec.job.job_id
+        }
+        assert times["job_arrival"] == rec.job.time
+        assert times["job_start"] == rec.start
+        assert times["job_done"] == rec.finish
+        assert times["job_arrival"] <= times["job_start"] <= times["job_done"]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_merged_stream_passes_trace_well_formedness(platform, policy):
+    stream = simulate_stream(
+        platform, ARRIVALS, error=0.2, seed=11, policy=policy
+    )
+    events = stream.events(include_sim=True)
+    assert events == canonical_order(events)
+    assert all(e.kind in EVENT_KINDS for e in events)
+    assert_balanced_pairs(events)
+    assert_worker_monotone(events)
+    # Chunk renumbering keeps dispatch indices stream-unique.
+    dispatched = [e.chunk for e in events if e.kind == "dispatch_start"]
+    assert len(set(dispatched)) == len(dispatched)
+    # All sim events land on the absolute timeline: none precede the
+    # owning job's first service, none outlive the stream horizon.
+    sim_events = [e for e in events if not e.kind.startswith("job_")]
+    assert all(0.0 <= e.time <= stream.horizon for e in sim_events)
+    assert all(0 <= e.worker < platform.N for e in sim_events if e.worker >= 0)
+
+
+def test_merged_stream_serializes_and_feeds_the_tracer(platform):
+    tracer = Tracer()
+    stream = simulate_stream(
+        platform, ARRIVALS, error=0.2, seed=11,
+        policy="interleaved:slices=2", tracer=tracer,
+    )
+    events = stream.events(include_sim=True)
+    assert tracer.canonical() == events
+    text = events_to_jsonl(events)
+    assert text == events_to_jsonl(events)  # byte-deterministic
+    kinds = {json.loads(line)["kind"] for line in text.splitlines()}
+    assert {"job_arrival", "job_start", "job_done", "dispatch_start"} <= kinds
+
+
+class TestFirstDivergence:
+    def test_identical_streams_have_no_divergence(self, platform):
+        a = simulate_stream(platform, ARRIVALS, error=0.2, seed=11).events(True)
+        b = simulate_stream(platform, ARRIVALS, error=0.2, seed=11).events(True)
+        assert first_divergence(a, b) is None
+
+    def test_seed_change_is_localized_by_the_oracle(self, platform):
+        a = simulate_stream(platform, ARRIVALS, error=0.2, seed=11).events(True)
+        b = simulate_stream(platform, ARRIVALS, error=0.2, seed=12).events(True)
+        div = first_divergence(a, b, labels=("seed11", "seed12"))
+        assert div is not None
+        assert "seed11" in div.describe()
+
+    def test_policy_change_diverges_at_a_job_event(self, platform):
+        a = simulate_stream(platform, ARRIVALS, seed=11, policy="fcfs")
+        b = simulate_stream(
+            platform, ARRIVALS, seed=11, policy="interleaved:slices=2"
+        )
+        div = first_divergence(a.events(), b.events(), labels=("fcfs", "ilv"))
+        assert div is not None
+        # The policy label rides on every job event's phase, so the fork
+        # is immediate and the report names it.
+        assert div.index == 0
+        assert "phase" in div.describe()
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10)
+    def test_divergence_is_reflexively_none(self, platform, seed):
+        events = simulate_stream(
+            platform, "poisson:rate=0.05,jobs=3,work=80", seed=seed,
+            policy="partitioned:parts=2",
+        ).events(True)
+        assert first_divergence(events, events) is None

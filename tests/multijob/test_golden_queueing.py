@@ -1,0 +1,103 @@
+"""Golden regression: the pinned Poisson scenario's queueing metrics.
+
+``tests/data/golden_multijob_poisson.json`` byte-pins the queueing
+metrics of one multi-job scenario under each inter-job policy.  Any
+change to engine arithmetic, RNG stream layout, arrival-process draw
+order, policy composition or metric definitions shows up here as an
+exact string-equality failure — deliberately strict, because the 1-job
+conformance suite and this file together pin the whole stream layer.
+
+To regenerate after an *intentional* semantics change::
+
+    PYTHONPATH=src python -c "
+    import json
+    from tests.multijob.test_golden_queueing import GOLDEN_PATH, SCENARIO, POLICIES, run_cell
+    from repro.experiments.queueing import metrics_to_json
+    payload = {'scenario': SCENARIO, 'policies': list(POLICIES),
+               'metrics': {p: json.loads(metrics_to_json(run_cell(p))) for p in POLICIES}}
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + chr(10))
+    "
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.queueing import metrics_to_json, queueing_metrics
+from repro.platform import homogeneous_platform
+from repro.sim import simulate_stream
+
+pytestmark = pytest.mark.multijob
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).parent.parent / "data" / "golden_multijob_poisson.json"
+)
+
+SCENARIO = {
+    "N": 4,
+    "bandwidth_factor": 1.5,
+    "cLat": 0.2,
+    "nLat": 0.1,
+    "arrivals": "poisson:rate=0.02,jobs=6,work=150,work_cv=0.3",
+    "scheduler": "RUMR",
+    "error": 0.2,
+    "seed": 2026,
+    "engine": "fast",
+}
+
+POLICIES = ("fcfs", "partitioned:parts=2", "interleaved:slices=3")
+
+
+def run_cell(policy: str):
+    platform = homogeneous_platform(
+        SCENARIO["N"], S=1.0, bandwidth_factor=SCENARIO["bandwidth_factor"],
+        cLat=SCENARIO["cLat"], nLat=SCENARIO["nLat"],
+    )
+    stream = simulate_stream(
+        platform,
+        SCENARIO["arrivals"],
+        scheduler=SCENARIO["scheduler"],
+        error=SCENARIO["error"],
+        seed=SCENARIO["seed"],
+        policy=policy,
+        engine=SCENARIO["engine"],
+    )
+    return queueing_metrics(stream)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_describes_this_scenario(golden):
+    assert golden["scenario"] == SCENARIO
+    assert golden["policies"] == list(POLICIES)
+    assert set(golden["metrics"]) == set(POLICIES)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_queueing_metrics_reproduce_golden_byte_for_byte(golden, policy):
+    actual = metrics_to_json(run_cell(policy))
+    expected = json.dumps(
+        golden["metrics"][policy], sort_keys=True, separators=(",", ":")
+    )
+    assert actual == expected, f"queueing-metrics drift under policy {policy!r}"
+
+
+def test_golden_metrics_are_internally_consistent(golden):
+    # Sanity on the pinned numbers themselves: same jobs, same total
+    # work under every policy; FCFS waits bound the partitioned ones'
+    # job count; slowdowns are >= 1 by construction.
+    for policy in POLICIES:
+        m = golden["metrics"][policy]
+        assert m["num_jobs"] == 6
+        assert m["work_lost"] == 0.0
+        assert m["mean_slowdown"] >= 1.0
+        assert m["max_queue_depth"] >= 1
+    assert (
+        golden["metrics"]["fcfs"]["total_work"]
+        == golden["metrics"]["partitioned:parts=2"]["total_work"]
+        == golden["metrics"]["interleaved:slices=3"]["total_work"]
+    )

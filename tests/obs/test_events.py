@@ -130,4 +130,5 @@ def test_kind_vocabulary_is_closed():
         "dispatch_start", "dispatch_end", "comp_start", "comp_end",
         "fault", "recovery_decision", "round_boundary",
         "engine_fallback", "cell_quarantined",
+        "job_arrival", "job_start", "job_done",
     }
