@@ -14,6 +14,9 @@ Examples
     python -m repro sweep --preset smoke --fault crash:p=0.2,tmax=400
     python -m repro multijob --arrivals poisson:rate=0.02,jobs=8,work=200
     python -m repro multijob --policy interleaved:slices=4 --fault crash:p=0.3,tmax=100
+    python -m repro sweep --preset smoke --topology chain:relay=sf
+    python -m repro figtopo --preset smoke --topologies tree:fanout=2
+    python -m repro topo --topology chain:n=8,relay=sf --json topo.json
     python -m repro hetero
     python -m repro adaptive
     python -m repro list
@@ -90,6 +93,14 @@ def _parser() -> argparse.ArgumentParser:
             metavar="SPEC",
             help="worker fault scenario applied to every run "
             "(e.g. 'crash:p=0.2,tmax=400'; see repro.errors.make_fault_model)",
+        )
+        p.add_argument(
+            "--topology",
+            default=None,
+            metavar="SPEC",
+            help="interconnect shape applied to every run "
+            "(e.g. 'chain:relay=sf', 'tree:fanout=2', 'sharedbw:cap=36'; "
+            "see repro.platform.make_topology)",
         )
         p.add_argument("--quiet", action="store_true", help="suppress progress output")
         p.add_argument(
@@ -254,6 +265,46 @@ def _parser() -> argparse.ArgumentParser:
         help="comma-separated algorithm names "
         "(default: RUMR,Factoring,WeightedFactoring)",
     )
+
+    ft = sub.add_parser(
+        "figtopo",
+        help="topology study: error robustness per interconnect shape",
+    )
+    add_common(ft)
+    ft.add_argument(
+        "--topologies",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="topology spec to sweep (repeatable; 'star' is always included; "
+        "default: a chain/tree/sharedbw trio)",
+    )
+    ft.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated algorithm names (default: RUMR,Factoring)",
+    )
+
+    tp = sub.add_parser(
+        "topo",
+        help="parse a topology spec and print its effective per-worker view",
+    )
+    tp.add_argument(
+        "--topology",
+        default="chain:relay=sf",
+        metavar="SPEC",
+        help="topology spec to summarize (default: chain:relay=sf)",
+    )
+    tp.add_argument("--n", type=int, default=8, help="number of workers")
+    tp.add_argument("--bandwidth-factor", type=float, default=1.8)
+    tp.add_argument("--clat", type=float, default=0.3)
+    tp.add_argument("--nlat", type=float, default=0.1)
+    tp.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the summary as canonical (byte-deterministic) JSON",
+    )
     return parser
 
 
@@ -282,6 +333,8 @@ def _grid(args: argparse.Namespace):
         updates["error_mode"] = args.error_mode
     if getattr(args, "fault", None) is not None:
         updates["fault"] = args.fault
+    if getattr(args, "topology", None) is not None:
+        updates["topology"] = args.topology
     if updates:
         grid = grid.restrict(**updates)
     return grid
@@ -324,6 +377,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_extfigs(args)
     if args.command == "figfaults":
         return _cmd_figfaults(args)
+    if args.command == "figtopo":
+        return _cmd_figtopo(args)
+    if args.command == "topo":
+        return _cmd_topo(args)
 
     grid = _grid(args)
     progress = None if args.quiet else eta_progress()
@@ -453,6 +510,91 @@ def _cmd_figfaults(args: argparse.Namespace) -> int:
         progress=progress, directory=args.results, resume=args.resume,
     )
     _emit(args, "figfaults", render_figure(fault_figure(results)))
+    return 0
+
+
+#: Default scenarios for ``figtopo``: one of each non-star shape.  The
+#: sharedbw cap is sized against the presets' Table-1 bandwidths
+#: (``B = factor × N``, so 36 matches the N=20, factor=1.8 point).
+DEFAULT_TOPOLOGY_SPECS = (
+    "chain:relay=sf",
+    "tree:fanout=2",
+    "sharedbw:cap=36",
+)
+
+
+def _cmd_figtopo(args: argparse.Namespace) -> int:
+    from repro.experiments.topology import (
+        fig_topologies_algorithms,
+        run_topology_sweep,
+        topology_figure,
+    )
+
+    grid = _grid(args)
+    specs = tuple(args.topologies) if args.topologies else DEFAULT_TOPOLOGY_SPECS
+    algorithms = (
+        tuple(a.strip() for a in args.algorithms.split(","))
+        if args.algorithms
+        else fig_topologies_algorithms
+    )
+    progress = None if args.quiet else eta_progress()
+    results = run_topology_sweep(
+        grid, specs, algorithms=algorithms, n_jobs=args.jobs,
+        progress=progress, directory=args.results, resume=args.resume,
+    )
+    _emit(args, "figtopo", render_figure(topology_figure(results)))
+    return 0
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    import json
+    import math
+
+    from repro.platform import homogeneous_platform, make_topology
+
+    topo = make_topology(args.topology)
+    platform = homogeneous_platform(
+        args.n, S=1.0, bandwidth_factor=args.bandwidth_factor,
+        cLat=args.clat, nLat=args.nlat,
+    )
+    bound = topo.bind(platform)
+    effective = topo.effective_platform(platform)
+    cap = None if math.isinf(bound.cap) else bound.cap
+    print(f"topology: {topo}  (kind={topo.kind}, N={platform.N}, "
+          f"relay links={bound.num_relay_links}"
+          + (f", shared cap={cap:g})" if cap is not None else ")"))
+    print(f"{'worker':>6} {'B':>10} {'B_eff':>10} {'nLat_eff':>9} "
+          f"{'tLat_eff':>9} {'hops':>5}")
+    for i in range(platform.N):
+        w, e = platform[i], effective[i]
+        b_eff = "inf" if math.isinf(e.B) else f"{e.B:.6g}"
+        print(
+            f"{i:>6} {w.B:>10.6g} {b_eff:>10} {e.nLat:>9.6g} "
+            f"{e.tLat:>9.6g} {len(bound.paths[i].hops):>5}"
+        )
+    if args.json:
+        payload = {
+            "spec": str(topo),
+            "kind": topo.kind,
+            "N": platform.N,
+            "relay_links": bound.num_relay_links,
+            "cap": cap,
+            "workers": [
+                {
+                    "worker": i,
+                    "B": platform[i].B,
+                    "B_eff": None if math.isinf(effective[i].B) else effective[i].B,
+                    "nLat_eff": effective[i].nLat,
+                    "tLat_eff": effective[i].tLat,
+                    "hops": len(bound.paths[i].hops),
+                }
+                for i in range(platform.N)
+            ],
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+        path = pathlib.Path(args.json)
+        path.write_text(text)
+        print(f"wrote {path}")
     return 0
 
 

@@ -49,6 +49,13 @@ from repro.experiments.resilient import (
 from repro.experiments.runner import SweepResults, run_sweep
 from repro.experiments.stats import bootstrap_ci, sign_test_pvalue, win_rate_ci
 from repro.experiments.tables import table2, table3
+from repro.experiments.topology import (
+    TopologySweepResults,
+    robustness_transfer,
+    run_topology_sweep,
+    topology_degradation,
+    topology_figure,
+)
 
 __all__ = [
     "CellFailure",
@@ -60,6 +67,11 @@ __all__ = [
     "QueueingSweepResults",
     "RetryPolicy",
     "SweepResults",
+    "TopologySweepResults",
+    "robustness_transfer",
+    "run_topology_sweep",
+    "topology_degradation",
+    "topology_figure",
     "queueing_figure",
     "queueing_metrics",
     "run_queueing_sweep",

@@ -111,6 +111,12 @@ class ExperimentGrid:
     #: Part of the grid identity, so fault and fault-free sweeps hash to
     #: different cache keys.
     fault: str = "none"
+    #: Interconnect shape applied to every run, as a spec string parsed by
+    #: :func:`repro.platform.make_topology` (``"star"`` = the paper's
+    #: baseline, ``"chain:relay=sf"``, ``"tree:fanout=2"``,
+    #: ``"sharedbw:cap=2"``, …).  Like ``fault``, part of the grid
+    #: identity.
+    topology: str = "star"
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -123,16 +129,30 @@ class ExperimentGrid:
             raise ValueError("error axis must be non-empty")
         if self.platform_sample < 0:
             raise ValueError(f"platform_sample must be >= 0, got {self.platform_sample}")
-        # Validate the fault spec eagerly so a typo fails at grid build
-        # time, not platforms-deep into a sweep.
+        # Validate the fault and topology specs eagerly so a typo fails at
+        # grid build time, not platforms-deep into a sweep.
         from repro.errors.faults import make_fault_model
+        from repro.platform.topology import make_topology
 
         make_fault_model(self.fault)
+        topo = make_topology(self.topology)
+        if topo.kind == "sharedbw" and self.fault.strip() not in ("", "none"):
+            raise ValueError(
+                "sharedbw topologies do not support fault injection "
+                f"(fault={self.fault!r}, topology={self.topology!r})"
+            )
 
     @property
     def has_faults(self) -> bool:
         """Whether this grid injects worker faults."""
         return self.fault.strip() not in ("", "none")
+
+    @property
+    def has_topology(self) -> bool:
+        """Whether this grid routes runs through a non-star interconnect."""
+        from repro.platform.topology import make_topology
+
+        return make_topology(self.topology).kind != "star"
 
     def _full_cross_product(self) -> list[PlatformPoint]:
         return [
@@ -176,7 +196,7 @@ class ExperimentGrid:
                 updates[key] = tuple(value)
             elif key in (
                 "repetitions", "seed", "name", "error_kind", "error_mode",
-                "platform_sample", "fault",
+                "platform_sample", "fault", "topology",
             ):
                 updates[key] = value
             else:

@@ -84,7 +84,9 @@ from repro.sim.batch import (
     compile_static_plan,
     simulate_static_cells,
 )
+from repro.platform.topology import make_topology
 from repro.sim.dynbatch import BatchArena, DynamicCell, simulate_dynamic_cells
+from repro.sim.engine import simulate_des
 from repro.sim.fastsim import simulate_fast
 
 __all__ = ["SweepResults", "run_sweep", "run_fault_sweep", "FaultSweepResults"]
@@ -137,14 +139,31 @@ class SweepResults:
         return "RUMR" if "RUMR" in self.algorithms else self.algorithms[0]
 
 
+@lru_cache(maxsize=256)
+def _grid_topology(spec: str):
+    """Parse a grid's topology spec once; ``None`` for the star baseline.
+
+    ``None`` keeps every star cell on the exact legacy code paths (the
+    bitwise-compatibility contract); a non-``None`` topology reroutes the
+    scalar rung and disqualifies the batch engines.
+    """
+    topo = make_topology(spec)
+    return None if topo.kind == "star" else topo
+
+
 def _grid_supports_batch(grid: ExperimentGrid) -> bool:
-    """Whether the batch engine implements this grid's error model.
+    """Whether the batch engines implement this grid's cells.
 
     The batch engine draws truncated-normal multiplicative factors — the
     ``normal`` kind (and trivially ``none``).  ``uniform`` and ``drifting``
-    grids fall back to the scalar path for every algorithm.
+    grids fall back to the scalar path for every algorithm, as do
+    non-star topology grids (the batch engines model only the paper's
+    serialized star; chains, trees and shared-bandwidth stars take the
+    scalar/DES rung via the routing ladder).
     """
-    return grid.error_kind in ("normal", "none")
+    return grid.error_kind in ("normal", "none") and (
+        _grid_topology(grid.topology) is None
+    )
 
 
 def _batch_eligible(grid: ExperimentGrid, scheduler) -> bool:
@@ -190,19 +209,35 @@ def _scalar_cell(
     The shared bottom rung of the engine-fallback ladder: exactly the
     computation ``batch_static=False`` performs for the cell, so a
     fallen-back cell is bitwise identical to a ``--no-batch`` run's.
+    Topology grids route here too: chains and trees keep the fast
+    engine's closed-form recurrences, shared-bandwidth stars (which have
+    none) run on the DES engine.
     """
+    topo = _grid_topology(grid.topology)
     out = np.empty(len(seeds))
     for rep, seed in enumerate(seeds):
         model = make_error_model(grid.error_kind, error, mode=grid.error_mode)
-        out[rep] = simulate_fast(
-            platform,
-            grid.total_work,
-            scheduler,
-            model,
-            seed=seed,
-            collect_records=False,
-            faults=fault_model,
-        ).makespan
+        if topo is not None and topo.kind == "sharedbw":
+            out[rep] = simulate_des(
+                platform,
+                grid.total_work,
+                scheduler,
+                model,
+                seed=seed,
+                faults=fault_model,
+                topology=topo,
+            ).makespan
+        else:
+            out[rep] = simulate_fast(
+                platform,
+                grid.total_work,
+                scheduler,
+                model,
+                seed=seed,
+                collect_records=False,
+                faults=fault_model,
+                topology=topo,
+            ).makespan
     return out
 
 

@@ -13,6 +13,13 @@ and ``cell_quarantined`` (a cell exhausted the ladder and became NaN).
 They carry ``time=0.0`` and ``worker=-1`` — they describe the harness,
 not simulated time.
 
+One *topology-level* kind, ``link_hop``, marks a chunk clearing one
+serialized relay link on a non-star topology (chains and trees; see
+:mod:`repro.platform.topology`).  It is chunk-scoped like the dispatch
+pair, with ``detail="link=<resource>"`` naming the relay resource; it is
+emitted only by live tracers (relay traversal is not reconstructible
+from :class:`~repro.core.chunks.DispatchRecord` alone).
+
 Three *stream-level* kinds describe multi-job streams
 (:mod:`repro.sim.multijob`): ``job_arrival``, ``job_start`` and
 ``job_done`` mark one job entering the system, receiving its first
@@ -53,6 +60,7 @@ EVENT_KINDS = frozenset(
     {
         "dispatch_start",
         "dispatch_end",
+        "link_hop",
         "comp_start",
         "comp_end",
         "fault",
@@ -82,9 +90,10 @@ _KIND_RANK = {
     "round_boundary": 6,
     "dispatch_start": 7,
     "dispatch_end": 8,
-    "comp_start": 9,
-    "engine_fallback": 10,
-    "cell_quarantined": 11,
+    "link_hop": 9,
+    "comp_start": 10,
+    "engine_fallback": 11,
+    "cell_quarantined": 12,
 }
 
 

@@ -27,6 +27,29 @@ crash-watch process (started at ``t=0``, so its ``timeout(t_crash)`` fires
 at the exact crash float) reports chunks already queued on the worker, and
 a per-chunk announcer riding the ``tLat`` tail reports chunks still in
 flight.
+
+Non-star topologies (:mod:`repro.platform.topology`) extend the process
+graph honestly.  Chains and trees add one *relay* process per serialized
+relay link: a FIFO inbox feeds it chunks (in dispatch order, because the
+master link upstream is serialized), it holds the link for the hop time,
+emits a ``link_hop`` event, and forwards to the next hop or the terminal
+delivery stage.  The master still predicts the whole timeline at
+dispatch via the same :meth:`~repro.platform.topology.LinkPath.traverse`
+arithmetic the fast engine uses — relay ``max``/``+`` chains realize the
+exact same floats, so chain/tree trajectories stay engine-identical.
+Relays are deterministic forwarders: the error model perturbs only the
+master-link occupancy, and worker crashes stop computation, not
+forwarding (lost chunks still occupy relay links).
+
+``sharedbw`` topologies replace the serialized link with a fluid shared
+medium (:class:`_SharedLink`): the master pays only ``nLat`` serially,
+registers the transfer (its byte volume perturbed by the comm stream),
+and a water-filling allocator splits the capacity max-min fairly among
+concurrent transfers, re-solving rates on every join/leave via versioned
+watcher processes (the kernel has no event cancellation; stale watchers
+simply return).  This shape exists only here — the fast engine has no
+calendar to realize rate changes on — and rejects fault injection, since
+loss classification needs a completion time predictable at dispatch.
 """
 
 from __future__ import annotations
@@ -45,11 +68,12 @@ from repro.core.base import (
     Scheduler,
 )
 from repro.core.chunks import DispatchRecord
-from repro.des import Environment, Monitor, Store
+from repro.des import Environment, Event, Monitor, Store
 from repro.errors.faults import FaultModel, FaultSchedule
 from repro.errors.models import ErrorModel
 from repro.errors.rng import spawn_rngs
 from repro.platform.spec import PlatformSpec
+from repro.platform.topology import RelayHop, StarTopology, make_topology
 from repro.sim.result import SimResult
 
 __all__ = ["simulate_des"]
@@ -66,6 +90,126 @@ class _ChunkMsg:
     size: float
     comp_time: float
     phase: str
+
+
+@dataclasses.dataclass(slots=True)
+class _RelayMsg:
+    """A chunk riding the relay pipeline of a chain/tree topology.
+
+    ``terminal`` decides what happens after the last hop and tail:
+    ``"deliver"`` hands ``chunk_msg`` to the worker via the ``tLat``
+    delivery, ``"loss"`` announces an in-flight crash loss at the
+    would-have-been arrival, ``"drop"`` just occupies the links (the
+    chunk was queued at its worker's crash; the crash watch announces
+    it).
+    """
+
+    worker: int
+    index: int
+    size: float
+    phase: str
+    hops: tuple[RelayHop, ...]
+    hop_idx: int
+    tail_time: float
+    has_tail: bool
+    t_lat: float
+    terminal: str
+    chunk_msg: "_ChunkMsg | None"
+
+
+@dataclasses.dataclass(slots=True)
+class _Transfer:
+    """One in-flight transfer on a :class:`_SharedLink`."""
+
+    tid: int
+    remaining: float
+    bcap: float
+    done: Event
+    rate: float = 0.0
+
+
+class _SharedLink:
+    """A fluid shared medium with max-min fair capacity allocation.
+
+    Active transfers progress at rates solved by water-filling: total
+    capacity ``cap`` is split equally, transfers whose own link cap
+    ``bcap`` is below their share keep ``bcap``, and the surplus is
+    re-split among the rest.  Rates change only when a transfer joins
+    (:meth:`register`) or completes; each change advances every
+    transfer's remaining volume at the old rates, bumps a version
+    counter, and spawns a fresh watcher process sleeping until the
+    earliest completion under the new rates.  The kernel has no event
+    cancellation, so superseded watchers notice the version mismatch
+    when they wake and simply return.
+
+    Everything is plain deterministic float arithmetic on
+    deterministically ordered dicts — repeated runs realize identical
+    calendars, which is what the DES self-consistency gate certifies.
+    """
+
+    __slots__ = ("env", "cap", "active", "last", "version")
+
+    def __init__(self, env: Environment, cap: float):
+        self.env = env
+        self.cap = cap
+        self.active: dict[int, _Transfer] = {}
+        self.last = 0.0
+        self.version = 0
+
+    def register(self, tid: int, volume: float, bcap: float, done: Event) -> None:
+        """Admit a transfer of ``volume`` units capped at rate ``bcap``.
+
+        ``done`` is succeeded (with the completion time) once the whole
+        volume has flowed.
+        """
+        self._advance()
+        self.active[tid] = _Transfer(tid=tid, remaining=volume, bcap=bcap, done=done)
+        self._reschedule()
+
+    def _advance(self) -> None:
+        dt = self.env.now - self.last
+        if dt > 0.0:
+            for t in self.active.values():
+                t.remaining -= t.rate * dt
+        self.last = self.env.now
+
+    def _allocate(self) -> None:
+        # Water-filling: serve the tightest own-caps first; ties broken by
+        # transfer id so the allocation order is deterministic.
+        items = sorted(self.active.values(), key=lambda t: (t.bcap, t.tid))
+        rem_cap = self.cap
+        k = len(items)
+        for t in items:
+            share = rem_cap / k
+            t.rate = t.bcap if t.bcap < share else share
+            rem_cap -= t.rate
+            k -= 1
+
+    def _reschedule(self) -> None:
+        self.version += 1
+        if not self.active:
+            return
+        self._allocate()
+        best: float | None = None
+        due: list[int] = []
+        for t in sorted(self.active.values(), key=lambda t: t.tid):
+            dt = (t.remaining if t.remaining > 0.0 else 0.0) / t.rate
+            if best is None or dt < best:
+                best, due = dt, [t.tid]
+            elif dt == best:
+                due.append(t.tid)
+        assert best is not None
+        self.env.process(self._watch(self.version, best, tuple(due)))
+
+    def _watch(self, version: int, delay: float, due: tuple[int, ...]):
+        yield self.env.timeout(delay)
+        if version != self.version:
+            return  # a join re-planned the link while we slept
+        self._advance()
+        for tid in due:
+            transfer = self.active.pop(tid)
+            transfer.done.succeed(self.env.now)
+        self._reschedule()
 
 
 class _NullTracer:
@@ -174,6 +318,7 @@ def simulate_des(
     trace: Monitor | None = None,
     faults: FaultModel | None = None,
     tracer=None,
+    topology=None,
 ) -> SimResult:
     """Simulate one run with the DES engine (see module docstring).
 
@@ -189,7 +334,27 @@ def simulate_des(
     *canonical* streams are equal exactly when their trajectories are.
     ``trace`` is the legacy low-level :class:`Monitor` hook, kept for the
     kernel's own regression tests.
+
+    ``topology`` (a spec string or :class:`~repro.platform.topology.
+    Topology`) routes transfers through a non-star interconnect: chains
+    and trees add relay processes, ``sharedbw`` replaces the serialized
+    link with a :class:`_SharedLink`.  ``None`` or a star keeps the
+    exact legacy code path.  ``sharedbw`` with ``faults`` raises (see
+    the module docstring).
     """
+    topo = None
+    if topology is not None:
+        topo = make_topology(topology)
+        if isinstance(topo, StarTopology):
+            topo.bind(platform)  # validate n=..., then take the legacy path
+            topo = None
+    bound = topo.bind(platform) if topo is not None else None
+    sharedbw = bound is not None and bound.kind == "sharedbw"
+    if sharedbw and faults is not None:
+        raise ValueError(
+            "fault injection is not supported on sharedbw topologies: loss "
+            "classification needs a completion time predictable at dispatch"
+        )
     schedule: FaultSchedule | None = None
     if faults is not None:
         rng_comm, rng_comp, rng_fault = spawn_rngs(seed, 3)
@@ -198,7 +363,9 @@ def simulate_des(
             schedule = None
     else:
         rng_comm, rng_comp = spawn_rngs(seed, 2)
-    source = scheduler.create_source(platform, total_work)
+    source = scheduler.create_source(
+        platform if topo is None else topo.effective_platform(platform), total_work
+    )
     env = Environment()
     monitor = trace if trace is not None else Monitor(enabled=False)
     tr = tracer if tracer is not None else _NullTracer()
@@ -223,6 +390,14 @@ def simulate_des(
     # themselves directly.
     crash_pending: list[list[tuple[int, float]]] = [[] for _ in range(n)]
     watch_fired = [False] * n
+    # Topology plumbing: one FIFO inbox per serialized relay link, plus the
+    # master-side prediction mirror of the relay busy chains (the analogue
+    # of pred_busy for links).  Empty on the legacy star path.
+    relay_inboxes: list[Store] = (
+        [Store(env) for _ in range(bound.num_relay_links)] if bound is not None else []
+    )
+    relay_busy: list[float] = [0.0] * len(relay_inboxes)
+    shared_link = _SharedLink(env, bound.cap) if sharedbw else None
 
     def worker_proc(index: int):
         while True:
@@ -266,6 +441,70 @@ def simulate_des(
         monitor.record(env.now, "chunk_lost", worker, chunk=idx, size=size)
         tr.emit(env.now, "fault", worker, chunk=idx, size=size, phase=phase, detail="loss")
         completions.put(("lost", worker, idx, size, env.now))
+
+    def transport_tail_proc(rmsg: _RelayMsg):
+        # The contention-free pipe tail plus the terminal stage, entered at
+        # the end of the last hop (or straight after link release for
+        # hop-free paths such as cut-through chains and tree roots).
+        if rmsg.has_tail:
+            yield env.timeout(rmsg.tail_time)
+        if rmsg.terminal == "deliver":
+            assert rmsg.chunk_msg is not None
+            yield from delivery_proc(rmsg.worker, rmsg.chunk_msg, rmsg.t_lat)
+        elif rmsg.terminal == "loss":
+            yield from loss_announce_proc(
+                rmsg.worker, rmsg.index, rmsg.size, rmsg.phase, rmsg.t_lat
+            )
+        # "drop": queued-at-crash ghost — it only existed to occupy links;
+        # the crash watch owns its announcement.
+
+    def relay_proc(res: int):
+        # One serialized relay link: FIFO over its inbox, so chunks cross
+        # in dispatch order — the order the master's prediction mirror
+        # (LinkPath.traverse over relay_busy) prices them in.
+        while True:
+            rmsg = yield relay_inboxes[res].get()
+            if rmsg is _POISON:
+                return
+            hop = rmsg.hops[rmsg.hop_idx]
+            yield env.timeout(hop.hop_time(rmsg.size))
+            monitor.record(env.now, "link_hop", rmsg.worker, chunk=rmsg.index, size=rmsg.size)
+            tr.emit(
+                env.now, "link_hop", rmsg.worker,
+                chunk=rmsg.index, size=rmsg.size, phase=rmsg.phase,
+                detail=f"link={res}",
+            )
+            rmsg.hop_idx += 1
+            if rmsg.hop_idx < len(rmsg.hops):
+                relay_inboxes[rmsg.hops[rmsg.hop_idx].resource].put(rmsg)
+            else:
+                env.process(transport_tail_proc(rmsg))
+
+    def shared_tail_proc(
+        worker: int, index: int, size: float, comp_time: float, phase: str,
+        t_lat: float, done: Event,
+    ):
+        # Rides one sharedbw transfer end to end: waits for the fluid
+        # allocator to drain the volume, realizes send_end, then the
+        # ordinary tLat delivery.
+        yield done
+        send_end = env.now
+        monitor.record(send_end, "send_end", worker, chunk=index, size=size)
+        tr.emit(
+            send_end, "dispatch_end", worker, chunk=index, size=size, phase=phase
+        )
+        rec = records[index]
+        assert rec is not None
+        records[index] = dataclasses.replace(rec, send_end=send_end)
+        msg = _ChunkMsg(index=index, size=size, comp_time=comp_time, phase=phase)
+        yield from delivery_proc(worker, msg, t_lat)
+
+    def route_relay(rmsg: _RelayMsg) -> None:
+        # First hop's inbox, or straight to the tail for hop-free paths.
+        if rmsg.hops:
+            relay_inboxes[rmsg.hops[0].resource].put(rmsg)
+        else:
+            env.process(transport_tail_proc(rmsg))
 
     def crash_watch_proc(worker: int, t_crash: float):
         # Started at t=0 so ``timeout(t_crash)`` lands on the exact crash
@@ -337,7 +576,57 @@ def simulate_des(
                     if w not in crashes_observed:
                         crashes_observed.add(w)
                         tr.emit(env.now, "recovery_decision", w, detail="crash-observed")
-            link_time = error_model.perturb(spec.link_time(size), rng_comm)
+            if sharedbw:
+                # The shared medium has no exclusive occupancy: the master
+                # pays nLat serially, registers the transfer (its volume
+                # perturbed by the comm stream — one draw per dispatch,
+                # preserving the stream discipline), and moves on; the
+                # fluid allocator realizes send_end.  Timeline fields are
+                # placeholders until the realization processes fill them.
+                assert shared_link is not None
+                volume = error_model.perturb(size, rng_comm)
+                comp_time = error_model.perturb(spec.compute_time(size), rng_comp)
+                error_model.advance()
+                index = len(records)
+                send_start = env.now
+                monitor.record(
+                    send_start, "send_start", action.worker, chunk=index, size=size
+                )
+                tr.emit(
+                    send_start, "dispatch_start", action.worker,
+                    chunk=index, size=size, phase=action.phase,
+                )
+                records.append(
+                    DispatchRecord(
+                        index=index,
+                        worker=action.worker,
+                        size=size,
+                        send_start=send_start,
+                        send_end=send_start,
+                        arrival=send_start,
+                        comp_start=send_start,
+                        comp_end=send_start,
+                        phase=action.phase,
+                    )
+                )
+                view.note_dispatch(action.worker, size)
+                outstanding[0] += 1
+                if spec.nLat > 0:
+                    yield env.timeout(spec.nLat)
+                done = Event(env)
+                shared_link.register(index, volume, spec.B, done)
+                env.process(
+                    shared_tail_proc(
+                        action.worker, index, size, comp_time, action.phase,
+                        spec.tLat, done,
+                    )
+                )
+                continue
+            path = bound.paths[action.worker] if bound is not None else None
+            if path is None:
+                link_time = error_model.perturb(spec.link_time(size), rng_comm)
+            else:
+                link_time = error_model.perturb(path.occupancy_time(size), rng_comm)
             if schedule is not None:
                 link_time += schedule.link_extra(rng_fault)
             comp_time = error_model.perturb(spec.compute_time(size), rng_comp)
@@ -346,9 +635,14 @@ def simulate_des(
             send_start = env.now
             # Predicted chunk timeline — bit-identical to what the kernel
             # will realize, because env.timeout chains absolute times with
-            # the same `a + b` float operations.
+            # the same `a + b` float operations (relay hops included: the
+            # relay processes realize traverse()'s max/+ chains exactly).
             send_end_pred = send_start + link_time
-            arrival_pred = send_end_pred + spec.tLat
+            if path is None:
+                arrival_pred = send_end_pred + spec.tLat
+            else:
+                relay_end_pred = path.traverse(size, send_end_pred, relay_busy)
+                arrival_pred = relay_end_pred + spec.tLat
             comp_start_pred = max(arrival_pred, pred_busy[action.worker])
             if schedule is not None:
                 comp_time = schedule.compute_duration(
@@ -396,13 +690,24 @@ def simulate_des(
                         env.now, "dispatch_end", action.worker,
                         chunk=index, size=size, phase=action.phase,
                     )
-                    deliveries.append(
-                        env.process(
-                            loss_announce_proc(
-                                action.worker, index, size, action.phase, spec.tLat
+                    if path is None:
+                        deliveries.append(
+                            env.process(
+                                loss_announce_proc(
+                                    action.worker, index, size, action.phase, spec.tLat
+                                )
                             )
                         )
-                    )
+                    else:
+                        route_relay(
+                            _RelayMsg(
+                                worker=action.worker, index=index, size=size,
+                                phase=action.phase, hops=path.hops, hop_idx=0,
+                                tail_time=path.tail_time(size) if path.has_tail else 0.0,
+                                has_tail=path.has_tail, t_lat=spec.tLat,
+                                terminal="loss", chunk_msg=None,
+                            )
+                        )
                 else:
                     # Queued on the worker at the crash: announced by the
                     # crash watch at the crash instant itself (or now, in
@@ -422,6 +727,18 @@ def simulate_des(
                         env.now, "dispatch_end", action.worker,
                         chunk=index, size=size, phase=action.phase,
                     )
+                    if path is not None:
+                        # Ghost ride: the chunk was priced through the relay
+                        # busy chains, so it must still occupy them.
+                        route_relay(
+                            _RelayMsg(
+                                worker=action.worker, index=index, size=size,
+                                phase=action.phase, hops=path.hops, hop_idx=0,
+                                tail_time=path.tail_time(size) if path.has_tail else 0.0,
+                                has_tail=path.has_tail, t_lat=spec.tLat,
+                                terminal="drop", chunk_msg=None,
+                            )
+                        )
                 continue
             yield env.timeout(link_time)
             send_end = env.now
@@ -434,17 +751,41 @@ def simulate_des(
             assert rec is not None
             records[index] = dataclasses.replace(rec, send_end=send_end)
             msg = _ChunkMsg(index=index, size=size, comp_time=comp_time, phase=action.phase)
-            deliveries.append(env.process(delivery_proc(action.worker, msg, spec.tLat)))
-        # All work dispatched.  Deliveries may still be riding their tLat
-        # pipeline tails — poisoning the inboxes now would overtake them, so
-        # join every delivery first, then let the workers drain and stop.
-        for delivery in deliveries:
-            if not delivery.processed:
-                yield delivery
+            if path is None:
+                deliveries.append(env.process(delivery_proc(action.worker, msg, spec.tLat)))
+            else:
+                route_relay(
+                    _RelayMsg(
+                        worker=action.worker, index=index, size=size,
+                        phase=action.phase, hops=path.hops, hop_idx=0,
+                        tail_time=path.tail_time(size) if path.has_tail else 0.0,
+                        has_tail=path.has_tail, t_lat=spec.tLat,
+                        terminal="deliver", chunk_msg=msg,
+                    )
+                )
+        if bound is None:
+            # All work dispatched.  Deliveries may still be riding their tLat
+            # pipeline tails — poisoning the inboxes now would overtake them,
+            # so join every delivery first, then let the workers drain and
+            # stop.
+            for delivery in deliveries:
+                if not delivery.processed:
+                    yield delivery
+        else:
+            # Topology runs realize deliveries inside relay/shared-link
+            # processes the master holds no handles to; every chunk
+            # eventually announces done or lost, so drain the outstanding
+            # count instead.
+            while outstanding[0] > 0:
+                msg = yield completions.get()
+                apply_note(*msg)
         for inbox in inboxes:
+            inbox.put(_POISON)
+        for inbox in relay_inboxes:
             inbox.put(_POISON)
 
     worker_procs = [env.process(worker_proc(i)) for i in range(n)]
+    relay_procs = [env.process(relay_proc(r)) for r in range(len(relay_inboxes))]
     if schedule is not None:
         for w, t_crash in enumerate(schedule.crash_times):
             if t_crash != math.inf:
@@ -453,6 +794,8 @@ def simulate_des(
     env.run()
     for proc in worker_procs:
         assert proc.processed, "worker process did not terminate"
+    for proc in relay_procs:
+        assert proc.processed, "relay process did not terminate"
 
     final = [r for r in records if r is not None]
     makespan = max((r.comp_end for r in final if not r.lost), default=0.0)
@@ -464,4 +807,5 @@ def simulate_des(
         scheduler_name=scheduler.name,
         seed=seed,
         work_lost=work_lost[0],
+        topology=str(topo) if topo is not None else "star",
     )

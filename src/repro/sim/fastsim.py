@@ -16,6 +16,15 @@ feeds per-dispatch link-spike draws; chunks whose computation would outlive
 their worker's crash are *lost* — they free the pending set at
 ``max(crash_time, arrival)`` via a :class:`~repro.core.base.LossNote`,
 deliver no work, and do not extend the makespan.
+
+Non-star topologies (see :mod:`repro.platform.topology`) ride the same
+loop: because relay links are deterministic FIFO resources fed in
+dispatch order, each chunk's whole relay traversal has a closed form —
+:meth:`~repro.platform.topology.LinkPath.traverse` advances per-resource
+busy chains exactly like ``worker_busy_until`` advances workers.  The
+star topology bypasses all of it (bitwise-identical legacy path), and
+``sharedbw`` is declined: fluid bandwidth sharing has no closed-form
+recurrence, so it lives in the DES engine only.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from repro.errors.faults import FaultModel, FaultSchedule
 from repro.errors.models import ErrorModel
 from repro.errors.rng import spawn_rngs
 from repro.platform.spec import PlatformSpec
+from repro.platform.topology import StarTopology, TopologyError, make_topology
 from repro.sim.result import SimResult
 
 __all__ = ["simulate_fast"]
@@ -180,6 +190,7 @@ def simulate_fast(
     collect_records: bool = True,
     faults: FaultModel | None = None,
     tracer=None,
+    topology=None,
 ) -> SimResult:
     """Simulate one run with the specialized engine (see module docstring).
 
@@ -196,7 +207,27 @@ def simulate_fast(
 
     ``tracer`` (a :class:`repro.obs.Tracer`) receives the run's event
     stream; ``None`` (the default) skips all emission work.
+
+    ``topology`` (a spec string or :class:`~repro.platform.topology.
+    Topology`) routes transfers through a non-star interconnect; ``None``
+    or a star keeps the exact legacy code path.  Chains and trees have
+    closed-form relay recurrences handled here; ``sharedbw`` raises
+    :class:`TopologyError` (DES only — :func:`repro.sim.result.simulate`
+    routes it automatically).
     """
+    topo = None
+    if topology is not None:
+        topo = make_topology(topology)
+        if isinstance(topo, StarTopology):
+            topo.bind(platform)  # validate n=..., then take the legacy path
+            topo = None
+        elif topo.kind == "sharedbw":
+            raise TopologyError(
+                "shared-bandwidth topologies have no closed-form recurrence; "
+                "use the DES engine (simulate(..., engine='des') routes this)"
+            )
+    bound = topo.bind(platform) if topo is not None else None
+    relay_busy: list[float] = [0.0] * (bound.num_relay_links if bound else 0)
     schedule: FaultSchedule | None = None
     if faults is not None:
         rng_comm, rng_comp, rng_fault = spawn_rngs(seed, 3)
@@ -205,7 +236,9 @@ def simulate_fast(
             schedule = None
     else:
         rng_comm, rng_comp = spawn_rngs(seed, 2)
-    source = scheduler.create_source(platform, total_work)
+    source = scheduler.create_source(
+        platform if topo is None else topo.effective_platform(platform), total_work
+    )
     workers = platform.workers
     n = platform.N
 
@@ -274,11 +307,22 @@ def simulate_fast(
         last_phase = action.phase
 
         send_start = now
-        link_time = error_model.perturb(spec.link_time(size), rng_comm)
+        path = None if bound is None else bound.paths[action.worker]
+        if path is None:
+            link_time = error_model.perturb(spec.link_time(size), rng_comm)
+        else:
+            link_time = error_model.perturb(path.occupancy_time(size), rng_comm)
         if schedule is not None:
             link_time += schedule.link_extra(rng_fault)
         send_end = send_start + link_time
-        arrival = send_end + spec.tLat
+        if path is None:
+            arrival = send_end + spec.tLat
+        else:
+            hop_ends: list[tuple[int, float]] | None = (
+                [] if tracer is not None else None
+            )
+            relay_end = path.traverse(size, send_end, relay_busy, hop_ends)
+            arrival = relay_end + spec.tLat
 
         comp_start = max(arrival, worker_busy_until[action.worker])
         comp_time = error_model.perturb(spec.compute_time(size), rng_comp)
@@ -314,6 +358,13 @@ def simulate_fast(
                 send_end, "dispatch_end", action.worker,
                 chunk=num_dispatched, size=size, phase=action.phase,
             )
+            if path is not None and hop_ends:
+                for res, t_hop in hop_ends:
+                    tracer.emit(
+                        t_hop, "link_hop", action.worker,
+                        chunk=num_dispatched, size=size, phase=action.phase,
+                        detail=f"link={res}",
+                    )
             if lost:
                 tracer.emit(
                     loss_time, "fault", action.worker,
@@ -356,4 +407,5 @@ def simulate_fast(
         scheduler_name=scheduler.name,
         seed=seed,
         work_lost=work_lost,
+        topology=str(topo) if topo is not None else "star",
     )

@@ -1,0 +1,86 @@
+"""Tests for the topology CLI surface: ``topo``, ``figtopo``, ``--topology``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.topology
+
+
+class TestTopoCommand:
+    def test_prints_summary_table(self, capsys):
+        rc = main(["topo", "--topology", "chain:relay=sf", "--n", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "topology: chain:relay=sf" in out
+        assert "kind=chain" in out and "relay links=3" in out
+        assert "B_eff" in out and "hops" in out
+        # Worker 3 sits behind three store-and-forward hops.
+        last = [l for l in out.splitlines() if l.strip().startswith("3")][-1]
+        assert last.split()[-1] == "3"
+
+    def test_sharedbw_shows_cap(self, capsys):
+        rc = main(["topo", "--topology", "sharedbw:cap=2.5", "--n", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shared cap=2.5" in out
+
+    def test_tree_groups_and_hops(self, capsys):
+        rc = main(["topo", "--topology", "tree:fanout=2", "--n", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "relay links=2" in out
+        hops = [
+            int(line.split()[-1])
+            for line in out.splitlines()
+            if line.strip() and line.split()[0].isdigit()
+        ]
+        # Two roots reach the master directly; three children cost one hop.
+        assert hops.count(0) == 2 and hops.count(1) == 3
+
+    def test_json_is_byte_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        argv = ["topo", "--topology", "chain:n=6,relay=ct", "--n", "6",
+                "--bandwidth-factor", "1.7", "--clat", "0.2", "--nlat", "0.1"]
+        assert main(argv + ["--json", str(a)]) == 0
+        assert main(argv + ["--json", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        payload = json.loads(a.read_text())
+        assert payload["spec"] == "chain:n=6,relay=ct"
+        assert payload["kind"] == "chain"
+        assert payload["N"] == 6
+        assert len(payload["workers"]) == 6
+        # Canonical serialization: sorted keys, no whitespace, one newline.
+        assert a.read_text() == (
+            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+
+    def test_bad_spec_fails_cleanly(self):
+        from repro.platform import TopologyError
+
+        with pytest.raises(TopologyError, match="unknown topology kind"):
+            main(["topo", "--topology", "ring:n=4"])
+
+
+class TestTopologySweepCLI:
+    def test_sweep_accepts_topology_flag(self, tmp_path, capsys):
+        rc = main([
+            "sweep", "--preset", "smoke", "--topology", "chain:relay=sf",
+            "--results", str(tmp_path), "--quiet",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep complete" in out
+
+    def test_figtopo_stdout(self, tmp_path, capsys):
+        rc = main([
+            "figtopo", "--preset", "smoke", "--results", str(tmp_path),
+            "--topologies", "chain:relay=sf",
+            "--algorithms", "RUMR,Factoring", "--quiet",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "star" in out and "chain:relay=sf" in out

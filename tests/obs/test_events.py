@@ -127,7 +127,7 @@ class TestJsonl:
 
 def test_kind_vocabulary_is_closed():
     assert EVENT_KINDS == {
-        "dispatch_start", "dispatch_end", "comp_start", "comp_end",
+        "dispatch_start", "dispatch_end", "link_hop", "comp_start", "comp_end",
         "fault", "recovery_decision", "round_boundary",
         "engine_fallback", "cell_quarantined",
         "job_arrival", "job_start", "job_done",

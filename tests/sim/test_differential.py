@@ -95,16 +95,24 @@ def assert_traces_identical(fast_tracer, des_tracer):
         pytest.fail(divergence.describe() + note)
 
 
-def assert_identical(platform, scheduler, error_model, seed, work=W, faults=None):
-    """Run both engines and assert bit-for-bit identical trajectories."""
+def assert_identical(
+    platform, scheduler, error_model, seed, work=W, faults=None, topology=None
+):
+    """Run both engines and assert bit-for-bit identical trajectories.
+
+    With a ``topology``, both engines route through the same interconnect
+    shape; for ``sharedbw`` shapes the "fast" run is itself rerouted to
+    the DES engine, so the comparison degenerates to the run-to-run
+    self-consistency gate.
+    """
     fast_tracer, des_tracer = Tracer(), Tracer()
     fast = simulate(
         platform, work, scheduler, error_model, seed=seed, engine="fast",
-        faults=faults, tracer=fast_tracer,
+        faults=faults, tracer=fast_tracer, topology=topology,
     )
     des = simulate(
         platform, work, scheduler, error_model, seed=seed, engine="des",
-        faults=faults, tracer=des_tracer,
+        faults=faults, tracer=des_tracer, topology=topology,
     )
     assert_traces_identical(fast_tracer, des_tracer)
     # Backstop: fields the event stream does not carry (arrival, loss
@@ -449,6 +457,163 @@ def test_deliberate_length_mismatch_reports_short_stream():
     assert "diverge at canonical event #2" in message
     assert "des emitted fewer events" in message
     assert "<no event (stream ended)>" in message
+
+
+# ---------------------------------------------------------------------------
+# Cross-topology differential matrix: (topology × scheduler × error) cells.
+#
+# Star and chain/tree cells assert *exact* fast-vs-DES equality (the
+# closed-form relay recurrences realize the same floats as the DES relay
+# processes); sharedbw cells — DES-only by construction — assert run-to-run
+# self-consistency through the same first_divergence oracle.  Selected in
+# CI with ``pytest -m topology``.
+# ---------------------------------------------------------------------------
+
+from repro.obs import first_divergence as _first_divergence  # noqa: E402
+
+TOPOLOGY_MATRIX_SPECS = (
+    "star",
+    "chain:relay=sf",
+    "chain:relay=ct",
+    "tree:fanout=2",
+    "tree:fanout=3",
+    "sharedbw:cap=9",
+)
+
+TOPOLOGY_MATRIX_SCHEDULERS = [
+    UMR(),
+    RUMR(known_error=0.3),
+    Factoring(),
+    WeightedFactoring(),
+]
+
+
+@pytest.mark.topology
+@pytest.mark.parametrize("error", (0.0, 0.3))
+@pytest.mark.parametrize(
+    "scheduler", TOPOLOGY_MATRIX_SCHEDULERS, ids=lambda s: s.name
+)
+@pytest.mark.parametrize("topology", TOPOLOGY_MATRIX_SPECS)
+def test_topology_matrix_engines_identical(topology, scheduler, error, small_platform):
+    model = NoError() if error == 0.0 else NormalErrorModel(error)
+    assert_identical(small_platform, scheduler, model, 31, topology=topology)
+
+
+@pytest.mark.topology
+@pytest.mark.parametrize("scheduler", ALL_SCHEDULERS, ids=lambda s: s.name)
+def test_star_topology_bitwise_identical_to_legacy(scheduler, small_platform):
+    # The compatibility contract: topology="star" must take the exact
+    # legacy code path in both engines — same floats, same records.
+    for engine in ("fast", "des"):
+        legacy = simulate(
+            small_platform, W, scheduler, NormalErrorModel(0.2), seed=9, engine=engine
+        )
+        star = simulate(
+            small_platform, W, scheduler, NormalErrorModel(0.2), seed=9,
+            engine=engine, topology="star",
+        )
+        assert legacy.makespan == star.makespan
+        assert legacy.records == star.records
+
+
+@pytest.mark.topology
+@pytest.mark.parametrize("fault", ("crash:worker=1,at=25", "crash:p=0.5,tmax=120"))
+def test_star_topology_bitwise_identical_to_legacy_under_faults(
+    fault, small_platform
+):
+    for engine in ("fast", "des"):
+        legacy = simulate(
+            small_platform, W, RUMR(known_error=0.3), NormalErrorModel(0.2),
+            seed=9, engine=engine, faults=fault,
+        )
+        star = simulate(
+            small_platform, W, RUMR(known_error=0.3), NormalErrorModel(0.2),
+            seed=9, engine=engine, faults=fault, topology="star",
+        )
+        assert legacy.makespan == star.makespan
+        assert legacy.records == star.records
+        assert legacy.work_lost == star.work_lost
+
+
+@pytest.mark.topology
+@pytest.mark.parametrize(
+    "topology", ("chain:relay=sf", "chain:relay=ct", "tree:fanout=2", "sharedbw:cap=9")
+)
+def test_topology_des_self_consistent(topology, small_platform):
+    # Two identically seeded DES runs must realize identical canonical
+    # streams — the first_divergence oracle names the fork point if not.
+    streams = []
+    for _ in range(2):
+        tracer = Tracer()
+        simulate(
+            small_platform, W, Factoring(), NormalErrorModel(0.25), seed=19,
+            engine="des", topology=topology, tracer=tracer,
+        )
+        streams.append(tracer.canonical())
+    divergence = _first_divergence(streams[0], streams[1], labels=("run1", "run2"))
+    if divergence is not None:
+        note = _dump_divergence_artifacts(streams[0], streams[1], divergence)
+        pytest.fail(divergence.describe() + note)
+
+
+N_TOPOLOGY_RANDOM_CONFIGS = 16
+
+_TOPOLOGY_POOL = (
+    "star",
+    "chain:relay=sf",
+    "chain:relay=ct",
+    "tree:fanout=2",
+    "tree:fanout=3",
+    "tree:fanout=4",
+)
+
+
+def _random_topology_config(index):
+    """One deterministic (platform, topology, scheduler, error, fault) draw."""
+    rng = np.random.default_rng(np.random.SeedSequence(20030611, spawn_key=(index,)))
+    n = int(rng.integers(2, 10))
+    platform = homogeneous_platform(
+        n,
+        S=1.0,
+        bandwidth_factor=float(rng.uniform(1.1, 2.5)),
+        cLat=float(rng.uniform(0.0, 0.6)),
+        nLat=float(rng.uniform(0.0, 0.6)),
+        tLat=float(rng.uniform(0.0, 0.3)),
+    )
+    topology = _TOPOLOGY_POOL[int(rng.integers(0, len(_TOPOLOGY_POOL)))]
+    error = float(rng.choice([0.0, 0.2, 0.4]))
+    scheduler = _SCHEDULER_POOL[int(rng.integers(0, len(_SCHEDULER_POOL)))](error)
+    fault = _random_fault(rng, n)
+    seed = int(rng.integers(0, 2**31))
+    return platform, topology, scheduler, error, fault, seed
+
+
+def _topology_config_id(index):
+    _, topology, scheduler, error, fault, _ = _random_topology_config(index)
+    kind = topology.split(":")[0]
+    return f"{index:02d}-{kind}-{scheduler.name}-e{error:g}-{fault.split(':')[0]}"
+
+
+@pytest.mark.topology
+@pytest.mark.parametrize(
+    "index", range(N_TOPOLOGY_RANDOM_CONFIGS), ids=_topology_config_id
+)
+def test_topology_differential_random_config(index):
+    platform, topology, scheduler, error, fault, seed = _random_topology_config(index)
+    model = NoError() if error == 0.0 else NormalErrorModel(error)
+    assert_identical(
+        platform, scheduler, model, seed, work=500.0, faults=fault, topology=topology
+    )
+
+
+def test_random_topology_configs_cover_all_shapes():
+    # Guard the harness itself: the draw must exercise every relay shape
+    # and both relay modes across the configured count.
+    kinds = set()
+    for i in range(N_TOPOLOGY_RANDOM_CONFIGS):
+        _, topology, _, _, _, _ = _random_topology_config(i)
+        kinds.add(topology.split(":")[0])
+    assert kinds == {"star", "chain", "tree"}
 
 
 def test_random_configs_cover_all_fault_kinds():

@@ -9,6 +9,14 @@ computation, fault, recovery decision and round boundary — any change to
 RNG stream layout, event emission order, canonical sorting or float
 arithmetic shows up as a byte diff naming the first divergent line.
 
+``golden_trace_chain.jsonl`` and ``golden_trace_sharedbw.jsonl`` extend
+the pin to the topology layer: a fault-injected RUMR run over a
+store-and-forward daisy chain (every relay hop shows up as a ``link_hop``
+event, lost chunks still ride the links as ghosts) and a fault-free
+Factoring run on a shared-bandwidth star (fluid max-min bandwidth
+sharing, DES only).  Any drift in relay-delay arithmetic, hop-event
+emission, or the water-filling allocator is a byte diff here.
+
 To regenerate after an *intentional* semantics change::
 
     PYTHONPATH=src python -c "
@@ -46,6 +54,23 @@ SCENARIOS = {
         faults=None,
         n=4, work=300.0, seed=610,
     ),
+    # Topology cells: a crash-injected chain (relay hops + ghost chunks)
+    # and a fault-free shared-bandwidth star (the fluid allocator's
+    # entire decision sequence is visible through the timeline floats).
+    "chain": dict(
+        scheduler=lambda: RUMR(known_error=0.3),
+        model=lambda: NormalErrorModel(0.3),
+        faults="crash:p=0.6,tmax=60",
+        n=5, work=400.0, seed=2003,
+        topology="chain:relay=sf",
+    ),
+    "sharedbw": dict(
+        scheduler=lambda: Factoring(),
+        model=lambda: NormalErrorModel(0.2),
+        faults=None,
+        n=4, work=300.0, seed=610,
+        topology="sharedbw:cap=2.5",
+    ),
 }
 
 
@@ -59,11 +84,22 @@ def render_scenario(name: str) -> str:
     simulate(
         platform, spec["work"], spec["scheduler"](), spec["model"](),
         seed=spec["seed"], faults=spec["faults"], tracer=tracer,
+        topology=spec.get("topology"),
     )
     return events_to_jsonl(tracer.canonical())
 
 
-@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def _scenario_params():
+    return [
+        pytest.param(
+            name,
+            marks=(pytest.mark.topology,) if "topology" in SCENARIOS[name] else (),
+        )
+        for name in sorted(SCENARIOS)
+    ]
+
+
+@pytest.mark.parametrize("name", _scenario_params())
 def test_trace_matches_golden_bytes(name):
     golden_path = GOLDEN_DIR / f"golden_trace_{name}.jsonl"
     assert golden_path.exists(), (
@@ -100,3 +136,16 @@ def test_golden_rumr_covers_every_event_kind():
         "dispatch_start", "dispatch_end", "comp_start", "comp_end",
         "fault", "recovery_decision", "round_boundary",
     }
+
+
+@pytest.mark.topology
+def test_golden_chain_covers_relay_traffic():
+    # The chain pin is only worth keeping if relays actually fired: it
+    # must carry link_hop events alongside faults (ghost chunks included).
+    import json
+
+    kinds = {
+        json.loads(line)["kind"]
+        for line in (GOLDEN_DIR / "golden_trace_chain.jsonl").read_text().splitlines()
+    }
+    assert kinds >= {"dispatch_start", "dispatch_end", "link_hop", "fault"}
