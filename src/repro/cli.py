@@ -213,8 +213,24 @@ def _parser() -> argparse.ArgumentParser:
         "--fault",
         default=None,
         metavar="SPEC",
-        help="worker fault scenario applied to every job "
+        help="worker fault scenario for the stream "
         "(e.g. 'crash:p=0.3,tmax=100')",
+    )
+    m.add_argument(
+        "--fault-frame",
+        default="stream",
+        choices=("stream", "job"),
+        help="'stream' (default): one fault timeline on the absolute "
+        "stream clock — crashes persist across jobs; 'job': legacy "
+        "per-job re-realization (a crashed worker resurrects)",
+    )
+    m.add_argument(
+        "--failure-policy",
+        default="drop",
+        metavar="SPEC",
+        help="what to do with jobs that cannot finish: 'drop', "
+        "'retry[:attempts=,backoff=,mult=,jitter=]' or "
+        "'resubmit[:attempts=]' (default: drop)",
     )
     m.add_argument(
         "--json",
@@ -667,15 +683,17 @@ def _cmd_multijob(args: argparse.Namespace) -> int:
     stream = simulate_stream(
         platform, arrivals, scheduler=args.scheduler, error=args.error,
         seed=args.seed, policy=args.policy, engine=args.engine,
-        faults=args.fault,
+        faults=args.fault, fault_frame=args.fault_frame,
+        failure_policy=args.failure_policy,
     )
     print(f"{'job':>4} {'arrival':>10} {'start':>10} {'finish':>10} "
           f"{'wait':>8} {'response':>10} {'slowdown':>9} {'work':>9}")
     for rec in stream.jobs:
+        status = f"  FAILED ({rec.failure})" if rec.failed else ""
         print(
             f"{rec.job.job_id:>4} {rec.job.time:>10.2f} {rec.start:>10.2f} "
             f"{rec.finish:>10.2f} {rec.wait:>8.2f} {rec.response:>10.2f} "
-            f"{rec.slowdown:>9.3f} {rec.job.work:>9.1f}"
+            f"{rec.slowdown:>9.3f} {rec.job.work:>9.1f}{status}"
         )
     metrics = queueing_metrics(stream)
     print(
@@ -687,6 +705,16 @@ def _cmd_multijob(args: argparse.Namespace) -> int:
     )
     if metrics.work_lost > 0:
         print(f"work lost to faults: {metrics.work_lost:g} units (re-dispatched)")
+    if metrics.health is not None:
+        h = metrics.health
+        print(
+            f"stream health [{stream.failure_policy}]: "
+            f"{h.jobs_failed} job(s) failed, "
+            f"{h.jobs_resubmitted} job(s) resubmitted, "
+            f"{h.workers_excluded} worker(s) excluded; "
+            f"goodput={h.goodput:.3f} work/s, "
+            f"live utilization={h.live_utilization:.3f}"
+        )
     if args.json:
         path = pathlib.Path(args.json)
         path.write_text(metrics_to_json(metrics) + "\n")

@@ -13,10 +13,12 @@ from repro.errors.faults import (
     CrashFaults,
     FaultModel,
     FaultSchedule,
+    FrozenFaults,
     LinkSpikeFaults,
     NoFaults,
     PauseFaults,
     SlowdownFaults,
+    StreamFaultSchedule,
     make_fault_model,
 )
 from repro.errors.models import (
@@ -37,12 +39,14 @@ __all__ = [
     "ErrorModel",
     "FaultModel",
     "FaultSchedule",
+    "FrozenFaults",
     "LinkSpikeFaults",
     "NoError",
     "NoFaults",
     "NormalErrorModel",
     "PauseFaults",
     "SlowdownFaults",
+    "StreamFaultSchedule",
     "TraceErrorModel",
     "UniformErrorModel",
     "make_error_model",

@@ -56,11 +56,13 @@ __all__ = [
     "FaultPlane",
     "FaultSchedule",
     "FaultModel",
+    "FrozenFaults",
     "NoFaults",
     "CrashFaults",
     "PauseFaults",
     "SlowdownFaults",
     "LinkSpikeFaults",
+    "StreamFaultSchedule",
     "fault_stream",
     "make_fault_model",
 ]
@@ -181,6 +183,132 @@ def fault_stream(seed: int) -> np.random.Generator:
     return np.random.Generator(
         np.random.PCG64(np.random.SeedSequence(int(seed), spawn_key=(2,)))
     )
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamFaultSchedule:
+    """One *stream's* realized faults on the absolute stream clock.
+
+    A multi-job stream (:mod:`repro.sim.multijob`) serves many jobs on
+    one shared platform, so its fault timeline must be realized **once**
+    — on the absolute clock, for the full star — and then *projected*
+    into each job's frame: crash/pause/slowdown state carries across
+    jobs, and a worker that died during job ``k`` stays dead for every
+    job ``j > k``.  The legacy behavior (each per-job ``simulate()``
+    call re-realizing the model relative to its own start, so a crashed
+    worker resurrects for the next job) is kept behind the
+    ``fault_frame="job"`` escape hatch of
+    :func:`~repro.sim.multijob.simulate_stream`.
+
+    :meth:`realize` samples the model exactly like the single-run
+    engines do — from the *third spawned child* of the (stream) seed
+    (see :func:`fault_stream`) — so a stream timeline is bitwise the
+    schedule a single run under the same seed would have seen.
+
+    :meth:`project` produces the per-job, per-subset
+    :class:`FaultSchedule` view: times are shifted by the job's absolute
+    start (clamping already-elapsed onsets to 0), worker indices are
+    remapped to the subset's local numbering (``platform.subset``
+    slices), and the memoryless per-dispatch spike parameters pass
+    through verbatim (each job draws its spike stream from its own run
+    seed, as single runs do).
+    """
+
+    #: Absolute-clock realization over the full platform.
+    schedule: FaultSchedule
+
+    @classmethod
+    def realize(
+        cls,
+        model: "FaultModel",
+        platform: "PlatformSpec",
+        seed: "int | None",
+    ) -> "StreamFaultSchedule":
+        """Sample one stream timeline from the stream seed's fault stream.
+
+        Uses the third spawned child of ``seed`` — the same stream
+        discipline as the engines (``spawn_rngs(seed, 3)[2]``), so the
+        communication/computation error streams of any other consumer of
+        the seed are untouched.
+        """
+        from repro.errors.rng import spawn_rngs
+
+        rng = spawn_rngs(seed, 3)[2]
+        return cls(schedule=model.sample(platform, rng))
+
+    @property
+    def num_workers(self) -> int:
+        return self.schedule.num_workers
+
+    @property
+    def any_faults(self) -> bool:
+        return self.schedule.any_faults
+
+    def dead_at(self, time: float) -> tuple[int, ...]:
+        """Workers whose crash instant has passed by ``time`` (inclusive).
+
+        A crash at exactly ``time`` counts as dead: the loss rule
+        ``comp_end > crash`` loses every computation ending after the
+        crash, so granting such a worker new work is always futile.
+        """
+        return tuple(
+            w for w, ct in enumerate(self.schedule.crash_times) if ct <= time
+        )
+
+    def crash_time(self, worker: int) -> float:
+        """Absolute crash instant of ``worker`` (``inf`` = never)."""
+        return self.schedule.crash_times[worker]
+
+    def project(
+        self, workers: typing.Sequence[int], offset: float
+    ) -> FaultSchedule:
+        """The job-relative, subset-local view of this timeline.
+
+        ``workers`` are the *global* worker indices granted to the job
+        (local index ``i`` of the projected schedule is global worker
+        ``workers[i]``); ``offset`` is the job's absolute start time.
+
+        * A crash at absolute ``t`` becomes a relative crash at
+          ``max(t - offset, 0)`` — a worker already dead at the job's
+          start is dead from its time 0 (every computation is lost).
+        * A pause window ``[s, s + d)`` becomes its not-yet-elapsed
+          remainder; a window fully in the past projects to no pause.
+        * A slowdown onset becomes ``max(s - offset, 0)`` with the
+          factor unchanged — once degraded, a worker stays degraded.
+        * ``spike_prob``/``spike_delay`` pass through verbatim (the
+          spike model is memoryless per dispatch).
+        """
+        if offset < 0.0:
+            raise ValueError(f"projection offset must be >= 0, got {offset}")
+        n = self.schedule.num_workers
+        crash: list[float] = []
+        pauses: list[tuple[float, float]] = []
+        slowdowns: list[tuple[float, float]] = []
+        for w in workers:
+            if not 0 <= w < n:
+                raise ValueError(
+                    f"worker {w} outside the stream platform (N={n})"
+                )
+            ct = self.schedule.crash_times[w]
+            crash.append(ct if ct == _NEVER else max(ct - offset, 0.0))
+            ps, pl = self.schedule.pauses[w]
+            if pl > 0.0 and ps + pl > offset:
+                rel_start = max(ps - offset, 0.0)
+                pauses.append((rel_start, (ps + pl - offset) - rel_start))
+            else:
+                pauses.append((0.0, 0.0))
+            ss, sf = self.schedule.slowdowns[w]
+            if sf > 1.0:
+                slowdowns.append((max(ss - offset, 0.0), sf))
+            else:
+                slowdowns.append((0.0, 1.0))
+        return FaultSchedule(
+            crash_times=tuple(crash),
+            pauses=tuple(pauses),
+            slowdowns=tuple(slowdowns),
+            spike_prob=self.schedule.spike_prob,
+            spike_delay=self.schedule.spike_delay,
+        )
 
 
 @dataclasses.dataclass
@@ -311,6 +439,38 @@ class NoFaults(FaultModel):
     def sample_batch(self, platform: "PlatformSpec", seeds) -> FaultPlane:
         # Nothing is drawn, so no generator is even constructed.
         return FaultPlane.clear(len(seeds), platform.N)
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class FrozenFaults(FaultModel):
+    """A pre-realized :class:`FaultSchedule` wrapped as a model.
+
+    :meth:`sample` returns the wrapped schedule verbatim, drawing
+    nothing from the fault stream — so the per-dispatch spike draws
+    (consumed *after* sampling) still come from the run seed's fresh
+    fault stream, exactly as they do for the sampling models.  This is
+    how the multi-job stream layer hands each job its projected view of
+    a :class:`StreamFaultSchedule` through the unchanged single-run
+    ``simulate()`` front door, and how the conformance suite replays a
+    projected schedule directly.
+
+    ``spec`` is ``"frozen"`` for display; frozen models do not
+    round-trip through :func:`make_fault_model` (they are realizations,
+    not scenarios).
+    """
+
+    schedule: FaultSchedule = dataclasses.field(
+        default_factory=lambda: _clear_schedule(1)
+    )
+    spec: str = dataclasses.field(default="frozen", init=False)
+
+    def sample(self, platform: "PlatformSpec", rng: np.random.Generator) -> FaultSchedule:
+        if platform.N != self.schedule.num_workers:
+            raise ValueError(
+                f"frozen schedule covers {self.schedule.num_workers} worker(s) "
+                f"but the platform has {platform.N}"
+            )
+        return self.schedule
 
 
 def _draw_onsets(

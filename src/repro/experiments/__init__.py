@@ -36,6 +36,7 @@ from repro.experiments.metrics import (
 from repro.experiments.queueing import (
     QueueingMetrics,
     QueueingSweepResults,
+    StreamHealthStats,
     queueing_figure,
     queueing_metrics,
     run_queueing_sweep,
@@ -72,6 +73,7 @@ __all__ = [
     "run_topology_sweep",
     "topology_degradation",
     "topology_figure",
+    "StreamHealthStats",
     "queueing_figure",
     "queueing_metrics",
     "run_queueing_sweep",

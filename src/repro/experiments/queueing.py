@@ -20,6 +20,21 @@ Metric definitions (per job ``j`` with arrival ``a_j``, first service
   fraction of the star's worker-seconds spent computing chunks that
   were not lost to faults.
 * **max_queue_depth** — peak number of jobs in the system.
+
+Per-job statistics (wait/response/slowdown/service, throughput) are
+taken over the *completed* jobs — a failed job has no meaningful sojourn
+time.  Fault-free streams complete every job, so their metrics (and
+their golden bytes) are unchanged.
+
+Streams run under an active stream-frame fault plane additionally carry
+a :class:`StreamHealthStats` block: failure/resubmission counts, the
+exclusion count, **goodput** (completed jobs' requested work per second
+— work delivered to failed jobs is wasted, not good), and the
+**degraded-capacity utilization** ``live_utilization``, whose
+denominator is the *live-worker capacity* (each worker contributes
+worker-seconds only until its crash) rather than ``N × horizon``.  The
+block is omitted from the JSON serialization when absent, so fault-free
+metrics serialize to the exact pre-fault-plane bytes.
 """
 
 from __future__ import annotations
@@ -37,6 +52,7 @@ if typing.TYPE_CHECKING:
 __all__ = [
     "QueueingMetrics",
     "QueueingSweepResults",
+    "StreamHealthStats",
     "metrics_from_json",
     "metrics_to_json",
     "queueing_figure",
@@ -46,8 +62,30 @@ __all__ = [
 
 
 @dataclasses.dataclass(frozen=True)
+class StreamHealthStats:
+    """Fault-plane summary of one stream (see module docstring).
+
+    Present only for streams run under an active ``fault_frame="stream"``
+    plane; fault-free metrics carry ``health=None`` and serialize without
+    the block.
+    """
+
+    jobs_failed: int
+    jobs_resubmitted: int
+    workers_excluded: int
+    goodput: float
+    live_capacity: float
+    live_utilization: float
+
+
+@dataclasses.dataclass(frozen=True)
 class QueueingMetrics:
-    """Stream-level queueing summary of one multi-job run."""
+    """Stream-level queueing summary of one multi-job run.
+
+    Per-job statistics are over *completed* jobs; work accounting
+    (``total_work``/``dispatched_work``/``delivered_work``/
+    ``work_lost``) covers every job, failed ones included.
+    """
 
     policy: str
     scheduler: str
@@ -67,19 +105,43 @@ class QueueingMetrics:
     dispatched_work: float
     delivered_work: float
     work_lost: float
+    health: "StreamHealthStats | None" = None
 
 
 def _mean(values: typing.Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+def _health_stats(
+    stream: MultiJobResult, horizon: float, busy: float
+) -> "StreamHealthStats | None":
+    """The fault-plane block, or ``None`` without an active plane."""
+    if stream.fault_frame != "stream" or stream.fault_spec == "none":
+        return None
+    n = stream.platform.N
+    deaths = dict(stream.excluded)
+    live_capacity = sum(
+        min(deaths.get(w, horizon), horizon) for w in range(n)
+    )
+    goodwork = sum(rec.job.work for rec in stream.completed_jobs)
+    return StreamHealthStats(
+        jobs_failed=stream.jobs_failed,
+        jobs_resubmitted=stream.jobs_resubmitted,
+        workers_excluded=len(stream.excluded),
+        goodput=goodwork / horizon if horizon > 0 else 0.0,
+        live_capacity=live_capacity,
+        live_utilization=busy / live_capacity if live_capacity > 0 else 0.0,
+    )
+
+
 def queueing_metrics(stream: MultiJobResult) -> QueueingMetrics:
     """Reduce a stream result to its queueing summary."""
     jobs = stream.jobs
-    waits = [j.wait for j in jobs]
-    responses = [j.response for j in jobs]
-    slowdowns = [j.slowdown for j in jobs]
-    services = [j.service for j in jobs]
+    completed = stream.completed_jobs
+    waits = [j.wait for j in completed]
+    responses = [j.response for j in completed]
+    slowdowns = [j.slowdown for j in completed]
+    services = [j.service for j in completed]
     horizon = stream.horizon
     busy = sum(
         r.comp_time
@@ -94,7 +156,7 @@ def queueing_metrics(stream: MultiJobResult) -> QueueingMetrics:
         scheduler=stream.scheduler_name,
         num_jobs=len(jobs),
         horizon=horizon,
-        throughput=len(jobs) / horizon if horizon > 0 else 0.0,
+        throughput=len(completed) / horizon if horizon > 0 else 0.0,
         mean_wait=_mean(waits),
         max_wait=max(waits, default=0.0),
         mean_response=_mean(responses),
@@ -108,6 +170,7 @@ def queueing_metrics(stream: MultiJobResult) -> QueueingMetrics:
         dispatched_work=stream.dispatched_work,
         delivered_work=stream.delivered_work,
         work_lost=stream.work_lost,
+        health=_health_stats(stream, horizon, busy),
     )
 
 
@@ -116,11 +179,14 @@ def metrics_to_json(metrics: QueueingMetrics) -> str:
 
     Floats use Python's shortest-roundtrip repr, so identical metrics
     always serialize to identical bytes — the golden multijob regression
-    pins exactly these strings.
+    pins exactly these strings.  A ``None`` health block is omitted
+    entirely, keeping fault-free metrics byte-identical to their
+    pre-fault-plane serialization.
     """
-    return json.dumps(
-        dataclasses.asdict(metrics), sort_keys=True, separators=(",", ":")
-    )
+    data = dataclasses.asdict(metrics)
+    if data.get("health") is None:
+        data.pop("health", None)
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
 def metrics_from_json(text: str) -> QueueingMetrics:
@@ -130,10 +196,19 @@ def metrics_from_json(text: str) -> QueueingMetrics:
     unknown = set(data) - fields
     if unknown:
         raise ValueError(f"unknown metrics field(s): {sorted(unknown)}")
-    missing = fields - set(data)
+    missing = fields - set(data) - {"health"}
     if missing:
         raise ValueError(f"missing metrics field(s): {sorted(missing)}")
-    return QueueingMetrics(**data)
+    health = data.pop("health", None)
+    if health is not None:
+        health_fields = {f.name for f in dataclasses.fields(StreamHealthStats)}
+        if set(health) != health_fields:
+            raise ValueError(
+                f"malformed health block: got {sorted(health)}, "
+                f"want {sorted(health_fields)}"
+            )
+        health = StreamHealthStats(**health)
+    return QueueingMetrics(health=health, **data)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -167,12 +242,19 @@ def run_queueing_sweep(
     seed: int | None = 0,
     engine: str = "fast",
     faults: "typing.Any | None" = None,
+    fault_frame: str = "stream",
+    failure_policy: "typing.Any" = "drop",
+    stats: "typing.Any | None" = None,
 ) -> QueueingSweepResults:
     """Sweep the (arrival-spec × policy) grid on one platform.
 
     Every cell re-realizes its arrival process from the same ``seed``,
     so policies are compared on *identical* job streams — the queueing
     analogue of the sweep harness's common-random-numbers discipline.
+    ``fault_frame``/``failure_policy`` forward to every cell's
+    :func:`~repro.sim.multijob.simulate_stream`; ``stats``, when given a
+    :class:`~repro.obs.stats.SweepStats`, accumulates the cells' stream
+    health counters for ``repro stats``.
     """
     metrics: dict[tuple[str, str], QueueingMetrics] = {}
     streams: dict[tuple[str, str], MultiJobResult] = {}
@@ -187,9 +269,13 @@ def run_queueing_sweep(
                 policy=policy,
                 engine=engine,
                 faults=faults,
+                fault_frame=fault_frame,
+                failure_policy=failure_policy,
             )
             metrics[(arrival_spec, policy)] = queueing_metrics(stream)
             streams[(arrival_spec, policy)] = stream
+            if stats is not None:
+                stats.count_stream(stream)
     return QueueingSweepResults(
         platform=platform,
         scheduler=scheduler,
@@ -233,7 +319,7 @@ def queueing_figure(
     x-axis is the Poisson arrival rate when every arrival spec is a
     ``poisson:`` spec, otherwise the spec index.
     """
-    fields = {f.name for f in dataclasses.fields(QueueingMetrics)}
+    fields = {f.name for f in dataclasses.fields(QueueingMetrics)} - {"health"}
     if metric not in fields:
         raise ValueError(f"unknown metric {metric!r}; available: {sorted(fields)}")
     series = {

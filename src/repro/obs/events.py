@@ -20,13 +20,21 @@ pair, with ``detail="link=<resource>"`` naming the relay resource; it is
 emitted only by live tracers (relay traversal is not reconstructible
 from :class:`~repro.core.chunks.DispatchRecord` alone).
 
-Three *stream-level* kinds describe multi-job streams
+Six *stream-level* kinds describe multi-job streams
 (:mod:`repro.sim.multijob`): ``job_arrival``, ``job_start`` and
 ``job_done`` mark one job entering the system, receiving its first
 service grant, and completing.  They carry ``worker=-1``,
 ``chunk=job_id``, ``size`` equal to the job's workload and ``phase``
 naming the inter-job policy; their times live on the stream's absolute
-timeline.
+timeline.  Three further kinds describe the stream-level fault plane:
+``worker_excluded`` (the health tracker observed a worker's permanent
+crash — ``worker`` is the *global* index, ``detail="crash"``; the
+worker receives no further admissions), ``job_failed`` (a job's
+failure policy gave up — ``detail`` names the reason:
+``"no-live-workers"``, ``"delivery-shortfall"`` or
+``"attempts-exhausted"``) and ``job_resubmitted`` (a failed service
+grant was re-attempted on the surviving workers,
+``detail="attempt=<k>"``).
 
 Engines emit events in *engine order* (the fast engine in dispatch order,
 the DES engine in simulation-time order).  Cross-engine comparisons and
@@ -71,6 +79,9 @@ EVENT_KINDS = frozenset(
         "job_arrival",
         "job_start",
         "job_done",
+        "worker_excluded",
+        "job_failed",
+        "job_resubmitted",
     }
 )
 
@@ -80,20 +91,29 @@ EVENT_KINDS = frozenset(
 #: Job-level stream events follow the same observe-then-act shape:
 #: ``job_done`` (a completion) sorts before ``job_arrival`` and
 #: ``job_start`` (the admissions it may enable) at one timestamp.
+#: The stream-fault kinds slot into the same shape: ``worker_excluded``
+#: is an observation (right after ``job_done``, before the admissions it
+#: constrains), ``job_failed``/``job_resubmitted`` are admission
+#: outcomes (after ``job_arrival``, before ``job_start``).  Rank values
+#: are internal — only the *relative* order is contractual, so the old
+#: kinds keep their relative ranks and golden traces stand.
 _KIND_RANK = {
     "comp_end": 0,
     "fault": 1,
     "recovery_decision": 2,
     "job_done": 3,
-    "job_arrival": 4,
-    "job_start": 5,
-    "round_boundary": 6,
-    "dispatch_start": 7,
-    "dispatch_end": 8,
-    "link_hop": 9,
-    "comp_start": 10,
-    "engine_fallback": 11,
-    "cell_quarantined": 12,
+    "worker_excluded": 4,
+    "job_arrival": 5,
+    "job_failed": 6,
+    "job_resubmitted": 7,
+    "job_start": 8,
+    "round_boundary": 9,
+    "dispatch_start": 10,
+    "dispatch_end": 11,
+    "link_hop": 12,
+    "comp_start": 13,
+    "engine_fallback": 14,
+    "cell_quarantined": 15,
 }
 
 

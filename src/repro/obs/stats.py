@@ -75,6 +75,9 @@ class SweepStats:
     pool_timeouts: int = 0
     pool_degradations: int = 0
     rows_deferred_scalar: int = 0
+    jobs_failed: int = 0
+    jobs_resubmitted: int = 0
+    workers_excluded: int = 0
     fault_wall_s: dict[str, float] = dataclasses.field(
         default_factory=lambda: {k: 0.0 for k in FAULT_KINDS}
     )
@@ -99,6 +102,18 @@ class SweepStats:
         self.cell_timings.append(
             CellTiming(algorithm, platform_index, error_index, engine, runs, wall_s)
         )
+
+    def count_stream(self, result) -> None:
+        """Fold one multi-job stream's health counters into the totals.
+
+        ``result`` is a :class:`~repro.sim.multijob.MultiJobResult`
+        (typed loosely to avoid an import cycle): ``jobs_failed``/
+        ``jobs_resubmitted`` count jobs, ``workers_excluded`` counts
+        workers the stream's health tracker declared dead.
+        """
+        self.jobs_failed += int(result.jobs_failed)
+        self.jobs_resubmitted += int(result.jobs_resubmitted)
+        self.workers_excluded += len(result.workers_excluded)
 
     def absorb_fault_perf(self, perf: dict) -> None:
         """Fold one batch pass's fault counters into the totals.
@@ -168,6 +183,12 @@ class SweepStats:
             f"{self.cells_quarantined} cell(s) quarantined, "
             f"{self.cells_resumed} cell(s) resumed from checkpoints"
         )
+        if self.jobs_failed or self.jobs_resubmitted or self.workers_excluded:
+            lines.append(
+                f"stream health: {self.jobs_failed} job(s) failed, "
+                f"{self.jobs_resubmitted} job(s) resubmitted, "
+                f"{self.workers_excluded} worker(s) excluded"
+            )
         if self.pool_restarts or self.pool_timeouts or self.pool_degradations:
             lines.append(
                 f"pool supervision: {self.pool_restarts} restart(s), "
@@ -204,6 +225,9 @@ class SweepStats:
             "pool_timeouts": self.pool_timeouts,
             "pool_degradations": self.pool_degradations,
             "rows_deferred_scalar": self.rows_deferred_scalar,
+            "jobs_failed": self.jobs_failed,
+            "jobs_resubmitted": self.jobs_resubmitted,
+            "workers_excluded": self.workers_excluded,
             "fault_wall_s": dict(self.fault_wall_s),
             "cell_timings": [dataclasses.asdict(c) for c in self.cell_timings],
         }

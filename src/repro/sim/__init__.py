@@ -32,18 +32,24 @@ from repro.sim.engine import simulate_des
 from repro.sim.gantt import render_gantt, utilization_profile
 from repro.sim.fastsim import simulate_fast
 from repro.sim.multijob import (
+    JobFailurePolicy,
     JobRecord,
     MultiJobResult,
+    PlatformHealth,
+    make_failure_policy,
     make_stream_policy,
     simulate_stream,
 )
 from repro.sim.result import SimResult, simulate, validate_schedule
 
 __all__ = [
+    "JobFailurePolicy",
     "JobRecord",
     "MultiJobResult",
+    "PlatformHealth",
     "SimResult",
     "analytic_makespan",
+    "make_failure_policy",
     "make_stream_policy",
     "render_gantt",
     "utilization_profile",

@@ -45,14 +45,39 @@ the same :func:`~repro.errors.rng.stream_for` discipline the sweep
 harness uses.  Multi-slice jobs derive one seed per slice from the job
 seed; a single-slice job uses the job seed unchanged (preserving the
 bitwise conformance of the degenerate cases).
+
+Faults in streams
+-----------------
+Under the default ``fault_frame="stream"`` the fault model is realized
+**once** on the absolute stream clock (a :class:`~repro.errors.faults.
+StreamFaultSchedule`, sampled from the stream seed's third spawned RNG
+child) and each service grant sees the *projection* of that one timeline
+into its own frame: crash/pause/slowdown state carries across jobs, and
+a worker that crashed during job ``k`` dispatches zero chunks to any job
+``j > k``.  A :class:`PlatformHealth` tracker observes the per-grant
+loss ledgers (and the master's crash watchers) and excludes dead workers
+at admission; a job whose candidate set is wholly dead is *failed* —
+never deadlocked — under a pluggable :class:`JobFailurePolicy`
+(``drop`` / ``retry`` with deterministic backoff / ``resubmit`` the
+undelivered remainder to the surviving workers).
+
+The legacy behavior — each per-job ``simulate()`` call re-realizing the
+fault model relative to its *own* start, so a permanently crashed worker
+resurrects for the next job, and (with ``policy="partitioned"``) worker
+indices are sampled against the per-job *subset* so "worker 3" names a
+different machine per job — is kept behind the explicit
+``fault_frame="job"`` escape hatch.  Fault-free streams take the exact
+pre-fault-plane code path and stay bitwise identical either way.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing
 
 from repro.core.base import Scheduler
+from repro.errors.faults import FrozenFaults, StreamFaultSchedule
 from repro.errors.models import ErrorModel
 from repro.errors.rng import stream_for
 from repro.obs.events import SimEvent, canonical_order, events_from_result
@@ -61,19 +86,32 @@ from repro.sim.result import SimResult
 from repro.workloads.arrivals import ArrivalProcess, JobArrival, make_arrival_process
 
 __all__ = [
+    "DropFailurePolicy",
     "FCFSPolicy",
     "InterleavedPolicy",
+    "JobFailurePolicy",
     "JobRecord",
     "MultiJobResult",
     "PartitionedPolicy",
+    "PlatformHealth",
+    "ResubmitFailurePolicy",
+    "RetryFailurePolicy",
     "StreamPolicy",
+    "make_failure_policy",
     "make_stream_policy",
     "simulate_stream",
 ]
 
-#: ``run_job(job, work, workers, seed) -> SimResult`` — the callback a
-#: policy uses to grant the (sub-)star to one job's slice.
-JobRunner = typing.Callable[[JobArrival, float, tuple[int, ...], "int | None"], SimResult]
+#: ``run_job(job, work, workers, seed, start) -> SimResult`` — the
+#: callback a policy uses to grant the (sub-)star to one job's slice.
+#: ``start`` is the grant's absolute stream time (the fault plane
+#: projects its timeline at that offset; fault-free runs ignore it).
+JobRunner = typing.Callable[
+    [JobArrival, float, tuple[int, ...], "int | None", float], SimResult
+]
+
+#: Relative tolerance for "the grant delivered everything it dispatched".
+_DELIVERY_TOL = 1e-9
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,8 +119,15 @@ class JobRecord:
     """One job's stream-level outcome.
 
     ``results`` holds the engine-native, job-relative simulation results
-    (one per service slice — FCFS and partitioned grant exactly one);
-    ``slice_starts`` places each slice on the stream's absolute timeline.
+    (one per service slice — FCFS and partitioned grant exactly one per
+    attempt); ``slice_starts`` places each slice on the stream's
+    absolute timeline.  ``slice_workers``, when non-empty, gives the
+    *global* worker indices each slice actually ran on (fault-plane
+    streams shrink the live set as workers die); when empty, every slice
+    ran on ``workers``.  ``failed`` marks a job its failure policy gave
+    up on (``failure`` names the reason); ``attempts`` counts service
+    grants (including failed ones), ``resubmissions`` counts
+    resubmit-to-survivors re-grants.
     """
 
     job: JobArrival
@@ -91,6 +136,17 @@ class JobRecord:
     workers: tuple[int, ...]
     results: tuple[SimResult, ...]
     slice_starts: tuple[float, ...]
+    slice_workers: tuple[tuple[int, ...], ...] = ()
+    failed: bool = False
+    failure: str = ""
+    attempts: int = 1
+    resubmissions: int = 0
+
+    def workers_for_slice(self, index: int) -> tuple[int, ...]:
+        """Global worker indices slice ``index`` ran on."""
+        if self.slice_workers:
+            return self.slice_workers[index]
+        return self.workers
 
     # -- queueing quantities --------------------------------------------------
     @property
@@ -137,7 +193,11 @@ class MultiJobResult:
 
     ``jobs`` is ordered by service order (arrival order under every
     in-tree policy).  Per-job engine results stay job-relative; the
-    stream-level timeline is in each :class:`JobRecord`.
+    stream-level timeline is in each :class:`JobRecord`.  Fault-plane
+    streams additionally carry the stream-level event substream
+    (``stream_events``: ``worker_excluded`` / ``job_failed`` /
+    ``job_resubmitted``) and the health tracker's exclusion ledger
+    (``excluded``: ``(worker, crash_time)`` pairs, sorted by time).
     """
 
     platform: PlatformSpec
@@ -146,6 +206,11 @@ class MultiJobResult:
     engine: str
     seed: int | None
     jobs: tuple[JobRecord, ...]
+    fault_frame: str = "stream"
+    failure_policy: str = "drop"
+    fault_spec: str = "none"
+    stream_events: tuple[SimEvent, ...] = ()
+    excluded: tuple[tuple[int, float], ...] = ()
 
     @property
     def num_jobs(self) -> int:
@@ -173,6 +238,26 @@ class MultiJobResult:
     def work_lost(self) -> float:
         return sum(j.work_lost for j in self.jobs)
 
+    # -- fault-plane accounting -----------------------------------------------
+    @property
+    def completed_jobs(self) -> tuple[JobRecord, ...]:
+        """Records of the jobs that completed (``not failed``)."""
+        return tuple(j for j in self.jobs if not j.failed)
+
+    @property
+    def jobs_failed(self) -> int:
+        return sum(1 for j in self.jobs if j.failed)
+
+    @property
+    def jobs_resubmitted(self) -> int:
+        """Jobs that were resubmitted to survivors at least once."""
+        return sum(1 for j in self.jobs if j.resubmissions > 0)
+
+    @property
+    def workers_excluded(self) -> tuple[int, ...]:
+        """Global indices of workers excluded by health, in exclusion order."""
+        return tuple(w for w, _ in self.excluded)
+
     def job_record(self, job_id: int) -> JobRecord:
         """The record of one job by id."""
         for rec in self.jobs:
@@ -185,7 +270,8 @@ class MultiJobResult:
 
         Departures at the same instant as an arrival are counted first,
         matching the canonical event order (``job_done`` sorts before
-        ``job_arrival`` at one timestamp).
+        ``job_arrival`` at one timestamp).  Failed jobs depart at their
+        failure instant.
         """
         deltas = []
         for rec in self.jobs:
@@ -200,16 +286,21 @@ class MultiJobResult:
     def events(self, include_sim: bool = False) -> tuple[SimEvent, ...]:
         """The stream's canonical event stream.
 
-        Always contains the three job-level kinds — ``job_arrival`` /
+        Always contains the job-level kinds — ``job_arrival`` /
         ``job_start`` / ``job_done`` at the job's absolute arrival, first
         service and completion instants (``worker=-1``, ``chunk=job_id``,
-        ``size=work``, ``phase=policy``).  With ``include_sim=True`` the
-        per-slice engine streams are merged in, shifted onto the absolute
-        timeline, with chunk indices renumbered stream-unique and worker
-        indices mapped back to the full star's numbering — ready for
-        Chrome-trace export and the well-formedness properties.
+        ``size=work``, ``phase=policy``) — plus the stream-fault
+        substream (``worker_excluded`` / ``job_failed`` /
+        ``job_resubmitted``) when a fault plane was active.  A job that
+        never received a grant has no ``job_start``; a failed job has
+        ``job_failed`` instead of ``job_done``.  With
+        ``include_sim=True`` the per-slice engine streams are merged in,
+        shifted onto the absolute timeline, with chunk indices
+        renumbered stream-unique and worker indices mapped back to the
+        full star's numbering — ready for Chrome-trace export and the
+        well-formedness properties.
         """
-        events: list[SimEvent] = []
+        events: list[SimEvent] = list(self.stream_events)
         chunk_offset = 0
         for rec in self.jobs:
             job = rec.job
@@ -217,19 +308,24 @@ class MultiJobResult:
                 SimEvent(job.time, "job_arrival", -1, chunk=job.job_id,
                          size=job.work, phase=self.policy)
             )
-            events.append(
-                SimEvent(rec.start, "job_start", -1, chunk=job.job_id,
-                         size=job.work, phase=self.policy)
-            )
-            events.append(
-                SimEvent(rec.finish, "job_done", -1, chunk=job.job_id,
-                         size=job.work, phase=self.policy,
-                         detail=self.scheduler_name)
-            )
+            if rec.results:
+                events.append(
+                    SimEvent(rec.start, "job_start", -1, chunk=job.job_id,
+                             size=job.work, phase=self.policy)
+                )
+            if not rec.failed:
+                events.append(
+                    SimEvent(rec.finish, "job_done", -1, chunk=job.job_id,
+                             size=job.work, phase=self.policy,
+                             detail=self.scheduler_name)
+                )
             if include_sim:
-                for offset, result in zip(rec.slice_starts, rec.results):
+                for i, (offset, result) in enumerate(
+                    zip(rec.slice_starts, rec.results)
+                ):
+                    slice_workers = rec.workers_for_slice(i)
                     for e in events_from_result(result):
-                        worker = rec.workers[e.worker] if e.worker >= 0 else e.worker
+                        worker = slice_workers[e.worker] if e.worker >= 0 else e.worker
                         chunk = e.chunk + chunk_offset if e.chunk >= 0 else e.chunk
                         events.append(
                             dataclasses.replace(
@@ -238,6 +334,420 @@ class MultiJobResult:
                         )
                     chunk_offset += result.num_chunks
         return canonical_order(events)
+
+
+# -- platform health ----------------------------------------------------------
+
+class PlatformHealth:
+    """Stream-clock worker availability, fed by observed fault evidence.
+
+    The tracker is the stream's memory between grants: the per-grant
+    engines each see only their own projected timeline, while the health
+    tracker accumulates what the master has *observed* — a worker whose
+    permanent crash has been seen (via a grant's loss ledger, the
+    engines' upfront crash watchers, or an admission-time check against
+    the stream timeline) is **dead** and excluded from every later
+    admission; a worker whose slowdown onset has passed is **degraded**
+    (still admitted — it computes, just slower — but reported so
+    capacity metrics can discount it).
+
+    Exclusions are recorded at the worker's *crash instant* (the truth on
+    the stream clock), not at the observation instant, so the exclusion
+    ledger is independent of which grant happened to reveal the crash.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        plane: "StreamFaultSchedule | None" = None,
+    ) -> None:
+        self._n = int(num_workers)
+        self._plane = plane
+        self._dead: dict[int, float] = {}
+        self._degraded: dict[int, float] = {}
+        #: ``worker_excluded`` events, one per dead worker, in discovery
+        #: order (re-sorted canonically by the stream result).
+        self.events: list[SimEvent] = []
+
+    @property
+    def num_workers(self) -> int:
+        return self._n
+
+    @property
+    def dead(self) -> frozenset[int]:
+        """Global indices of workers observed permanently crashed."""
+        return frozenset(self._dead)
+
+    @property
+    def degraded(self) -> dict[int, float]:
+        """Observed slowdown factors of degraded (but live) workers."""
+        return dict(self._degraded)
+
+    def death_time(self, worker: int) -> float:
+        """Absolute crash instant of an excluded worker (``inf`` = live)."""
+        return self._dead.get(worker, math.inf)
+
+    def excluded_pairs(self) -> tuple[tuple[int, float], ...]:
+        """``(worker, crash_time)`` pairs, sorted by (time, worker)."""
+        return tuple(sorted(self._dead.items(), key=lambda kv: (kv[1], kv[0])))
+
+    def _mark_dead(self, worker: int, when: float) -> None:
+        if worker not in self._dead:
+            self._dead[worker] = when
+            self.events.append(
+                SimEvent(when, "worker_excluded", worker, detail="crash")
+            )
+
+    def live(self, workers: typing.Sequence[int], now: float) -> tuple[int, ...]:
+        """The subset of ``workers`` admissible at stream time ``now``.
+
+        Consults the stream timeline (a crash at exactly ``now`` counts
+        as dead — the loss rule ``comp_end > crash`` makes any new grant
+        futile) in addition to previously observed deaths, so a worker
+        whose crash fell *between* grants is still excluded.
+        """
+        out: list[int] = []
+        for w in workers:
+            if w in self._dead:
+                continue
+            ct = self._plane.crash_time(w) if self._plane is not None else math.inf
+            if ct <= now:
+                self._mark_dead(w, ct)
+            else:
+                out.append(w)
+        return tuple(out)
+
+    def observe_slice(
+        self,
+        workers: typing.Sequence[int],
+        offset: float,
+        result: SimResult,
+    ) -> None:
+        """Fold one grant's evidence into the tracker.
+
+        ``workers`` are the global indices the grant ran on, ``offset``
+        its absolute start.  Lost records mark their worker dead (at the
+        stream timeline's crash instant when known, else at the loss
+        observation instant); with a stream timeline attached, crashes
+        and slowdown onsets that fell inside the grant's window are
+        picked up even when the worker had no chunk in flight.
+        """
+        horizon = offset + result.makespan
+        if self._plane is not None:
+            for w in workers:
+                ct = self._plane.crash_time(w)
+                if ct <= horizon:
+                    self._mark_dead(w, ct)
+                ss, sf = self._plane.schedule.slowdowns[w]
+                if sf > 1.0 and ss <= horizon and w not in self._degraded:
+                    self._degraded[w] = sf
+        for r in result.records:
+            if r.lost:
+                w = workers[r.worker]
+                when = self._plane.crash_time(w) if self._plane is not None else None
+                if when is None or not math.isfinite(when):
+                    when = offset + r.loss_time
+                self._mark_dead(w, when)
+
+
+# -- job failure policies -----------------------------------------------------
+
+class JobFailurePolicy:
+    """Abstract policy for jobs whose grant cannot run or falls short.
+
+    A grant *fails* when its candidate worker set is wholly dead at
+    admission, or when it delivers less than the work it was asked to
+    (chunks lost to crashes with no recovering scheduler).  The policy
+    is configuration only — the serve loops in this module interpret it:
+
+    * ``max_attempts`` caps the total service attempts per grant
+      (admission checks included); exhausting it fails the job.
+    * ``backoff(attempt, seed)`` is the delay before re-attempt
+      ``attempt + 1`` (exclusive policies only; the interleaved rotation
+      provides natural spacing and skips backoff).
+    * ``resubmits`` — re-grant only the *undelivered remainder* to the
+      surviving workers instead of re-running from scratch.
+    """
+
+    #: Spec-style name (recorded on the stream result).
+    name: str = "policy"
+    max_attempts: int = 1
+
+    @property
+    def resubmits(self) -> bool:
+        return False
+
+    def backoff(self, attempt: int, seed: "int | None" = None) -> float:
+        return 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class DropFailurePolicy(JobFailurePolicy):
+    """Fail a job on its first unsuccessful grant (the default)."""
+
+    name = "drop"
+    max_attempts = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryFailurePolicy(JobFailurePolicy):
+    """Re-run a failed grant from scratch with deterministic backoff.
+
+    Mirrors the sweep harness's :class:`~repro.experiments.resilient.
+    RetryPolicy`: exponential backoff ``base * multiplier**(attempt-1)``
+    with an optional multiplicative jitter drawn deterministically from
+    the job seed via :func:`~repro.errors.rng.stream_for` — the same
+    stream seed always yields the same backoff sequence.  Backoff is
+    simulated stream time, not wall time.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 1.0
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff_base}")
+        if self.backoff_multiplier < 1:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0 <= self.jitter_fraction < 1:
+            raise ValueError(
+                f"jitter must be in [0, 1), got {self.jitter_fraction}"
+            )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"retry:attempts={self.max_attempts}"
+
+    def backoff(self, attempt: int, seed: "int | None" = None) -> float:
+        delay = self.backoff_base * self.backoff_multiplier ** (attempt - 1)
+        if self.jitter_fraction > 0:
+            u = float(stream_for(seed, attempt, 2).random())
+            delay *= 1.0 + self.jitter_fraction * (2.0 * u - 1.0)
+        return delay
+
+
+@dataclasses.dataclass(frozen=True)
+class ResubmitFailurePolicy(JobFailurePolicy):
+    """Immediately re-grant the undelivered remainder to the survivors.
+
+    The remainder shrinks by whatever each attempt delivered, so
+    progress is monotone; ``max_attempts`` still bounds the grant count
+    (a remainder that makes no progress exhausts it).
+    """
+
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.max_attempts}")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"resubmit:attempts={self.max_attempts}"
+
+    @property
+    def resubmits(self) -> bool:
+        return True
+
+
+def make_failure_policy(spec: "str | JobFailurePolicy") -> JobFailurePolicy:
+    """Parse a failure-policy spec into a :class:`JobFailurePolicy`.
+
+    Accepted forms: ``drop``, ``retry`` /
+    ``retry:attempts=3,backoff=1,mult=2,jitter=0.25``, ``resubmit`` /
+    ``resubmit:attempts=4``; an already-constructed policy passes
+    through unchanged.
+    """
+    if isinstance(spec, JobFailurePolicy):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"failure policy spec must be a string, got {type(spec).__name__}"
+        )
+    kind, _, body = spec.strip().partition(":")
+    kind = kind.strip()
+    params: dict[str, float] = {}
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"malformed failure-policy parameter {part!r} in {spec!r}")
+        try:
+            params[key.strip()] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"failure-policy parameter {key.strip()!r} needs a number, got {value!r}"
+            ) from None
+    def _int(name: str, default: int) -> int:
+        raw = params.pop(name, float(default))
+        if raw != int(raw):
+            raise ValueError(f"failure-policy parameter {name!r} must be integral")
+        return int(raw)
+    if kind == "drop":
+        if params:
+            raise ValueError(f"drop takes no parameters, got {sorted(params)}")
+        return DropFailurePolicy()
+    if kind == "retry":
+        policy: JobFailurePolicy = RetryFailurePolicy(
+            max_attempts=_int("attempts", 3),
+            backoff_base=params.pop("backoff", 1.0),
+            backoff_multiplier=params.pop("mult", 2.0),
+            jitter_fraction=params.pop("jitter", 0.25),
+        )
+        if params:
+            raise ValueError(f"unknown parameter(s) for retry: {sorted(params)}")
+        return policy
+    if kind == "resubmit":
+        policy = ResubmitFailurePolicy(max_attempts=_int("attempts", 4))
+        if params:
+            raise ValueError(f"unknown parameter(s) for resubmit: {sorted(params)}")
+        return policy
+    raise ValueError(
+        f"unknown failure policy {kind!r}; available: drop, retry, resubmit"
+    )
+
+
+class _StreamRuntime:
+    """Per-call coordinator threading the fault plane through a policy.
+
+    Bundles the realized stream timeline, the health tracker, and the
+    failure policy; collects the job-level stream-fault events.  With no
+    plane (fault-free streams, or ``fault_frame="job"``) it is inert and
+    the policies take the exact legacy code path.
+    """
+
+    def __init__(
+        self,
+        plane: "StreamFaultSchedule | None",
+        health: PlatformHealth,
+        failure: JobFailurePolicy,
+        policy_name: str,
+    ) -> None:
+        self.plane = plane
+        self.health = health
+        self.failure = failure
+        self.policy_name = policy_name
+        self.events: list[SimEvent] = []
+
+    @property
+    def active(self) -> bool:
+        return self.plane is not None
+
+    def fail(self, job: JobArrival, when: float, reason: str) -> None:
+        self.events.append(
+            SimEvent(when, "job_failed", -1, chunk=job.job_id, size=job.work,
+                     phase=self.policy_name, detail=reason)
+        )
+
+    def resubmit(
+        self, job: JobArrival, when: float, remainder: float, attempt: int
+    ) -> None:
+        self.events.append(
+            SimEvent(when, "job_resubmitted", -1, chunk=job.job_id,
+                     size=remainder, phase=self.policy_name,
+                     detail=f"attempt={attempt}")
+        )
+
+
+def _attempt_seed(seed: "int | None", attempt: int) -> int:
+    """Seed of re-attempt ``attempt`` (1-based) of one service grant.
+
+    Keyed ``(attempt, 1)`` so it can never collide with the
+    single-key-tuple per-slice seeds of :func:`_slice_seed`.
+    """
+    return int(stream_for(seed, attempt, 1).integers(0, 2**63 - 1))
+
+
+def _serve_exclusive(
+    rt: "_StreamRuntime | None",
+    job: JobArrival,
+    candidates: tuple[int, ...],
+    start: float,
+    run_job: JobRunner,
+    seed0: "int | None",
+) -> tuple[JobRecord, float]:
+    """Serve one job exclusively on ``candidates`` from ``start``.
+
+    The shared FCFS/partitioned grant loop: admission-time health
+    filtering, delivery-shortfall detection, and the failure policy's
+    retry/resubmit machinery.  Returns the record plus the instant the
+    candidate set becomes free again.  Without an active fault plane
+    this is exactly the legacy single-grant path.
+    """
+    if rt is None or not rt.active:
+        result = run_job(job, job.work, candidates, seed0, start)
+        finish = start + result.makespan
+        record = JobRecord(
+            job=job, start=start, finish=finish, workers=candidates,
+            results=(result,), slice_starts=(start,),
+        )
+        return record, finish
+
+    attempts = 0
+    resubmissions = 0
+    t = start
+    first_service: float | None = None
+    results: list[SimResult] = []
+    starts: list[float] = []
+    slice_ws: list[tuple[int, ...]] = []
+    outstanding = job.work
+    failure = ""
+    while True:
+        live = rt.health.live(candidates, t)
+        if not live:
+            attempts += 1
+            if attempts < rt.failure.max_attempts:
+                t += rt.failure.backoff(attempts, seed0)
+                continue
+            failure = "no-live-workers"
+            break
+        attempts += 1
+        seed = seed0 if attempts == 1 else _attempt_seed(seed0, attempts - 1)
+        result = run_job(job, outstanding, live, seed, t)
+        rt.health.observe_slice(live, t, result)
+        if first_service is None:
+            first_service = t
+        starts.append(t)
+        results.append(result)
+        slice_ws.append(live)
+        end = t + result.makespan
+        delivered = result.delivered_work
+        if delivered + _DELIVERY_TOL * max(1.0, outstanding) >= outstanding:
+            record = JobRecord(
+                job=job, start=first_service, finish=end, workers=candidates,
+                results=tuple(results), slice_starts=tuple(starts),
+                slice_workers=tuple(slice_ws), attempts=attempts,
+                resubmissions=resubmissions,
+            )
+            return record, end
+        if attempts >= rt.failure.max_attempts:
+            failure = "delivery-shortfall" if attempts == 1 else "attempts-exhausted"
+            t = end
+            break
+        if rt.failure.resubmits:
+            outstanding -= delivered
+            resubmissions += 1
+            t = end
+            rt.resubmit(job, t, outstanding, attempt=attempts + 1)
+        else:
+            t = end + rt.failure.backoff(attempts, seed0)
+    rt.fail(job, t, failure)
+    record = JobRecord(
+        job=job, start=first_service if first_service is not None else t,
+        finish=t, workers=candidates, results=tuple(results),
+        slice_starts=tuple(starts), slice_workers=tuple(slice_ws),
+        failed=True, failure=failure, attempts=attempts,
+        resubmissions=resubmissions,
+    )
+    return record, t
 
 
 # -- inter-job policies -------------------------------------------------------
@@ -249,6 +759,9 @@ class StreamPolicy:
     trace sorted by ``(time, job_id)`` plus a :data:`JobRunner` callback
     and returns one :class:`JobRecord` per job; all simulation goes
     through the callback, so policies never touch engines directly.
+    ``stream`` carries the fault-plane runtime (health tracker + failure
+    policy); ``None`` or an inactive runtime selects the exact legacy
+    fault-free path.
     """
 
     #: Spec-style name (used as the ``phase`` label of job events).
@@ -260,6 +773,7 @@ class StreamPolicy:
         jobs: tuple[JobArrival, ...],
         run_job: JobRunner,
         job_seed: typing.Callable[[JobArrival], "int | None"],
+        stream: "_StreamRuntime | None" = None,
     ) -> tuple[JobRecord, ...]:
         raise NotImplementedError
 
@@ -270,21 +784,16 @@ class FCFSPolicy(StreamPolicy):
 
     name = "fcfs"
 
-    def run(self, platform, jobs, run_job, job_seed):
+    def run(self, platform, jobs, run_job, job_seed, stream=None):
         workers = tuple(range(platform.N))
         records: list[JobRecord] = []
         free = 0.0
         for job in jobs:
             start = max(job.time, free)
-            result = run_job(job, job.work, workers, job_seed(job))
-            finish = start + result.makespan
-            records.append(
-                JobRecord(
-                    job=job, start=start, finish=finish, workers=workers,
-                    results=(result,), slice_starts=(start,),
-                )
+            record, free = _serve_exclusive(
+                stream, job, workers, start, run_job, job_seed(job)
             )
-            free = finish
+            records.append(record)
         return tuple(records)
 
 
@@ -295,7 +804,11 @@ class PartitionedPolicy(StreamPolicy):
     Workers are split into ``parts`` contiguous, size-balanced groups
     (larger groups first); each job is assigned to the partition that can
     start it earliest, ties to the lowest partition index.  ``parts=1``
-    degenerates to :class:`FCFSPolicy`.
+    degenerates to :class:`FCFSPolicy`.  Under an active fault plane,
+    partitions whose workers are all dead at their candidate start are
+    skipped (degradation-aware admission); if every partition is dead
+    the earliest one is nominally assigned and the failure policy fails
+    the job there.
     """
 
     parts: int = 2
@@ -322,24 +835,44 @@ class PartitionedPolicy(StreamPolicy):
             cursor += size
         return tuple(groups)
 
-    def run(self, platform, jobs, run_job, job_seed):
+    def run(self, platform, jobs, run_job, job_seed, stream=None):
         groups = self.partitions(platform)
         free = [0.0] * len(groups)
         records: list[JobRecord] = []
+        faulty = stream is not None and stream.active
         for job in jobs:
             starts = [max(job.time, f) for f in free]
-            part = min(range(len(groups)), key=lambda i: (starts[i], i))
-            start = starts[part]
-            result = run_job(job, job.work, groups[part], job_seed(job))
-            finish = start + result.makespan
-            records.append(
-                JobRecord(
-                    job=job, start=start, finish=finish, workers=groups[part],
-                    results=(result,), slice_starts=(start,),
-                )
+            indices = range(len(groups))
+            if faulty:
+                viable = [
+                    i for i in indices if stream.health.live(groups[i], starts[i])
+                ]
+                part = min(viable or indices, key=lambda i: (starts[i], i))
+            else:
+                part = min(indices, key=lambda i: (starts[i], i))
+            record, busy = _serve_exclusive(
+                stream, job, groups[part], starts[part], run_job, job_seed(job)
             )
-            free[part] = finish
+            records.append(record)
+            free[part] = busy
         return tuple(records)
+
+
+@dataclasses.dataclass
+class _InterleavedEntry:
+    """Mutable rotation state of one active interleaved job."""
+
+    job: JobArrival
+    seed: "int | None"
+    sizes: list
+    k: int = 0
+    start: "float | None" = None
+    slice_starts: list = dataclasses.field(default_factory=list)
+    results: list = dataclasses.field(default_factory=list)
+    slice_ws: list = dataclasses.field(default_factory=list)
+    grants: int = 0
+    slice_fails: int = 0
+    resubs: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -352,6 +885,13 @@ class InterleavedPolicy(StreamPolicy):
     round-robin order, admitting newly arrived jobs at the back of the
     rotation; when no job is active, time jumps to the next arrival.
     ``slices=1`` degenerates to :class:`FCFSPolicy`.
+
+    Under an active fault plane each slice grant goes to the live
+    workers only; a failed slice is re-served at the job's next rotation
+    turn (the rotation itself provides the retry spacing, so the failure
+    policy's backoff delays are not added), and a wholly dead star fails
+    jobs immediately — crashes are permanent, so waiting cannot help and
+    the rotation must not idle-spin.
     """
 
     slices: int = 4
@@ -374,7 +914,9 @@ class InterleavedPolicy(StreamPolicy):
             return (work,)
         return (per,) * (self.slices - 1) + (tail,)
 
-    def run(self, platform, jobs, run_job, job_seed):
+    def run(self, platform, jobs, run_job, job_seed, stream=None):
+        if stream is not None and stream.active:
+            return self._run_faulty(platform, jobs, run_job, job_seed, stream)
         workers = tuple(range(platform.N))
         pending = list(jobs)  # sorted by (time, job_id)
         # Active entry: [job, seed, remaining sizes, next slice index,
@@ -402,7 +944,7 @@ class InterleavedPolicy(StreamPolicy):
             job, seed, sizes, k, start, slice_starts, results = entry
             size = sizes.pop(0)
             slice_seed = seed if self.slices == 1 else _slice_seed(seed, k)
-            result = run_job(job, size, workers, slice_seed)
+            result = run_job(job, size, workers, slice_seed, t)
             if start is None:
                 entry[4] = t
             entry[3] = k + 1
@@ -419,6 +961,105 @@ class InterleavedPolicy(StreamPolicy):
                 rr = idx  # the next entry slid into this slot
             else:
                 rr = idx + 1
+            admit(t)
+        return tuple(done[job.job_id] for job in jobs)
+
+    def _run_faulty(self, platform, jobs, run_job, job_seed, rt):
+        """The fault-plane rotation (see class docstring)."""
+        workers = tuple(range(platform.N))
+        pending = list(jobs)
+        active: list[_InterleavedEntry] = []
+        done: dict[int, JobRecord] = {}
+        t = 0.0
+        rr = 0
+
+        def admit(now: float) -> None:
+            while pending and pending[0].time <= now:
+                job = pending.pop(0)
+                active.append(
+                    _InterleavedEntry(
+                        job, job_seed(job), list(self.slice_sizes(job.work))
+                    )
+                )
+
+        def fail(entry: _InterleavedEntry, when: float, reason: str) -> None:
+            rt.fail(entry.job, when, reason)
+            done[entry.job.job_id] = JobRecord(
+                job=entry.job,
+                start=entry.start if entry.start is not None else when,
+                finish=when, workers=workers, results=tuple(entry.results),
+                slice_starts=tuple(entry.slice_starts),
+                slice_workers=tuple(entry.slice_ws), failed=True,
+                failure=reason, attempts=entry.grants,
+                resubmissions=entry.resubs,
+            )
+
+        admit(t)
+        while pending or active:
+            if not active:
+                t = max(t, pending[0].time)
+                admit(t)
+                rr = 0
+            idx = rr % len(active)
+            entry = active[idx]
+            live = rt.health.live(workers, t)
+            if not live:
+                fail(entry, t, "no-live-workers")
+                active.pop(idx)
+                rr = idx
+                admit(t)
+                continue
+            size = entry.sizes[0]
+            base = entry.seed if self.slices == 1 else _slice_seed(entry.seed, entry.k)
+            seed_k = base if entry.slice_fails == 0 else _attempt_seed(
+                base, entry.slice_fails
+            )
+            result = run_job(entry.job, size, live, seed_k, t)
+            rt.health.observe_slice(live, t, result)
+            entry.grants += 1
+            if entry.start is None:
+                entry.start = t
+            entry.slice_starts.append(t)
+            entry.results.append(result)
+            entry.slice_ws.append(live)
+            t += result.makespan
+            delivered = result.delivered_work
+            if delivered + _DELIVERY_TOL * max(1.0, size) >= size:
+                entry.sizes.pop(0)
+                entry.k += 1
+                entry.slice_fails = 0
+                if not entry.sizes:
+                    done[entry.job.job_id] = JobRecord(
+                        job=entry.job, start=entry.start, finish=t,
+                        workers=workers, results=tuple(entry.results),
+                        slice_starts=tuple(entry.slice_starts),
+                        slice_workers=tuple(entry.slice_ws),
+                        attempts=entry.grants, resubmissions=entry.resubs,
+                    )
+                    active.pop(idx)
+                    rr = idx
+                else:
+                    rr = idx + 1
+            else:
+                entry.slice_fails += 1
+                if entry.slice_fails >= rt.failure.max_attempts:
+                    reason = (
+                        "delivery-shortfall"
+                        if rt.failure.max_attempts == 1
+                        else "attempts-exhausted"
+                    )
+                    fail(entry, t, reason)
+                    active.pop(idx)
+                    rr = idx
+                else:
+                    if rt.failure.resubmits:
+                        entry.sizes[0] = size - delivered
+                        entry.resubs += 1
+                        rt.resubmit(
+                            entry.job, t, entry.sizes[0],
+                            attempt=entry.slice_fails + 1,
+                        )
+                    rr = idx + 1
             admit(t)
         return tuple(done[job.job_id] for job in jobs)
 
@@ -488,6 +1129,9 @@ def simulate_stream(
     policy: "StreamPolicy | str" = "fcfs",
     engine: str = "fast",
     faults: "typing.Any | None" = None,
+    fault_frame: str = "stream",
+    failure_policy: "JobFailurePolicy | str" = "drop",
+    topology: "typing.Any | None" = None,
     error_model_factory: "typing.Callable[[], ErrorModel] | None" = None,
     tracer: "typing.Any | None" = None,
 ) -> MultiJobResult:
@@ -512,14 +1156,40 @@ def simulate_stream(
         :class:`~repro.errors.NoError` legacy path), and registry
         schedulers receive it as their error estimate.
     seed:
-        Stream-level seed: realizes an :class:`ArrivalProcess` and
-        derives the per-job seeds of arrivals that carry ``seed=None``.
+        Stream-level seed: realizes an :class:`ArrivalProcess`, derives
+        the per-job seeds of arrivals that carry ``seed=None``, and —
+        under ``fault_frame="stream"`` — realizes the one stream fault
+        timeline (from its third spawned RNG child, the engines' fault
+        stream discipline).
     policy:
         Inter-job policy (see :func:`make_stream_policy`).
-    engine / faults:
+    engine:
         Forwarded verbatim to every per-job :func:`~repro.sim.simulate`
-        call — streams run under crashes, pauses, slowdowns and link
-        spikes exactly like single runs.
+        call.
+    faults:
+        Fault model or spec (see :func:`~repro.errors.faults.
+        make_fault_model`).  How it is realized depends on
+        ``fault_frame``.
+    fault_frame:
+        ``"stream"`` (default): realize **one** timeline on the absolute
+        stream clock and project it into every grant — crashes persist
+        across jobs, the health tracker excludes dead workers at
+        admission, and ``failure_policy`` governs jobs that cannot
+        finish.  ``"job"``: the legacy escape hatch — every per-job
+        ``simulate()`` re-realizes the model relative to its own start,
+        so a crashed worker resurrects for the next job; with subset
+        policies the realization samples indices against the *subset*,
+        so "worker 3" names a different machine per job.  Fault-free
+        streams are bitwise identical under both frames.
+    failure_policy:
+        What to do with a grant that cannot run or falls short (see
+        :func:`make_failure_policy`); only consulted under an active
+        ``fault_frame="stream"`` plane.
+    topology:
+        Interconnect spec forwarded to every per-job ``simulate()``;
+        ``sharedbw`` is rejected with ``faults`` (matching the
+        single-job guard) because loss classification needs a completion
+        time predictable at dispatch.
     error_model_factory:
         Override the per-slice error model construction (a zero-argument
         callable returning a fresh :class:`~repro.errors.models.
@@ -530,8 +1200,25 @@ def simulate_stream(
         the same stream :meth:`MultiJobResult.events` derives.
     """
     from repro.core.registry import make_scheduler
+    from repro.errors.faults import NoFaults, make_fault_model
     from repro.errors.models import make_error_model
+    from repro.platform.topology import make_topology
     from repro.sim.result import simulate
+
+    if fault_frame not in ("stream", "job"):
+        raise ValueError(
+            f"fault_frame must be 'stream' or 'job', got {fault_frame!r}"
+        )
+    fault_model = make_fault_model(faults) if faults is not None else None
+    if isinstance(fault_model, NoFaults):
+        fault_model = None
+    if fault_model is not None and make_topology(topology).kind == "sharedbw":
+        raise ValueError(
+            "fault injection is not supported on sharedbw topologies: loss "
+            "classification needs a completion time predictable at dispatch "
+            "(matching the single-job simulate() guard)"
+        )
+    failure = make_failure_policy(failure_policy)
 
     if isinstance(arrivals, str):
         arrivals = make_arrival_process(arrivals)
@@ -547,11 +1234,25 @@ def simulate_stream(
         def error_model_factory():
             return make_error_model("normal", error)
 
-    def run_job(job, work, workers, job_run_seed):
+    plane: StreamFaultSchedule | None = None
+    if fault_model is not None and fault_frame == "stream":
+        plane = StreamFaultSchedule.realize(fault_model, platform, seed)
+        if not plane.any_faults:
+            plane = None
+    health = PlatformHealth(platform.N, plane)
+    runtime = _StreamRuntime(plane, health, failure, stream_policy.name)
+
+    def run_job(job, work, workers, job_run_seed, start):
         sub = platform if len(workers) == platform.N else platform.subset(workers)
+        job_faults = faults
+        if plane is not None:
+            job_faults = FrozenFaults(plane.project(workers, start))
+        elif fault_model is not None and fault_frame == "stream":
+            # The stream timeline realized all-clear: authoritative.
+            job_faults = None
         return simulate(
             sub, work, sched, error_model_factory(), seed=job_run_seed,
-            engine=engine, faults=faults,
+            engine=engine, faults=job_faults, topology=topology,
         )
 
     def job_seed(job: JobArrival) -> "int | None":
@@ -559,7 +1260,7 @@ def simulate_stream(
             return job.seed
         return int(stream_for(seed, job.job_id).integers(0, 2**63 - 1))
 
-    records = stream_policy.run(platform, jobs, run_job, job_seed)
+    records = stream_policy.run(platform, jobs, run_job, job_seed, runtime)
     result = MultiJobResult(
         platform=platform,
         policy=stream_policy.name,
@@ -567,6 +1268,11 @@ def simulate_stream(
         engine=engine,
         seed=seed,
         jobs=records,
+        fault_frame=fault_frame,
+        failure_policy=failure.name,
+        fault_spec=fault_model.spec if fault_model is not None else "none",
+        stream_events=tuple(health.events) + tuple(runtime.events),
+        excluded=health.excluded_pairs(),
     )
     if tracer is not None:
         for e in result.events(include_sim=True):

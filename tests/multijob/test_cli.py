@@ -43,12 +43,50 @@ def test_multijob_trace_file_replay(tmp_path, capsys):
     assert "3 jobs" in capsys.readouterr().out
 
 
-def test_multijob_under_faults(capsys):
+def test_multijob_under_faults_legacy_frame(capsys):
+    # The legacy job frame re-realizes crashes per job, so losses recur.
+    assert main([
+        "multijob", "--n", "4", "--work", "150", "--seed", "5",
+        "--fault", "crash:p=0.8,tmax=20", "--fault-frame", "job",
+    ]) == 0
+    assert "work lost to faults" in capsys.readouterr().out
+
+
+def test_multijob_stream_frame_reports_health(capsys):
     assert main([
         "multijob", "--n", "4", "--work", "150", "--seed", "5",
         "--fault", "crash:p=0.8,tmax=20",
     ]) == 0
-    assert "work lost to faults" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "stream health [drop]:" in out
+    assert "worker(s) excluded" in out
+    assert "goodput=" in out
+
+
+@pytest.mark.parametrize(
+    "failure_policy", ("drop", "retry:attempts=2,backoff=3", "resubmit")
+)
+def test_multijob_failure_policy_smoke(capsys, failure_policy, tmp_path):
+    path = tmp_path / "metrics.json"
+    assert main([
+        "multijob", "--n", "4", "--work", "150", "--seed", "5",
+        "--fault", "crash:p=0.8,tmax=20",
+        "--failure-policy", failure_policy,
+        "--json", str(path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert f"stream health [{failure_policy.partition(':')[0]}" in out
+    metrics = json.loads(path.read_text())
+    assert "health" in metrics
+    assert metrics["health"]["workers_excluded"] >= 0
+
+
+def test_multijob_rejects_bad_failure_policy():
+    with pytest.raises(ValueError, match="unknown failure policy"):
+        main([
+            "multijob", "--n", "4", "--fault", "crash:p=0.5,tmax=20",
+            "--failure-policy", "panic",
+        ])
 
 
 def test_multijob_rejects_bad_policy():

@@ -13,7 +13,7 @@ layer leaked into the per-job trajectory.
 import pytest
 
 from repro.core.registry import available_schedulers, make_scheduler
-from repro.errors import NoError
+from repro.errors import FrozenFaults, NoError, StreamFaultSchedule, make_fault_model
 from repro.errors.models import make_error_model
 from repro.platform import homogeneous_platform
 from repro.sim import simulate, simulate_stream
@@ -55,17 +55,51 @@ def one_job_stream(platform, scheduler, faults=None, engine="fast", policy="fcfs
 @pytest.mark.parametrize("scheduler", available_schedulers())
 @pytest.mark.parametrize("faults", FAULT_SPECS, ids=lambda s: s or "none")
 def test_one_job_stream_bitwise_equals_simulate(platform, scheduler, faults):
+    # The legacy job frame: every per-job simulate() re-realizes the
+    # fault model in its own frame, so a 1-job stream is exactly a
+    # single run.  Fault-free streams take this path under both frames.
     direct = simulate(
         platform, WORK, make_scheduler(scheduler, 0.0), NoError(),
         seed=SEED, faults=faults,
     )
-    stream = one_job_stream(platform, scheduler, faults=faults)
+    kwargs = {} if faults is None else {"fault_frame": "job"}
+    stream = one_job_stream(platform, scheduler, faults=faults, **kwargs)
     assert stream.num_jobs == 1
     (rec,) = stream.jobs
     assert len(rec.results) == 1
     assert rec.results[0] == direct  # frozen-dataclass equality: bitwise
     assert rec.start == 0.0
     assert rec.finish == direct.makespan
+    assert rec.work_lost == direct.work_lost
+
+
+@pytest.mark.parametrize("engine", ("fast", "des"))
+@pytest.mark.parametrize(
+    "faults", [s for s in FAULT_SPECS if s is not None], ids=lambda s: s
+)
+def test_one_job_stream_frame_bitwise_equals_projected_simulate(
+    platform, engine, faults
+):
+    # The stream frame: the one stream timeline (realized from the
+    # *stream* seed's third spawned RNG child) is projected into the
+    # job's frame; a single run handed that exact frozen projection must
+    # be bitwise what the stream recorded — for every fault kind, on
+    # both engines.
+    stream_seed = 11
+    plane = StreamFaultSchedule.realize(
+        make_fault_model(faults), platform, stream_seed
+    )
+    direct = simulate(
+        platform, WORK, make_scheduler("RUMR", 0.0), NoError(),
+        seed=SEED, engine=engine,
+        faults=FrozenFaults(plane.project(range(platform.N), 0.0)),
+    )
+    stream = one_job_stream(
+        platform, "RUMR", faults=faults, engine=engine, seed=stream_seed
+    )
+    assert stream.fault_frame == "stream"
+    (rec,) = stream.jobs
+    assert rec.results[0] == direct
     assert rec.work_lost == direct.work_lost
 
 

@@ -1,0 +1,125 @@
+"""Golden regression: a crashy Poisson stream under each failure policy.
+
+``tests/data/golden_multijob_faulty.json`` byte-pins the queueing
+metrics — health block included — of one fault-ridden multi-job scenario
+under each :class:`~repro.sim.multijob.JobFailurePolicy`.  It is the
+fault-plane counterpart of ``test_golden_queueing.py``: any drift in the
+stream-clock fault realization, the health tracker's admission
+filtering, retry/resubmit seeding and backoff arithmetic, or the
+degraded-capacity metric definitions shows up here as an exact
+string-equality failure.
+
+To regenerate after an *intentional* semantics change::
+
+    PYTHONPATH=src python -c "
+    import json
+    from tests.multijob.test_golden_faulty import GOLDEN_PATH, SCENARIO, FAILURE_POLICIES, run_cell
+    from repro.experiments.queueing import metrics_to_json
+    payload = {'scenario': SCENARIO, 'failure_policies': list(FAILURE_POLICIES),
+               'metrics': {p: json.loads(metrics_to_json(run_cell(p))) for p in FAILURE_POLICIES}}
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + chr(10))
+    "
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.queueing import metrics_to_json, queueing_metrics
+from repro.platform import homogeneous_platform
+from repro.sim import simulate_stream
+
+pytestmark = [pytest.mark.multijob, pytest.mark.stream_faults]
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).parent.parent / "data" / "golden_multijob_faulty.json"
+)
+
+SCENARIO = {
+    "N": 4,
+    "bandwidth_factor": 1.5,
+    "cLat": 0.2,
+    "nLat": 0.1,
+    "arrivals": "poisson:rate=0.02,jobs=6,work=150,work_cv=0.3",
+    "scheduler": "RUMR",
+    "error": 0.2,
+    "seed": 58,
+    "engine": "fast",
+    "faults": "crash:p=0.9,tmax=60",
+    "policy": "partitioned:parts=4",
+}
+
+# Single-worker partitions make the crashes consequential (a partition
+# whose worker dies mid-grant fails its job under ``drop``), so the
+# three cells pin three genuinely different metric vectors — the seed
+# was chosen so drop/retry/resubmit all serialize differently.
+FAILURE_POLICIES = ("drop", "retry:attempts=2,backoff=40", "resubmit")
+
+
+def run_cell(failure_policy: str):
+    platform = homogeneous_platform(
+        SCENARIO["N"], S=1.0, bandwidth_factor=SCENARIO["bandwidth_factor"],
+        cLat=SCENARIO["cLat"], nLat=SCENARIO["nLat"],
+    )
+    stream = simulate_stream(
+        platform,
+        SCENARIO["arrivals"],
+        scheduler=SCENARIO["scheduler"],
+        error=SCENARIO["error"],
+        seed=SCENARIO["seed"],
+        policy=SCENARIO["policy"],
+        engine=SCENARIO["engine"],
+        faults=SCENARIO["faults"],
+        failure_policy=failure_policy,
+    )
+    return queueing_metrics(stream)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_describes_this_scenario(golden):
+    assert golden["scenario"] == SCENARIO
+    assert golden["failure_policies"] == list(FAILURE_POLICIES)
+    assert set(golden["metrics"]) == set(FAILURE_POLICIES)
+
+
+@pytest.mark.parametrize("failure_policy", FAILURE_POLICIES)
+def test_faulty_metrics_reproduce_golden_byte_for_byte(golden, failure_policy):
+    actual = metrics_to_json(run_cell(failure_policy))
+    expected = json.dumps(
+        golden["metrics"][failure_policy], sort_keys=True, separators=(",", ":")
+    )
+    assert actual == expected, (
+        f"faulty queueing-metrics drift under failure policy {failure_policy!r}"
+    )
+
+
+def test_golden_metrics_are_internally_consistent(golden):
+    # The crash realization is shared (same stream seed), so every
+    # failure policy sees the same exclusions and the same offered work;
+    # what differs is how much of it becomes goodput.
+    excluded = {
+        golden["metrics"][p]["health"]["workers_excluded"]
+        for p in FAILURE_POLICIES
+    }
+    assert len(excluded) == 1 and excluded.pop() >= 1
+    for p in FAILURE_POLICIES:
+        m = golden["metrics"][p]
+        assert m["num_jobs"] == 6
+        assert "health" in m
+        assert m["health"]["live_capacity"] <= m["horizon"] * SCENARIO["N"]
+        assert m["health"]["live_utilization"] >= m["utilization"]
+    assert (
+        golden["metrics"]["drop"]["total_work"]
+        == golden["metrics"]["retry:attempts=2,backoff=40"]["total_work"]
+        == golden["metrics"]["resubmit"]["total_work"]
+    )
+    # The three cells must pin three distinct behaviors.
+    serialized = {
+        json.dumps(golden["metrics"][p], sort_keys=True) for p in FAILURE_POLICIES
+    }
+    assert len(serialized) == len(FAILURE_POLICIES)

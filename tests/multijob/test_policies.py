@@ -176,6 +176,27 @@ class TestResultAccounting:
             )
 
     def test_stream_under_crashes_accounts_lost_work(self, platform):
+        # Legacy job frame: every job re-realizes the crash model, so
+        # under p=0.8 losses happen throughout the stream.
+        stream = simulate_stream(
+            platform,
+            "poisson:rate=0.05,jobs=4,work=150",
+            scheduler="RUMR",
+            seed=5,
+            policy="fcfs",
+            faults="crash:p=0.8,tmax=20",
+            fault_frame="job",
+        )
+        assert stream.work_lost > 0
+        assert stream.dispatched_work == pytest.approx(
+            stream.delivered_work + stream.work_lost
+        )
+        # Recovery-aware RUMR still finishes every job's full workload.
+        assert stream.delivered_work == pytest.approx(stream.total_work, rel=1e-9)
+
+    def test_stream_frame_excludes_dead_workers_and_conserves_work(self, platform):
+        # Default stream frame: the one timeline's crashes persist, the
+        # health tracker excludes the dead, and work stays conserved.
         stream = simulate_stream(
             platform,
             "poisson:rate=0.05,jobs=4,work=150",
@@ -184,9 +205,16 @@ class TestResultAccounting:
             policy="fcfs",
             faults="crash:p=0.8,tmax=20",
         )
-        assert stream.work_lost > 0
+        assert stream.fault_frame == "stream"
+        assert stream.workers_excluded  # tmax=20 precedes most arrivals
         assert stream.dispatched_work == pytest.approx(
             stream.delivered_work + stream.work_lost
         )
-        # Recovery-aware RUMR still finishes every job's full workload.
-        assert stream.delivered_work == pytest.approx(stream.total_work, rel=1e-9)
+        completed = sum(rec.job.work for rec in stream.completed_jobs)
+        delivered_completed = sum(rec.delivered_work for rec in stream.completed_jobs)
+        assert delivered_completed == pytest.approx(completed, rel=1e-9)
+        dead = dict(stream.excluded)
+        for rec in stream.jobs:
+            for i, start in enumerate(rec.slice_starts):
+                for w in rec.workers_for_slice(i):
+                    assert dead.get(w, float("inf")) > start

@@ -131,4 +131,5 @@ def test_kind_vocabulary_is_closed():
         "fault", "recovery_decision", "round_boundary",
         "engine_fallback", "cell_quarantined",
         "job_arrival", "job_start", "job_done",
+        "worker_excluded", "job_failed", "job_resubmitted",
     }
